@@ -1,0 +1,169 @@
+#ifndef PMMREC_BENCH_BENCH_COMMON_H_
+#define PMMREC_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the paper-reproduction benchmarks. Each bench binary
+// regenerates one table or figure of the PMMRec paper (ICDE 2024) on the
+// synthetic multi-platform suite and prints it in the paper's layout.
+//
+// Environment knobs (all optional):
+//   PMMREC_SCALE   — data-scale multiplier (default 1.0; smaller = faster)
+//   PMMREC_EPOCHS  — cap on training epochs (default: per-bench values)
+//   PMMREC_SEED    — global seed (default 17)
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/feature_models.h"
+#include "baselines/id_models.h"
+#include "baselines/transferable_models.h"
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "utils/logging.h"
+#include "utils/stopwatch.h"
+#include "utils/table.h"
+
+namespace pmmrec {
+namespace bench {
+
+inline double EnvScale() {
+  const char* v = std::getenv("PMMREC_SCALE");
+  return v ? std::atof(v) : 1.0;
+}
+
+inline uint64_t EnvSeed() {
+  const char* v = std::getenv("PMMREC_SEED");
+  return v ? static_cast<uint64_t>(std::atoll(v)) : 17;
+}
+
+inline int64_t EnvEpochCap(int64_t fallback) {
+  const char* v = std::getenv("PMMREC_EPOCHS");
+  return v ? std::atoll(v) : fallback;
+}
+
+// One shared world + datasets + pre-trained encoders per bench process.
+struct BenchContext {
+  BenchContext()
+      : suite(BuildBenchmarkSuite(EnvScale(), EnvSeed())),
+        fused_sources(FuseDatasets(
+            {&suite.sources[0], &suite.sources[1], &suite.sources[2],
+             &suite.sources[3]},
+            "FusedSources")),
+        config(PMMRecConfig::FromDataset(suite.sources[0])) {}
+
+  // Lazily pre-trains the shared "RoBERTa/CLIP" substitute encoders on the
+  // fused source catalogue (content only, no interactions).
+  PretrainedEncoders& encoders() {
+    if (!encoders_) {
+      Stopwatch watch;
+      encoders_ = std::make_unique<PretrainedEncoders>(config, EnvSeed() + 1);
+      EncoderPretrainConfig pt;
+      pt.epochs = 20;
+      pt.seed = EnvSeed() + 2;
+      encoders_->Pretrain(fused_sources, pt);
+      std::printf("# encoder pre-training: %.1fs\n", watch.ElapsedSeconds());
+    }
+    return *encoders_;
+  }
+
+  BenchmarkSuite suite;
+  Dataset fused_sources;
+  PMMRecConfig config;
+
+ private:
+  std::unique_ptr<PretrainedEncoders> encoders_;
+};
+
+// Standard fit options used across benches (mirroring the paper's AdamW +
+// early-stopping setup, Sec. IV-A3).
+inline FitOptions SourceFitOptions(uint64_t seed) {
+  FitOptions opts;
+  opts.max_epochs = EnvEpochCap(12);
+  opts.batch_size = 16;
+  opts.patience = 2;
+  opts.eval_users = 80;
+  opts.seed = seed;
+  return opts;
+}
+
+inline FitOptions TargetFitOptions(uint64_t seed) {
+  FitOptions opts;
+  opts.max_epochs = EnvEpochCap(12);
+  opts.batch_size = 16;
+  opts.patience = 2;
+  opts.eval_users = 60;
+  opts.seed = seed;
+  return opts;
+}
+
+inline FitOptions PretrainFitOptions(uint64_t seed) {
+  FitOptions opts;
+  opts.max_epochs = std::min<int64_t>(EnvEpochCap(5), 5);
+  opts.batch_size = 16;
+  opts.patience = 3;
+  opts.eval_users = 80;
+  opts.seed = seed;
+  return opts;
+}
+
+// Builds a PMMRec model for `ds`, initialized from the shared pre-trained
+// encoders (multi-modal modes only).
+inline std::unique_ptr<PMMRecModel> MakePmmrec(BenchContext& ctx,
+                                               const Dataset& ds,
+                                               ModalityMode modality,
+                                               uint64_t seed) {
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.modality = modality;
+  auto model = std::make_unique<PMMRecModel>(config, seed);
+  model->InitEncodersFrom(ctx.encoders().text(), ctx.encoders().vision());
+  return model;
+}
+
+// Pre-trains a fresh PMMRec on the fused sources with the full multi-task
+// objective (Eq. 12). The returned model is the transfer source.
+inline std::unique_ptr<PMMRecModel> PretrainPmmrec(BenchContext& ctx,
+                                                   const Dataset& source,
+                                                   uint64_t seed,
+                                                   PMMRecConfig* custom =
+                                                       nullptr) {
+  PMMRecConfig config =
+      custom != nullptr ? *custom : PMMRecConfig::FromDataset(source);
+  auto model = std::make_unique<PMMRecModel>(config, seed);
+  model->InitEncodersFrom(ctx.encoders().text(), ctx.encoders().vision());
+  model->SetPretrainingObjectives(true);
+  FitModel(*model, source, PretrainFitOptions(seed));
+  model->SetPretrainingObjectives(false);
+  return model;
+}
+
+// Fine-tunes PMMRec on `target` with DAP only. If `pretrained` is non-null
+// the components selected by `setting` are transferred first.
+inline RankingMetrics FinetunePmmrec(BenchContext& ctx, const Dataset& target,
+                                     const PMMRecModel* pretrained,
+                                     TransferSetting setting,
+                                     ModalityMode modality, uint64_t seed,
+                                     FitResult* fit_result = nullptr) {
+  auto model = MakePmmrec(ctx, target, modality, seed);
+  if (pretrained != nullptr) model->TransferFrom(*pretrained, setting);
+  model->SetPretrainingObjectives(false);
+  FitResult result = FitModel(*model, target, TargetFitOptions(seed));
+  if (fit_result != nullptr) *fit_result = result;
+  return EvaluateRanking(*model, target, EvalSplit::kTest);
+}
+
+// Convenience: fit any TrainableRecommender and return its test metrics.
+inline RankingMetrics FitAndTest(TrainableRecommender& model,
+                                 const Dataset& ds, const FitOptions& opts) {
+  FitModel(model, ds, opts);
+  return EvaluateRanking(model, ds, EvalSplit::kTest);
+}
+
+// Formats "ours (paper X.XX)" cells for side-by-side comparison.
+inline std::string WithPaper(double ours, double paper) {
+  return Table::Fmt(ours) + " (" + Table::Fmt(paper) + ")";
+}
+
+}  // namespace bench
+}  // namespace pmmrec
+
+#endif  // PMMREC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// Reproduces Figure 3 of the PMMRec paper: convergence curves of
+// fine-tuning under different transfer settings (w/o PT, w. PT-I, w. PT-U,
+// full w. PT). The paper's claim: pre-training both boosts the curve and
+// reaches its best value within the first few epochs.
+//
+// Output: one validation-HR@10-per-epoch series per setting per dataset,
+// printed as aligned columns (an ASCII rendition of the figure).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace pmmrec;
+  ScopedLogSilencer silence;
+  Stopwatch total;
+  bench::BenchContext ctx;
+  ctx.encoders();
+  const uint64_t seed = bench::EnvSeed();
+  auto pretrained = bench::PretrainPmmrec(ctx, ctx.fused_sources, seed + 70);
+
+  const int64_t epochs = 8;
+  const std::vector<std::string> datasets = {"Bili_Movie", "HM_Clothes"};
+  const std::vector<std::pair<std::string, TransferSetting>> settings = {
+      {"w/o PT", TransferSetting::kFull},  // Setting unused when no source.
+      {"w. PT-I", TransferSetting::kItemEncoders},
+      {"w. PT-U", TransferSetting::kUserEncoder},
+      {"w. PT", TransferSetting::kFull},
+  };
+
+  int pt_converges_faster = 0;
+  for (const std::string& name : datasets) {
+    const Dataset& target = ctx.suite.target(name);
+    std::printf("Figure 3 — %s: validation HR@10 (%%) per fine-tuning epoch\n",
+                name.c_str());
+    Table table({"Setting", "ep1", "ep2", "ep3", "ep4", "ep5", "ep6", "ep7",
+                 "ep8", "best@"});
+    double wo_first = 0, pt_first = 0;
+    for (size_t i = 0; i < settings.size(); ++i) {
+      auto model = bench::MakePmmrec(ctx, target, ModalityMode::kBoth,
+                                     seed + 71);
+      if (i > 0) model->TransferFrom(*pretrained, settings[i].second);
+      FitOptions opts = bench::TargetFitOptions(seed + 71);
+      opts.max_epochs = epochs;
+      opts.patience = epochs;  // No early stopping: show the full curve.
+      const FitResult result = FitModel(*model, target, opts);
+
+      std::vector<std::string> row = {settings[i].first};
+      for (int64_t e = 0; e < epochs; ++e) {
+        row.push_back(
+            e < static_cast<int64_t>(result.val_hr10_per_epoch.size())
+                ? Table::Fmt(result.val_hr10_per_epoch[static_cast<size_t>(e)])
+                : "-");
+      }
+      row.push_back("ep" + std::to_string(result.best_epoch + 1));
+      table.AddRow(row);
+      if (i == 0) wo_first = result.val_hr10_per_epoch[0];
+      if (i == 3) pt_first = result.val_hr10_per_epoch[0];
+    }
+    std::printf("%s\n", table.ToString().c_str());
+    if (pt_first >= wo_first) ++pt_converges_faster;
+    std::fflush(stdout);
+  }
+  std::printf(
+      "shape summary: full transfer starts (epoch 1) at or above the "
+      "from-scratch curve on %d/%zu datasets; total %.1fs\n",
+      pt_converges_faster, datasets.size(), total.ElapsedSeconds());
+  return 0;
+}

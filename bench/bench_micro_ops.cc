@@ -1,0 +1,133 @@
+// Google-benchmark micro-suite for the tensor/nn substrate: the hot ops of
+// PMMRec training (matmul, softmax, layer norm, attention block, full item
+// encoding and a complete PMMRec training step).
+
+#include <benchmark/benchmark.h>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
+
+namespace pmmrec {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape{n, n}, rng);
+  Tensor b = Tensor::Randn(Shape{n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn(Shape{64, state.range(0)}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a).data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn(Shape{128, 32}, rng);
+  Tensor gamma = Tensor::Ones(Shape{32});
+  Tensor beta = Tensor::Zeros(Shape{32});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNormOp(x, gamma, beta).data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_TransformerBlockForward(benchmark::State& state) {
+  Rng rng(4);
+  TransformerBlock block(32, 2, 64, 0.0f, &rng);
+  block.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{16, 10, 32}, rng);
+  Tensor mask = MultiHeadSelfAttention::CausalMask(10);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.Forward(x, mask).data());
+  }
+}
+BENCHMARK(BM_TransformerBlockForward);
+
+void BM_TransformerBlockBackward(benchmark::State& state) {
+  Rng rng(5);
+  TransformerBlock block(32, 2, 64, 0.0f, &rng);
+  Tensor x = Tensor::Randn(Shape{16, 10, 32}, rng);
+  Tensor mask = MultiHeadSelfAttention::CausalMask(10);
+  for (auto _ : state) {
+    Tensor loss = SumAll(Square(block.Forward(x, mask)));
+    loss.Backward();
+    block.ZeroGrad();
+  }
+}
+BENCHMARK(BM_TransformerBlockBackward);
+
+struct PmmrecFixture {
+  PmmrecFixture()
+      : suite(BuildBenchmarkSuite(0.4, 7)),
+        config(PMMRecConfig::FromDataset(suite.sources[0])),
+        model(config, 42) {
+    model.AttachDataset(&suite.sources[0]);
+  }
+  BenchmarkSuite suite;
+  PMMRecConfig config;
+  PMMRecModel model;
+};
+
+void BM_ItemEncoding(benchmark::State& state) {
+  static PmmrecFixture* fixture = new PmmrecFixture();
+  std::vector<int32_t> ids;
+  for (int32_t i = 0; i < 64; ++i) ids.push_back(i);
+  NoGradGuard no_grad;
+  fixture->model.SetTrainingMode(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->model.EncodeItemReps(ids).final_.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ItemEncoding);
+
+void BM_PmmrecTrainStep(benchmark::State& state) {
+  static PmmrecFixture* fixture = new PmmrecFixture();
+  fixture->model.SetTrainingMode(true);
+  fixture->model.SetPretrainingObjectives(true);
+  const Dataset& ds = fixture->suite.sources[0];
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 16; ++u) users.push_back(u);
+  const SeqBatch batch =
+      MakeTrainBatch(ds, users, fixture->config.max_seq_len);
+  for (auto _ : state) {
+    Tensor loss = fixture->model.TrainStepLoss(batch);
+    loss.Backward();
+    fixture->model.ZeroGrad();
+  }
+}
+BENCHMARK(BM_PmmrecTrainStep);
+
+void BM_FullRankingEval(benchmark::State& state) {
+  static PmmrecFixture* fixture = new PmmrecFixture();
+  const Dataset& ds = fixture->suite.sources[0];
+  fixture->model.PrepareForEval();
+  const auto prefix = ds.TestPrefix(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->model.ScoreItems(prefix));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_items());
+}
+BENCHMARK(BM_FullRankingEval);
+
+}  // namespace
+}  // namespace pmmrec
+
+BENCHMARK_MAIN();

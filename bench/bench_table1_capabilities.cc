@@ -1,0 +1,94 @@
+// Reproduces Table I of the PMMRec paper: which transfer-learning settings
+// each method supports. Unlike the paper's static table, every claimed
+// PMMRec capability is VERIFIED by actually running the setting (transfer
+// + one training step + scoring) on a tiny dataset.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace pmmrec {
+namespace {
+
+bool RunSetting(bench::BenchContext& ctx, TransferSetting setting,
+                ModalityMode modality) {
+  const Dataset& source = ctx.suite.sources[0];
+  const Dataset& target = ctx.suite.targets[0];
+
+  PMMRecConfig src_config = PMMRecConfig::FromDataset(source);
+  PMMRecModel pretrained(src_config, 1);
+
+  PMMRecConfig dst_config = PMMRecConfig::FromDataset(target);
+  dst_config.modality = modality;
+  PMMRecModel model(dst_config, 2);
+  model.TransferFrom(pretrained, setting);
+  model.AttachDataset(&target);
+  model.SetTrainingMode(true);
+  const SeqBatch batch =
+      MakeTrainBatch(target, {0, 1, 2, 3}, dst_config.max_seq_len);
+  Tensor loss = model.TrainStepLoss(batch);
+  if (!loss.defined()) return false;
+  loss.Backward();
+  model.SetTrainingMode(false);
+  const auto scores = model.ScoreItems(target.TestPrefix(0));
+  return static_cast<int64_t>(scores.size()) == target.num_items();
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main() {
+  using namespace pmmrec;
+  ScopedLogSilencer silence;
+  bench::BenchContext ctx;
+
+  struct Row {
+    const char* method;
+    const char* full;
+    const char* item_enc;
+    const char* user_enc;
+    const char* text;
+    const char* vision;
+  };
+  // The baseline capability rows restate the paper's analysis (these
+  // methods structurally cannot support the missing settings: ID-based
+  // PeterRec has no content encoders; UniSRec/VQRec are text-only; MoRec
+  // is single-modality).
+  const Row baselines[] = {
+      {"PeterRec", "x", "x", "x", "x", "x"},
+      {"UniSRec", "x", "x", "x", "Y", "x"},
+      {"VQRec", "x", "x", "x", "Y", "x"},
+      {"MoRec", "x", "x", "x", "Y", "Y"},
+  };
+
+  Table table({"Method", "Full", "Item Enc.", "User Enc.", "Text", "Vision"});
+  table.SetTitle(
+      "Table I — Transfer-setting capability matrix "
+      "(Y = supported; PMMRec row verified by execution)");
+  for (const Row& row : baselines) {
+    table.AddRow({row.method, row.full, row.item_enc, row.user_enc, row.text,
+                  row.vision});
+  }
+
+  // Verify PMMRec's five settings by running them.
+  const bool full = RunSetting(ctx, TransferSetting::kFull,
+                               ModalityMode::kBoth);
+  const bool item_enc = RunSetting(ctx, TransferSetting::kItemEncoders,
+                                   ModalityMode::kBoth);
+  const bool user_enc = RunSetting(ctx, TransferSetting::kUserEncoder,
+                                   ModalityMode::kBoth);
+  const bool text = RunSetting(ctx, TransferSetting::kTextOnly,
+                               ModalityMode::kTextOnly);
+  const bool vision = RunSetting(ctx, TransferSetting::kVisionOnly,
+                                 ModalityMode::kVisionOnly);
+  auto mark = [](bool ok) { return ok ? "Y" : "FAIL"; };
+  table.AddSeparator();
+  table.AddRow({"PMMRec (ours)", mark(full), mark(item_enc), mark(user_enc),
+                mark(text), mark(vision)});
+  std::printf("%s\n", table.ToString().c_str());
+
+  const bool all_ok = full && item_enc && user_enc && text && vision;
+  std::printf("PMMRec capability verification: %s\n",
+              all_ok ? "ALL SETTINGS PASS" : "FAILURES PRESENT");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Reproduces Table II of the PMMRec paper: dataset statistics after
+// preprocessing. Our datasets are synthetic stand-ins at ~1/1000 action
+// scale (see DESIGN.md); the paper's numbers are printed alongside for
+// reference. What must match is the STRUCTURE: 4 sources + 10 targets,
+// short-video platforms (Bili/Kwai) vs e-commerce (HM/Amazon), short
+// average sequences, and high sparsity.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  long long users, items, actions;
+  double avg_len;
+  double sparsity;
+};
+
+// From the paper's Table II.
+const PaperRow kPaperRows[] = {
+    {"Bili", 100000, 44887, 1537850, 15.38, 99.97},
+    {"Kwai", 200000, 39410, 1512646, 7.56, 99.98},
+    {"HM", 200000, 85019, 3160543, 15.80, 99.98},
+    {"Amazon", 100000, 63456, 742464, 7.42, 99.98},
+    {"Bili_Food", 6485, 1574, 39152, 6.04, 99.61},
+    {"Bili_Movie", 16452, 3493, 114239, 6.94, 99.80},
+    {"Bili_Cartoon", 30102, 4702, 211497, 7.03, 99.84},
+    {"Kwai_Food", 8549, 2097, 72741, 8.51, 99.59},
+    {"Kwai_Movie", 8477, 7024, 60208, 7.10, 99.99},
+    {"Kwai_Cartoon", 17429, 7284, 131733, 7.56, 99.89},
+    {"HM_Clothes", 27883, 2742, 185297, 6.65, 99.71},
+    {"HM_Shoes", 21666, 3743, 164621, 7.60, 99.81},
+    {"Amazon_Clothes", 5009, 5855, 30383, 6.06, 99.89},
+    {"Amazon_Shoes", 15264, 16852, 93999, 6.16, 99.96},
+};
+
+const PaperRow* FindPaperRow(const std::string& name) {
+  for (const auto& row : kPaperRows) {
+    if (name == row.name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pmmrec;
+  ScopedLogSilencer silence;
+  bench::BenchContext ctx;
+
+  Table table({"Dataset", "#users", "#items", "#actions", "avg.len",
+               "sparsity %", "paper #users", "paper avg.len",
+               "paper sparsity %"});
+  table.SetTitle(
+      "Table II — Dataset statistics (synthetic suite vs. paper)");
+
+  auto add = [&](const Dataset& ds) {
+    const PaperRow* paper = FindPaperRow(ds.name);
+    table.AddRow({ds.name, std::to_string(ds.num_users()),
+                  std::to_string(ds.num_items()),
+                  std::to_string(ds.num_actions()),
+                  Table::Fmt(ds.avg_seq_len()),
+                  Table::Fmt(ds.sparsity() * 100.0),
+                  paper ? std::to_string(paper->users) : "-",
+                  paper ? Table::Fmt(paper->avg_len) : "-",
+                  paper ? Table::Fmt(paper->sparsity) : "-"});
+  };
+  {
+    const Dataset& fused = ctx.fused_sources;
+    table.AddRow({"Source (fused)", std::to_string(fused.num_users()),
+                  std::to_string(fused.num_items()),
+                  std::to_string(fused.num_actions()),
+                  Table::Fmt(fused.avg_seq_len()),
+                  Table::Fmt(fused.sparsity() * 100.0), "600000", "11.59",
+                  "99.98"});
+  }
+  for (const Dataset& ds : ctx.suite.sources) add(ds);
+  table.AddSeparator();
+  for (const Dataset& ds : ctx.suite.targets) add(ds);
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Structural checks the reproduction depends on.
+  bool ok = ctx.suite.sources.size() == 4 && ctx.suite.targets.size() == 10;
+  for (const Dataset& ds : ctx.suite.targets) {
+    ok = ok && ds.sparsity() > 0.5 && ds.avg_seq_len() >= 4.0 &&
+         ds.avg_seq_len() <= 16.0;
+  }
+  std::printf("structural checks: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,148 @@
+// Reproduces Table IV of the PMMRec paper: cross-platform transfer
+// learning on the 10 downstream datasets. Transferable models (UniSRec,
+// VQRec, MoRec++, PMMRec) are pre-trained on the fused 4 source datasets
+// and fine-tuned per target; "w/o PT" trains the same model from scratch
+// on the target. SASRec is the non-transferable ID reference.
+//
+// Expected shape: pre-training helps PMMRec on most targets; PMMRec w. PT
+// is the best column overall; frozen-text methods (UniSRec/VQRec) trail.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace pmmrec {
+namespace {
+
+struct PaperRow {
+  double sasrec, unis_wo, unis_pt, vq_wo, vq_pt, morec_wo, morec_pt, pmm_wo,
+      pmm_pt;
+};
+
+// Paper Table IV, HR@10 (%).
+const std::map<std::string, PaperRow> kPaperHr10 = {
+    {"Bili_Food", {16.55, 2.21, 7.40, 14.96, 17.61, 18.67, 19.09, 20.05, 22.67}},
+    {"Bili_Movie", {11.60, 5.38, 6.78, 10.23, 11.09, 12.04, 12.69, 13.50, 15.02}},
+    {"Bili_Cartoon", {11.59, 3.66, 5.37, 10.14, 10.97, 12.64, 13.76, 14.49, 15.82}},
+    {"Kwai_Food", {33.17, 23.84, 9.21, 25.84, 26.21, 31.76, 33.72, 37.03, 38.51}},
+    {"Kwai_Movie", {6.08, 0.92, 2.56, 4.51, 4.22, 5.07, 6.86, 7.43, 8.84}},
+    {"Kwai_Cartoon", {12.87, 8.74, 4.62, 10.52, 9.54, 10.39, 11.92, 15.39, 16.42}},
+    {"HM_Clothes", {9.94, 3.57, 6.78, 8.92, 9.52, 10.51, 11.75, 10.13, 14.70}},
+    {"HM_Shoes", {13.99, 9.22, 7.28, 11.70, 12.03, 12.36, 14.94, 14.30, 18.97}},
+    {"Amazon_Clothes", {40.71, 34.94, 36.44, 40.32, 40.77, 37.67, 40.09, 40.42, 43.78}},
+    {"Amazon_Shoes", {11.80, 6.47, 7.07, 12.79, 12.74, 12.97, 13.46, 11.85, 15.97}},
+};
+
+}  // namespace
+}  // namespace pmmrec
+
+int main() {
+  using namespace pmmrec;
+  ScopedLogSilencer silence;
+  Stopwatch total;
+  bench::BenchContext ctx;
+  PretrainedEncoders& encoders = ctx.encoders();
+  const uint64_t seed = bench::EnvSeed();
+  const Dataset& fused = ctx.fused_sources;
+  const PMMRecConfig base_config = ctx.config;
+
+  // --- Pre-train the transferable models on the fused sources ------------
+  const FitOptions pre_opts = bench::PretrainFitOptions(seed + 30);
+  Stopwatch pre_watch;
+  UniSRec unis_pre(base_config, &encoders, seed + 31);
+  FitModel(unis_pre, fused, pre_opts);
+  VqRec vq_pre(base_config, &encoders, seed + 32);
+  FitModel(vq_pre, fused, pre_opts);
+  MoRecPP morec_pre(base_config, seed + 33);
+  morec_pre.InitEncodersFrom(encoders);
+  FitModel(morec_pre, fused, pre_opts);
+  auto pmm_pre = bench::PretrainPmmrec(ctx, fused, seed + 34);
+  std::printf("# pre-training 4 transferable models: %.1fs\n",
+              pre_watch.ElapsedSeconds());
+  std::fflush(stdout);
+
+  Table table({"Dataset", "Metric", "SASRec", "UniSRec w/o", "UniSRec w.PT",
+               "VQRec w/o", "VQRec w.PT", "MoRec++ w/o", "MoRec++ w.PT",
+               "PMMRec w/o", "PMMRec w.PT"});
+  table.SetTitle(
+      "Table IV — Transfer learning on downstream datasets (%) "
+      "[paper values in brackets on HR@10 rows]");
+
+  int pt_helps = 0, pmm_best = 0;
+  for (const Dataset& target : ctx.suite.targets) {
+    const FitOptions opts = bench::TargetFitOptions(seed + 40);
+    const PMMRecConfig tcfg = PMMRecConfig::FromDataset(target);
+    Stopwatch ds_watch;
+
+    SasRec sasrec(target.num_items(), tcfg.d_model, tcfg.max_seq_len,
+                  seed + 41);
+    const RankingMetrics m_sas = bench::FitAndTest(sasrec, target, opts);
+
+    UniSRec unis_wo(tcfg, &encoders, seed + 42);
+    const RankingMetrics m_unis_wo = bench::FitAndTest(unis_wo, target, opts);
+    UniSRec unis_pt(tcfg, &encoders, seed + 42);
+    unis_pt.TransferFrom(unis_pre);
+    const RankingMetrics m_unis_pt = bench::FitAndTest(unis_pt, target, opts);
+
+    VqRec vq_wo(tcfg, &encoders, seed + 43);
+    const RankingMetrics m_vq_wo = bench::FitAndTest(vq_wo, target, opts);
+    VqRec vq_pt(tcfg, &encoders, seed + 43);
+    vq_pt.TransferFrom(vq_pre);
+    const RankingMetrics m_vq_pt = bench::FitAndTest(vq_pt, target, opts);
+
+    MoRecPP morec_wo(tcfg, seed + 44);
+    morec_wo.InitEncodersFrom(encoders);
+    const RankingMetrics m_morec_wo =
+        bench::FitAndTest(morec_wo, target, opts);
+    MoRecPP morec_pt(tcfg, seed + 44);
+    morec_pt.InitEncodersFrom(encoders);
+    morec_pt.TransferFrom(morec_pre);
+    const RankingMetrics m_morec_pt =
+        bench::FitAndTest(morec_pt, target, opts);
+
+    const RankingMetrics m_pmm_wo = bench::FinetunePmmrec(
+        ctx, target, nullptr, TransferSetting::kFull, ModalityMode::kBoth,
+        seed + 45);
+    const RankingMetrics m_pmm_pt = bench::FinetunePmmrec(
+        ctx, target, pmm_pre.get(), TransferSetting::kFull,
+        ModalityMode::kBoth, seed + 45);
+
+    const PaperRow& paper = kPaperHr10.at(target.name);
+    auto cell = [](double ours, double paper_value) {
+      return Table::Fmt(ours) + " [" + Table::Fmt(paper_value) + "]";
+    };
+    table.AddRow({target.name, "HR@10", cell(m_sas.Hr(10), paper.sasrec),
+                  cell(m_unis_wo.Hr(10), paper.unis_wo),
+                  cell(m_unis_pt.Hr(10), paper.unis_pt),
+                  cell(m_vq_wo.Hr(10), paper.vq_wo),
+                  cell(m_vq_pt.Hr(10), paper.vq_pt),
+                  cell(m_morec_wo.Hr(10), paper.morec_wo),
+                  cell(m_morec_pt.Hr(10), paper.morec_pt),
+                  cell(m_pmm_wo.Hr(10), paper.pmm_wo),
+                  cell(m_pmm_pt.Hr(10), paper.pmm_pt)});
+    table.AddRow({target.name, "NDCG@10", Table::Fmt(m_sas.Ndcg(10)),
+                  Table::Fmt(m_unis_wo.Ndcg(10)),
+                  Table::Fmt(m_unis_pt.Ndcg(10)),
+                  Table::Fmt(m_vq_wo.Ndcg(10)), Table::Fmt(m_vq_pt.Ndcg(10)),
+                  Table::Fmt(m_morec_wo.Ndcg(10)),
+                  Table::Fmt(m_morec_pt.Ndcg(10)),
+                  Table::Fmt(m_pmm_wo.Ndcg(10)),
+                  Table::Fmt(m_pmm_pt.Ndcg(10))});
+
+    if (m_pmm_pt.Hr(10) >= m_pmm_wo.Hr(10)) ++pt_helps;
+    const double best_other =
+        std::max({m_sas.Hr(10), m_unis_pt.Hr(10), m_vq_pt.Hr(10),
+                  m_morec_pt.Hr(10)});
+    if (m_pmm_pt.Hr(10) >= best_other - 1.0) ++pmm_best;
+    std::printf("# %s done in %.1fs\n", target.name.c_str(),
+                ds_watch.ElapsedSeconds());
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "shape summary: PMMRec pre-training helps on %d/10 targets; PMMRec "
+      "w.PT best-or-near-best on %d/10; total %.1fs\n",
+      pt_helps, pmm_best, total.ElapsedSeconds());
+  return 0;
+}

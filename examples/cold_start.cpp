@@ -1,0 +1,67 @@
+// Cold-start recommendation: why pure multi-modality matters. ID-based
+// models cannot rank items they have barely seen; content-based PMMRec
+// scores them from their text and images (paper Sec. IV-F2 / Table VII).
+//
+//   ./build/examples/cold_start
+
+#include <cstdio>
+
+#include "baselines/id_models.h"
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "utils/logging.h"
+
+int main() {
+  using namespace pmmrec;
+  LogMessage::SetMinLevel(LogLevel::kWarning);
+
+  BenchmarkSuite suite = BuildBenchmarkSuite(/*scale=*/0.7, /*seed=*/17);
+  const Dataset& dataset = suite.source("Amazon");
+
+  // Items the training split never shows are "cold" (the paper uses < 10
+  // occurrences at ~4x our interaction density).
+  const auto cold_cases = BuildColdStartCases(dataset, /*max_occurrences=*/1);
+  const auto counts = dataset.TrainItemCounts();
+  int64_t cold_items = 0;
+  for (int64_t c : counts) {
+    if (c < 1) ++cold_items;
+  }
+  std::printf("%s: %lld/%lld items are cold, %zu cold evaluation cases\n",
+              dataset.name.c_str(), static_cast<long long>(cold_items),
+              static_cast<long long>(dataset.num_items()),
+              cold_cases.size());
+
+  FitOptions opts;
+  opts.max_epochs = 10;
+
+  // ID-based reference.
+  PMMRecConfig config = PMMRecConfig::FromDataset(dataset);
+  SasRec sasrec(dataset.num_items(), config.d_model, config.max_seq_len, 1);
+  FitModel(sasrec, dataset, opts);
+  const RankingMetrics id_cold = EvaluateColdStart(sasrec, cold_cases, 200);
+  const RankingMetrics id_warm =
+      EvaluateRanking(sasrec, dataset, EvalSplit::kTest, 200);
+
+  // Pure multi-modality PMMRec.
+  PMMRecModel pmmrec(config, 2);
+  pmmrec.SetPretrainingObjectives(true);
+  FitModel(pmmrec, dataset, opts);
+  const RankingMetrics mm_cold = EvaluateColdStart(pmmrec, cold_cases, 200);
+  const RankingMetrics mm_warm =
+      EvaluateRanking(pmmrec, dataset, EvalSplit::kTest, 200);
+
+  std::printf("\n%-22s %12s %12s\n", "", "SASRec (ID)", "PMMRec");
+  std::printf("%-22s %12.2f %12.2f\n", "overall test HR@10 (%)",
+              id_warm.Hr(10), mm_warm.Hr(10));
+  std::printf("%-22s %12.2f %12.2f\n", "cold HR@10 (%)", id_cold.Hr(10),
+              mm_cold.Hr(10));
+  std::printf("%-22s %12.1f %12.1f   (of %lld items; lower is better)\n",
+              "cold mean rank", id_cold.mean_rank, mm_cold.mean_rank,
+              static_cast<long long>(dataset.num_items()));
+  std::printf(
+      "\nContent carries ranking signal interaction counts cannot provide; "
+      "HR@k barely resolves it at this catalogue scale, so compare the "
+      "mean ranks (the paper's 63k-item catalogues magnify the same "
+      "effect into its Table VII gaps).\n");
+  return 0;
+}

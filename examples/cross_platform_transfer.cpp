@@ -1,0 +1,79 @@
+// Cross-platform transfer: the paper's headline scenario. PMMRec is
+// pre-trained on a short-video platform ("Bili") and fine-tuned on an
+// e-commerce subdomain ("HM_Shoes") — no shared users or items, content
+// styles differ; only the multi-modal representations and the learned
+// transition patterns carry over.
+//
+//   ./build/examples/cross_platform_transfer
+
+#include <cstdio>
+
+#include "core/item_encoders.h"
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "utils/logging.h"
+
+int main() {
+  using namespace pmmrec;
+  LogMessage::SetMinLevel(LogLevel::kWarning);
+
+  // Source and target platforms from the benchmark suite (reduced scale so
+  // the example finishes quickly).
+  BenchmarkSuite suite = BuildBenchmarkSuite(/*scale=*/0.7, /*seed=*/17);
+  const Dataset& source = suite.source("Bili");
+  const Dataset& target = suite.target("HM_Shoes");
+  std::printf("source: %s (%lld users), target: %s (%lld users)\n",
+              source.name.c_str(), static_cast<long long>(source.num_users()),
+              target.name.c_str(),
+              static_cast<long long>(target.num_users()));
+
+  // 1. "Pre-trained" item encoders (the RoBERTa/CLIP substitute) on the
+  //    source content corpus.
+  PMMRecConfig config = PMMRecConfig::FromDataset(source);
+  PretrainedEncoders encoders(config, 11);
+  EncoderPretrainConfig encoder_pt;
+  encoder_pt.epochs = 12;
+  encoders.Pretrain(source, encoder_pt);
+  std::printf("item encoders pre-trained on source content\n");
+
+  // 2. Pre-train PMMRec on the source with the full multi-task objective.
+  PMMRecModel pretrained(config, 42);
+  pretrained.InitEncodersFrom(encoders.text(), encoders.vision());
+  pretrained.SetPretrainingObjectives(true);
+  FitOptions pre_opts;
+  pre_opts.max_epochs = 6;
+  FitModel(pretrained, source, pre_opts);
+  std::printf("PMMRec pre-trained on %s\n", source.name.c_str());
+
+  // 3. Fine-tune on the target twice: from scratch and with full transfer.
+  FitOptions ft_opts;
+  ft_opts.max_epochs = 10;
+  ft_opts.eval_users = -1;
+
+  PMMRecConfig target_config = PMMRecConfig::FromDataset(target);
+  PMMRecModel scratch(target_config, 43);
+  scratch.InitEncodersFrom(encoders.text(), encoders.vision());
+  const FitResult scratch_fit = FitModel(scratch, target, ft_opts);
+  const RankingMetrics scratch_test =
+      EvaluateRanking(scratch, target, EvalSplit::kTest);
+
+  PMMRecModel transferred(target_config, 43);
+  transferred.InitEncodersFrom(encoders.text(), encoders.vision());
+  transferred.TransferFrom(pretrained, TransferSetting::kFull);
+  const FitResult transfer_fit = FitModel(transferred, target, ft_opts);
+  const RankingMetrics transfer_test =
+      EvaluateRanking(transferred, target, EvalSplit::kTest);
+
+  std::printf("\n%-22s %10s %10s\n", "", "w/o PT", "w. PT (full)");
+  std::printf("%-22s %10.2f %12.2f\n", "test HR@10 (%)", scratch_test.Hr(10),
+              transfer_test.Hr(10));
+  std::printf("%-22s %10.2f %12.2f\n", "test NDCG@10 (%)",
+              scratch_test.Ndcg(10), transfer_test.Ndcg(10));
+  std::printf("%-22s %10.2f %12.2f\n", "epoch-1 val HR@10 (%)",
+              scratch_fit.val_hr10_per_epoch.front(),
+              transfer_fit.val_hr10_per_epoch.front());
+  std::printf(
+      "\nTransfer carries the shared transition patterns across platforms "
+      "(paper Fig. 1 / Table IV).\n");
+  return 0;
+}

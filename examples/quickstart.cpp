@@ -1,0 +1,83 @@
+// Quickstart: generate a synthetic multi-modal recommendation dataset,
+// train PMMRec on it, and produce top-k recommendations for a user.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "utils/logging.h"
+
+int main() {
+  using namespace pmmrec;
+
+  // 1. Build a small multi-modal dataset. Every item carries text tokens
+  //    and image patches; there are NO usable item IDs — exactly the
+  //    pure-multi-modality setting of the PMMRec paper.
+  SyntheticWorld world{WorldConfig{}};
+  DatasetGenerator generator(&world);
+  PlatformConfig platform;
+  platform.name = "Quickstart";
+  platform.platform = "HM";
+  platform.clusters = {6, 7, 8, 9};
+  platform.n_items = 200;
+  platform.n_users = 250;
+  platform.seed = 1;
+  const Dataset dataset = generator.Generate(platform);
+  std::printf("dataset: %lld users, %lld items, %lld interactions\n",
+              static_cast<long long>(dataset.num_users()),
+              static_cast<long long>(dataset.num_items()),
+              static_cast<long long>(dataset.num_actions()));
+
+  // 2. Configure and train PMMRec. FromDataset() copies the content schema
+  //    (vocab size, text length, patch geometry); everything else has
+  //    sensible defaults. The full multi-task objective (DAP + NICL + NID
+  //    + RCL, paper Eq. 12) is enabled for training from scratch.
+  PMMRecConfig config = PMMRecConfig::FromDataset(dataset);
+  PMMRecModel model(config, /*seed=*/42);
+  model.SetPretrainingObjectives(true);
+  std::printf("model: %lld parameters\n",
+              static_cast<long long>(model.NumParameters()));
+
+  FitOptions options;
+  options.max_epochs = 10;
+  options.verbose = true;
+  const FitResult result = FitModel(model, dataset, options);
+  std::printf("trained %lld epochs in %.1fs; best validation HR@10 = %.2f%%\n",
+              static_cast<long long>(result.epochs_run), result.seconds,
+              result.best_val_hr10);
+
+  // 3. Evaluate with the paper's protocol: leave-one-out, full-catalogue
+  //    ranking.
+  const RankingMetrics test = EvaluateRanking(model, dataset,
+                                              EvalSplit::kTest);
+  std::printf("test metrics: %s\n", test.ToString().c_str());
+
+  // 4. Recommend: score the whole catalogue given a user's history.
+  const std::vector<int32_t> history = dataset.TestPrefix(0);
+  const std::vector<float> scores = model.ScoreItems(history);
+  std::vector<int32_t> ranking(scores.size());
+  std::iota(ranking.begin(), ranking.end(), 0);
+  std::partial_sort(ranking.begin(), ranking.begin() + 5, ranking.end(),
+                    [&](int32_t a, int32_t b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  std::printf("user 0 watched %zu items; top-5 recommendations:",
+              history.size());
+  for (int i = 0; i < 5; ++i) std::printf(" %d", ranking[static_cast<size_t>(i)]);
+  std::printf(" (held-out truth: %d)\n", dataset.TestTarget(0));
+
+  // 5. Persist the model and reload it.
+  const Status save = model.SaveToFile("/tmp/pmmrec_quickstart.ckpt");
+  std::printf("checkpoint saved: %s\n", save.ToString().c_str());
+  PMMRecModel reloaded(config, 7);
+  const Status load = reloaded.LoadFromFile("/tmp/pmmrec_quickstart.ckpt");
+  std::printf("checkpoint loaded: %s\n", load.ToString().c_str());
+  return save.ok() && load.ok() ? 0 : 1;
+}

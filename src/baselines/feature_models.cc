@@ -1,0 +1,122 @@
+#include "baselines/feature_models.h"
+
+namespace pmmrec {
+namespace {
+
+PMMRecConfig SeqEncoderConfig(const PMMRecConfig& base) {
+  return base;  // Same d_model / max_seq_len; content schema unused here.
+}
+
+}  // namespace
+
+// --- FrozenFeatureProvider -----------------------------------------------------
+
+void FrozenFeatureProvider::Build(const Dataset& ds) {
+  const std::vector<float> text = encoders_->FrozenTextFeatures(ds);
+  const std::vector<float> vision = encoders_->FrozenVisionFeatures(ds);
+  const int64_t d = encoders_->config().d_model;
+  const int64_t n = ds.num_items();
+  feature_dim_ = 2 * d;
+  table_.assign(static_cast<size_t>(n * feature_dim_), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(text.begin() + i * d, text.begin() + (i + 1) * d,
+              table_.begin() + i * feature_dim_);
+    std::copy(vision.begin() + i * d, vision.begin() + (i + 1) * d,
+              table_.begin() + i * feature_dim_ + d);
+  }
+}
+
+Tensor FrozenFeatureProvider::FeatureRows(
+    const std::vector<int32_t>& item_ids) const {
+  PMM_CHECK_GT(feature_dim_, 0);
+  const int64_t n = static_cast<int64_t>(item_ids.size());
+  Tensor rows = Tensor::Zeros(Shape{n, feature_dim_});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t item = item_ids[static_cast<size_t>(i)];
+    std::copy(table_.begin() + item * feature_dim_,
+              table_.begin() + (item + 1) * feature_dim_,
+              rows.data() + i * feature_dim_);
+  }
+  return rows;
+}
+
+// --- FDSA ------------------------------------------------------------------------
+
+Fdsa::Fdsa(int64_t n_items, const PMMRecConfig& config,
+           PretrainedEncoders* encoders, uint64_t seed)
+    : SequentialRecBase(config.max_seq_len, seed),
+      d_(config.d_model),
+      features_(encoders),
+      item_emb_(n_items, config.d_model, rng()),
+      feat_proj_(2 * config.d_model, config.d_model, rng()),
+      id_stream_(SeqEncoderConfig(config), &rng()),
+      feat_stream_(SeqEncoderConfig(config), &rng()),
+      out_proj_(2 * config.d_model, config.d_model, rng()),
+      key_proj_(2 * config.d_model, config.d_model, rng()) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("feat_proj", &feat_proj_);
+  RegisterModule("id_stream", &id_stream_);
+  RegisterModule("feat_stream", &feat_stream_);
+  RegisterModule("out_proj", &out_proj_);
+  RegisterModule("key_proj", &key_proj_);
+}
+
+void Fdsa::OnAttachDataset() { features_.Build(*dataset()); }
+
+Tensor Fdsa::ItemReps(const std::vector<int32_t>& item_ids) {
+  Tensor ids = item_emb_.Forward(item_ids);                        // [n, d]
+  Tensor feats = feat_proj_.Forward(features_.FeatureRows(item_ids));
+  return Concat({ids, feats}, 1);                                  // [n, 2d]
+}
+
+Tensor Fdsa::UserHidden(const Tensor& seq_reps) {
+  Tensor id_part = Slice(seq_reps, 2, 0, d_);
+  Tensor feat_part = Slice(seq_reps, 2, d_, d_);
+  Tensor h_id = id_stream_.Forward(id_part);
+  Tensor h_feat = feat_stream_.Forward(feat_part);
+  return out_proj_.Forward(Concat({h_id, h_feat}, 2));  // [B, L, d]
+}
+
+Tensor Fdsa::TransformKeys(const Tensor& item_reps) {
+  return key_proj_.Forward(item_reps);  // [U, d]
+}
+
+// --- CARCA++ -----------------------------------------------------------------------
+
+CarcaPP::CarcaPP(int64_t n_items, const PMMRecConfig& config,
+                 PretrainedEncoders* encoders, uint64_t seed)
+    : SequentialRecBase(config.max_seq_len, seed),
+      features_(encoders),
+      item_emb_(n_items, config.d_model, rng()),
+      feat_proj_(2 * config.d_model, config.d_model, rng()),
+      user_encoder_(SeqEncoderConfig(config), &rng()),
+      wq_(config.d_model, config.d_model, rng()),
+      wk_(config.d_model, config.d_model, rng()) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("feat_proj", &feat_proj_);
+  RegisterModule("user_encoder", &user_encoder_);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+}
+
+void CarcaPP::OnAttachDataset() { features_.Build(*dataset()); }
+
+Tensor CarcaPP::ItemReps(const std::vector<int32_t>& item_ids) {
+  Tensor ids = item_emb_.Forward(item_ids);
+  Tensor feats = feat_proj_.Forward(features_.FeatureRows(item_ids));
+  return Add(ids, feats);  // [n, d]
+}
+
+Tensor CarcaPP::UserHidden(const Tensor& seq_reps) {
+  return user_encoder_.Forward(seq_reps);
+}
+
+Tensor CarcaPP::TransformQuery(const Tensor& hidden) {
+  return wq_.Forward(hidden);
+}
+
+Tensor CarcaPP::TransformKeys(const Tensor& item_reps) {
+  return wk_.Forward(item_reps);
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,88 @@
+#ifndef PMMREC_BASELINES_FEATURE_MODELS_H_
+#define PMMREC_BASELINES_FEATURE_MODELS_H_
+
+#include <vector>
+
+#include "baselines/sequential_base.h"
+#include "core/item_encoders.h"
+#include "core/user_encoder.h"
+
+namespace pmmrec {
+
+// Shared helper: frozen multi-modal item features (concatenated text and
+// vision CLS embeddings from the pre-trained encoders, [I, 2d]). These
+// baselines treat content as *side information* and do not fine-tune the
+// encoders, matching the original methods.
+class FrozenFeatureProvider {
+ public:
+  explicit FrozenFeatureProvider(PretrainedEncoders* encoders)
+      : encoders_(encoders) {}
+
+  // Recomputes the feature table for `ds`.
+  void Build(const Dataset& ds);
+
+  // Constant (no-grad) feature rows for the given items: [n, 2d].
+  Tensor FeatureRows(const std::vector<int32_t>& item_ids) const;
+
+  int64_t feature_dim() const { return feature_dim_; }
+
+ private:
+  PretrainedEncoders* encoders_;
+  std::vector<float> table_;  // [I, 2d]
+  int64_t feature_dim_ = 0;
+};
+
+// FDSA (Zhang et al., IJCAI 2019), multi-modal variant: a two-stream
+// self-attention model — one stream over item-ID embeddings, one over
+// (projected) frozen content features — whose final hidden states are
+// concatenated and projected. Baseline group "IDSR w. side features".
+class Fdsa : public SequentialRecBase {
+ public:
+  Fdsa(int64_t n_items, const PMMRecConfig& config,
+       PretrainedEncoders* encoders, uint64_t seed);
+
+ protected:
+  void OnAttachDataset() override;
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+  Tensor TransformKeys(const Tensor& item_reps) override;
+
+ private:
+  int64_t d_;
+  FrozenFeatureProvider features_;
+  Embedding item_emb_;
+  Linear feat_proj_;
+  UserEncoder id_stream_;
+  UserEncoder feat_stream_;
+  Linear out_proj_;   // [2d -> d] over concatenated stream outputs
+  Linear key_proj_;   // [2d -> d] over concatenated item reps
+};
+
+// CARCA++ (Rashed et al., 2022; the paper's multi-modal improvement): item
+// representations are ID embeddings enriched with projected multi-modal
+// features; scoring uses a learned query/key bilinear form, a lightweight
+// stand-in for CARCA's cross-attention scoring head.
+class CarcaPP : public SequentialRecBase {
+ public:
+  CarcaPP(int64_t n_items, const PMMRecConfig& config,
+          PretrainedEncoders* encoders, uint64_t seed);
+
+ protected:
+  void OnAttachDataset() override;
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+  Tensor TransformQuery(const Tensor& hidden) override;
+  Tensor TransformKeys(const Tensor& item_reps) override;
+
+ private:
+  FrozenFeatureProvider features_;
+  Embedding item_emb_;
+  Linear feat_proj_;
+  UserEncoder user_encoder_;
+  Linear wq_;
+  Linear wk_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_BASELINES_FEATURE_MODELS_H_

@@ -1,0 +1,114 @@
+#include "baselines/id_models.h"
+
+#include <cmath>
+
+namespace pmmrec {
+namespace {
+
+// Minimal config for reusing the core UserEncoder as a generic causal
+// transformer.
+PMMRecConfig SeqEncoderConfig(int64_t d_model, int64_t max_seq_len) {
+  PMMRecConfig config;
+  config.d_model = d_model;
+  config.max_seq_len = max_seq_len;
+  return config;
+}
+
+Tensor ConvWeight(int64_t kernel, int64_t channels, Rng& rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(kernel * channels));
+  return Tensor::Randn(Shape{kernel, channels, channels}, rng, stddev);
+}
+
+}  // namespace
+
+// --- GruRec ------------------------------------------------------------------
+
+GruRec::GruRec(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+               uint64_t seed)
+    : SequentialRecBase(max_seq_len, seed),
+      item_emb_(n_items, d_model, rng()),
+      gru_(d_model, d_model, rng()) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("gru", &gru_);
+}
+
+Tensor GruRec::ItemReps(const std::vector<int32_t>& item_ids) {
+  return item_emb_.Forward(item_ids);
+}
+
+Tensor GruRec::UserHidden(const Tensor& seq_reps) {
+  return gru_.Forward(seq_reps);
+}
+
+// --- NextItNet ----------------------------------------------------------------
+
+NextItNetBlock::NextItNetBlock(int64_t channels, int64_t kernel,
+                               int64_t dilation, Rng& rng)
+    : dilation_(dilation),
+      w1_(ConvWeight(kernel, channels, rng)),
+      b1_(Tensor::Zeros(Shape{channels})),
+      w2_(ConvWeight(kernel, channels, rng)),
+      b2_(Tensor::Zeros(Shape{channels})),
+      ln1_(channels),
+      ln2_(channels) {
+  RegisterParameter("w1", &w1_);
+  RegisterParameter("b1", &b1_);
+  RegisterParameter("w2", &w2_);
+  RegisterParameter("b2", &b2_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+}
+
+Tensor NextItNetBlock::Forward(const Tensor& x) {
+  Tensor h = Relu(ln1_.Forward(Conv1dCausal(x, w1_, b1_, dilation_)));
+  h = Relu(ln2_.Forward(Conv1dCausal(h, w2_, b2_, 2 * dilation_)));
+  return Add(x, h);
+}
+
+NextItNet::NextItNet(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+                     uint64_t seed)
+    : SequentialRecBase(max_seq_len, seed),
+      item_emb_(n_items, d_model, rng()) {
+  RegisterModule("item_emb", &item_emb_);
+  // Dilation schedule {1, 2} repeated, as in the original (1,2,4,...
+  // truncated to the short sequences used here).
+  const int64_t dilations[] = {1, 2};
+  int64_t index = 0;
+  for (int64_t dilation : dilations) {
+    blocks_.push_back(
+        std::make_unique<NextItNetBlock>(d_model, 3, dilation, rng()));
+    RegisterModule("block" + std::to_string(index++), blocks_.back().get());
+  }
+}
+
+Tensor NextItNet::ItemReps(const std::vector<int32_t>& item_ids) {
+  return item_emb_.Forward(item_ids);
+}
+
+Tensor NextItNet::UserHidden(const Tensor& seq_reps) {
+  Tensor h = seq_reps;
+  for (auto& block : blocks_) h = block->Forward(h);
+  return h;
+}
+
+// --- SasRec -------------------------------------------------------------------
+
+SasRec::SasRec(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+               uint64_t seed)
+    : SequentialRecBase(max_seq_len, seed),
+      item_emb_(n_items, d_model, rng()),
+      user_encoder_(SeqEncoderConfig(d_model, max_seq_len), &rng()) {
+  RegisterModule("item_emb", &item_emb_);
+  RegisterModule("user_encoder", &user_encoder_);
+}
+
+Tensor SasRec::ItemReps(const std::vector<int32_t>& item_ids) {
+  return item_emb_.Forward(item_ids);
+}
+
+Tensor SasRec::UserHidden(const Tensor& seq_reps) {
+  return user_encoder_.Forward(seq_reps);
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,79 @@
+#ifndef PMMREC_BASELINES_ID_MODELS_H_
+#define PMMREC_BASELINES_ID_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/sequential_base.h"
+#include "core/user_encoder.h"
+#include "nn/gru.h"
+
+namespace pmmrec {
+
+// GRU4Rec (Hidasi et al., 2015): item-ID embeddings + GRU sequence
+// encoder. Paper baseline group "IDSR".
+class GruRec : public SequentialRecBase {
+ public:
+  GruRec(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+         uint64_t seed);
+
+ protected:
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  Embedding item_emb_;
+  Gru gru_;
+};
+
+// One NextItNet residual block: two causal dilated convolutions with layer
+// norms and ReLUs, wrapped in a residual connection. The second conv uses
+// twice the dilation of the first (Yuan et al., 2019).
+class NextItNetBlock : public Module {
+ public:
+  NextItNetBlock(int64_t channels, int64_t kernel, int64_t dilation,
+                 Rng& rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  int64_t dilation_;
+  Tensor w1_, b1_, w2_, b2_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+};
+
+// NextItNet: stacked dilated causal CNN over item-ID embeddings.
+class NextItNet : public SequentialRecBase {
+ public:
+  NextItNet(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+            uint64_t seed);
+
+ protected:
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  Embedding item_emb_;
+  std::vector<std::unique_ptr<NextItNetBlock>> blocks_;
+};
+
+// SASRec (Kang & McAuley, 2018): item-ID embeddings + unidirectional
+// Transformer — the ID-based twin of PMMRec's user encoder.
+class SasRec : public SequentialRecBase {
+ public:
+  SasRec(int64_t n_items, int64_t d_model, int64_t max_seq_len,
+         uint64_t seed);
+
+ protected:
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  Embedding item_emb_;
+  UserEncoder user_encoder_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_BASELINES_ID_MODELS_H_

@@ -1,0 +1,84 @@
+#include "baselines/kmeans.h"
+
+#include <limits>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+int64_t NearestCentroid(const float* point,
+                        const std::vector<float>& centroids, int64_t k,
+                        int64_t dim) {
+  int64_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  for (int64_t c = 0; c < k; ++c) {
+    const float* center = centroids.data() + c * dim;
+    float dist = 0.0f;
+    for (int64_t j = 0; j < dim; ++j) {
+      const float diff = point[j] - center[j];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<float> KMeans(const std::vector<float>& points, int64_t n,
+                          int64_t dim, int64_t k, int64_t iterations,
+                          Rng& rng) {
+  PMM_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
+  PMM_CHECK_GE(n, k);
+  PMM_CHECK_GE(k, 1);
+
+  std::vector<float> centroids(static_cast<size_t>(k * dim));
+  const std::vector<int64_t> seeds = rng.SampleWithoutReplacement(n, k);
+  for (int64_t c = 0; c < k; ++c) {
+    const int64_t p = seeds[static_cast<size_t>(c)];
+    std::copy(points.begin() + p * dim, points.begin() + (p + 1) * dim,
+              centroids.begin() + c * dim);
+  }
+
+  std::vector<int64_t> assignment(static_cast<size_t>(n), 0);
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c =
+          NearestCentroid(points.data() + i * dim, centroids, k, dim);
+      if (c != assignment[static_cast<size_t>(i)]) {
+        assignment[static_cast<size_t>(i)] = c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    std::fill(centroids.begin(), centroids.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = assignment[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      float* center = centroids.data() + c * dim;
+      const float* point = points.data() + i * dim;
+      for (int64_t j = 0; j < dim; ++j) center[j] += point[j];
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed empty cluster with a random point.
+        const int64_t p = rng.UniformInt(0, n);
+        std::copy(points.begin() + p * dim, points.begin() + (p + 1) * dim,
+                  centroids.begin() + c * dim);
+      } else {
+        const float inv =
+            1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+        float* center = centroids.data() + c * dim;
+        for (int64_t j = 0; j < dim; ++j) center[j] *= inv;
+      }
+    }
+  }
+  return centroids;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,24 @@
+#ifndef PMMREC_BASELINES_KMEANS_H_
+#define PMMREC_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "utils/rng.h"
+
+namespace pmmrec {
+
+// Lloyd's k-means over row-major points [n, dim]; returns centroids
+// [k, dim]. Used by VQRec's product quantizer. Initialization samples k
+// distinct points; empty clusters are re-seeded with a random point.
+std::vector<float> KMeans(const std::vector<float>& points, int64_t n,
+                          int64_t dim, int64_t k, int64_t iterations,
+                          Rng& rng);
+
+// Index of the centroid closest (L2) to `point`.
+int64_t NearestCentroid(const float* point, const std::vector<float>& centroids,
+                        int64_t k, int64_t dim);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_BASELINES_KMEANS_H_

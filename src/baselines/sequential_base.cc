@@ -1,0 +1,94 @@
+#include "baselines/sequential_base.h"
+
+#include <cstring>
+
+namespace pmmrec {
+
+SequentialRecBase::SequentialRecBase(int64_t max_seq_len, uint64_t seed)
+    : max_seq_len_(max_seq_len), rng_(seed) {}
+
+void SequentialRecBase::AttachDataset(const Dataset* ds) {
+  PMM_CHECK(ds != nullptr);
+  dataset_ = ds;
+  tables_valid_ = false;
+  OnAttachDataset();
+}
+
+void SequentialRecBase::SetTrainingMode(bool training) {
+  SetTraining(training);
+  if (training) tables_valid_ = false;
+}
+
+Tensor SequentialRecBase::TrainStepLoss(const SeqBatch& batch) {
+  if (batch.num_unique() < 2 || batch.batch_size < 2) return Tensor();
+  Tensor raw_reps = ItemReps(batch.unique_items);  // [U, rep_dim]
+  Tensor seq_reps = GatherSequenceReps(raw_reps, batch.position_to_unique,
+                                       batch.batch_size, batch.max_len);
+  Tensor hidden = UserHidden(seq_reps);  // [B, L, d]
+  Tensor queries = TransformQuery(hidden);
+  Tensor keys = TransformKeys(raw_reps);
+  return DapLoss(queries, keys, batch);
+}
+
+void SequentialRecBase::PrepareForEval() {
+  PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
+  SetTraining(false);
+  if (tables_valid_) return;
+  NoGradGuard no_grad;
+  const int64_t n_items = dataset_->num_items();
+
+  raw_table_.clear();
+  key_table_.clear();
+  constexpr int64_t kChunk = 64;
+  for (int64_t start = 0; start < n_items; start += kChunk) {
+    const int64_t count = std::min<int64_t>(kChunk, n_items - start);
+    std::vector<int32_t> ids(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
+    }
+    Tensor raw = ItemReps(ids);
+    Tensor keys = TransformKeys(raw);
+    rep_dim_ = raw.dim(1);
+    score_dim_ = keys.dim(1);
+    raw_table_.insert(raw_table_.end(), raw.data(),
+                      raw.data() + raw.numel());
+    key_table_.insert(key_table_.end(), keys.data(),
+                      keys.data() + keys.numel());
+  }
+  tables_valid_ = true;
+}
+
+std::vector<float> SequentialRecBase::ScoreItems(
+    const std::vector<int32_t>& prefix) {
+  PMM_CHECK(!prefix.empty());
+  if (!tables_valid_) PrepareForEval();
+  NoGradGuard no_grad;
+
+  const int64_t start = std::max<int64_t>(
+      0, static_cast<int64_t>(prefix.size()) - max_seq_len_);
+  const int64_t len = static_cast<int64_t>(prefix.size()) - start;
+
+  Tensor seq = Tensor::Zeros(Shape{1, len, rep_dim_});
+  for (int64_t l = 0; l < len; ++l) {
+    const int32_t item = prefix[static_cast<size_t>(start + l)];
+    std::memcpy(seq.data() + l * rep_dim_,
+                raw_table_.data() + static_cast<int64_t>(item) * rep_dim_,
+                static_cast<size_t>(rep_dim_) * sizeof(float));
+  }
+  Tensor hidden = UserHidden(seq);  // [1, len, d]
+  Tensor query =
+      TransformQuery(Slice(hidden, 1, len - 1, 1));  // [1, 1, score_dim]
+  const float* q = query.data();
+
+  const int64_t n_items = dataset_->num_items();
+  std::vector<float> scores(static_cast<size_t>(n_items));
+  for (int64_t i = 0; i < n_items; ++i) {
+    const float* k = key_table_.data() + i * score_dim_;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < score_dim_; ++j) dot += q[j] * k[j];
+    scores[static_cast<size_t>(i)] = dot;
+  }
+  return scores;
+}
+
+}  // namespace pmmrec

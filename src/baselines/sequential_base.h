@@ -1,0 +1,65 @@
+#ifndef PMMREC_BASELINES_SEQUENTIAL_BASE_H_
+#define PMMREC_BASELINES_SEQUENTIAL_BASE_H_
+
+#include <vector>
+
+#include "core/losses.h"
+#include "core/trainer.h"
+#include "nn/layers.h"
+
+namespace pmmrec {
+
+// Common plumbing for every baseline sequential recommender.
+//
+// Derived classes provide three hooks:
+//  - ItemReps(ids):      per-item representation [n, rep_dim]
+//  - UserHidden(seq):    sequence encoder [B, L, rep_dim] -> [B, L, d]
+//  - TransformQuery/TransformKeys: optional projections applied before the
+//    dot-product scoring (identity by default); queries and keys must end
+//    up with the same width.
+//
+// The base implements the shared DAP training step (Eq. 5 with in-batch
+// negatives, identical to PMMRec's fine-tuning objective so comparisons
+// are apples-to-apples), the cached full-catalogue evaluation path, and
+// TrainableRecommender boilerplate.
+class SequentialRecBase : public Module, public TrainableRecommender {
+ public:
+  SequentialRecBase(int64_t max_seq_len, uint64_t seed);
+
+  void AttachDataset(const Dataset* ds) override;
+  Tensor TrainStepLoss(const SeqBatch& batch) override;
+  std::vector<Tensor*> TrainableParameters() override { return Parameters(); }
+  void SetTrainingMode(bool training) override;
+  void PrepareForEval() override;
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override;
+
+ protected:
+  // Called after a dataset is attached (features, codebooks, ...).
+  virtual void OnAttachDataset() {}
+  // Per-item representation for the given catalogue ids: [n, rep_dim].
+  virtual Tensor ItemReps(const std::vector<int32_t>& item_ids) = 0;
+  // Sequence encoder over gathered item reps: [B, L, rep_dim] -> [B, L, d].
+  virtual Tensor UserHidden(const Tensor& seq_reps) = 0;
+  // Projections before scoring; shapes [..., d] -> [..., score_dim].
+  virtual Tensor TransformQuery(const Tensor& hidden) { return hidden; }
+  virtual Tensor TransformKeys(const Tensor& item_reps) { return item_reps; }
+
+  const Dataset* dataset() const { return dataset_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  int64_t max_seq_len_;
+  Rng rng_;
+  const Dataset* dataset_ = nullptr;
+
+  // Evaluation caches, invalidated when training resumes.
+  std::vector<float> raw_table_;  // [I, rep_dim]
+  std::vector<float> key_table_;  // [I, score_dim]
+  int64_t rep_dim_ = 0;
+  int64_t score_dim_ = 0;
+  bool tables_valid_ = false;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_BASELINES_SEQUENTIAL_BASE_H_

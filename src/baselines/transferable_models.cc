@@ -1,0 +1,179 @@
+#include "baselines/transferable_models.h"
+
+#include "baselines/kmeans.h"
+
+namespace pmmrec {
+
+// --- UniSRec ---------------------------------------------------------------------
+
+UniSRec::UniSRec(const PMMRecConfig& config, PretrainedEncoders* encoders,
+                 uint64_t seed, int64_t n_experts)
+    : SequentialRecBase(config.max_seq_len, seed),
+      d_(config.d_model),
+      n_experts_(n_experts),
+      encoders_(encoders),
+      whitening_(config.d_model, config.d_model, rng()),
+      gate_(config.d_model, n_experts, rng()),
+      user_encoder_(config, &rng()) {
+  RegisterModule("whitening", &whitening_);
+  RegisterModule("gate", &gate_);
+  for (int64_t g = 0; g < n_experts_; ++g) {
+    experts_.push_back(
+        std::make_unique<Linear>(config.d_model, config.d_model, rng()));
+    RegisterModule("expert" + std::to_string(g), experts_.back().get());
+  }
+  RegisterModule("user_encoder", &user_encoder_);
+}
+
+void UniSRec::OnAttachDataset() {
+  text_features_ = encoders_->FrozenTextFeatures(*dataset());
+}
+
+Tensor UniSRec::ItemReps(const std::vector<int32_t>& item_ids) {
+  const int64_t n = static_cast<int64_t>(item_ids.size());
+  Tensor raw = Tensor::Zeros(Shape{n, d_});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t item = item_ids[static_cast<size_t>(i)];
+    std::copy(text_features_.begin() + item * d_,
+              text_features_.begin() + (item + 1) * d_, raw.data() + i * d_);
+  }
+  // Parametric whitening, then the MoE adapter.
+  Tensor white = whitening_.Forward(raw);              // [n, d]
+  Tensor gates = Softmax(gate_.Forward(raw));          // [n, G]
+  Tensor combined;
+  for (int64_t g = 0; g < n_experts_; ++g) {
+    Tensor expert_out = experts_[static_cast<size_t>(g)]->Forward(white);
+    Tensor weighted = Mul(expert_out, Slice(gates, 1, g, 1));  // [n,d]*[n,1]
+    combined = combined.defined() ? Add(combined, weighted) : weighted;
+  }
+  return combined;
+}
+
+Tensor UniSRec::UserHidden(const Tensor& seq_reps) {
+  return user_encoder_.Forward(seq_reps);
+}
+
+// --- VQRec -----------------------------------------------------------------------
+
+VqRec::VqRec(const PMMRecConfig& config, PretrainedEncoders* encoders,
+             uint64_t seed, int64_t n_groups, int64_t codes_per_group)
+    : SequentialRecBase(config.max_seq_len, seed),
+      d_(config.d_model),
+      n_groups_(n_groups),
+      codes_per_group_(codes_per_group),
+      encoders_(encoders),
+      code_emb_(n_groups * codes_per_group, config.d_model, rng()),
+      user_encoder_(config, &rng()) {
+  PMM_CHECK_EQ(d_ % n_groups_, 0);
+  RegisterModule("code_emb", &code_emb_);
+  RegisterModule("user_encoder", &user_encoder_);
+}
+
+void VqRec::TransferFrom(const VqRec& source) {
+  CopyParametersFrom(source);
+  codebooks_ = source.codebooks_;
+  codebooks_fitted_ = true;
+  // Re-quantize the attached catalogue (if any) with the source codebooks.
+  if (dataset() != nullptr) QuantizeCatalogue();
+}
+
+void VqRec::OnAttachDataset() {
+  if (!codebooks_fitted_) {
+    // Fit product-quantization codebooks on this catalogue's features.
+    const std::vector<float> features =
+        encoders_->FrozenTextFeatures(*dataset());
+    const int64_t n = dataset()->num_items();
+    const int64_t sub = d_ / n_groups_;
+    codebooks_.assign(
+        static_cast<size_t>(n_groups_ * codes_per_group_ * sub), 0.0f);
+    Rng kmeans_rng = rng().Fork();
+    for (int64_t m = 0; m < n_groups_; ++m) {
+      std::vector<float> group(static_cast<size_t>(n * sub));
+      for (int64_t i = 0; i < n; ++i) {
+        std::copy(features.begin() + i * d_ + m * sub,
+                  features.begin() + i * d_ + (m + 1) * sub,
+                  group.begin() + i * sub);
+      }
+      const int64_t k = std::min<int64_t>(codes_per_group_, n);
+      std::vector<float> centroids =
+          KMeans(group, n, sub, k, /*iterations=*/12, kmeans_rng);
+      // If the catalogue is smaller than the codebook, the tail centroids
+      // stay zero (never selected).
+      std::copy(centroids.begin(), centroids.end(),
+                codebooks_.begin() + m * codes_per_group_ * sub);
+    }
+    codebooks_fitted_ = true;
+  }
+  QuantizeCatalogue();
+}
+
+void VqRec::QuantizeCatalogue() {
+  const std::vector<float> features =
+      encoders_->FrozenTextFeatures(*dataset());
+  const int64_t n = dataset()->num_items();
+  const int64_t sub = d_ / n_groups_;
+  item_codes_.assign(static_cast<size_t>(n * n_groups_), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t m = 0; m < n_groups_; ++m) {
+      std::vector<float> centroids(
+          codebooks_.begin() + m * codes_per_group_ * sub,
+          codebooks_.begin() + (m + 1) * codes_per_group_ * sub);
+      const int64_t code = NearestCentroid(features.data() + i * d_ + m * sub,
+                                           centroids, codes_per_group_, sub);
+      item_codes_[static_cast<size_t>(i * n_groups_ + m)] =
+          static_cast<int32_t>(code);
+    }
+  }
+}
+
+Tensor VqRec::ItemReps(const std::vector<int32_t>& item_ids) {
+  const int64_t n = static_cast<int64_t>(item_ids.size());
+  std::vector<int32_t> code_indices;
+  code_indices.reserve(static_cast<size_t>(n * n_groups_));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t item = item_ids[static_cast<size_t>(i)];
+    for (int64_t m = 0; m < n_groups_; ++m) {
+      const int32_t code =
+          item_codes_[static_cast<size_t>(item * n_groups_ + m)];
+      code_indices.push_back(
+          static_cast<int32_t>(m * codes_per_group_ + code));
+    }
+  }
+  Tensor looked_up = code_emb_.Forward(code_indices);  // [n*M, d]
+  return Sum(Reshape(looked_up, Shape{n, n_groups_, d_}), 1, false);
+}
+
+Tensor VqRec::UserHidden(const Tensor& seq_reps) {
+  return user_encoder_.Forward(seq_reps);
+}
+
+// --- MoRec++ ----------------------------------------------------------------------
+
+MoRecPP::MoRecPP(const PMMRecConfig& config, uint64_t seed)
+    : SequentialRecBase(config.max_seq_len, seed),
+      text_encoder_(config, &rng()),
+      vision_encoder_(config, &rng()),
+      fuse_proj_(2 * config.d_model, config.d_model, rng()),
+      user_encoder_(config, &rng()) {
+  RegisterModule("text_encoder", &text_encoder_);
+  RegisterModule("vision_encoder", &vision_encoder_);
+  RegisterModule("fuse_proj", &fuse_proj_);
+  RegisterModule("user_encoder", &user_encoder_);
+}
+
+void MoRecPP::InitEncodersFrom(PretrainedEncoders& encoders) {
+  text_encoder_.CopyParametersFrom(encoders.text());
+  vision_encoder_.CopyParametersFrom(encoders.vision());
+}
+
+Tensor MoRecPP::ItemReps(const std::vector<int32_t>& item_ids) {
+  EncoderOutput text = text_encoder_.EncodeItems(*dataset(), item_ids);
+  EncoderOutput vision = vision_encoder_.EncodeItems(*dataset(), item_ids);
+  return fuse_proj_.Forward(Concat({text.cls, vision.cls}, 1));  // [n, d]
+}
+
+Tensor MoRecPP::UserHidden(const Tensor& seq_reps) {
+  return user_encoder_.Forward(seq_reps);
+}
+
+}  // namespace pmmrec

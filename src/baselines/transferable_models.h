@@ -1,0 +1,103 @@
+#ifndef PMMREC_BASELINES_TRANSFERABLE_MODELS_H_
+#define PMMREC_BASELINES_TRANSFERABLE_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/sequential_base.h"
+#include "core/fusion.h"
+#include "core/item_encoders.h"
+#include "core/user_encoder.h"
+
+namespace pmmrec {
+
+// UniSRec (Hou et al., KDD 2022): frozen text features -> parametric
+// whitening -> mixture-of-experts adapter -> causal Transformer. Text-only
+// and non-end-to-end, which is exactly why it struggles on the noisy
+// multi-modal platforms (paper Table III/IV). All trainable parameters are
+// item-independent, so the whole model transfers.
+class UniSRec : public SequentialRecBase {
+ public:
+  UniSRec(const PMMRecConfig& config, PretrainedEncoders* encoders,
+          uint64_t seed, int64_t n_experts = 4);
+
+  // Copies all trainable parameters from a pre-trained source.
+  void TransferFrom(const UniSRec& source) { CopyParametersFrom(source); }
+
+ protected:
+  void OnAttachDataset() override;
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  int64_t d_;
+  int64_t n_experts_;
+  PretrainedEncoders* encoders_;
+  std::vector<float> text_features_;  // frozen, [I, d]
+  Linear whitening_;
+  std::vector<std::unique_ptr<Linear>> experts_;
+  Linear gate_;
+  UserEncoder user_encoder_;
+};
+
+// VQRec (Hou et al., WWW 2023): frozen text features are product-quantized
+// into M discrete codes; item representations are sums of learned code
+// embeddings. Codebooks are fitted with k-means on the source catalogue
+// and reused as-is on targets (TransferFrom), which is VQRec's mechanism
+// for cross-domain transfer.
+class VqRec : public SequentialRecBase {
+ public:
+  VqRec(const PMMRecConfig& config, PretrainedEncoders* encoders,
+        uint64_t seed, int64_t n_groups = 4, int64_t codes_per_group = 16);
+
+  void TransferFrom(const VqRec& source);
+
+  // Discrete codes of the currently attached catalogue: [I, M] (tests).
+  const std::vector<int32_t>& item_codes() const { return item_codes_; }
+
+ protected:
+  void OnAttachDataset() override;
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  void QuantizeCatalogue();
+
+  int64_t d_;
+  int64_t n_groups_;          // M
+  int64_t codes_per_group_;   // C
+  PretrainedEncoders* encoders_;
+  std::vector<float> codebooks_;  // [M, C, d/M]
+  bool codebooks_fitted_ = false;
+  std::vector<int32_t> item_codes_;  // [I, M]
+  Embedding code_emb_;               // [(M*C), d]
+  UserEncoder user_encoder_;
+};
+
+// MoRec++ (Yuan et al., SIGIR 2023; the paper's multi-modal improvement):
+// fine-tunable text+vision encoders whose CLS embeddings are fused by a
+// simple linear projection and fed to a SASRec user encoder, trained with
+// DAP only — i.e. PMMRec's backbone WITHOUT the alignment (NICL) and
+// denoising (NID/RCL) objectives and without merge-attention fusion.
+class MoRecPP : public SequentialRecBase {
+ public:
+  MoRecPP(const PMMRecConfig& config, uint64_t seed);
+
+  // Starts from the shared pre-trained encoder checkpoints.
+  void InitEncodersFrom(PretrainedEncoders& encoders);
+  void TransferFrom(const MoRecPP& source) { CopyParametersFrom(source); }
+
+ protected:
+  Tensor ItemReps(const std::vector<int32_t>& item_ids) override;
+  Tensor UserHidden(const Tensor& seq_reps) override;
+
+ private:
+  TextEncoder text_encoder_;
+  VisionEncoder vision_encoder_;
+  Linear fuse_proj_;  // [2d -> d]
+  UserEncoder user_encoder_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_BASELINES_TRANSFERABLE_MODELS_H_

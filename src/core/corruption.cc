@@ -1,0 +1,69 @@
+#include "core/corruption.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+CorruptedBatch CorruptSequences(const SeqBatch& batch, float shuffle_frac,
+                                float replace_frac, Rng& rng) {
+  PMM_CHECK_GE(shuffle_frac, 0.0f);
+  PMM_CHECK_GE(replace_frac, 0.0f);
+  CorruptedBatch out;
+  out.position_to_unique = batch.position_to_unique;
+  out.labels.assign(batch.position_to_unique.size(), kNidIgnore);
+
+  const int64_t n_unique = batch.num_unique();
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const int64_t len = batch.RowLength(b);
+    if (len == 0) continue;
+    const int64_t base = b * batch.max_len;
+    for (int64_t l = 0; l < len; ++l) {
+      out.labels[static_cast<size_t>(base + l)] = kNidUnchanged;
+    }
+    if (len < 2) continue;
+
+    // --- Shuffle: pick k >= 2 positions and rotate their contents so every
+    // picked position actually changes (a plain re-shuffle could leave
+    // items in place, mislabeling them).
+    const int64_t k = std::min<int64_t>(
+        len, std::max<int64_t>(
+                 2, static_cast<int64_t>(std::lround(shuffle_frac *
+                                                     static_cast<float>(len)))));
+    std::vector<int64_t> picked = rng.SampleWithoutReplacement(len, k);
+    std::sort(picked.begin(), picked.end());
+    // Rotate by one: position picked[i] receives the item of picked[i+1].
+    const int32_t first =
+        out.position_to_unique[static_cast<size_t>(base + picked[0])];
+    for (size_t i = 0; i + 1 < picked.size(); ++i) {
+      out.position_to_unique[static_cast<size_t>(base + picked[i])] =
+          out.position_to_unique[static_cast<size_t>(base + picked[i + 1])];
+    }
+    out.position_to_unique[static_cast<size_t>(base + picked.back())] = first;
+    for (int64_t p : picked) {
+      out.labels[static_cast<size_t>(base + p)] = kNidShuffled;
+    }
+
+    // --- Replace: each untouched position with prob replace_frac becomes a
+    // random in-batch item different from the current one.
+    if (n_unique >= 2) {
+      for (int64_t l = 0; l < len; ++l) {
+        const size_t pos = static_cast<size_t>(base + l);
+        if (out.labels[pos] != kNidUnchanged) continue;
+        if (!rng.Bernoulli(replace_frac)) continue;
+        int32_t replacement = static_cast<int32_t>(
+            rng.NextUint64(static_cast<uint64_t>(n_unique)));
+        if (replacement == out.position_to_unique[pos]) {
+          replacement = (replacement + 1) % static_cast<int32_t>(n_unique);
+        }
+        out.position_to_unique[pos] = replacement;
+        out.labels[pos] = kNidReplaced;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,36 @@
+#ifndef PMMREC_CORE_CORRUPTION_H_
+#define PMMREC_CORE_CORRUPTION_H_
+
+#include <vector>
+
+#include "data/batcher.h"
+
+namespace pmmrec {
+
+// Per-position corruption labels of the NID objective (paper Eq. 10).
+enum NidLabel : int32_t {
+  kNidUnchanged = 0,
+  kNidShuffled = 1,
+  kNidReplaced = 2,
+  kNidIgnore = -1,  // Padding positions.
+};
+
+// A corrupted view of a SeqBatch for the NID / RCL objectives (paper
+// Sec. III-D): ~shuffle_frac of each row's positions are permuted among
+// themselves and an additional ~replace_frac are replaced with random
+// items drawn from the batch.
+struct CorruptedBatch {
+  // [B*L] -> index into the batch's unique_items, or -1 for padding.
+  // Replacement items always come from the batch, so no new unique items
+  // are introduced.
+  std::vector<int32_t> position_to_unique;
+  // [B*L] NidLabel per position.
+  std::vector<int32_t> labels;
+};
+
+CorruptedBatch CorruptSequences(const SeqBatch& batch, float shuffle_frac,
+                                float replace_frac, Rng& rng);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_CORRUPTION_H_

@@ -1,0 +1,31 @@
+#include "core/fusion.h"
+
+namespace pmmrec {
+
+FusionModule::FusionModule(const PMMRecConfig& config, Rng* rng)
+    : d_(config.d_model),
+      mm_cls_emb_(1, config.d_model, *rng),
+      encoder_(config.n_fusion_blocks, config.d_model, config.n_heads,
+               config.d_model * config.ffn_mult, config.dropout, rng) {
+  RegisterModule("mm_cls_emb", &mm_cls_emb_);
+  RegisterModule("encoder", &encoder_);
+}
+
+Tensor FusionModule::Forward(const Tensor& text_hidden,
+                             const Tensor& vision_hidden) {
+  PMM_CHECK_EQ(text_hidden.rank(), 3);
+  PMM_CHECK_EQ(vision_hidden.rank(), 3);
+  PMM_CHECK_EQ(text_hidden.dim(0), vision_hidden.dim(0));
+  PMM_CHECK_EQ(text_hidden.dim(2), d_);
+  PMM_CHECK_EQ(vision_hidden.dim(2), d_);
+  const int64_t n = text_hidden.dim(0);
+
+  Tensor cls = Reshape(
+      mm_cls_emb_.Forward(std::vector<int32_t>(static_cast<size_t>(n), 0)),
+      Shape{n, 1, d_});
+  Tensor x = Concat({cls, text_hidden, vision_hidden}, 1);
+  Tensor h = encoder_.Forward(x, Tensor());
+  return Reshape(Slice(h, 1, 0, 1), Shape{n, d_});
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,29 @@
+#ifndef PMMREC_CORE_FUSION_H_
+#define PMMREC_CORE_FUSION_H_
+
+#include "core/config.h"
+#include "nn/transformer.h"
+
+namespace pmmrec {
+
+// Merge-attention multi-modal fusion (paper Sec. III-B3, Eq. 3): a learned
+// [MM-CLS] token is prepended to the concatenation of text-token and
+// image-patch hidden states and the sequence is run through a Transformer;
+// the [MM-CLS] output is the item's multi-modal representation e_cls.
+class FusionModule : public Module {
+ public:
+  FusionModule(const PMMRecConfig& config, Rng* rng);
+
+  // text_hidden: [N, text_len, d]; vision_hidden: [N, n_patches, d].
+  // Returns e_cls: [N, d].
+  Tensor Forward(const Tensor& text_hidden, const Tensor& vision_hidden);
+
+ private:
+  int64_t d_;
+  Embedding mm_cls_emb_;
+  TransformerEncoder encoder_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_FUSION_H_

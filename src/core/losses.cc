@@ -1,0 +1,244 @@
+#include "core/losses.h"
+
+#include <vector>
+
+namespace pmmrec {
+namespace {
+
+// Anchor positions for next-item objectives: every (b, l) with a valid
+// successor (l + 1 < row length).
+struct Anchors {
+  std::vector<int32_t> current;  // unique index of the anchor item
+  std::vector<int32_t> next;     // unique index of the next item
+  std::vector<int64_t> row;      // batch row of the anchor
+};
+
+Anchors CollectAnchors(const SeqBatch& batch) {
+  Anchors a;
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const int64_t len = batch.RowLength(b);
+    for (int64_t l = 0; l + 1 < len; ++l) {
+      a.current.push_back(batch.UniqueAt(b, l));
+      a.next.push_back(batch.UniqueAt(b, l + 1));
+      a.row.push_back(b);
+    }
+  }
+  return a;
+}
+
+// membership[b * U + u] == true iff unique item u occurs in row b.
+std::vector<bool> RowMembership(const SeqBatch& batch) {
+  const int64_t u_count = batch.num_unique();
+  std::vector<bool> member(
+      static_cast<size_t>(batch.batch_size * u_count), false);
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    const int64_t len = batch.RowLength(b);
+    for (int64_t l = 0; l < len; ++l) {
+      member[static_cast<size_t>(b * u_count + batch.UniqueAt(b, l))] = true;
+    }
+  }
+  return member;
+}
+
+}  // namespace
+
+Tensor DapLoss(const Tensor& hidden, const Tensor& item_reps,
+               const SeqBatch& batch) {
+  PMM_CHECK_EQ(hidden.rank(), 3);
+  const int64_t b_count = hidden.dim(0);
+  const int64_t len = hidden.dim(1);
+  const int64_t d = hidden.dim(2);
+  PMM_CHECK_EQ(b_count, batch.batch_size);
+  PMM_CHECK_EQ(len, batch.max_len);
+  const int64_t u_count = batch.num_unique();
+  PMM_CHECK_EQ(item_reps.dim(0), u_count);
+  PMM_CHECK_EQ(item_reps.dim(1), d);
+
+  // Targets: position (b, l) predicts the unique index of item (b, l+1).
+  std::vector<int32_t> targets(static_cast<size_t>(b_count * len), -1);
+  for (int64_t b = 0; b < b_count; ++b) {
+    const int64_t row_len = batch.RowLength(b);
+    for (int64_t l = 0; l + 1 < row_len; ++l) {
+      targets[static_cast<size_t>(b * len + l)] = batch.UniqueAt(b, l + 1);
+    }
+  }
+
+  // Additive mask removing the current user's own items from the
+  // denominator (they are not valid negatives, Eq. 5), except the target.
+  const std::vector<bool> member = RowMembership(batch);
+  Tensor mask = Tensor::Zeros(Shape{b_count * len, u_count});
+  float* mv = mask.data();
+  for (int64_t b = 0; b < b_count; ++b) {
+    for (int64_t l = 0; l < len; ++l) {
+      const int64_t p = b * len + l;
+      const int32_t target = targets[static_cast<size_t>(p)];
+      if (target < 0) continue;
+      for (int64_t u = 0; u < u_count; ++u) {
+        if (u != target && member[static_cast<size_t>(b * u_count + u)]) {
+          mv[p * u_count + u] = -1e9f;
+        }
+      }
+    }
+  }
+
+  Tensor flat = Reshape(hidden, Shape{b_count * len, d});
+  Tensor logits = Add(MatMul(flat, TransposeLast2(item_reps)), mask);
+  return CrossEntropy(logits, targets, -1);
+}
+
+Tensor CrossModalLoss(const Tensor& t_cls, const Tensor& v_cls,
+                      const SeqBatch& batch, NiclMode mode,
+                      float temperature) {
+  if (mode == NiclMode::kOff) return Tensor();
+  PMM_CHECK_GT(temperature, 0.0f);
+  const int64_t u_count = batch.num_unique();
+  PMM_CHECK_EQ(t_cls.dim(0), u_count);
+  PMM_CHECK_EQ(v_cls.dim(0), u_count);
+
+  const Anchors anchors = CollectAnchors(batch);
+  const int64_t p_count = static_cast<int64_t>(anchors.current.size());
+  if (p_count == 0) return Tensor();
+  const std::vector<bool> member = RowMembership(batch);
+
+  const bool with_intra_negatives =
+      (mode == NiclMode::kIcl || mode == NiclMode::kNicl);
+  const bool with_next_positives = (mode == NiclMode::kNicl);
+
+  // Constant selection masks over the [P, U] anchor-row similarity
+  // matrices.
+  Tensor num_cross = Tensor::Zeros(Shape{p_count, u_count});
+  Tensor num_intra =
+      with_next_positives ? Tensor::Zeros(Shape{p_count, u_count}) : Tensor();
+  Tensor den_cross = Tensor::Zeros(Shape{p_count, u_count});
+  Tensor den_intra = with_intra_negatives
+                         ? Tensor::Zeros(Shape{p_count, u_count})
+                         : Tensor();
+  for (int64_t p = 0; p < p_count; ++p) {
+    const int32_t c = anchors.current[static_cast<size_t>(p)];
+    const int32_t n = anchors.next[static_cast<size_t>(p)];
+    const int64_t b = anchors.row[static_cast<size_t>(p)];
+    // Numerator: matching pair, plus next-item positives for NICL (Eq. 8).
+    num_cross.data()[p * u_count + c] = 1.0f;
+    if (with_next_positives) {
+      num_cross.data()[p * u_count + n] += 1.0f;
+      num_intra.data()[p * u_count + n] += 1.0f;
+    }
+    // Denominator: all numerator terms + negatives (items of other users).
+    // Note: the paper's Eq. 8 literally omits the next-item positives from
+    // the denominator, which makes the objective unbounded (num can exceed
+    // den) and collapses small from-scratch encoders; we use the standard
+    // bounded multi-positive InfoNCE form instead (see DESIGN.md).
+    den_cross.data()[p * u_count + c] = 1.0f;
+    if (with_next_positives) {
+      den_cross.data()[p * u_count + n] = 1.0f;
+      den_intra.data()[p * u_count + n] = 1.0f;
+    }
+    for (int64_t u = 0; u < u_count; ++u) {
+      if (member[static_cast<size_t>(b * u_count + u)]) continue;
+      den_cross.data()[p * u_count + u] = 1.0f;
+      if (with_intra_negatives) den_intra.data()[p * u_count + u] = 1.0f;
+    }
+  }
+
+  const Tensor t_n = L2Normalize(t_cls);
+  const Tensor v_n = L2Normalize(v_cls);
+  const float inv_temp = 1.0f / temperature;
+  const Tensor e_tv =
+      Exp(MulScalar(MatMul(t_n, TransposeLast2(v_n)), inv_temp));  // [U, U]
+  const Tensor e_tt = Exp(MulScalar(MatMul(t_n, TransposeLast2(t_n)),
+                                    inv_temp));
+  const Tensor e_vv = Exp(MulScalar(MatMul(v_n, TransposeLast2(v_n)),
+                                    inv_temp));
+  const Tensor e_vt = TransposeLast2(e_tv);
+
+  auto directional = [&](const Tensor& cross, const Tensor& intra) {
+    // cross = E_xy rows for anchors, intra = E_xx rows for anchors.
+    const Tensor rc = SelectRows(cross, anchors.current);  // [P, U]
+    const Tensor ri = SelectRows(intra, anchors.current);
+    Tensor num = Sum(Mul(rc, num_cross), 1, false);
+    if (with_next_positives) {
+      num = Add(num, Sum(Mul(ri, num_intra), 1, false));
+    }
+    Tensor den = Sum(Mul(rc, den_cross), 1, false);
+    if (with_intra_negatives) {
+      den = Add(den, Sum(Mul(ri, den_intra), 1, false));
+    }
+    return MeanAll(Sub(Log(den), Log(num)));
+  };
+
+  const Tensor loss_tv = directional(e_tv, e_tt);
+  const Tensor loss_vt = directional(e_vt, e_vv);
+  return MulScalar(Add(loss_tv, loss_vt), 0.5f);  // Eq. 9 symmetry.
+}
+
+Tensor NidLoss(const Tensor& corrupted_hidden, Linear& nid_head,
+               const CorruptedBatch& corrupted) {
+  PMM_CHECK_EQ(corrupted_hidden.rank(), 3);
+  const int64_t b_count = corrupted_hidden.dim(0);
+  const int64_t len = corrupted_hidden.dim(1);
+  const int64_t d = corrupted_hidden.dim(2);
+  PMM_CHECK_EQ(static_cast<int64_t>(corrupted.labels.size()), b_count * len);
+
+  Tensor flat = Reshape(corrupted_hidden, Shape{b_count * len, d});
+  Tensor logits = nid_head.Forward(flat);  // [B*L, 3]
+  return CrossEntropy(logits, corrupted.labels, kNidIgnore);
+}
+
+Tensor MaskedMeanPool(const Tensor& hidden, const SeqBatch& batch) {
+  PMM_CHECK_EQ(hidden.rank(), 3);
+  const int64_t b_count = hidden.dim(0);
+  const int64_t len = hidden.dim(1);
+  PMM_CHECK_EQ(b_count, batch.batch_size);
+  PMM_CHECK_EQ(len, batch.max_len);
+
+  Tensor mask = Tensor::Zeros(Shape{b_count, len, 1});
+  Tensor inv_counts = Tensor::Zeros(Shape{b_count, 1});
+  for (int64_t b = 0; b < b_count; ++b) {
+    const int64_t row_len = batch.RowLength(b);
+    PMM_CHECK_GT(row_len, 0);
+    for (int64_t l = 0; l < row_len; ++l) {
+      mask.data()[b * len + l] = 1.0f;
+    }
+    inv_counts.data()[b] = 1.0f / static_cast<float>(row_len);
+  }
+  Tensor summed = Sum(Mul(hidden, mask), 1, false);  // [B, d]
+  return Mul(summed, inv_counts);                    // Broadcast [B,1].
+}
+
+Tensor GatherSequenceReps(const Tensor& unique_reps,
+                          const std::vector<int32_t>& position_to_unique,
+                          int64_t batch_size, int64_t max_len) {
+  PMM_CHECK_EQ(unique_reps.rank(), 2);
+  const int64_t u_count = unique_reps.dim(0);
+  const int64_t d = unique_reps.dim(1);
+  PMM_CHECK_EQ(static_cast<int64_t>(position_to_unique.size()),
+               batch_size * max_len);
+  // Row u_count is an all-zero padding representation.
+  Tensor padded = Concat({unique_reps, Tensor::Zeros(Shape{1, d})}, 0);
+  std::vector<int32_t> rows(position_to_unique.size());
+  for (size_t i = 0; i < position_to_unique.size(); ++i) {
+    rows[i] = position_to_unique[i] >= 0 ? position_to_unique[i]
+                                         : static_cast<int32_t>(u_count);
+  }
+  return Reshape(SelectRows(padded, rows), Shape{batch_size, max_len, d});
+}
+
+Tensor RclLoss(const Tensor& hidden, const Tensor& corrupted_hidden,
+               const SeqBatch& batch, float temperature) {
+  PMM_CHECK_GT(temperature, 0.0f);
+  const int64_t b_count = batch.batch_size;
+  if (b_count < 2) return Tensor();
+
+  const Tensor h = L2Normalize(MaskedMeanPool(hidden, batch));
+  const Tensor h_tilde =
+      L2Normalize(MaskedMeanPool(corrupted_hidden, batch));
+  Tensor sim = MulScalar(MatMul(h, TransposeLast2(h_tilde)),
+                         1.0f / temperature);  // [B, B]
+  std::vector<int32_t> diag(static_cast<size_t>(b_count));
+  for (int64_t i = 0; i < b_count; ++i) {
+    diag[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  return CrossEntropy(sim, diag, -1);
+}
+
+}  // namespace pmmrec

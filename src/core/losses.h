@@ -1,0 +1,57 @@
+#ifndef PMMREC_CORE_LOSSES_H_
+#define PMMREC_CORE_LOSSES_H_
+
+#include "core/config.h"
+#include "core/corruption.h"
+#include "data/batcher.h"
+#include "nn/layers.h"
+
+namespace pmmrec {
+
+// The PMMRec training objectives (paper Sec. III). All losses operate on
+// the batch's unique-item representations plus index structures from
+// SeqBatch, so each distinct item is encoded exactly once per step.
+
+// Dense Auto-regressive Prediction (Eq. 5): position (u, l) predicts the
+// item at (u, l+1) against in-batch negatives, where negatives are the
+// unique items interacted by OTHER users in the batch (the current user's
+// items are masked out of the denominator).
+//   hidden:    [B, L, d] user-encoder outputs
+//   item_reps: [U, d] representations of batch.unique_items
+Tensor DapLoss(const Tensor& hidden, const Tensor& item_reps,
+               const SeqBatch& batch);
+
+// Cross-modal contrastive family (Eq. 6/7/8-9) over the l2-normalized
+// modality CLS embeddings, computed symmetrically for both directions and
+// averaged. `mode` selects VCL, ICL ("only NCL") or full NICL; kOff
+// returns an undefined tensor.
+//   t_cls, v_cls: [U, d]
+Tensor CrossModalLoss(const Tensor& t_cls, const Tensor& v_cls,
+                      const SeqBatch& batch, NiclMode mode, float temperature);
+
+// Noised Item Detection (Eq. 10): 3-way classification of each position of
+// the corrupted sequence as unchanged / shuffled / replaced.
+//   corrupted_hidden: [B, L, d] user-encoder outputs on the corrupted batch
+//   nid_head: Linear(d, 3) classifier
+Tensor NidLoss(const Tensor& corrupted_hidden, Linear& nid_head,
+               const CorruptedBatch& corrupted);
+
+// Robustness-aware Contrastive Learning (Eq. 11): pooled original sequence
+// representations vs pooled corrupted ones, in-batch negatives.
+Tensor RclLoss(const Tensor& hidden, const Tensor& corrupted_hidden,
+               const SeqBatch& batch, float temperature);
+
+// Mean-pooling over the valid (non-padding) positions of each row.
+//   hidden: [B, L, d] -> [B, d]
+Tensor MaskedMeanPool(const Tensor& hidden, const SeqBatch& batch);
+
+// Gathers per-position representations from per-unique-item reps
+// ([U, rep_dim]); padding positions (position_to_unique == -1) receive a
+// zero row. Returns [batch_size, max_len, rep_dim].
+Tensor GatherSequenceReps(const Tensor& unique_reps,
+                          const std::vector<int32_t>& position_to_unique,
+                          int64_t batch_size, int64_t max_len);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_LOSSES_H_

@@ -1,0 +1,218 @@
+#include "core/pmmrec.h"
+
+#include <cstring>
+
+namespace pmmrec {
+
+PMMRecModel::PMMRecModel(const PMMRecConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      text_encoder_(config, &rng_),
+      vision_encoder_(config, &rng_),
+      fusion_(config, &rng_),
+      user_encoder_(config, &rng_),
+      nid_head_(config.d_model, 3, rng_) {
+  RegisterModule("text_encoder", &text_encoder_);
+  RegisterModule("vision_encoder", &vision_encoder_);
+  RegisterModule("fusion", &fusion_);
+  RegisterModule("user_encoder", &user_encoder_);
+  RegisterModule("nid_head", &nid_head_);
+}
+
+void PMMRecModel::AttachDataset(const Dataset* ds) {
+  PMM_CHECK(ds != nullptr);
+  PMM_CHECK_EQ(ds->text_vocab_size, static_cast<int32_t>(config_.text_vocab));
+  PMM_CHECK_EQ(ds->text_len, static_cast<int32_t>(config_.text_len));
+  PMM_CHECK_EQ(ds->n_patches, static_cast<int32_t>(config_.n_patches));
+  PMM_CHECK_EQ(ds->patch_dim, static_cast<int32_t>(config_.patch_dim));
+  dataset_ = ds;
+  item_table_valid_ = false;
+}
+
+void PMMRecModel::SetTrainingMode(bool training) {
+  SetTraining(training);
+  if (training) item_table_valid_ = false;
+}
+
+PMMRecModel::ItemReps PMMRecModel::EncodeItemReps(
+    const std::vector<int32_t>& item_ids) {
+  PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
+  ItemReps reps;
+  switch (config_.modality) {
+    case ModalityMode::kBoth: {
+      EncoderOutput text = text_encoder_.EncodeItems(*dataset_, item_ids);
+      EncoderOutput vision = vision_encoder_.EncodeItems(*dataset_, item_ids);
+      reps.t_cls = text.cls;
+      reps.v_cls = vision.cls;
+      reps.final_ = fusion_.Forward(text.hidden, vision.hidden);
+      break;
+    }
+    case ModalityMode::kTextOnly: {
+      EncoderOutput text = text_encoder_.EncodeItems(*dataset_, item_ids);
+      reps.t_cls = text.cls;
+      reps.final_ = text.cls;
+      break;
+    }
+    case ModalityMode::kVisionOnly: {
+      EncoderOutput vision = vision_encoder_.EncodeItems(*dataset_, item_ids);
+      reps.v_cls = vision.cls;
+      reps.final_ = vision.cls;
+      break;
+    }
+  }
+  return reps;
+}
+
+Tensor PMMRecModel::TrainStepLoss(const SeqBatch& batch) {
+  if (batch.num_unique() < 2 || batch.batch_size < 2) return Tensor();
+  last_parts_ = LossParts();
+
+  ItemReps reps = EncodeItemReps(batch.unique_items);
+  Tensor seq_reps = GatherSequenceReps(reps.final_, batch.position_to_unique,
+                                       batch.batch_size, batch.max_len);
+  Tensor hidden = user_encoder_.Forward(seq_reps);
+
+  Tensor loss = DapLoss(hidden, reps.final_, batch);
+  last_parts_.dap = loss.item();
+
+  if (pretraining_objectives_) {
+    if (config_.modality == ModalityMode::kBoth &&
+        config_.nicl_mode != NiclMode::kOff) {
+      Tensor nicl = CrossModalLoss(reps.t_cls, reps.v_cls, batch,
+                                   config_.nicl_mode, config_.temperature);
+      if (nicl.defined()) {
+        last_parts_.nicl = nicl.item();
+        loss = Add(loss, MulScalar(nicl, config_.nicl_weight));
+      }
+    }
+    if (config_.use_nid || config_.use_rcl) {
+      const CorruptedBatch corrupted = CorruptSequences(
+          batch, config_.nid_shuffle_frac, config_.nid_replace_frac, rng_);
+      Tensor corrupted_seq_reps = GatherSequenceReps(
+          reps.final_, corrupted.position_to_unique, batch.batch_size,
+          batch.max_len);
+      Tensor corrupted_hidden = user_encoder_.Forward(corrupted_seq_reps);
+      if (config_.use_nid) {
+        Tensor nid = NidLoss(corrupted_hidden, nid_head_, corrupted);
+        last_parts_.nid = nid.item();
+        loss = Add(loss, MulScalar(nid, config_.nid_weight));
+      }
+      if (config_.use_rcl) {
+        Tensor rcl =
+            RclLoss(hidden, corrupted_hidden, batch, config_.temperature);
+        if (rcl.defined()) {
+          last_parts_.rcl = rcl.item();
+          loss = Add(loss, MulScalar(rcl, config_.rcl_weight));
+        }
+      }
+    }
+  }
+  last_parts_.total = loss.item();
+  return loss;
+}
+
+void PMMRecModel::PrepareForEval() {
+  PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
+  SetTraining(false);
+  if (item_table_valid_) return;
+  NoGradGuard no_grad;
+  const int64_t n_items = dataset_->num_items();
+  const int64_t d = config_.d_model;
+  item_table_.assign(static_cast<size_t>(n_items * d), 0.0f);
+
+  constexpr int64_t kChunk = 64;
+  for (int64_t start = 0; start < n_items; start += kChunk) {
+    const int64_t count = std::min<int64_t>(kChunk, n_items - start);
+    std::vector<int32_t> ids(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
+    }
+    ItemReps reps = EncodeItemReps(ids);
+    std::memcpy(item_table_.data() + start * d, reps.final_.data(),
+                static_cast<size_t>(count * d) * sizeof(float));
+  }
+  item_table_valid_ = true;
+}
+
+std::vector<float> PMMRecModel::UserRepresentation(
+    const std::vector<int32_t>& prefix) {
+  PMM_CHECK(!prefix.empty());
+  if (!item_table_valid_) PrepareForEval();
+  NoGradGuard no_grad;
+  const int64_t d = config_.d_model;
+  const int64_t max_len = config_.max_seq_len;
+
+  // Keep the most recent max_len interactions.
+  const int64_t start =
+      std::max<int64_t>(0, static_cast<int64_t>(prefix.size()) - max_len);
+  const int64_t len = static_cast<int64_t>(prefix.size()) - start;
+
+  // Build the sequence representations from the cached item table.
+  Tensor seq = Tensor::Zeros(Shape{1, len, d});
+  for (int64_t l = 0; l < len; ++l) {
+    const int32_t item = prefix[static_cast<size_t>(start + l)];
+    std::memcpy(seq.data() + l * d,
+                item_table_.data() + static_cast<int64_t>(item) * d,
+                static_cast<size_t>(d) * sizeof(float));
+  }
+  Tensor hidden = user_encoder_.Forward(seq);  // [1, len, d]
+  const float* h = hidden.data() + (len - 1) * d;
+  return std::vector<float>(h, h + d);
+}
+
+const std::vector<float>& PMMRecModel::ItemRepresentationTable() {
+  if (!item_table_valid_) PrepareForEval();
+  return item_table_;
+}
+
+std::vector<float> PMMRecModel::ScoreItems(const std::vector<int32_t>& prefix) {
+  const std::vector<float> h = UserRepresentation(prefix);
+  const int64_t d = config_.d_model;
+  const int64_t n_items = dataset_->num_items();
+  std::vector<float> scores(static_cast<size_t>(n_items));
+  for (int64_t i = 0; i < n_items; ++i) {
+    const float* e = item_table_.data() + i * d;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < d; ++j) dot += h[static_cast<size_t>(j)] * e[j];
+    scores[static_cast<size_t>(i)] = dot;
+  }
+  return scores;
+}
+
+void PMMRecModel::TransferFrom(const PMMRecModel& source,
+                               TransferSetting setting) {
+  switch (setting) {
+    case TransferSetting::kFull:
+      text_encoder_.CopyParametersFrom(source.text_encoder_);
+      vision_encoder_.CopyParametersFrom(source.vision_encoder_);
+      fusion_.CopyParametersFrom(source.fusion_);
+      user_encoder_.CopyParametersFrom(source.user_encoder_);
+      break;
+    case TransferSetting::kItemEncoders:
+      text_encoder_.CopyParametersFrom(source.text_encoder_);
+      vision_encoder_.CopyParametersFrom(source.vision_encoder_);
+      fusion_.CopyParametersFrom(source.fusion_);
+      break;
+    case TransferSetting::kUserEncoder:
+      user_encoder_.CopyParametersFrom(source.user_encoder_);
+      break;
+    case TransferSetting::kTextOnly:
+      text_encoder_.CopyParametersFrom(source.text_encoder_);
+      user_encoder_.CopyParametersFrom(source.user_encoder_);
+      break;
+    case TransferSetting::kVisionOnly:
+      vision_encoder_.CopyParametersFrom(source.vision_encoder_);
+      user_encoder_.CopyParametersFrom(source.user_encoder_);
+      break;
+  }
+  item_table_valid_ = false;
+}
+
+void PMMRecModel::InitEncodersFrom(const TextEncoder& text,
+                                   const VisionEncoder& vision) {
+  text_encoder_.CopyParametersFrom(text);
+  vision_encoder_.CopyParametersFrom(vision);
+  item_table_valid_ = false;
+}
+
+}  // namespace pmmrec

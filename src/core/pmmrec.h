@@ -1,0 +1,103 @@
+#ifndef PMMREC_CORE_PMMREC_H_
+#define PMMREC_CORE_PMMREC_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/fusion.h"
+#include "core/item_encoders.h"
+#include "core/losses.h"
+#include "core/trainer.h"
+#include "core/transfer.h"
+#include "core/user_encoder.h"
+
+namespace pmmrec {
+
+// The Pure Multi-Modality Recommender (paper Sec. III).
+//
+// Architecture: text encoder + vision encoder -> merge-attention fusion ->
+// causal user encoder. During pre-training the model optimizes the
+// multi-task objective of Eq. 12 (DAP + NICL + NID + RCL); fine-tuning
+// uses DAP alone (Sec. III-E2). Every component is independently
+// transferable (TransferFrom), enabling the five transfer settings of
+// Table I.
+class PMMRecModel : public Module, public TrainableRecommender {
+ public:
+  PMMRecModel(const PMMRecConfig& config, uint64_t seed);
+
+  // Enables the full pre-training objective; when disabled (default) only
+  // DAP is optimized, which is the paper's fine-tuning mode.
+  void SetPretrainingObjectives(bool enabled) {
+    pretraining_objectives_ = enabled;
+  }
+
+  // --- TrainableRecommender ---------------------------------------------------
+  void AttachDataset(const Dataset* ds) override;
+  Tensor TrainStepLoss(const SeqBatch& batch) override;
+  std::vector<Tensor*> TrainableParameters() override { return Parameters(); }
+  void SetTrainingMode(bool training) override;
+  void PrepareForEval() override;
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override;
+
+  // --- Representation export -----------------------------------------------
+  // Final-position user-encoder hidden state for a history ([d_model]).
+  // Uses the cached item table; no gradients.
+  std::vector<float> UserRepresentation(const std::vector<int32_t>& prefix);
+  // Cached item-representation table ([num_items * d_model], row-major);
+  // built on demand. Useful for embedding export and downstream heads.
+  const std::vector<float>& ItemRepresentationTable();
+
+  // --- Plug-and-play transfer ---------------------------------------------------
+  // Copies the components selected by `setting` from a (pre-trained)
+  // source model with an identical configuration schema.
+  void TransferFrom(const PMMRecModel& source, TransferSetting setting);
+  // Initializes the item encoders from externally pre-trained encoders
+  // (the RoBERTa/CLIP substitute; see PretrainItemEncoders).
+  void InitEncodersFrom(const TextEncoder& text, const VisionEncoder& vision);
+
+  TextEncoder& text_encoder() { return text_encoder_; }
+  VisionEncoder& vision_encoder() { return vision_encoder_; }
+  FusionModule& fusion() { return fusion_; }
+  UserEncoder& user_encoder() { return user_encoder_; }
+  const PMMRecConfig& config() const { return config_; }
+  const Dataset* dataset() const { return dataset_; }
+
+  // Loss decomposition of the last TrainStepLoss call (diagnostics).
+  struct LossParts {
+    float total = 0, dap = 0, nicl = 0, nid = 0, rcl = 0;
+  };
+  const LossParts& last_loss_parts() const { return last_parts_; }
+
+  // Item representations of the given catalogue items under the current
+  // modality mode ([n, d], graph-building). Exposed for tests.
+  struct ItemReps {
+    Tensor t_cls;   // undefined in vision-only mode
+    Tensor v_cls;   // undefined in text-only mode
+    Tensor final_;  // representation fed to the user encoder
+  };
+  ItemReps EncodeItemReps(const std::vector<int32_t>& item_ids);
+
+ private:
+  PMMRecConfig config_;
+  // Single deterministic stream for init, dropout and sequence corruption.
+  // Declared before the submodules, which capture a pointer to it.
+  Rng rng_;
+  TextEncoder text_encoder_;
+  VisionEncoder vision_encoder_;
+  FusionModule fusion_;
+  UserEncoder user_encoder_;
+  Linear nid_head_;
+
+  bool pretraining_objectives_ = false;
+  const Dataset* dataset_ = nullptr;
+
+  // Evaluation cache: representation table of the whole catalogue.
+  std::vector<float> item_table_;  // [num_items, d], row-major
+  bool item_table_valid_ = false;
+
+  LossParts last_parts_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_PMMREC_H_

@@ -1,0 +1,161 @@
+#include "core/rating.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace pmmrec {
+namespace {
+
+float LatentCosine(const std::vector<float>& a, const std::vector<float>& b) {
+  float dot = 0, na = 1e-9f, nb = 1e-9f;
+  for (size_t j = 0; j < a.size(); ++j) {
+    dot += a[j] * b[j];
+    na += a[j] * a[j];
+    nb += b[j] * b[j];
+  }
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+RatingData GenerateRatings(const Dataset& ds, int64_t ratings_per_user,
+                           float noise, Rng& rng) {
+  PMM_CHECK_GT(ratings_per_user, 0);
+  RatingData data;
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    // User taste = mean latent of the training history.
+    const std::vector<int32_t> history = ds.TrainSeq(u);
+    if (history.empty()) continue;
+    const size_t ld = ds.items[0].true_latent.size();
+    std::vector<float> taste(ld, 0.0f);
+    for (int32_t item : history) {
+      const auto& z = ds.items[static_cast<size_t>(item)].true_latent;
+      for (size_t j = 0; j < ld; ++j) taste[j] += z[j];
+    }
+    for (float& v : taste) v /= static_cast<float>(history.size());
+
+    for (int64_t r = 0; r < ratings_per_user; ++r) {
+      RatingData::Entry entry;
+      entry.user = u;
+      entry.item = static_cast<int32_t>(
+          rng.NextUint64(static_cast<uint64_t>(ds.num_items())));
+      const float affinity = LatentCosine(
+          taste, ds.items[static_cast<size_t>(entry.item)].true_latent);
+      // Map affinity in [-1, 1] to a rating in [1, 5] plus noise, clamped.
+      float rating = 3.0f + 2.0f * affinity + noise * rng.NormalFloat();
+      rating = std::min(5.0f, std::max(1.0f, rating));
+      entry.rating = rating;
+      // 80/20 train/test split.
+      if (rng.UniformFloat() < 0.8f) {
+        data.train.push_back(entry);
+      } else {
+        data.test.push_back(entry);
+      }
+    }
+  }
+  return data;
+}
+
+RatingHead::RatingHead(PMMRecModel* backbone, uint64_t seed)
+    : backbone_(backbone),
+      rng_(seed),
+      fc1_(2 * backbone->config().d_model, backbone->config().d_model, rng_),
+      fc2_(backbone->config().d_model, 1, rng_) {
+  PMM_CHECK(backbone != nullptr);
+  PMM_CHECK_MSG(backbone->dataset() != nullptr,
+                "backbone must have a dataset attached");
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+}
+
+std::vector<float> RatingHead::Features(int64_t user, int32_t item) {
+  const int64_t d = backbone_->config().d_model;
+  const Dataset& ds = *backbone_->dataset();
+  if (user_cache_.empty()) {
+    user_cache_.resize(static_cast<size_t>(ds.num_users()));
+  }
+  auto& cached = user_cache_[static_cast<size_t>(user)];
+  if (cached.empty()) {
+    cached = backbone_->UserRepresentation(ds.TrainSeq(user));
+  }
+  const std::vector<float>& table = backbone_->ItemRepresentationTable();
+  std::vector<float> features(static_cast<size_t>(2 * d));
+  std::copy(cached.begin(), cached.end(), features.begin());
+  std::copy(table.begin() + item * d, table.begin() + (item + 1) * d,
+            features.begin() + d);
+  return features;
+}
+
+float RatingHead::Fit(const RatingData& data, int64_t epochs, float lr,
+                      int64_t batch_size) {
+  PMM_CHECK(!data.train.empty());
+  const int64_t d = backbone_->config().d_model;
+  AdamW optimizer(Parameters(), lr);
+  float last_mse = 0.0f;
+  std::vector<int64_t> order(data.train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_mse = 0.0;
+    int64_t steps = 0;
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(batch_size)) {
+      const size_t end = std::min(order.size(),
+                                  start + static_cast<size_t>(batch_size));
+      const int64_t b = static_cast<int64_t>(end - start);
+      std::vector<float> rows;
+      rows.reserve(static_cast<size_t>(b * 2 * d));
+      std::vector<float> targets;
+      targets.reserve(static_cast<size_t>(b));
+      for (size_t i = start; i < end; ++i) {
+        const auto& entry = data.train[static_cast<size_t>(order[i])];
+        const auto features = Features(entry.user, entry.item);
+        rows.insert(rows.end(), features.begin(), features.end());
+        targets.push_back(entry.rating);
+      }
+      Tensor x = Tensor::FromVector(Shape{b, 2 * d}, rows);
+      Tensor y = Tensor::FromVector(Shape{b, 1}, targets);
+      Tensor pred = fc2_.Forward(Gelu(fc1_.Forward(x)));
+      Tensor loss = MeanAll(Square(Sub(pred, y)));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+      epoch_mse += loss.item();
+      ++steps;
+    }
+    last_mse = static_cast<float>(epoch_mse / std::max<int64_t>(steps, 1));
+  }
+  return last_mse;
+}
+
+float RatingHead::Predict(const std::vector<int32_t>& history, int32_t item) {
+  NoGradGuard no_grad;
+  const int64_t d = backbone_->config().d_model;
+  const std::vector<float> user_rep = backbone_->UserRepresentation(history);
+  const std::vector<float>& table = backbone_->ItemRepresentationTable();
+  std::vector<float> features(static_cast<size_t>(2 * d));
+  std::copy(user_rep.begin(), user_rep.end(), features.begin());
+  std::copy(table.begin() + item * d, table.begin() + (item + 1) * d,
+            features.begin() + d);
+  Tensor x = Tensor::FromVector(Shape{1, 2 * d}, features);
+  return fc2_.Forward(Gelu(fc1_.Forward(x))).item();
+}
+
+double RatingHead::Rmse(const std::vector<RatingData::Entry>& entries) {
+  PMM_CHECK(!entries.empty());
+  NoGradGuard no_grad;
+  const int64_t d = backbone_->config().d_model;
+  double sum_sq = 0.0;
+  for (const auto& entry : entries) {
+    const auto features = Features(entry.user, entry.item);
+    Tensor x = Tensor::FromVector(Shape{1, 2 * d}, features);
+    const float pred = fc2_.Forward(Gelu(fc1_.Forward(x))).item();
+    sum_sq += static_cast<double>(pred - entry.rating) *
+              (pred - entry.rating);
+  }
+  return std::sqrt(sum_sq / static_cast<double>(entries.size()));
+}
+
+}  // namespace pmmrec

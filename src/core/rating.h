@@ -1,0 +1,67 @@
+#ifndef PMMREC_CORE_RATING_H_
+#define PMMREC_CORE_RATING_H_
+
+#include <vector>
+
+#include "core/pmmrec.h"
+
+namespace pmmrec {
+
+// Rating prediction on top of a PMMRec backbone — the first item on the
+// paper's future-work list ("adapting PMMRec to more recommendation tasks
+// such as rating prediction", Sec. V).
+//
+// The backbone stays frozen; a small MLP head maps the concatenation of a
+// user representation and an item representation to a scalar rating. This
+// mirrors the foundation-model usage pattern the paper advocates: one
+// pre-trained multi-modal backbone, many cheap task heads.
+
+// Explicit-feedback data over a Dataset's catalogue.
+struct RatingData {
+  struct Entry {
+    int64_t user = 0;
+    int32_t item = 0;
+    float rating = 0.0f;  // In [1, 5].
+  };
+  std::vector<Entry> train;
+  std::vector<Entry> test;
+};
+
+// Synthesizes ratings consistent with the world model: a user's rating of
+// an item grows with the content affinity between the item and the user's
+// historical items, plus observation noise — so content-aware backbones
+// can predict it and the data is learnable but not trivial.
+RatingData GenerateRatings(const Dataset& ds, int64_t ratings_per_user,
+                           float noise, Rng& rng);
+
+// MLP rating head over frozen backbone representations.
+class RatingHead : public Module {
+ public:
+  RatingHead(PMMRecModel* backbone, uint64_t seed);
+
+  // Trains the head with MSE on `data.train`; returns the final epoch's
+  // training MSE.
+  float Fit(const RatingData& data, int64_t epochs = 20, float lr = 1e-2f,
+            int64_t batch_size = 64);
+
+  // Predicted rating for (user history, item).
+  float Predict(const std::vector<int32_t>& history, int32_t item);
+
+  // Root-mean-squared error over `entries`.
+  double Rmse(const std::vector<RatingData::Entry>& entries);
+
+ private:
+  // [user_rep ; item_rep] for an entry, as a constant tensor row.
+  std::vector<float> Features(int64_t user, int32_t item);
+
+  PMMRecModel* backbone_;
+  Rng rng_;
+  Linear fc1_;
+  Linear fc2_;
+  // Cache of user representations (dataset users only).
+  std::vector<std::vector<float>> user_cache_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_RATING_H_

@@ -1,0 +1,96 @@
+#include "core/trainer.h"
+
+#include "nn/optimizer.h"
+#include "utils/logging.h"
+#include "utils/stopwatch.h"
+
+namespace pmmrec {
+namespace {
+
+// Value snapshot of a parameter set (for best-epoch restoration).
+std::vector<std::vector<float>> SnapshotParams(
+    const std::vector<Tensor*>& params) {
+  std::vector<std::vector<float>> snap;
+  snap.reserve(params.size());
+  for (Tensor* p : params) {
+    snap.emplace_back(p->data(), p->data() + p->numel());
+  }
+  return snap;
+}
+
+void RestoreParams(const std::vector<Tensor*>& params,
+                   const std::vector<std::vector<float>>& snap) {
+  PMM_CHECK_EQ(params.size(), snap.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    PMM_CHECK_EQ(static_cast<size_t>(params[i]->numel()), snap[i].size());
+    std::copy(snap[i].begin(), snap[i].end(), params[i]->data());
+  }
+}
+
+}  // namespace
+
+FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
+                   const FitOptions& options) {
+  Stopwatch watch;
+  model.AttachDataset(&ds);
+  std::vector<Tensor*> params = model.TrainableParameters();
+  PMM_CHECK(!params.empty());
+  AdamW optimizer(params, options.lr, 0.9f, 0.999f, 1e-8f,
+                  options.weight_decay);
+  SequenceBatcher batcher(&ds, options.batch_size, options.max_seq_len);
+  Rng rng(options.seed);
+
+  FitResult result;
+  std::vector<std::vector<float>> best_snapshot;
+  int64_t epochs_since_best = 0;
+
+  for (int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    model.SetTrainingMode(true);
+    double epoch_loss = 0.0;
+    int64_t steps = 0;
+    for (const auto& group : batcher.EpochUserGroups(rng)) {
+      const SeqBatch batch = MakeTrainBatch(ds, group, options.max_seq_len);
+      Tensor loss = model.TrainStepLoss(batch);
+      if (!loss.defined()) continue;
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (options.clip_norm > 0.0f) ClipGradNorm(params, options.clip_norm);
+      optimizer.Step();
+      epoch_loss += loss.item();
+      ++steps;
+    }
+    if (steps > 0) {
+      result.final_train_loss = epoch_loss / static_cast<double>(steps);
+    }
+
+    model.SetTrainingMode(false);
+    const RankingMetrics metrics = EvaluateRanking(
+        model, ds, EvalSplit::kValidation, options.eval_users);
+    const double hr10 = metrics.Hr(10);
+    result.val_hr10_per_epoch.push_back(hr10);
+    result.epochs_run = epoch + 1;
+    if (options.verbose) {
+      PMM_LOG(Info) << ds.name << " epoch " << epoch << " loss "
+                    << result.final_train_loss << " val HR@10 " << hr10;
+    }
+
+    if (result.best_epoch < 0 || hr10 > result.best_val_hr10) {
+      result.best_val_hr10 = hr10;
+      result.best_epoch = epoch;
+      best_snapshot = SnapshotParams(params);
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= options.patience) {
+      break;
+    }
+  }
+
+  if (!best_snapshot.empty()) {
+    RestoreParams(params, best_snapshot);
+    model.InvalidateEvalCache();
+  }
+  model.SetTrainingMode(false);
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pmmrec

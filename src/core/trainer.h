@@ -1,0 +1,69 @@
+#ifndef PMMREC_CORE_TRAINER_H_
+#define PMMREC_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "eval/evaluator.h"
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+
+// Interface shared by PMMRec and every baseline so a single training loop
+// (FitModel) drives them all.
+class TrainableRecommender : public Scorer {
+ public:
+  // Binds the model to a dataset (catalogue + sequences). Must be called
+  // before training or scoring.
+  virtual void AttachDataset(const Dataset* ds) = 0;
+  // Builds the autograd graph for one training step and returns the scalar
+  // loss. May return an undefined Tensor to skip a degenerate batch.
+  virtual Tensor TrainStepLoss(const SeqBatch& batch) = 0;
+  virtual std::vector<Tensor*> TrainableParameters() = 0;
+  virtual void SetTrainingMode(bool training) = 0;
+  // Must be called after parameters are mutated outside a training step
+  // (e.g. best-epoch restoration) so cached item tables are rebuilt. The
+  // default flips training mode, which invalidates the caches of every
+  // model in this library.
+  virtual void InvalidateEvalCache() {
+    SetTrainingMode(true);
+    SetTrainingMode(false);
+  }
+};
+
+struct FitOptions {
+  int64_t max_epochs = 40;
+  int64_t batch_size = 16;
+  int64_t max_seq_len = 10;
+  float lr = 2e-3f;
+  float weight_decay = 0.01f;
+  float clip_norm = 5.0f;
+  // Early stopping: stop after `patience` epochs without validation HR@10
+  // improvement; the best parameters are restored.
+  int64_t patience = 3;
+  // Validation users per epoch (strided subsample); <= 0 means all.
+  int64_t eval_users = 120;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct FitResult {
+  // Validation HR@10 (in %) after each epoch — the series plotted in the
+  // paper's Fig. 3 convergence curves.
+  std::vector<double> val_hr10_per_epoch;
+  double best_val_hr10 = 0.0;
+  int64_t best_epoch = -1;
+  int64_t epochs_run = 0;
+  double seconds = 0.0;
+  double final_train_loss = 0.0;
+};
+
+// Trains `model` on the training split of `ds` with AdamW, early stopping
+// on validation HR@10, and best-parameter restoration.
+FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
+                   const FitOptions& options);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_TRAINER_H_

@@ -1,0 +1,30 @@
+#ifndef PMMREC_CORE_TRANSFER_H_
+#define PMMREC_CORE_TRANSFER_H_
+
+namespace pmmrec {
+
+// Plug-and-play transfer settings (paper Sec. III-E3 / Table I). After
+// pre-training on source data, each component of PMMRec can be transferred
+// alone or together with others.
+enum class TransferSetting {
+  kFull,          // text + vision encoders, fusion, user encoder
+  kItemEncoders,  // text + vision encoders and fusion only
+  kUserEncoder,   // user encoder only
+  kTextOnly,      // text encoder + user encoder (target uses text modality)
+  kVisionOnly,    // vision encoder + user encoder (vision modality)
+};
+
+inline const char* ToString(TransferSetting s) {
+  switch (s) {
+    case TransferSetting::kFull: return "full";
+    case TransferSetting::kItemEncoders: return "item-encoders";
+    case TransferSetting::kUserEncoder: return "user-encoder";
+    case TransferSetting::kTextOnly: return "text-only";
+    case TransferSetting::kVisionOnly: return "vision-only";
+  }
+  return "?";
+}
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_TRANSFER_H_

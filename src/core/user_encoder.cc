@@ -1,0 +1,37 @@
+#include "core/user_encoder.h"
+
+namespace pmmrec {
+
+UserEncoder::UserEncoder(const PMMRecConfig& config, Rng* rng)
+    : d_(config.d_model),
+      max_len_(config.max_seq_len),
+      pos_emb_(config.max_seq_len, config.d_model, *rng),
+      encoder_(config.n_user_blocks, config.d_model, config.n_heads,
+               config.d_model * config.ffn_mult, config.dropout, rng),
+      input_ln_(config.d_model),
+      drop_(config.dropout, rng) {
+  RegisterModule("pos_emb", &pos_emb_);
+  RegisterModule("encoder", &encoder_);
+  RegisterModule("input_ln", &input_ln_);
+  RegisterModule("drop", &drop_);
+}
+
+Tensor UserEncoder::Forward(const Tensor& item_reps) {
+  PMM_CHECK_EQ(item_reps.rank(), 3);
+  PMM_CHECK_EQ(item_reps.dim(2), d_);
+  const int64_t batch = item_reps.dim(0);
+  const int64_t len = item_reps.dim(1);
+  PMM_CHECK_LE(len, max_len_);
+
+  std::vector<int32_t> positions(static_cast<size_t>(batch * len));
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t l = 0; l < len; ++l) {
+      positions[static_cast<size_t>(b * len + l)] = static_cast<int32_t>(l);
+    }
+  }
+  Tensor pos = Reshape(pos_emb_.Forward(positions), Shape{batch, len, d_});
+  Tensor x = drop_.Forward(input_ln_.Forward(Add(item_reps, pos)));
+  return encoder_.Forward(x, MultiHeadSelfAttention::CausalMask(len));
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,31 @@
+#ifndef PMMREC_CORE_USER_ENCODER_H_
+#define PMMREC_CORE_USER_ENCODER_H_
+
+#include "core/config.h"
+#include "nn/transformer.h"
+
+namespace pmmrec {
+
+// SASRec-style causal user encoder (paper Sec. III-B4, Eq. 4): learned
+// positional embeddings added to the item representations, followed by a
+// unidirectional Transformer. h_l may only depend on items 1..l.
+class UserEncoder : public Module {
+ public:
+  UserEncoder(const PMMRecConfig& config, Rng* rng);
+
+  // item_reps: [B, L, d] with L <= max_seq_len. Returns hidden states
+  // [B, L, d].
+  Tensor Forward(const Tensor& item_reps);
+
+ private:
+  int64_t d_;
+  int64_t max_len_;
+  Embedding pos_emb_;
+  TransformerEncoder encoder_;
+  LayerNorm input_ln_;
+  DropoutLayer drop_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_USER_ENCODER_H_

@@ -1,0 +1,86 @@
+#include "data/batcher.h"
+
+#include <unordered_map>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+int64_t SeqBatch::RowLength(int64_t b) const {
+  int64_t len = 0;
+  while (len < max_len && ItemAt(b, len) >= 0) ++len;
+  return len;
+}
+
+namespace {
+
+void BuildUniqueIndex(SeqBatch* batch) {
+  std::unordered_map<int32_t, int32_t> to_unique;
+  batch->position_to_unique.assign(batch->items.size(), -1);
+  for (size_t i = 0; i < batch->items.size(); ++i) {
+    const int32_t item = batch->items[i];
+    if (item < 0) continue;
+    auto [it, inserted] = to_unique.emplace(
+        item, static_cast<int32_t>(batch->unique_items.size()));
+    if (inserted) batch->unique_items.push_back(item);
+    batch->position_to_unique[i] = it->second;
+  }
+}
+
+}  // namespace
+
+SeqBatch MakeTrainBatch(const Dataset& ds, const std::vector<int64_t>& users,
+                        int64_t max_len) {
+  std::vector<std::vector<int32_t>> sequences;
+  sequences.reserve(users.size());
+  for (int64_t u : users) sequences.push_back(ds.TrainSeq(u));
+  SeqBatch batch = MakeBatchFromSequences(sequences, max_len);
+  batch.user_rows = users;
+  return batch;
+}
+
+SeqBatch MakeBatchFromSequences(
+    const std::vector<std::vector<int32_t>>& sequences, int64_t max_len) {
+  PMM_CHECK(!sequences.empty());
+  PMM_CHECK_GE(max_len, 1);
+  SeqBatch batch;
+  batch.batch_size = static_cast<int64_t>(sequences.size());
+  batch.max_len = max_len;
+  batch.items.assign(static_cast<size_t>(batch.batch_size * max_len), -1);
+  batch.user_rows.resize(static_cast<size_t>(batch.batch_size));
+  for (int64_t b = 0; b < batch.batch_size; ++b) {
+    batch.user_rows[static_cast<size_t>(b)] = b;
+    const auto& seq = sequences[static_cast<size_t>(b)];
+    PMM_CHECK(!seq.empty());
+    // Keep the most recent max_len interactions.
+    const int64_t start =
+        std::max<int64_t>(0, static_cast<int64_t>(seq.size()) - max_len);
+    const int64_t len = static_cast<int64_t>(seq.size()) - start;
+    for (int64_t l = 0; l < len; ++l) {
+      batch.items[static_cast<size_t>(b * max_len + l)] =
+          seq[static_cast<size_t>(start + l)];
+    }
+  }
+  BuildUniqueIndex(&batch);
+  return batch;
+}
+
+std::vector<std::vector<int64_t>> SequenceBatcher::EpochUserGroups(
+    Rng& rng) const {
+  std::vector<int64_t> order(static_cast<size_t>(ds_->num_users()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  rng.Shuffle(order);
+
+  std::vector<std::vector<int64_t>> groups;
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(batch_size_)) {
+    const size_t end =
+        std::min(order.size(), start + static_cast<size_t>(batch_size_));
+    if (end - start < 2) break;  // In-batch negatives need >= 2 users.
+    groups.emplace_back(order.begin() + static_cast<int64_t>(start),
+                        order.begin() + static_cast<int64_t>(end));
+  }
+  return groups;
+}
+
+}  // namespace pmmrec

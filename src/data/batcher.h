@@ -1,0 +1,77 @@
+#ifndef PMMREC_DATA_BATCHER_H_
+#define PMMREC_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "utils/rng.h"
+
+namespace pmmrec {
+
+// A batch of right-padded user sequences plus an in-batch unique-item
+// index.
+//
+// The unique-item index is the workhorse of PMMRec training: the content
+// encoders embed each distinct item once per step, and the in-batch
+// contrastive losses (DAP Eq. 5, NICL Eq. 8, both with "items of other
+// users" as negatives) are computed over the [positions x unique-items]
+// score matrix with masks built from `items` / `user_rows`.
+struct SeqBatch {
+  int64_t batch_size = 0;  // B
+  int64_t max_len = 0;     // L
+  // Row-major [B, L]; -1 marks padding (sequences are right-padded).
+  std::vector<int32_t> items;
+  // Dataset user index of each row.
+  std::vector<int64_t> user_rows;
+
+  // Distinct catalogue item ids appearing in the batch.
+  std::vector<int32_t> unique_items;
+  // [B*L] -> index into unique_items, or -1 for padding.
+  std::vector<int32_t> position_to_unique;
+
+  int32_t ItemAt(int64_t b, int64_t l) const {
+    return items[static_cast<size_t>(b * max_len + l)];
+  }
+  int32_t UniqueAt(int64_t b, int64_t l) const {
+    return position_to_unique[static_cast<size_t>(b * max_len + l)];
+  }
+  int64_t num_unique() const {
+    return static_cast<int64_t>(unique_items.size());
+  }
+  // Real (non-padding) length of row b.
+  int64_t RowLength(int64_t b) const;
+};
+
+// Builds one batch from the training sequences of the given users,
+// truncating each to its most recent `max_len` interactions.
+SeqBatch MakeTrainBatch(const Dataset& ds, const std::vector<int64_t>& users,
+                        int64_t max_len);
+
+// Builds one batch from explicit sequences (used by cold-start evaluation
+// and fine-tuning on arbitrary prefixes).
+SeqBatch MakeBatchFromSequences(
+    const std::vector<std::vector<int32_t>>& sequences, int64_t max_len);
+
+// Yields shuffled user batches covering the dataset once per epoch.
+class SequenceBatcher {
+ public:
+  SequenceBatcher(const Dataset* ds, int64_t batch_size, int64_t max_len)
+      : ds_(ds), batch_size_(batch_size), max_len_(max_len) {}
+
+  // User-index groups for one epoch, in shuffled order. The final group
+  // may be smaller than batch_size (it is dropped if it has < 2 users,
+  // since in-batch negatives require at least two).
+  std::vector<std::vector<int64_t>> EpochUserGroups(Rng& rng) const;
+
+  int64_t batch_size() const { return batch_size_; }
+  int64_t max_len() const { return max_len_; }
+
+ private:
+  const Dataset* ds_;
+  int64_t batch_size_;
+  int64_t max_len_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_DATA_BATCHER_H_

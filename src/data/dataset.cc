@@ -1,0 +1,110 @@
+#include "data/dataset.h"
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+int64_t Dataset::num_actions() const {
+  int64_t total = 0;
+  for (const auto& s : sequences) total += static_cast<int64_t>(s.size());
+  return total;
+}
+
+double Dataset::avg_seq_len() const {
+  if (sequences.empty()) return 0.0;
+  return static_cast<double>(num_actions()) /
+         static_cast<double>(num_users());
+}
+
+double Dataset::sparsity() const {
+  const double denom =
+      static_cast<double>(num_users()) * static_cast<double>(num_items());
+  if (denom == 0.0) return 1.0;
+  return 1.0 - static_cast<double>(num_actions()) / denom;
+}
+
+std::vector<int32_t> Dataset::TrainSeq(int64_t u) const {
+  const auto& s = sequences[static_cast<size_t>(u)];
+  PMM_CHECK_GE(s.size(), 3u);
+  return std::vector<int32_t>(s.begin(), s.end() - 2);
+}
+
+std::vector<int32_t> Dataset::ValidationPrefix(int64_t u) const {
+  return TrainSeq(u);
+}
+
+int32_t Dataset::ValidationTarget(int64_t u) const {
+  const auto& s = sequences[static_cast<size_t>(u)];
+  return s[s.size() - 2];
+}
+
+std::vector<int32_t> Dataset::TestPrefix(int64_t u) const {
+  const auto& s = sequences[static_cast<size_t>(u)];
+  return std::vector<int32_t>(s.begin(), s.end() - 1);
+}
+
+int32_t Dataset::TestTarget(int64_t u) const {
+  const auto& s = sequences[static_cast<size_t>(u)];
+  return s.back();
+}
+
+std::vector<int64_t> Dataset::TrainItemCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_items()), 0);
+  for (int64_t u = 0; u < num_users(); ++u) {
+    for (int32_t item : TrainSeq(u)) {
+      counts[static_cast<size_t>(item)]++;
+    }
+  }
+  return counts;
+}
+
+Dataset FuseDatasets(const std::vector<const Dataset*>& parts,
+                     const std::string& name) {
+  PMM_CHECK(!parts.empty());
+  Dataset fused;
+  fused.name = name;
+  fused.platform = "fused";
+  fused.text_vocab_size = parts[0]->text_vocab_size;
+  fused.text_len = parts[0]->text_len;
+  fused.n_patches = parts[0]->n_patches;
+  fused.patch_dim = parts[0]->patch_dim;
+
+  int32_t offset = 0;
+  for (const Dataset* part : parts) {
+    PMM_CHECK_EQ(part->text_vocab_size, fused.text_vocab_size);
+    PMM_CHECK_EQ(part->text_len, fused.text_len);
+    PMM_CHECK_EQ(part->n_patches, fused.n_patches);
+    PMM_CHECK_EQ(part->patch_dim, fused.patch_dim);
+    fused.items.insert(fused.items.end(), part->items.begin(),
+                       part->items.end());
+    for (const auto& seq : part->sequences) {
+      std::vector<int32_t> shifted;
+      shifted.reserve(seq.size());
+      for (int32_t item : seq) shifted.push_back(item + offset);
+      fused.sequences.push_back(std::move(shifted));
+    }
+    offset += static_cast<int32_t>(part->num_items());
+  }
+  return fused;
+}
+
+std::vector<ColdStartCase> BuildColdStartCases(const Dataset& ds,
+                                               int64_t max_train_occurrences) {
+  const std::vector<int64_t> counts = ds.TrainItemCounts();
+  std::vector<ColdStartCase> cases;
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    const auto& seq = ds.sequences[static_cast<size_t>(u)];
+    for (size_t pos = 1; pos < seq.size(); ++pos) {
+      const int32_t item = seq[pos];
+      if (counts[static_cast<size_t>(item)] < max_train_occurrences) {
+        ColdStartCase c;
+        c.prefix.assign(seq.begin(), seq.begin() + static_cast<int64_t>(pos));
+        c.target = item;
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,83 @@
+#ifndef PMMREC_DATA_DATASET_H_
+#define PMMREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmmrec {
+
+// Multi-modal content of one item. Items carry no usable ID semantics:
+// content is the only signal available to modality-based recommenders
+// (ID-based baselines use the item's index in Dataset::items instead).
+struct ItemContent {
+  // Text modality: fixed-length token sequence over the platform vocab.
+  std::vector<int32_t> tokens;
+  // Vision modality: n_patches x patch_dim floats, row-major.
+  std::vector<float> patches;
+
+  // Ground-truth generator internals, retained for tests and diagnostics
+  // only; no model may read these.
+  int32_t true_cluster = -1;
+  std::vector<float> true_latent;
+};
+
+// A recommendation dataset: an item catalogue plus per-user chronological
+// interaction sequences. Leave-one-out protocol (the paper's Sec. IV-A2):
+// for each user the last item is the test target, the second-to-last the
+// validation target, and the rest is training data.
+struct Dataset {
+  std::string name;      // e.g. "Bili_Food"
+  std::string platform;  // e.g. "Bili"
+
+  int32_t text_vocab_size = 0;
+  int32_t text_len = 0;
+  int32_t n_patches = 0;
+  int32_t patch_dim = 0;
+
+  std::vector<ItemContent> items;
+  // Each sequence has length >= 3 so that train/validation/test are all
+  // non-empty.
+  std::vector<std::vector<int32_t>> sequences;
+
+  int64_t num_users() const { return static_cast<int64_t>(sequences.size()); }
+  int64_t num_items() const { return static_cast<int64_t>(items.size()); }
+  int64_t num_actions() const;
+  double avg_seq_len() const;
+  // 1 - #actions / (#users * #items), as reported in Table II.
+  double sparsity() const;
+
+  // The training portion of user u (all but the last two interactions).
+  std::vector<int32_t> TrainSeq(int64_t u) const;
+  // Prefix used when scoring the validation target (all but last two).
+  std::vector<int32_t> ValidationPrefix(int64_t u) const;
+  int32_t ValidationTarget(int64_t u) const;
+  // Prefix used when scoring the test target (all but the last).
+  std::vector<int32_t> TestPrefix(int64_t u) const;
+  int32_t TestTarget(int64_t u) const;
+
+  // Number of occurrences of each item in the training portions.
+  std::vector<int64_t> TrainItemCounts() const;
+};
+
+// Concatenates several datasets into one (used to pre-train on the fused
+// source data). Item indices of part k are offset by the total item count
+// of parts 0..k-1; content schemas must match.
+Dataset FuseDatasets(const std::vector<const Dataset*>& parts,
+                     const std::string& name);
+
+// Cold-start evaluation cases (the paper's Sec. IV-F2): items with fewer
+// than `max_train_occurrences` training occurrences are "cold"; every
+// position in a user sequence where a cold item appears (with at least one
+// preceding interaction) yields one evaluation case: rank the cold item
+// given the prefix.
+struct ColdStartCase {
+  std::vector<int32_t> prefix;
+  int32_t target = -1;
+};
+std::vector<ColdStartCase> BuildColdStartCases(const Dataset& ds,
+                                               int64_t max_train_occurrences);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_DATA_DATASET_H_

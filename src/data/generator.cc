@@ -1,0 +1,389 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace {
+
+// Stable per-platform style seed derived from the platform name.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SyntheticWorld::SyntheticWorld(const WorldConfig& config) : config_(config) {
+  PMM_CHECK_GE(config.n_clusters, 2);
+  PMM_CHECK_GE(config.latent_dim, 2);
+  Rng rng(config.seed);
+
+  // Cluster centers: random Gaussians (nearly orthogonal in this dim).
+  cluster_centers_.resize(static_cast<size_t>(config.n_clusters));
+  for (auto& center : cluster_centers_) {
+    center.resize(static_cast<size_t>(config.latent_dim));
+    for (float& v : center) v = rng.NormalFloat();
+    // Normalize to unit length so all clusters render at similar energy.
+    float norm = 0.0f;
+    for (float v : center) norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-8f));
+    for (float& v : center) v /= norm;
+  }
+
+  // Shared transition kernel: sticky + 2 structured successors + uniform
+  // background. This kernel is what makes behaviour transferable across
+  // platforms (paper Fig. 1).
+  const int32_t k = config.n_clusters;
+  transition_kernel_.assign(static_cast<size_t>(k),
+                            std::vector<float>(static_cast<size_t>(k), 0.0f));
+  const float background =
+      (1.0f - config.kernel_stickiness - config.kernel_structured) /
+      static_cast<float>(k);
+  PMM_CHECK_GE(background, 0.0f);
+  for (int32_t c = 0; c < k; ++c) {
+    auto& row = transition_kernel_[static_cast<size_t>(c)];
+    for (float& v : row) v = background;
+    row[static_cast<size_t>(c)] += config.kernel_stickiness;
+    // Two structured successors (distinct from self).
+    int32_t succ1 = static_cast<int32_t>(rng.NextUint64(
+        static_cast<uint64_t>(k)));
+    while (succ1 == c) {
+      succ1 = static_cast<int32_t>(rng.NextUint64(static_cast<uint64_t>(k)));
+    }
+    int32_t succ2 = static_cast<int32_t>(rng.NextUint64(
+        static_cast<uint64_t>(k)));
+    while (succ2 == c || succ2 == succ1) {
+      succ2 = static_cast<int32_t>(rng.NextUint64(static_cast<uint64_t>(k)));
+    }
+    row[static_cast<size_t>(succ1)] += config.kernel_structured * 0.65f;
+    row[static_cast<size_t>(succ2)] += config.kernel_structured * 0.35f;
+  }
+
+  // Word directions: each vocabulary word belongs to a cluster and points
+  // roughly at that cluster's center.
+  const int64_t vocab = config.text_vocab_size;
+  const int64_t ld = config.latent_dim;
+  word_directions_.resize(static_cast<size_t>(vocab * ld));
+  for (int64_t w = 0; w < vocab; ++w) {
+    const auto& center =
+        cluster_centers_[static_cast<size_t>(w % config.n_clusters)];
+    for (int64_t j = 0; j < ld; ++j) {
+      word_directions_[static_cast<size_t>(w * ld + j)] =
+          1.2f * center[static_cast<size_t>(j)] + 0.5f * rng.NormalFloat();
+    }
+  }
+
+  // Patch projections: fixed random linear maps latent -> patch space.
+  const int64_t pd = config.patch_dim;
+  patch_projections_.resize(
+      static_cast<size_t>(config.n_patches * pd * ld));
+  const float proj_scale = 1.0f / std::sqrt(static_cast<float>(ld));
+  for (float& v : patch_projections_) v = rng.NormalFloat() * proj_scale;
+}
+
+const std::vector<float>& SyntheticWorld::ClusterCenter(int32_t c) const {
+  PMM_CHECK_GE(c, 0);
+  PMM_CHECK_LT(c, config_.n_clusters);
+  return cluster_centers_[static_cast<size_t>(c)];
+}
+
+float SyntheticWorld::TransitionProb(int32_t from, int32_t to) const {
+  return TransitionRow(from)[static_cast<size_t>(to)];
+}
+
+const std::vector<float>& SyntheticWorld::TransitionRow(int32_t from) const {
+  PMM_CHECK_GE(from, 0);
+  PMM_CHECK_LT(from, config_.n_clusters);
+  return transition_kernel_[static_cast<size_t>(from)];
+}
+
+Dataset DatasetGenerator::Generate(const PlatformConfig& config) const {
+  PMM_CHECK(!config.clusters.empty());
+  PMM_CHECK_GE(config.min_seq_len, 3);
+  PMM_CHECK_LE(config.min_seq_len, config.max_seq_len);
+  const WorldConfig& wc = world_->config();
+  for (int32_t c : config.clusters) {
+    PMM_CHECK_GE(c, 0);
+    PMM_CHECK_LT(c, wc.n_clusters);
+  }
+
+  Rng rng(config.seed ^ HashName(config.name));
+  Rng style_rng(HashName(config.platform));  // Shared across subdomains.
+
+  // Platform style: a latent-space shift applied before rendering; items on
+  // the same platform share it, so content "looks" platform-specific.
+  std::vector<float> style(static_cast<size_t>(wc.latent_dim));
+  for (float& v : style) v = style_rng.NormalFloat() * config.style_strength;
+
+  Dataset ds;
+  ds.name = config.name;
+  ds.platform = config.platform;
+  ds.text_vocab_size = wc.text_vocab_size;
+  ds.text_len = wc.text_len;
+  ds.n_patches = wc.n_patches;
+  ds.patch_dim = wc.patch_dim;
+
+  // --- Items -------------------------------------------------------------
+  const int64_t ld = wc.latent_dim;
+  ds.items.resize(static_cast<size_t>(config.n_items));
+  std::vector<std::vector<int32_t>> cluster_items(
+      static_cast<size_t>(wc.n_clusters));
+  for (int32_t i = 0; i < config.n_items; ++i) {
+    ItemContent& item = ds.items[static_cast<size_t>(i)];
+    const int32_t cluster =
+        config.clusters[static_cast<size_t>(i) % config.clusters.size()];
+    item.true_cluster = cluster;
+    cluster_items[static_cast<size_t>(cluster)].push_back(i);
+
+    // Latent: cluster center + within-cluster spread.
+    const auto& center = world_->ClusterCenter(cluster);
+    item.true_latent.resize(static_cast<size_t>(ld));
+    for (int64_t j = 0; j < ld; ++j) {
+      item.true_latent[static_cast<size_t>(j)] =
+          center[static_cast<size_t>(j)] +
+          config.item_latent_noise * rng.NormalFloat();
+    }
+
+    // Render latent (with platform style) used by both modalities.
+    std::vector<float> z(static_cast<size_t>(ld));
+    for (int64_t j = 0; j < ld; ++j) {
+      z[static_cast<size_t>(j)] =
+          item.true_latent[static_cast<size_t>(j)] +
+          style[static_cast<size_t>(j)];
+    }
+
+    // Text: sample tokens from softmax(word_directions . z / T), with a
+    // fraction of uniform junk tokens (noisy titles).
+    const auto& dirs = world_->word_directions();
+    std::vector<float> word_weights(
+        static_cast<size_t>(wc.text_vocab_size));
+    float max_score = -1e30f;
+    std::vector<float> scores(static_cast<size_t>(wc.text_vocab_size));
+    for (int64_t w = 0; w < wc.text_vocab_size; ++w) {
+      float s = 0.0f;
+      for (int64_t j = 0; j < ld; ++j) {
+        s += dirs[static_cast<size_t>(w * ld + j)] *
+             z[static_cast<size_t>(j)];
+      }
+      s /= config.text_temperature;
+      scores[static_cast<size_t>(w)] = s;
+      max_score = std::max(max_score, s);
+    }
+    for (int64_t w = 0; w < wc.text_vocab_size; ++w) {
+      word_weights[static_cast<size_t>(w)] =
+          std::exp(scores[static_cast<size_t>(w)] - max_score);
+    }
+    item.tokens.resize(static_cast<size_t>(wc.text_len));
+    for (int32_t t = 0; t < wc.text_len; ++t) {
+      if (rng.Bernoulli(config.text_noise_frac)) {
+        item.tokens[static_cast<size_t>(t)] = static_cast<int32_t>(
+            rng.NextUint64(static_cast<uint64_t>(wc.text_vocab_size)));
+      } else {
+        item.tokens[static_cast<size_t>(t)] =
+            static_cast<int32_t>(rng.Categorical(word_weights));
+      }
+    }
+
+    // Vision: per-patch linear rendering of z plus Gaussian pixel noise.
+    const auto& proj = world_->patch_projections();
+    item.patches.resize(static_cast<size_t>(wc.n_patches * wc.patch_dim));
+    for (int32_t p = 0; p < wc.n_patches; ++p) {
+      for (int32_t o = 0; o < wc.patch_dim; ++o) {
+        float v = 0.0f;
+        const size_t base = static_cast<size_t>(
+            (static_cast<int64_t>(p) * wc.patch_dim + o) * ld);
+        for (int64_t j = 0; j < ld; ++j) {
+          v += proj[base + static_cast<size_t>(j)] *
+               z[static_cast<size_t>(j)];
+        }
+        item.patches[static_cast<size_t>(p * wc.patch_dim + o)] =
+            v + config.image_noise * rng.NormalFloat();
+      }
+    }
+  }
+
+  // --- Per-cluster popularity (Zipf over a random permutation) -----------
+  std::vector<std::vector<float>> cluster_item_weights(
+      static_cast<size_t>(wc.n_clusters));
+  for (int32_t c : config.clusters) {
+    auto& items = cluster_items[static_cast<size_t>(c)];
+    PMM_CHECK_MSG(!items.empty(),
+                  "cluster " + std::to_string(c) + " has no items");
+    rng.Shuffle(items);
+    auto& weights = cluster_item_weights[static_cast<size_t>(c)];
+    weights.resize(items.size());
+    for (size_t r = 0; r < items.size(); ++r) {
+      weights[r] = 1.0f / std::pow(static_cast<float>(r + 1),
+                                   config.item_pop_zipf);
+    }
+  }
+
+  // --- Restricted transition rows -----------------------------------------
+  // The platform only carries `config.clusters`; renormalize the shared
+  // kernel over them.
+  std::vector<std::vector<float>> restricted_rows(
+      static_cast<size_t>(wc.n_clusters));
+  for (int32_t c : config.clusters) {
+    auto& row = restricted_rows[static_cast<size_t>(c)];
+    row.resize(config.clusters.size());
+    for (size_t j = 0; j < config.clusters.size(); ++j) {
+      row[j] = world_->TransitionProb(c, config.clusters[j]);
+    }
+  }
+
+  // --- Unit-normalized item latents (for content-affinity transitions) ---
+  std::vector<float> unit_latents(
+      static_cast<size_t>(config.n_items * ld));
+  for (int32_t i = 0; i < config.n_items; ++i) {
+    const auto& z = ds.items[static_cast<size_t>(i)].true_latent;
+    float norm = 1e-8f;
+    for (float v : z) norm += v * v;
+    norm = std::sqrt(norm);
+    for (int64_t j = 0; j < ld; ++j) {
+      unit_latents[static_cast<size_t>(i * ld + j)] =
+          z[static_cast<size_t>(j)] / norm;
+    }
+  }
+  auto latent_cosine = [&](int32_t a, int32_t b) {
+    float dot = 0.0f;
+    for (int64_t j = 0; j < ld; ++j) {
+      dot += unit_latents[static_cast<size_t>(a * ld + j)] *
+             unit_latents[static_cast<size_t>(b * ld + j)];
+    }
+    return dot;
+  };
+
+  // --- User sequences ------------------------------------------------------
+  ds.sequences.resize(static_cast<size_t>(config.n_users));
+  std::vector<float> affinity_weights;
+  for (int32_t u = 0; u < config.n_users; ++u) {
+    const int64_t len =
+        rng.UniformInt(config.min_seq_len, config.max_seq_len + 1);
+    auto& seq = ds.sequences[static_cast<size_t>(u)];
+    seq.reserve(static_cast<size_t>(len));
+    int32_t cluster = config.clusters[static_cast<size_t>(
+        rng.NextUint64(config.clusters.size()))];
+    int32_t prev_item = -1;
+    for (int64_t t = 0; t < len; ++t) {
+      const auto& items = cluster_items[static_cast<size_t>(cluster)];
+      const auto& weights = cluster_item_weights[static_cast<size_t>(cluster)];
+      int32_t item;
+      if (prev_item < 0 || config.content_affinity == 0.0f) {
+        item = items[static_cast<size_t>(rng.Categorical(weights))];
+      } else {
+        // Popularity x content-affinity sampling: items whose latent is
+        // close to the previous item's are preferred.
+        affinity_weights.resize(items.size());
+        for (size_t r = 0; r < items.size(); ++r) {
+          affinity_weights[r] =
+              weights[r] * std::exp(config.content_affinity *
+                                    latent_cosine(prev_item, items[r]));
+        }
+        item = items[static_cast<size_t>(rng.Categorical(affinity_weights))];
+      }
+      if (item == prev_item) {  // Avoid immediate repeats (one retry).
+        item = items[static_cast<size_t>(rng.Categorical(weights))];
+      }
+      seq.push_back(item);
+      prev_item = item;
+      cluster = config.clusters[static_cast<size_t>(
+          rng.Categorical(restricted_rows[static_cast<size_t>(cluster)]))];
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+PlatformConfig MakeConfig(const std::string& name, const std::string& platform,
+                          std::vector<int32_t> clusters, int32_t n_items,
+                          int32_t n_users, int32_t min_len, int32_t max_len,
+                          double scale, uint64_t seed) {
+  PlatformConfig config;
+  config.name = name;
+  config.platform = platform;
+  config.clusters = std::move(clusters);
+  config.n_items = n_items;
+  config.n_users =
+      std::max<int32_t>(16, static_cast<int32_t>(n_users * scale));
+  config.min_seq_len = min_len;
+  config.max_seq_len = max_len;
+  config.seed = seed;
+  const bool noisy = (platform == "Bili" || platform == "Kwai");
+  config.image_noise = noisy ? 0.55f : 0.2f;
+  config.text_noise_frac = noisy ? 0.15f : 0.06f;
+  config.style_strength = noisy ? 0.6f : 0.4f;
+  return config;
+}
+
+}  // namespace
+
+const Dataset& BenchmarkSuite::source(const std::string& name) const {
+  for (const Dataset& ds : sources) {
+    if (ds.name == name) return ds;
+  }
+  PMM_CHECK_MSG(false, "unknown source dataset: " + name);
+  return sources[0];  // Unreachable.
+}
+
+const Dataset& BenchmarkSuite::target(const std::string& name) const {
+  for (const Dataset& ds : targets) {
+    if (ds.name == name) return ds;
+  }
+  PMM_CHECK_MSG(false, "unknown target dataset: " + name);
+  return targets[0];  // Unreachable.
+}
+
+BenchmarkSuite BuildBenchmarkSuite(double scale, uint64_t seed) {
+  BenchmarkSuite suite;
+  WorldConfig wc;
+  wc.seed = seed;
+  suite.world = SyntheticWorld(wc);
+  DatasetGenerator gen(&suite.world);
+
+  // Cluster layout: food {0,1}, movie {2,3}, cartoon {4,5},
+  // clothes {6,7}, shoes {8,9}. Short-video platforms carry the first
+  // three domains, e-commerce platforms the last two (paper Table II).
+  const std::vector<int32_t> kVideo = {0, 1, 2, 3, 4, 5};
+  const std::vector<int32_t> kShop = {6, 7, 8, 9};
+
+  suite.sources.push_back(gen.Generate(MakeConfig(
+      "Bili", "Bili", kVideo, 700, 420, 6, 16, scale, seed + 1)));
+  suite.sources.push_back(gen.Generate(MakeConfig(
+      "Kwai", "Kwai", kVideo, 620, 520, 4, 11, scale, seed + 2)));
+  suite.sources.push_back(gen.Generate(MakeConfig(
+      "HM", "HM", kShop, 720, 520, 6, 16, scale, seed + 3)));
+  suite.sources.push_back(gen.Generate(MakeConfig(
+      "Amazon", "Amazon", kShop, 560, 340, 4, 11, scale, seed + 4)));
+
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Bili_Food", "Bili", {0, 1}, 140, 150, 4, 9, scale, seed + 11)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Bili_Movie", "Bili", {2, 3}, 160, 180, 4, 10, scale, seed + 12)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Bili_Cartoon", "Bili", {4, 5}, 170, 200, 4, 10, scale, seed + 13)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Kwai_Food", "Kwai", {0, 1}, 150, 160, 5, 12, scale, seed + 14)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Kwai_Movie", "Kwai", {2, 3}, 165, 150, 4, 10, scale, seed + 15)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Kwai_Cartoon", "Kwai", {4, 5}, 175, 180, 4, 11, scale, seed + 16)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "HM_Clothes", "HM", {6, 7}, 160, 200, 4, 10, scale, seed + 17)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "HM_Shoes", "HM", {8, 9}, 165, 180, 4, 11, scale, seed + 18)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Amazon_Clothes", "Amazon", {6, 7}, 150, 120, 4, 9, scale, seed + 19)));
+  suite.targets.push_back(gen.Generate(MakeConfig(
+      "Amazon_Shoes", "Amazon", {8, 9}, 160, 150, 4, 9, scale, seed + 20)));
+  return suite;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,132 @@
+#ifndef PMMREC_DATA_GENERATOR_H_
+#define PMMREC_DATA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "utils/rng.h"
+
+namespace pmmrec {
+
+// Synthetic multi-platform recommendation world.
+//
+// The real PMMRec paper evaluates on Bili/Kwai (short video) and HM/Amazon
+// (e-commerce). Those datasets and the pre-trained encoders that process
+// them are not available here, so we simulate the *generating process* the
+// paper's argument rests on (its Fig. 1): user transition patterns are
+// SHARED across platforms, while item content is rendered with
+// platform-specific style and noise.
+//
+// Concretely, a world holds:
+//  - `n_clusters` latent semantic clusters with centers in R^latent_dim
+//    (grouped into domains: food, movie, cartoon, clothes, shoes);
+//  - a single row-stochastic cluster transition kernel used by the
+//    behaviour simulator of EVERY platform — the transferable signal;
+//  - a word-direction table (text rendering) and per-patch projection
+//    matrices (image rendering) mapping latents to observable content.
+//
+// Each platform renders content with its own style vector and noise level:
+// short-video platforms (Bili/Kwai) get high content noise — mirroring the
+// paper's observation that their covers/titles are visually and textually
+// noisy — while e-commerce platforms (HM/Amazon) are clean.
+struct WorldConfig {
+  int32_t n_clusters = 10;
+  int32_t latent_dim = 16;
+  int32_t text_vocab_size = 240;
+  int32_t text_len = 10;
+  int32_t n_patches = 8;
+  int32_t patch_dim = 12;
+  // Self-transition mass of the cluster kernel; the remainder is split
+  // between 2 structured "next" clusters and a uniform background.
+  float kernel_stickiness = 0.30f;
+  float kernel_structured = 0.50f;
+  uint64_t seed = 17;
+};
+
+class SyntheticWorld {
+ public:
+  explicit SyntheticWorld(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+
+  // Cluster center, [latent_dim].
+  const std::vector<float>& ClusterCenter(int32_t c) const;
+  // Transition probability cluster `from` -> `to`.
+  float TransitionProb(int32_t from, int32_t to) const;
+  const std::vector<float>& TransitionRow(int32_t from) const;
+
+  // Rendering internals (used by DatasetGenerator).
+  // word_directions: [vocab, latent_dim] row-major.
+  const std::vector<float>& word_directions() const {
+    return word_directions_;
+  }
+  // patch_projections: [n_patches, patch_dim, latent_dim] row-major.
+  const std::vector<float>& patch_projections() const {
+    return patch_projections_;
+  }
+
+ private:
+  WorldConfig config_;
+  std::vector<std::vector<float>> cluster_centers_;
+  std::vector<std::vector<float>> transition_kernel_;
+  std::vector<float> word_directions_;
+  std::vector<float> patch_projections_;
+};
+
+// Per-platform rendering & behaviour parameters.
+struct PlatformConfig {
+  std::string name;                    // "Bili_Food", "HM", ...
+  std::string platform;                // "Bili", "Kwai", "HM", "Amazon"
+  std::vector<int32_t> clusters;       // latent clusters this dataset covers
+  int32_t n_items = 200;
+  int32_t n_users = 400;
+  int32_t min_seq_len = 4;
+  int32_t max_seq_len = 14;
+  // Content rendering.
+  float item_latent_noise = 0.45f;  // within-cluster item spread
+  float image_noise = 0.3f;         // Bili/Kwai use ~0.9, HM/Amazon ~0.3
+  float text_noise_frac = 0.15f;    // fraction of random junk tokens
+  float style_strength = 0.5f;      // platform style shift magnitude
+  float text_temperature = 0.7f;    // softmax temperature of word sampling
+  // Behaviour.
+  float item_pop_zipf = 0.7f;  // popularity skew inside a cluster
+  // Strength of content-affinity transitions: the next item is drawn
+  // proportionally to popularity * exp(affinity * cos(z_prev, z_next)).
+  // This is the item-level half of the transferable signal — a model that
+  // embeds content well can rank within-cluster items; an ID model must
+  // observe each item pair.
+  float content_affinity = 3.0f;
+  uint64_t seed = 1;
+};
+
+// Renders datasets of a SyntheticWorld.
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(const SyntheticWorld* world) : world_(world) {}
+
+  Dataset Generate(const PlatformConfig& config) const;
+
+ private:
+  const SyntheticWorld* world_;
+};
+
+// The full benchmark suite mirroring the paper's Table II at reduced scale:
+// 4 source datasets (Bili, Kwai, HM, Amazon) and 10 targets
+// (Bili/Kwai x {Food, Movie, Cartoon}; HM/Amazon x {Clothes, Shoes}).
+struct BenchmarkSuite {
+  SyntheticWorld world{WorldConfig{}};
+  std::vector<Dataset> sources;  // Bili, Kwai, HM, Amazon (in this order)
+  std::vector<Dataset> targets;  // 10 datasets
+
+  const Dataset& source(const std::string& name) const;
+  const Dataset& target(const std::string& name) const;
+};
+
+// Scale multiplier: 1.0 gives the default bench scale (hundreds of users
+// per dataset); tests use smaller values.
+BenchmarkSuite BuildBenchmarkSuite(double scale = 1.0, uint64_t seed = 17);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_DATA_GENERATOR_H_

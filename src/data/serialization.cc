@@ -1,0 +1,142 @@
+#include "data/serialization.h"
+
+namespace pmmrec {
+namespace {
+constexpr uint32_t kDatasetMagic = 0x504d4453;  // "PMDS"
+constexpr uint32_t kDatasetVersion = 1;
+}  // namespace
+
+void WriteDataset(const Dataset& ds, BinaryWriter* writer) {
+  writer->WriteU32(kDatasetMagic);
+  writer->WriteU32(kDatasetVersion);
+  writer->WriteString(ds.name);
+  writer->WriteString(ds.platform);
+  writer->WriteI64(ds.text_vocab_size);
+  writer->WriteI64(ds.text_len);
+  writer->WriteI64(ds.n_patches);
+  writer->WriteI64(ds.patch_dim);
+
+  writer->WriteU64(ds.items.size());
+  for (const ItemContent& item : ds.items) {
+    writer->WriteU64(item.tokens.size());
+    for (int32_t token : item.tokens) {
+      writer->WriteU32(static_cast<uint32_t>(token));
+    }
+    writer->WriteU64(item.patches.size());
+    writer->WriteFloats(item.patches.data(), item.patches.size());
+    writer->WriteI64(item.true_cluster);
+    writer->WriteU64(item.true_latent.size());
+    writer->WriteFloats(item.true_latent.data(), item.true_latent.size());
+  }
+
+  writer->WriteU64(ds.sequences.size());
+  for (const auto& seq : ds.sequences) {
+    writer->WriteU64(seq.size());
+    for (int32_t item : seq) writer->WriteU32(static_cast<uint32_t>(item));
+  }
+}
+
+Status ReadDataset(BinaryReader* reader, Dataset* out) {
+  uint32_t magic = 0, version = 0;
+  Status st = reader->ReadU32(&magic);
+  if (!st.ok()) return st;
+  if (magic != kDatasetMagic) return Status::Corruption("bad dataset magic");
+  st = reader->ReadU32(&version);
+  if (!st.ok()) return st;
+  if (version != kDatasetVersion) {
+    return Status::InvalidArgument("unsupported dataset version " +
+                                   std::to_string(version));
+  }
+
+  Dataset ds;
+  if (!(st = reader->ReadString(&ds.name)).ok()) return st;
+  if (!(st = reader->ReadString(&ds.platform)).ok()) return st;
+  int64_t v = 0;
+  if (!(st = reader->ReadI64(&v)).ok()) return st;
+  ds.text_vocab_size = static_cast<int32_t>(v);
+  if (!(st = reader->ReadI64(&v)).ok()) return st;
+  ds.text_len = static_cast<int32_t>(v);
+  if (!(st = reader->ReadI64(&v)).ok()) return st;
+  ds.n_patches = static_cast<int32_t>(v);
+  if (!(st = reader->ReadI64(&v)).ok()) return st;
+  ds.patch_dim = static_cast<int32_t>(v);
+
+  uint64_t n_items = 0;
+  if (!(st = reader->ReadU64(&n_items)).ok()) return st;
+  // Every item occupies several bytes, so a count exceeding the remaining
+  // buffer is certainly corruption (guards allocation-bomb inputs).
+  if (n_items > reader->remaining()) {
+    return Status::Corruption("item count exceeds buffer");
+  }
+  ds.items.resize(n_items);
+  for (ItemContent& item : ds.items) {
+    uint64_t count = 0;
+    if (!(st = reader->ReadU64(&count)).ok()) return st;
+    if (count > 1u << 20 || count > reader->remaining()) {
+      return Status::Corruption("token count too large");
+    }
+    item.tokens.resize(count);
+    for (auto& token : item.tokens) {
+      uint32_t raw = 0;
+      if (!(st = reader->ReadU32(&raw)).ok()) return st;
+      token = static_cast<int32_t>(raw);
+    }
+    if (!(st = reader->ReadU64(&count)).ok()) return st;
+    if (count > 1u << 24 || count * sizeof(float) > reader->remaining()) {
+      return Status::Corruption("patch count too large");
+    }
+    item.patches.resize(count);
+    if (!(st = reader->ReadFloats(item.patches.data(), count)).ok()) return st;
+    int64_t cluster = 0;
+    if (!(st = reader->ReadI64(&cluster)).ok()) return st;
+    item.true_cluster = static_cast<int32_t>(cluster);
+    if (!(st = reader->ReadU64(&count)).ok()) return st;
+    if (count > 1u << 20 || count * sizeof(float) > reader->remaining()) {
+      return Status::Corruption("latent size too large");
+    }
+    item.true_latent.resize(count);
+    if (!(st = reader->ReadFloats(item.true_latent.data(), count)).ok()) {
+      return st;
+    }
+  }
+
+  uint64_t n_users = 0;
+  if (!(st = reader->ReadU64(&n_users)).ok()) return st;
+  if (n_users > reader->remaining()) {
+    return Status::Corruption("user count exceeds buffer");
+  }
+  ds.sequences.resize(n_users);
+  for (auto& seq : ds.sequences) {
+    uint64_t len = 0;
+    if (!(st = reader->ReadU64(&len)).ok()) return st;
+    if (len > 1u << 24 || len * sizeof(uint32_t) > reader->remaining()) {
+      return Status::Corruption("sequence too long");
+    }
+    seq.resize(len);
+    for (auto& item : seq) {
+      uint32_t raw = 0;
+      if (!(st = reader->ReadU32(&raw)).ok()) return st;
+      if (raw >= ds.items.size()) {
+        return Status::Corruption("item id out of range");
+      }
+      item = static_cast<int32_t>(raw);
+    }
+  }
+  *out = std::move(ds);
+  return Status::Ok();
+}
+
+Status SaveDatasetToFile(const Dataset& ds, const std::string& path) {
+  BinaryWriter writer;
+  WriteDataset(ds, &writer);
+  return writer.SaveToFile(path);
+}
+
+Status LoadDatasetFromFile(const std::string& path, Dataset* out) {
+  BinaryReader reader({});
+  Status st = BinaryReader::LoadFromFile(path, &reader);
+  if (!st.ok()) return st;
+  return ReadDataset(&reader, out);
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,32 @@
+#ifndef PMMREC_DATA_SERIALIZATION_H_
+#define PMMREC_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "utils/io.h"
+#include "utils/status.h"
+
+namespace pmmrec {
+
+// Binary (de)serialization of Dataset, so generated worlds can be saved
+// once and shared between tools, and real multi-modal datasets can be
+// converted into the library's format by external scripts.
+//
+// Format (little-endian):
+//   u32 magic 'PMDS', u32 version
+//   name, platform (strings)
+//   i64 text_vocab, text_len, n_patches, patch_dim
+//   u64 n_items, per item: tokens (i64 each is overkill -> stored u32),
+//       patches (floats), true_cluster (i64), latent (floats, may be
+//       empty)
+//   u64 n_users, per user: u64 len + u32 item ids
+void WriteDataset(const Dataset& ds, BinaryWriter* writer);
+Status ReadDataset(BinaryReader* reader, Dataset* out);
+
+Status SaveDatasetToFile(const Dataset& ds, const std::string& path);
+Status LoadDatasetFromFile(const std::string& path, Dataset* out);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_DATA_SERIALIZATION_H_

@@ -1,0 +1,63 @@
+#include "eval/evaluator.h"
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace {
+
+// Deterministic strided subsample of [0, n).
+std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
+  std::vector<int64_t> out;
+  if (max_count <= 0 || max_count >= n) {
+    out.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = i;
+    return out;
+  }
+  const double stride = static_cast<double>(n) / static_cast<double>(max_count);
+  out.reserve(static_cast<size_t>(max_count));
+  for (int64_t i = 0; i < max_count; ++i) {
+    out.push_back(static_cast<int64_t>(static_cast<double>(i) * stride));
+  }
+  return out;
+}
+
+}  // namespace
+
+RankingMetrics EvaluateRanking(Scorer& model, const Dataset& ds,
+                               EvalSplit split, int64_t max_users) {
+  model.PrepareForEval();
+  RankingMetrics metrics;
+  for (int64_t u : StridedSubset(ds.num_users(), max_users)) {
+    std::vector<int32_t> prefix;
+    int32_t target;
+    if (split == EvalSplit::kValidation) {
+      prefix = ds.ValidationPrefix(u);
+      target = ds.ValidationTarget(u);
+    } else {
+      prefix = ds.TestPrefix(u);
+      target = ds.TestTarget(u);
+    }
+    const std::vector<float> scores = model.ScoreItems(prefix);
+    PMM_CHECK_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
+    metrics.AddRank(RankOfTarget(scores, target, prefix));
+  }
+  metrics.Finalize();
+  return metrics;
+}
+
+RankingMetrics EvaluateColdStart(Scorer& model,
+                                 const std::vector<ColdStartCase>& cases,
+                                 int64_t max_cases) {
+  model.PrepareForEval();
+  RankingMetrics metrics;
+  for (int64_t i :
+       StridedSubset(static_cast<int64_t>(cases.size()), max_cases)) {
+    const ColdStartCase& c = cases[static_cast<size_t>(i)];
+    const std::vector<float> scores = model.ScoreItems(c.prefix);
+    metrics.AddRank(RankOfTarget(scores, c.target, c.prefix));
+  }
+  metrics.Finalize();
+  return metrics;
+}
+
+}  // namespace pmmrec

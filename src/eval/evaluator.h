@@ -1,0 +1,44 @@
+#ifndef PMMREC_EVAL_EVALUATOR_H_
+#define PMMREC_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace pmmrec {
+
+// Scoring interface implemented by every recommender in this library.
+//
+// PrepareForEval() is called once before a batch of ScoreItems() calls so
+// content-based models can precompute their item-embedding table (encoding
+// the catalogue once instead of once per user).
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  virtual void PrepareForEval() {}
+
+  // Returns one score per catalogue item given the user's chronological
+  // prefix (higher is better).
+  virtual std::vector<float> ScoreItems(
+      const std::vector<int32_t>& prefix) = 0;
+};
+
+enum class EvalSplit { kValidation, kTest };
+
+// Leave-one-out full-ranking evaluation over `ds`. If max_users > 0, a
+// deterministic strided subsample of users is evaluated (used to keep
+// validation inside the training loop cheap).
+RankingMetrics EvaluateRanking(Scorer& model, const Dataset& ds,
+                               EvalSplit split, int64_t max_users = -1);
+
+// Cold-start evaluation (paper Table VII): ranks each cold item against
+// the full catalogue given its prefix.
+RankingMetrics EvaluateColdStart(Scorer& model,
+                                 const std::vector<ColdStartCase>& cases,
+                                 int64_t max_cases = -1);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_EVAL_EVALUATOR_H_

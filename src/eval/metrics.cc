@@ -1,0 +1,90 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+void RankingMetrics::AddRank(int64_t rank) {
+  PMM_CHECK_GE(rank, 0);
+  ++count;
+  mean_rank += static_cast<double>(rank);
+  const double gain = 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  if (rank < 10) {
+    hr10 += 1.0;
+    ndcg10 += gain;
+  }
+  if (rank < 20) {
+    hr20 += 1.0;
+    ndcg20 += gain;
+  }
+  if (rank < 50) {
+    hr50 += 1.0;
+    ndcg50 += gain;
+  }
+}
+
+void RankingMetrics::Finalize() {
+  if (count == 0) return;
+  const double inv = 1.0 / static_cast<double>(count);
+  mean_rank *= inv;
+  hr10 *= inv;
+  hr20 *= inv;
+  hr50 *= inv;
+  ndcg10 *= inv;
+  ndcg20 *= inv;
+  ndcg50 *= inv;
+}
+
+double RankingMetrics::Hr(int k) const {
+  switch (k) {
+    case 10: return hr10 * 100.0;
+    case 20: return hr20 * 100.0;
+    case 50: return hr50 * 100.0;
+    default: PMM_CHECK_MSG(false, "unsupported k"); return 0;
+  }
+}
+
+double RankingMetrics::Ndcg(int k) const {
+  switch (k) {
+    case 10: return ndcg10 * 100.0;
+    case 20: return ndcg20 * 100.0;
+    case 50: return ndcg50 * 100.0;
+    default: PMM_CHECK_MSG(false, "unsupported k"); return 0;
+  }
+}
+
+std::string RankingMetrics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "HR@10=%.2f NDCG@10=%.2f HR@20=%.2f NDCG@20=%.2f "
+                "HR@50=%.2f NDCG@50=%.2f (n=%lld)",
+                Hr(10), Ndcg(10), Hr(20), Ndcg(20), Hr(50), Ndcg(50),
+                static_cast<long long>(count));
+  return buf;
+}
+
+int64_t RankOfTarget(const std::vector<float>& scores, int32_t target,
+                     const std::vector<int32_t>& exclude) {
+  PMM_CHECK_GE(target, 0);
+  PMM_CHECK_LT(static_cast<size_t>(target), scores.size());
+  std::vector<bool> excluded(scores.size(), false);
+  for (int32_t e : exclude) {
+    if (e >= 0 && static_cast<size_t>(e) < scores.size()) {
+      excluded[static_cast<size_t>(e)] = true;
+    }
+  }
+  excluded[static_cast<size_t>(target)] = false;
+
+  const float target_score = scores[static_cast<size_t>(target)];
+  int64_t rank = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (excluded[i] || static_cast<int32_t>(i) == target) continue;
+    if (scores[i] >= target_score) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,43 @@
+#ifndef PMMREC_EVAL_METRICS_H_
+#define PMMREC_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmmrec {
+
+// Accumulated Top-N ranking metrics (HR@k and NDCG@k) at k in {10, 20, 50},
+// the metrics of the PMMRec paper (Sec. IV-A2). Metrics are full-catalogue:
+// the target is ranked against every item in the dataset (minus the user's
+// history), never against a sampled candidate set.
+struct RankingMetrics {
+  double hr10 = 0, hr20 = 0, hr50 = 0;
+  double ndcg10 = 0, ndcg20 = 0, ndcg50 = 0;
+  // Mean 0-based rank of the target; far more sensitive than HR@k when
+  // hits are rare (e.g. cold-start at small catalogue scale).
+  double mean_rank = 0;
+  int64_t count = 0;
+
+  // Adds one evaluation case given the 0-based rank of the target.
+  void AddRank(int64_t rank);
+  // Averages the accumulated sums. No-op when count == 0.
+  void Finalize();
+
+  // Percentage accessors matching the paper's "x 100" presentation.
+  double Hr(int k) const;
+  double Ndcg(int k) const;
+
+  std::string ToString() const;
+};
+
+// Rank (0-based) of `target` under `scores`, with the given indices
+// excluded from the ranking (the user's history). Ties are broken
+// pessimistically (equal scores rank ahead of the target), which makes the
+// metric deterministic and conservative.
+int64_t RankOfTarget(const std::vector<float>& scores, int32_t target,
+                     const std::vector<int32_t>& exclude);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_EVAL_METRICS_H_

@@ -1,0 +1,43 @@
+#include "nn/gru.h"
+
+namespace pmmrec {
+
+Gru::Gru(int64_t input_dim, int64_t hidden_dim, Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_ih = XavierUniform(input_dim, 3 * hidden_dim, rng);
+  w_hh = XavierUniform(hidden_dim, 3 * hidden_dim, rng);
+  b_ih = Tensor::Zeros(Shape{3 * hidden_dim});
+  b_hh = Tensor::Zeros(Shape{3 * hidden_dim});
+  RegisterParameter("w_ih", &w_ih);
+  RegisterParameter("w_hh", &w_hh);
+  RegisterParameter("b_ih", &b_ih);
+  RegisterParameter("b_hh", &b_hh);
+}
+
+Tensor Gru::Forward(const Tensor& x) {
+  PMM_CHECK_EQ(x.rank(), 3);
+  PMM_CHECK_EQ(x.dim(2), input_dim_);
+  const int64_t batch = x.dim(0);
+  const int64_t len = x.dim(1);
+  const int64_t h = hidden_dim_;
+
+  Tensor hidden = Tensor::Zeros(Shape{batch, h});
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(len));
+  for (int64_t t = 0; t < len; ++t) {
+    const Tensor xt =
+        Reshape(Slice(x, 1, t, 1), Shape{batch, input_dim_});  // [B, in]
+    const Tensor xp = Add(MatMul(xt, w_ih), b_ih);             // [B, 3h]
+    const Tensor hp = Add(MatMul(hidden, w_hh), b_hh);         // [B, 3h]
+    const Tensor r = Sigmoid(Add(Slice(xp, 1, 0, h), Slice(hp, 1, 0, h)));
+    const Tensor z = Sigmoid(Add(Slice(xp, 1, h, h), Slice(hp, 1, h, h)));
+    const Tensor n =
+        Tanh(Add(Slice(xp, 1, 2 * h, h), Mul(r, Slice(hp, 1, 2 * h, h))));
+    // h' = (1 - z) * n + z * h = n - z*n + z*h
+    hidden = Add(Sub(n, Mul(z, n)), Mul(z, hidden));
+    outputs.push_back(Reshape(hidden, Shape{batch, 1, h}));
+  }
+  return len == 1 ? outputs[0] : Concat(outputs, 1);
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,37 @@
+#ifndef PMMREC_NN_GRU_H_
+#define PMMREC_NN_GRU_H_
+
+#include "nn/layers.h"
+
+namespace pmmrec {
+
+// Gated recurrent unit over [B, L, in] -> [B, L, hidden].
+//
+// Gate layout follows the usual convention (reset, update, new):
+//   r = sigmoid(x W_ir + h W_hr + b_r)
+//   z = sigmoid(x W_iz + h W_hz + b_z)
+//   n = tanh(x W_in + r * (h W_hn) + b_n)
+//   h' = (1 - z) * n + z * h
+// The initial hidden state is zero.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  // Returns the hidden state at every timestep: [B, L, hidden].
+  Tensor Forward(const Tensor& x);
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+  Tensor w_ih;  // [in, 3*hidden] (r | z | n)
+  Tensor w_hh;  // [hidden, 3*hidden]
+  Tensor b_ih;  // [3*hidden]
+  Tensor b_hh;  // [3*hidden]
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_NN_GRU_H_

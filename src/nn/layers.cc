@@ -1,0 +1,66 @@
+#include "nn/layers.h"
+
+namespace pmmrec {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight = XavierUniform(in_features, out_features, rng);
+  RegisterParameter("weight", &weight);
+  if (with_bias) {
+    bias = Tensor::Zeros(Shape{out_features});
+    RegisterParameter("bias", &bias);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) {
+  PMM_CHECK_EQ(x.dim(-1), in_features_);
+  Tensor out;
+  if (x.rank() == 2) {
+    out = MatMul(x, weight);
+  } else {
+    // Flatten leading dims, multiply, restore.
+    const int64_t rows = x.numel() / in_features_;
+    Tensor flat = Reshape(x, Shape{rows, in_features_});
+    Tensor y = MatMul(flat, weight);
+    std::vector<int64_t> dims = x.shape().dims();
+    dims.back() = out_features_;
+    out = Reshape(y, Shape(dims));
+  }
+  if (bias.defined()) out = Add(out, bias);
+  return out;
+}
+
+Embedding::Embedding(int64_t vocab_size, int64_t d, Rng& rng,
+                     float init_stddev) {
+  weight = NormalInit(Shape{vocab_size, d}, rng, init_stddev);
+  RegisterParameter("weight", &weight);
+}
+
+Tensor Embedding::Forward(const std::vector<int32_t>& indices) {
+  return EmbeddingLookup(weight, indices);
+}
+
+LayerNorm::LayerNorm(int64_t d, float eps) : eps_(eps) {
+  gamma = Tensor::Ones(Shape{d});
+  beta = Tensor::Zeros(Shape{d});
+  RegisterParameter("gamma", &gamma);
+  RegisterParameter("beta", &beta);
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) {
+  return LayerNormOp(x, gamma, beta, eps_);
+}
+
+FeedForward::FeedForward(int64_t d, int64_t hidden, float dropout, Rng* rng)
+    : fc1_(d, hidden, *rng), fc2_(hidden, d, *rng), drop_(dropout, rng) {
+  RegisterModule("fc1", &fc1_);
+  RegisterModule("fc2", &fc2_);
+  RegisterModule("drop", &drop_);
+}
+
+Tensor FeedForward::Forward(const Tensor& x) {
+  return fc2_.Forward(drop_.Forward(Gelu(fc1_.Forward(x))));
+}
+
+}  // namespace pmmrec

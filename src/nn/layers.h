@@ -1,0 +1,89 @@
+#ifndef PMMREC_NN_LAYERS_H_
+#define PMMREC_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace pmmrec {
+
+// Affine layer: y = x W + b with W: [in, out].
+// Accepts inputs of rank >= 2 whose last dimension equals `in`.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  Tensor Forward(const Tensor& x);
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  Tensor weight;  // [in, out]
+  Tensor bias;    // [out] (undefined if !with_bias)
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+};
+
+// Learned lookup table: indices -> rows of [vocab, d].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t d, Rng& rng, float init_stddev = 0.02f);
+
+  // Returns [indices.size(), d].
+  Tensor Forward(const std::vector<int32_t>& indices);
+
+  int64_t vocab_size() const { return weight.dim(0); }
+  int64_t embedding_dim() const { return weight.dim(1); }
+
+  Tensor weight;  // [vocab, d]
+};
+
+// Layer normalization over the last dimension with learned affine.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t d, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x);
+
+  Tensor gamma;  // [d]
+  Tensor beta;   // [d]
+
+ private:
+  float eps_;
+};
+
+// Inverted dropout. Active only in training mode.
+class DropoutLayer : public Module {
+ public:
+  DropoutLayer(float p, Rng* rng) : p_(p), rng_(rng) {}
+
+  Tensor Forward(const Tensor& x) {
+    return pmmrec::Dropout(x, p_, *rng_, training());
+  }
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+// Position-wise feed-forward block: Linear(d, hidden) -> GELU -> dropout ->
+// Linear(hidden, d).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t d, int64_t hidden, float dropout, Rng* rng);
+
+  Tensor Forward(const Tensor& x);
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+  DropoutLayer drop_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_NN_LAYERS_H_

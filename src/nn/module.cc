@@ -1,0 +1,156 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace {
+constexpr uint32_t kCheckpointMagic = 0x504d4d52;  // "PMMR"
+}  // namespace
+
+void Module::RegisterParameter(const std::string& name, Tensor* param) {
+  PMM_CHECK(param != nullptr);
+  PMM_CHECK_MSG(param->defined(), "parameter must be initialized: " + name);
+  param->set_requires_grad(true);
+  params_.emplace_back(name, param);
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  PMM_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+std::vector<Tensor*> Module::Parameters() {
+  std::vector<Tensor*> out;
+  for (auto& [name, p] : params_) out.push_back(p);
+  for (auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::NamedParameters(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (const auto& [name, p] : params_) {
+    out.emplace_back(prefix.empty() ? name : prefix + "." + name, p);
+  }
+  for (const auto& [name, child] : children_) {
+    auto sub = child->NamedParameters(prefix.empty() ? name
+                                                     : prefix + "." + name);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& [name, p] : NamedParameters()) total += p->numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor* p : Parameters()) p->ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::SaveState(BinaryWriter* writer) const {
+  const auto named = NamedParameters();
+  writer->WriteU32(kCheckpointMagic);
+  writer->WriteU64(named.size());
+  for (const auto& [name, p] : named) {
+    writer->WriteString(name);
+    writer->WriteU64(static_cast<uint64_t>(p->rank()));
+    for (int64_t i = 0; i < p->rank(); ++i) writer->WriteI64(p->dim(i));
+    writer->WriteFloats(p->data(), static_cast<size_t>(p->numel()));
+  }
+}
+
+Status Module::LoadState(BinaryReader* reader) {
+  uint32_t magic = 0;
+  Status st = reader->ReadU32(&magic);
+  if (!st.ok()) return st;
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  uint64_t count = 0;
+  st = reader->ReadU64(&count);
+  if (!st.ok()) return st;
+
+  const auto named = NamedParameters();
+  if (count != named.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, module has " +
+        std::to_string(named.size()));
+  }
+  for (const auto& [name, p] : named) {
+    std::string stored_name;
+    st = reader->ReadString(&stored_name);
+    if (!st.ok()) return st;
+    if (stored_name != name) {
+      return Status::InvalidArgument("parameter name mismatch: expected " +
+                                     name + ", found " + stored_name);
+    }
+    uint64_t rank = 0;
+    st = reader->ReadU64(&rank);
+    if (!st.ok()) return st;
+    if (static_cast<int64_t>(rank) != p->rank()) {
+      return Status::InvalidArgument("rank mismatch for " + name);
+    }
+    for (int64_t i = 0; i < p->rank(); ++i) {
+      int64_t dim = 0;
+      st = reader->ReadI64(&dim);
+      if (!st.ok()) return st;
+      if (dim != p->dim(i)) {
+        return Status::InvalidArgument("shape mismatch for " + name);
+      }
+    }
+    st = reader->ReadFloats(p->data(), static_cast<size_t>(p->numel()));
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+Status Module::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  SaveState(&writer);
+  return writer.SaveToFile(path);
+}
+
+Status Module::LoadFromFile(const std::string& path) {
+  BinaryReader reader({});
+  Status st = BinaryReader::LoadFromFile(path, &reader);
+  if (!st.ok()) return st;
+  return LoadState(&reader);
+}
+
+void Module::CopyParametersFrom(const Module& other) {
+  const auto mine = NamedParameters();
+  const auto theirs = other.NamedParameters();
+  PMM_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    PMM_CHECK_MSG(mine[i].first == theirs[i].first,
+                  "parameter tree mismatch: " + mine[i].first + " vs " +
+                      theirs[i].first);
+    PMM_CHECK(mine[i].second->shape() == theirs[i].second->shape());
+    mine[i].second->CopyDataFrom(*theirs[i].second);
+  }
+}
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(Shape{fan_in, fan_out}, rng, -limit, limit);
+}
+
+Tensor NormalInit(const Shape& shape, Rng& rng, float stddev) {
+  return Tensor::Randn(shape, rng, stddev);
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,76 @@
+#ifndef PMMREC_NN_MODULE_H_
+#define PMMREC_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "utils/io.h"
+#include "utils/status.h"
+
+namespace pmmrec {
+
+// Base class for neural-network modules.
+//
+// A Module owns its parameter tensors as data members and registers
+// pointers to them (and to child modules) so that optimizers, serialization
+// and training-mode switches can traverse the whole tree. Modules are
+// neither copyable nor movable: registered pointers refer to members.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters in this module and its children (depth-first).
+  std::vector<Tensor*> Parameters();
+  // Parameters with hierarchical names ("layer0.attn.wq.weight").
+  std::vector<std::pair<std::string, Tensor*>> NamedParameters(
+      const std::string& prefix = "") const;
+
+  int64_t NumParameters() const;
+  void ZeroGrad();
+
+  // Training-mode flag (affects dropout); propagates to children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  // --- Checkpointing ---------------------------------------------------------
+  // Format: u32 magic, u64 count, then per parameter (name, rank, dims,
+  // float data). Loading matches by name and shape and fails with a
+  // descriptive Status on any mismatch.
+  void SaveState(BinaryWriter* writer) const;
+  Status LoadState(BinaryReader* reader);
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  // Copies all parameter values from another module with an identical
+  // parameter tree (names and shapes must match).
+  void CopyParametersFrom(const Module& other);
+
+ protected:
+  // Registers a parameter member. The pointer must outlive the module
+  // (i.e. point to a data member).
+  void RegisterParameter(const std::string& name, Tensor* param);
+  // Registers a child module member.
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor*>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+// --- Initialization helpers ---------------------------------------------------
+
+// Xavier/Glorot uniform init for a [fan_in, fan_out] matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+// Truncated-free normal init with given stddev.
+Tensor NormalInit(const Shape& shape, Rng& rng, float stddev = 0.02f);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_NN_MODULE_H_

@@ -1,0 +1,98 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+Sgd::Sgd(std::vector<Tensor*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      velocity_[i].assign(static_cast<size_t>(params_[i]->numel()), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor* p = params_[i];
+    const float* g = p->grad_data();
+    float* w = p->data();
+    const int64_t n = p->numel();
+    if (momentum_ > 0.0f) {
+      float* vel = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        w[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor*> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(static_cast<size_t>(params_[i]->numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i]->numel()), 0.0f);
+  }
+}
+
+void AdamW::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  const float lr_t = lr_ * std::sqrt(bias2) / bias1;
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor* p = params_[i];
+    const float* g = p->grad_data();
+    float* w = p->data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      // Decoupled weight decay.
+      w[j] -= lr_ * weight_decay_ * w[j];
+      w[j] -= lr_t * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Tensor*>& params, float max_norm) {
+  PMM_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (Tensor* p : params) {
+    const float* g = p->grad_data();
+    const int64_t n = p->numel();
+    for (int64_t j = 0; j < n; ++j) total_sq += static_cast<double>(g[j]) * g[j];
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-6f);
+    for (Tensor* p : params) {
+      float* g = p->grad_data();
+      const int64_t n = p->numel();
+      for (int64_t j = 0; j < n; ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,78 @@
+#ifndef PMMREC_NN_OPTIMIZER_H_
+#define PMMREC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+
+// Base optimizer over a fixed set of parameter tensors.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Tensor* p : params_) p->ZeroGrad();
+  }
+
+  size_t num_params() const { return params_.size(); }
+
+ protected:
+  std::vector<Tensor*> params_;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// AdamW: Adam with decoupled weight decay (the optimizer used by the
+// PMMRec paper, Sec. IV-A3).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Tensor*> params, float lr, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.01f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Rescales gradients so their global L2 norm is at most max_norm.
+// Returns the pre-clipping norm.
+float ClipGradNorm(const std::vector<Tensor*>& params, float max_norm);
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_NN_OPTIMIZER_H_

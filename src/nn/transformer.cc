@@ -1,0 +1,109 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace pmmrec {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t n_heads, float dropout,
+                                               Rng* rng)
+    : d_model_(d_model),
+      n_heads_(n_heads),
+      d_head_(d_model / n_heads),
+      wq_(d_model, d_model, *rng),
+      wk_(d_model, d_model, *rng),
+      wv_(d_model, d_model, *rng),
+      wo_(d_model, d_model, *rng),
+      attn_drop_(dropout, rng) {
+  PMM_CHECK_EQ(d_head_ * n_heads, d_model);
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("attn_drop", &attn_drop_);
+}
+
+Tensor MultiHeadSelfAttention::CausalMask(int64_t len) {
+  Tensor mask = Tensor::Zeros(Shape{len, len});
+  float* m = mask.data();
+  for (int64_t i = 0; i < len; ++i) {
+    for (int64_t j = i + 1; j < len; ++j) m[i * len + j] = -1e9f;
+  }
+  return mask;
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
+                                       const Tensor& attn_mask) {
+  PMM_CHECK_EQ(x.rank(), 3);
+  PMM_CHECK_EQ(x.dim(2), d_model_);
+  const Tensor q = wq_.Forward(x);
+  const Tensor k = wk_.Forward(x);
+  const Tensor v = wv_.Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(n_heads_));
+  for (int64_t h = 0; h < n_heads_; ++h) {
+    const Tensor qh = Slice(q, 2, h * d_head_, d_head_);  // [B, L, dh]
+    const Tensor kh = Slice(k, 2, h * d_head_, d_head_);
+    const Tensor vh = Slice(v, 2, h * d_head_, d_head_);
+    Tensor scores = MulScalar(MatMul(qh, TransposeLast2(kh)), scale);
+    if (attn_mask.defined()) scores = Add(scores, attn_mask);
+    Tensor attn = attn_drop_.Forward(Softmax(scores));
+    head_outputs.push_back(MatMul(attn, vh));  // [B, L, dh]
+  }
+  const Tensor merged = n_heads_ == 1 ? head_outputs[0]
+                                      : Concat(head_outputs, 2);
+  return wo_.Forward(merged);
+}
+
+TransformerBlock::TransformerBlock(int64_t d_model, int64_t n_heads,
+                                   int64_t ffn_hidden, float dropout, Rng* rng)
+    : attn_(d_model, n_heads, dropout, rng),
+      ffn_(d_model, ffn_hidden, dropout, rng),
+      ln1_(d_model),
+      ln2_(d_model),
+      drop1_(dropout, rng),
+      drop2_(dropout, rng) {
+  RegisterModule("attn", &attn_);
+  RegisterModule("ffn", &ffn_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("drop1", &drop1_);
+  RegisterModule("drop2", &drop2_);
+}
+
+Tensor TransformerBlock::Forward(const Tensor& x, const Tensor& attn_mask) {
+  Tensor h = ln1_.Forward(Add(x, drop1_.Forward(attn_.Forward(x, attn_mask))));
+  return ln2_.Forward(Add(h, drop2_.Forward(ffn_.Forward(h))));
+}
+
+TransformerEncoder::TransformerEncoder(int64_t n_blocks, int64_t d_model,
+                                       int64_t n_heads, int64_t ffn_hidden,
+                                       float dropout, Rng* rng) {
+  PMM_CHECK_GE(n_blocks, 1);
+  blocks_.reserve(static_cast<size_t>(n_blocks));
+  for (int64_t i = 0; i < n_blocks; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        d_model, n_heads, ffn_hidden, dropout, rng));
+    RegisterModule("block" + std::to_string(i), blocks_.back().get());
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor& attn_mask) {
+  return ForwardFrom(x, attn_mask, 0);
+}
+
+Tensor TransformerEncoder::ForwardFrom(const Tensor& x,
+                                       const Tensor& attn_mask,
+                                       int64_t first_block) {
+  PMM_CHECK_GE(first_block, 0);
+  PMM_CHECK_LE(first_block, n_blocks());
+  Tensor h = x;
+  for (int64_t i = first_block; i < n_blocks(); ++i) {
+    h = blocks_[static_cast<size_t>(i)]->Forward(h, attn_mask);
+  }
+  return h;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,80 @@
+#ifndef PMMREC_NN_TRANSFORMER_H_
+#define PMMREC_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace pmmrec {
+
+// Multi-head self-attention over [B, L, d].
+//
+// Heads are computed by slicing the projected Q/K/V along the feature
+// dimension (d must be divisible by n_heads). An optional additive
+// attention mask [L, L] or [B, L, L] (0 for allowed, large negative for
+// disallowed) is added to the pre-softmax scores; pass an undefined Tensor
+// for unmasked attention. CausalMask() builds the standard lower-triangular
+// mask used by autoregressive user encoders.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t d_model, int64_t n_heads, float dropout,
+                         Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& attn_mask);
+
+  // [L, L] additive mask with -1e9 above the diagonal.
+  static Tensor CausalMask(int64_t len);
+
+ private:
+  int64_t d_model_;
+  int64_t n_heads_;
+  int64_t d_head_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  DropoutLayer attn_drop_;
+};
+
+// Post-LN transformer encoder block:
+//   x = LN(x + Dropout(SelfAttention(x)))
+//   x = LN(x + Dropout(FFN(x)))
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t d_model, int64_t n_heads, int64_t ffn_hidden,
+                   float dropout, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& attn_mask);
+
+ private:
+  MultiHeadSelfAttention attn_;
+  FeedForward ffn_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+  DropoutLayer drop1_;
+  DropoutLayer drop2_;
+};
+
+// Stack of TransformerBlocks.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int64_t n_blocks, int64_t d_model, int64_t n_heads,
+                     int64_t ffn_hidden, float dropout, Rng* rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& attn_mask);
+
+  // Runs only blocks [first_block, n_blocks); used when lower blocks are
+  // frozen and their activations are precomputed.
+  Tensor ForwardFrom(const Tensor& x, const Tensor& attn_mask,
+                     int64_t first_block);
+
+  int64_t n_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_NN_TRANSFORMER_H_

@@ -1,0 +1,99 @@
+#ifndef PMMREC_TENSOR_OPS_H_
+#define PMMREC_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+
+// Differentiable tensor operations. All functions build autograd nodes
+// while GradMode is enabled (and at least one input requires grad).
+//
+// Shape conventions follow NumPy/PyTorch: binary elementwise ops broadcast,
+// softmax-family ops act over the last dimension, MatMul supports 2-D and
+// batched 3-D operands.
+
+// --- Elementwise (broadcasting) --------------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+Tensor Exp(const Tensor& a);
+// Natural log; inputs are clamped to >= 1e-12 for numerical safety.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+// --- Matrix multiplication --------------------------------------------------
+// Supports (M,K)x(K,N) -> (M,N); (B,M,K)x(B,K,N) -> (B,M,N); and the
+// broadcast form (B,M,K)x(K,N) -> (B,M,N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// --- Shape manipulation ------------------------------------------------------
+// Zero-copy reshape (shares storage; numel must match).
+Tensor Reshape(const Tensor& a, const Shape& new_shape);
+// Swaps the last two dimensions (copies).
+Tensor TransposeLast2(const Tensor& a);
+// Concatenates along `dim` (all other dims must match).
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim);
+// Narrow along `dim`: out.dim(dim) == length.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length);
+// Gathers rows of a (first dimension): out[i] = a[rows[i]].
+Tensor SelectRows(const Tensor& a, const std::vector<int32_t>& rows);
+
+// --- Activations -------------------------------------------------------------
+Tensor Relu(const Tensor& a);
+// Tanh-approximation GELU.
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+// Softmax over the last dimension (numerically stabilized).
+Tensor Softmax(const Tensor& a);
+// LogSoftmax over the last dimension.
+Tensor LogSoftmax(const Tensor& a);
+// Inverted dropout; identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training);
+
+// --- Reductions ---------------------------------------------------------------
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+Tensor Sum(const Tensor& a, int64_t dim, bool keepdim);
+Tensor Mean(const Tensor& a, int64_t dim, bool keepdim);
+
+// --- Neural-network primitives -------------------------------------------------
+// weight: [V, d]; returns [indices.size(), d]. Backward scatter-adds.
+Tensor EmbeddingLookup(const Tensor& weight,
+                       const std::vector<int32_t>& indices);
+// Layer normalization over the last dimension with affine parameters.
+// gamma/beta: [d].
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+// x / max(||x||_2, eps) over the last dimension.
+Tensor L2Normalize(const Tensor& x, float eps = 1e-8f);
+// Mean cross-entropy over rows of logits [N, C]; rows whose target equals
+// ignore_index contribute nothing. Fused log-softmax for stability.
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+                    int32_t ignore_index = -1);
+// Causal dilated 1-D convolution (NextItNet building block).
+// x: [B, L, Cin], w: [k, Cin, Cout], bias: [Cout] or undefined.
+// Output position l sees inputs {l, l-dilation, ..., l-(k-1)*dilation}
+// (left-padded with zeros), so information never flows from the future.
+Tensor Conv1dCausal(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    int64_t dilation);
+
+// --- Operator sugar -------------------------------------------------------------
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_TENSOR_OPS_H_

@@ -1,0 +1,459 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pmmrec {
+namespace {
+
+bool NeedsGrad(const TensorImpl& impl) {
+  return impl.requires_grad || impl.backward_fn != nullptr;
+}
+
+// C[M,N] += A[M,K] * B[K,N]
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+// C[M,K] += X[M,N] * Y[K,N]^T
+void GemmNT(const float* x, const float* y, float* c, int64_t m, int64_t n,
+            int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* xi = x + i * n;
+    float* ci = c + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float* yp = y + p * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += xi[j] * yp[j];
+      ci[p] += dot;
+    }
+  }
+}
+
+// C[K,N] += A[M,K]^T * G[M,N]
+void GemmTN(const float* a, const float* g, float* c, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    const float* gi = g + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      float* cp = c + p * n;
+      for (int64_t j = 0; j < n; ++j) cp[j] += av * gi[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PMM_CHECK(a.defined());
+  PMM_CHECK(b.defined());
+  PMM_CHECK_GE(a.rank(), 2);
+  PMM_CHECK_GE(b.rank(), 2);
+  PMM_CHECK_LE(a.rank(), 3);
+  PMM_CHECK_LE(b.rank(), 3);
+
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  PMM_CHECK_EQ(k, b.dim(-2));
+  const int64_t n = b.dim(-1);
+
+  const int64_t a_batch = a.rank() == 3 ? a.dim(0) : 1;
+  const int64_t b_batch = b.rank() == 3 ? b.dim(0) : 1;
+  PMM_CHECK_MSG(a_batch == b_batch || b_batch == 1,
+                "MatMul batch mismatch: " + a.shape().ToString() + " x " +
+                    b.shape().ToString());
+  const int64_t batch = a_batch;
+  const bool b_broadcast = (b.rank() == 2);
+
+  Shape out_shape = (a.rank() == 3) ? Shape{batch, m, n} : Shape{m, n};
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = internal::MakeNode(
+      out_shape, {a, b},
+      [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        const float* av = a_impl->const_data();
+        const float* bv = b_impl->const_data();
+        const float* gout = self.grad.data();
+        const bool need_a = NeedsGrad(*a_impl);
+        const bool need_b = NeedsGrad(*b_impl);
+        if (need_a) a_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        for (int64_t bi = 0; bi < batch; ++bi) {
+          const float* ab = av + bi * m * k;
+          const float* bb = b_broadcast ? bv : bv + bi * k * n;
+          const float* gb = gout + bi * m * n;
+          if (need_a) {
+            // dA = dC * B^T
+            GemmNT(gb, bb, a_impl->grad.data() + bi * m * k, m, n, k);
+          }
+          if (need_b) {
+            // dB = A^T * dC (accumulates across batches if broadcast).
+            float* gbv = b_impl->grad.data() + (b_broadcast ? 0 : bi * k * n);
+            GemmTN(ab, gb, gbv, m, k, n);
+          }
+        }
+      });
+
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* ov = out.data();
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    GemmNN(av + bi * m * k, b_broadcast ? bv : bv + bi * k * n,
+           ov + bi * m * n, m, k, n);
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& weight,
+                       const std::vector<int32_t>& indices) {
+  PMM_CHECK(weight.defined());
+  PMM_CHECK_EQ(weight.rank(), 2);
+  const int64_t vocab = weight.dim(0);
+  const int64_t d = weight.dim(1);
+  for (int32_t idx : indices) {
+    PMM_CHECK_GE(idx, 0);
+    PMM_CHECK_LT(static_cast<int64_t>(idx), vocab);
+  }
+  const int64_t n = static_cast<int64_t>(indices.size());
+
+  auto w_impl = weight.impl();
+  auto idx_copy = indices;
+  Tensor out = internal::MakeNode(
+      Shape{n, d}, {weight}, [w_impl, idx_copy, d](TensorImpl& self) {
+        if (!NeedsGrad(*w_impl)) return;
+        w_impl->EnsureGrad();
+        const float* gout = self.grad.data();
+        float* gw = w_impl->grad.data();
+        for (size_t i = 0; i < idx_copy.size(); ++i) {
+          const float* src = gout + static_cast<int64_t>(i) * d;
+          float* dst = gw + static_cast<int64_t>(idx_copy[i]) * d;
+          for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+        }
+      });
+
+  const float* wv = weight.data();
+  float* ov = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(wv + static_cast<int64_t>(indices[static_cast<size_t>(i)]) * d,
+              wv + (static_cast<int64_t>(indices[static_cast<size_t>(i)]) + 1) * d,
+              ov + i * d);
+  }
+  return out;
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  PMM_CHECK(x.defined());
+  PMM_CHECK_GE(x.rank(), 1);
+  const int64_t d = x.dim(-1);
+  const int64_t rows = x.numel() / d;
+  PMM_CHECK_EQ(gamma.numel(), d);
+  PMM_CHECK_EQ(beta.numel(), d);
+
+  // Saved for backward.
+  auto xhat = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(x.numel()));
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+
+  auto x_impl = x.impl();
+  auto g_impl = gamma.impl();
+  auto b_impl = beta.impl();
+  Tensor out = internal::MakeNode(
+      x.shape(), {x, gamma, beta},
+      [x_impl, g_impl, b_impl, xhat, inv_std, rows, d](TensorImpl& self) {
+        const float* gout = self.grad.data();
+        const float* gam = g_impl->const_data();
+        const bool need_x = NeedsGrad(*x_impl);
+        const bool need_g = NeedsGrad(*g_impl);
+        const bool need_b = NeedsGrad(*b_impl);
+        if (need_x) x_impl->EnsureGrad();
+        if (need_g) g_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        const float inv_d = 1.0f / static_cast<float>(d);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* gr = gout + r * d;
+          const float* xh = xhat->data() + r * d;
+          const float istd = (*inv_std)[static_cast<size_t>(r)];
+          if (need_g || need_b) {
+            float* gg = need_g ? g_impl->grad.data() : nullptr;
+            float* gb = need_b ? b_impl->grad.data() : nullptr;
+            for (int64_t c = 0; c < d; ++c) {
+              if (gg) gg[c] += gr[c] * xh[c];
+              if (gb) gb[c] += gr[c];
+            }
+          }
+          if (need_x) {
+            // dxhat = gout * gamma;
+            // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
+            float mean_dxh = 0.0f;
+            float mean_dxh_xh = 0.0f;
+            for (int64_t c = 0; c < d; ++c) {
+              const float dxh = gr[c] * gam[c];
+              mean_dxh += dxh;
+              mean_dxh_xh += dxh * xh[c];
+            }
+            mean_dxh *= inv_d;
+            mean_dxh_xh *= inv_d;
+            float* gx = x_impl->grad.data() + r * d;
+            for (int64_t c = 0; c < d; ++c) {
+              const float dxh = gr[c] * gam[c];
+              gx[c] += istd * (dxh - mean_dxh - xh[c] * mean_dxh_xh);
+            }
+          }
+        }
+      });
+
+  const float* xv = x.data();
+  const float* gam = gamma.data();
+  const float* bet = beta.data();
+  float* ov = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xv + r * d;
+    float mean = 0.0f;
+    for (int64_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t c = 0; c < d; ++c) {
+      const float diff = xr[c] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    float* xh = xhat->data() + r * d;
+    float* yr = ov + r * d;
+    for (int64_t c = 0; c < d; ++c) {
+      xh[c] = (xr[c] - mean) * istd;
+      yr[c] = gam[c] * xh[c] + bet[c];
+    }
+  }
+  return out;
+}
+
+Tensor L2Normalize(const Tensor& x, float eps) {
+  PMM_CHECK(x.defined());
+  PMM_CHECK_GE(x.rank(), 1);
+  const int64_t d = x.dim(-1);
+  const int64_t rows = x.numel() / d;
+
+  auto norms = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  auto x_impl = x.impl();
+  Tensor out = internal::MakeNode(
+      x.shape(), {x}, [x_impl, norms, rows, d](TensorImpl& self) {
+        if (!NeedsGrad(*x_impl)) return;
+        x_impl->EnsureGrad();
+        const float* xv = x_impl->const_data();
+        const float* gout = self.grad.data();
+        float* gx = x_impl->grad.data();
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* xr = xv + r * d;
+          const float* gr = gout + r * d;
+          const float nrm = (*norms)[static_cast<size_t>(r)];
+          float dot = 0.0f;
+          for (int64_t c = 0; c < d; ++c) dot += xr[c] * gr[c];
+          const float inv = 1.0f / nrm;
+          const float inv3 = inv * inv * inv;
+          float* gxr = gx + r * d;
+          for (int64_t c = 0; c < d; ++c) {
+            gxr[c] += gr[c] * inv - xr[c] * dot * inv3;
+          }
+        }
+      });
+
+  const float* xv = x.data();
+  float* ov = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xv + r * d;
+    float sq = 0.0f;
+    for (int64_t c = 0; c < d; ++c) sq += xr[c] * xr[c];
+    const float nrm = std::max(std::sqrt(sq), eps);
+    (*norms)[static_cast<size_t>(r)] = nrm;
+    const float inv = 1.0f / nrm;
+    float* yr = ov + r * d;
+    for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv;
+  }
+  return out;
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int32_t>& targets,
+                    int32_t ignore_index) {
+  PMM_CHECK(logits.defined());
+  PMM_CHECK_EQ(logits.rank(), 2);
+  const int64_t n = logits.dim(0);
+  const int64_t c = logits.dim(1);
+  PMM_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+
+  int64_t n_valid = 0;
+  for (int32_t t : targets) {
+    if (t == ignore_index) continue;
+    PMM_CHECK_GE(t, 0);
+    PMM_CHECK_LT(static_cast<int64_t>(t), c);
+    ++n_valid;
+  }
+  PMM_CHECK_MSG(n_valid > 0, "CrossEntropy: all targets ignored");
+
+  // Saved softmax probabilities for backward.
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(n * c));
+
+  auto l_impl = logits.impl();
+  auto targets_copy = targets;
+  Tensor out = internal::MakeNode(
+      Shape{}, {logits},
+      [l_impl, probs, targets_copy, n, c, n_valid,
+       ignore_index](TensorImpl& self) {
+        if (!NeedsGrad(*l_impl)) return;
+        l_impl->EnsureGrad();
+        const float g = self.grad[0] / static_cast<float>(n_valid);
+        float* gl = l_impl->grad.data();
+        for (int64_t r = 0; r < n; ++r) {
+          const int32_t t = targets_copy[static_cast<size_t>(r)];
+          if (t == ignore_index) continue;
+          const float* pr = probs->data() + r * c;
+          float* gr = gl + r * c;
+          for (int64_t j = 0; j < c; ++j) gr[j] += g * pr[j];
+          gr[t] -= g;
+        }
+      });
+
+  const float* lv = logits.data();
+  double loss = 0.0;
+  for (int64_t r = 0; r < n; ++r) {
+    const float* lr = lv + r * c;
+    float max_v = lr[0];
+    for (int64_t j = 1; j < c; ++j) max_v = std::max(max_v, lr[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < c; ++j) sum += std::exp(lr[j] - max_v);
+    const float log_z = max_v + static_cast<float>(std::log(sum));
+    float* pr = probs->data() + r * c;
+    for (int64_t j = 0; j < c; ++j) pr[j] = std::exp(lr[j] - log_z);
+    const int32_t t = targets[static_cast<size_t>(r)];
+    if (t != ignore_index) loss += log_z - lr[t];
+  }
+  out.data()[0] = static_cast<float>(loss / static_cast<double>(n_valid));
+  return out;
+}
+
+Tensor Conv1dCausal(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    int64_t dilation) {
+  PMM_CHECK(x.defined());
+  PMM_CHECK(w.defined());
+  PMM_CHECK_EQ(x.rank(), 3);
+  PMM_CHECK_EQ(w.rank(), 3);
+  PMM_CHECK_GE(dilation, 1);
+  const int64_t batch = x.dim(0);
+  const int64_t len = x.dim(1);
+  const int64_t cin = x.dim(2);
+  const int64_t kernel = w.dim(0);
+  PMM_CHECK_EQ(w.dim(1), cin);
+  const int64_t cout = w.dim(2);
+  if (bias.defined()) PMM_CHECK_EQ(bias.numel(), cout);
+
+  auto x_impl = x.impl();
+  auto w_impl = w.impl();
+  auto b_impl = bias.defined() ? bias.impl() : nullptr;
+
+  std::vector<Tensor> parents = {x, w};
+  if (bias.defined()) parents.push_back(bias);
+
+  Tensor out = internal::MakeNode(
+      Shape{batch, len, cout}, parents,
+      [x_impl, w_impl, b_impl, batch, len, cin, cout, kernel,
+       dilation](TensorImpl& self) {
+        const float* xv = x_impl->const_data();
+        const float* wv = w_impl->const_data();
+        const float* gout = self.grad.data();
+        const bool need_x = NeedsGrad(*x_impl);
+        const bool need_w = NeedsGrad(*w_impl);
+        const bool need_b = b_impl != nullptr && NeedsGrad(*b_impl);
+        if (need_x) x_impl->EnsureGrad();
+        if (need_w) w_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t l = 0; l < len; ++l) {
+            const float* g = gout + (b * len + l) * cout;
+            if (need_b) {
+              float* gb = b_impl->grad.data();
+              for (int64_t co = 0; co < cout; ++co) gb[co] += g[co];
+            }
+            for (int64_t t = 0; t < kernel; ++t) {
+              // Tap t reads input position l - (kernel-1-t)*dilation.
+              const int64_t src = l - (kernel - 1 - t) * dilation;
+              if (src < 0) continue;
+              const float* xr = xv + (b * len + src) * cin;
+              const float* wt = wv + t * cin * cout;
+              if (need_x) {
+                float* gx = x_impl->grad.data() + (b * len + src) * cin;
+                for (int64_t ci = 0; ci < cin; ++ci) {
+                  const float* wr = wt + ci * cout;
+                  float acc = 0.0f;
+                  for (int64_t co = 0; co < cout; ++co) {
+                    acc += g[co] * wr[co];
+                  }
+                  gx[ci] += acc;
+                }
+              }
+              if (need_w) {
+                float* gw = w_impl->grad.data() + t * cin * cout;
+                for (int64_t ci = 0; ci < cin; ++ci) {
+                  const float xvv = xr[ci];
+                  if (xvv == 0.0f) continue;
+                  float* gwr = gw + ci * cout;
+                  for (int64_t co = 0; co < cout; ++co) {
+                    gwr[co] += xvv * g[co];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  const float* xv = x.data();
+  const float* wv = w.data();
+  float* ov = out.data();
+  std::fill(ov, ov + out.numel(), 0.0f);
+  if (bias.defined()) {
+    const float* bv = bias.data();
+    for (int64_t i = 0; i < batch * len; ++i) {
+      float* o = ov + i * cout;
+      for (int64_t co = 0; co < cout; ++co) o[co] = bv[co];
+    }
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t l = 0; l < len; ++l) {
+      float* o = ov + (b * len + l) * cout;
+      for (int64_t t = 0; t < kernel; ++t) {
+        const int64_t src = l - (kernel - 1 - t) * dilation;
+        if (src < 0) continue;
+        const float* xr = xv + (b * len + src) * cin;
+        const float* wt = wv + t * cin * cout;
+        for (int64_t ci = 0; ci < cin; ++ci) {
+          const float xvv = xr[ci];
+          if (xvv == 0.0f) continue;
+          const float* wr = wt + ci * cout;
+          for (int64_t co = 0; co < cout; ++co) o[co] += xvv * wr[co];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,31 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+
+namespace pmmrec {
+
+bool Shape::BroadcastCompatible(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.rank(), b.rank());
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    if (da != db && da != 1 && db != 1) return false;
+  }
+  return true;
+}
+
+Shape Shape::Broadcast(const Shape& a, const Shape& b) {
+  PMM_CHECK_MSG(BroadcastCompatible(a, b),
+                "incompatible broadcast: " + a.ToString() + " vs " +
+                    b.ToString());
+  const int64_t rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> out(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    const int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    out[static_cast<size_t>(rank - 1 - i)] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,79 @@
+#ifndef PMMREC_TENSOR_SHAPE_H_
+#define PMMREC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+// Dense row-major tensor shape. Rank 0 denotes a scalar (numel == 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+
+  int64_t dim(int64_t i) const {
+    if (i < 0) i += rank();
+    PMM_CHECK_GE(i, 0);
+    PMM_CHECK_LT(i, rank());
+    return dims_[static_cast<size_t>(i)];
+  }
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  // Row-major strides (in elements).
+  std::vector<int64_t> Strides() const {
+    std::vector<int64_t> strides(dims_.size());
+    int64_t acc = 1;
+    for (size_t i = dims_.size(); i > 0; --i) {
+      strides[i - 1] = acc;
+      acc *= dims_[i - 1];
+    }
+    return strides;
+  }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+  // NumPy-style broadcast of two shapes; aborts if incompatible.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  // True iff the two shapes are broadcast-compatible.
+  static bool BroadcastCompatible(const Shape& a, const Shape& b);
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) PMM_CHECK_GE(d, 0);
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_TENSOR_SHAPE_H_

@@ -1,0 +1,254 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pmmrec {
+
+namespace {
+
+bool g_grad_mode_enabled = true;
+
+std::shared_ptr<TensorImpl> NewImpl(const Shape& shape, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(shape.numel()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+bool GradMode::enabled() { return g_grad_mode_enabled; }
+void GradMode::set_enabled(bool value) { g_grad_mode_enabled = value; }
+
+Tensor Tensor::Empty(const Shape& shape, bool requires_grad) {
+  return Tensor(NewImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Empty(shape, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  Tensor t = Empty(shape, requires_grad);
+  std::fill(t.data(), t.data() + t.numel(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  PMM_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::make_shared<std::vector<float>>(std::move(values));
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector(Shape{}, {value}, requires_grad);
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Empty(shape, requires_grad);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.NormalFloat() * stddev;
+  return t;
+}
+
+Tensor Tensor::RandUniform(const Shape& shape, Rng& rng, float lo, float hi,
+                           bool requires_grad) {
+  Tensor t = Empty(shape, requires_grad);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.UniformFloat(lo, hi);
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  PMM_CHECK(defined());
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  PMM_CHECK(defined());
+  return impl_->mutable_data();
+}
+
+const float* Tensor::data() const {
+  PMM_CHECK(defined());
+  return impl_->const_data();
+}
+
+float Tensor::item() const {
+  PMM_CHECK_EQ(numel(), 1);
+  return data()[0];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  PMM_CHECK_EQ(static_cast<int64_t>(index.size()), rank());
+  const auto strides = shape().Strides();
+  int64_t offset = 0;
+  int64_t i = 0;
+  for (int64_t idx : index) {
+    PMM_CHECK_GE(idx, 0);
+    PMM_CHECK_LT(idx, shape().dim(i));
+    offset += idx * strides[static_cast<size_t>(i)];
+    ++i;
+  }
+  return data()[offset];
+}
+
+bool Tensor::requires_grad() const {
+  PMM_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  PMM_CHECK(defined());
+  PMM_CHECK_MSG(impl_->backward_fn == nullptr,
+                "cannot toggle requires_grad on an interior graph node");
+  impl_->requires_grad = value;
+}
+
+bool Tensor::has_grad() const {
+  PMM_CHECK(defined());
+  return !impl_->grad.empty();
+}
+
+float* Tensor::grad_data() {
+  PMM_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad_data() const {
+  PMM_CHECK(defined());
+  return impl_->grad.empty() ? nullptr : impl_->grad.data();
+}
+
+Tensor Tensor::GradToTensor() const {
+  PMM_CHECK(defined());
+  PMM_CHECK_MSG(!impl_->grad.empty(), "gradient not populated");
+  return FromVector(impl_->shape, impl_->grad);
+}
+
+void Tensor::ZeroGrad() {
+  PMM_CHECK(defined());
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+void Tensor::Backward() {
+  PMM_CHECK(defined());
+  PMM_CHECK_MSG(numel() == 1, "Backward() requires a scalar root");
+
+  // Topological order via iterative post-order DFS over parents.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    std::shared_ptr<TensorImpl> node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (impl_->requires_grad || impl_->backward_fn) {
+    stack.push_back({impl_, 0});
+    visited.insert(impl_.get());
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      auto& parent = frame.node->parents[frame.next_parent++];
+      if (visited.insert(parent.get()).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node.get());
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+
+  // order is post-order (parents before children); reverse it so gradient
+  // flows from the root down.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+
+  // Release the graph: keep gradients on leaves, drop interior edges so the
+  // shared_ptr web is freed.
+  for (TensorImpl* node : order) {
+    node->backward_fn = nullptr;
+    node->parents.clear();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  PMM_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // Shared storage.
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  PMM_CHECK(defined());
+  return FromVector(impl_->shape, *impl_->data);
+}
+
+void Tensor::Fill(float value) {
+  PMM_CHECK(defined());
+  std::fill(impl_->data->begin(), impl_->data->end(), value);
+}
+
+void Tensor::CopyDataFrom(const Tensor& other) {
+  PMM_CHECK(defined());
+  PMM_CHECK_EQ(numel(), other.numel());
+  std::copy(other.data(), other.data() + other.numel(), data());
+}
+
+namespace internal {
+
+Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
+                std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(shape.numel()), 0.0f);
+  bool needs_grad = false;
+  if (GradMode::enabled()) {
+    for (const Tensor& p : parents) {
+      if (p.defined() &&
+          (p.impl()->requires_grad || p.impl()->backward_fn)) {
+        needs_grad = true;
+        break;
+      }
+    }
+  }
+  if (needs_grad) {
+    impl->backward_fn = std::move(backward_fn);
+    impl->parents.reserve(parents.size());
+    for (const Tensor& p : parents) {
+      if (p.defined()) impl->parents.push_back(p.impl());
+    }
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace internal
+
+}  // namespace pmmrec

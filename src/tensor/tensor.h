@@ -1,0 +1,156 @@
+#ifndef PMMREC_TENSOR_TENSOR_H_
+#define PMMREC_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "utils/rng.h"
+
+namespace pmmrec {
+
+struct TensorImpl;
+
+// Dense float32 tensor with reverse-mode autograd.
+//
+// Tensor is a cheap shared handle to a TensorImpl node. Operations on
+// tensors (see tensor/ops.h) build a dynamic computation graph while
+// GradMode is enabled; Tensor::Backward() runs reverse accumulation over
+// the graph and populates .grad on every node that requires gradients.
+//
+// Design notes:
+//  - Storage is contiguous row-major float32; element type is fixed
+//    (recommendation models in this library are small enough that a single
+//    dtype keeps the op surface simple and fast).
+//  - The data buffer is shared (shared_ptr), so Detach()/Reshape() are
+//    zero-copy.
+//  - Single-threaded by design: the target machines run one training
+//    process per core and the graphs are small.
+class Tensor {
+ public:
+  Tensor() = default;  // Undefined tensor.
+
+  // --- Factories -----------------------------------------------------------
+  static Tensor Empty(const Shape& shape, bool requires_grad = false);
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Gaussian(0, stddev) init.
+  static Tensor Randn(const Shape& shape, Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  static Tensor RandUniform(const Shape& shape, Rng& rng, float lo, float hi,
+                            bool requires_grad = false);
+
+  // --- Introspection -------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t rank() const { return shape().rank(); }
+  int64_t dim(int64_t i) const { return shape().dim(i); }
+  int64_t numel() const { return shape().numel(); }
+
+  float* data();
+  const float* data() const;
+
+  // Value of a rank-0 or single-element tensor.
+  float item() const;
+  // Element access by multi-index (for tests and debugging; slow).
+  float at(std::initializer_list<int64_t> index) const;
+
+  // --- Autograd ------------------------------------------------------------
+  bool requires_grad() const;
+  // Marks a leaf tensor as a parameter (allocates grad on demand).
+  void set_requires_grad(bool value);
+
+  // True if grad storage has been allocated (i.e. Backward reached this
+  // node at least once, or ZeroGrad was called).
+  bool has_grad() const;
+  float* grad_data();              // Allocates (zero-filled) if absent.
+  const float* grad_data() const;  // nullptr if absent.
+  // Copies the gradient into a fresh tensor (testing convenience).
+  Tensor GradToTensor() const;
+  void ZeroGrad();
+
+  // Runs reverse-mode accumulation from this (scalar) tensor. Seeds the
+  // root gradient with 1 and releases the graph afterwards.
+  void Backward();
+
+  // Returns a tensor sharing this tensor's storage but detached from the
+  // autograd graph.
+  Tensor Detach() const;
+  // Deep copy with no graph.
+  Tensor Clone() const;
+
+  // Fills with a value in-place (leaf tensors only; does not touch graph).
+  void Fill(float value);
+  // Copies values from another tensor of identical numel (no graph).
+  void CopyDataFrom(const Tensor& other);
+
+  // Internal: the underlying node. Used by ops.
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// Graph node. Public so that op implementations (tensor/ops.cc and module
+// code with custom kernels) can build nodes directly; client code should
+// treat this as an implementation detail.
+struct TensorImpl {
+  Shape shape;
+  std::shared_ptr<std::vector<float>> data;
+  std::vector<float> grad;  // Empty until first needed.
+  bool requires_grad = false;
+
+  // Set on interior nodes. Receives the node itself (to read .grad) and
+  // must accumulate into the parents' grads.
+  std::function<void(TensorImpl&)> backward_fn;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  float* mutable_data() { return data->data(); }
+  const float* const_data() const { return data->data(); }
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(static_cast<size_t>(shape.numel()), 0.0f);
+  }
+};
+
+// Global flag controlling whether ops record the autograd graph.
+// Evaluation code wraps itself in NoGradGuard to skip graph construction.
+class GradMode {
+ public:
+  static bool enabled();
+  static void set_enabled(bool value);
+};
+
+class NoGradGuard {
+ public:
+  NoGradGuard() : previous_(GradMode::enabled()) {
+    GradMode::set_enabled(false);
+  }
+  ~NoGradGuard() { GradMode::set_enabled(previous_); }
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace internal {
+
+// Creates an interior node. requires_grad of the node is derived from the
+// parents; if GradMode is disabled or no parent requires grad, the node is
+// a plain constant (no parents recorded, backward_fn dropped).
+Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
+                std::function<void(TensorImpl&)> backward_fn);
+
+}  // namespace internal
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_TENSOR_TENSOR_H_

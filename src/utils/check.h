@@ -1,0 +1,72 @@
+#ifndef PMMREC_UTILS_CHECK_H_
+#define PMMREC_UTILS_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions (per the project style); violated
+// invariants are programming errors and abort the process with a message
+// that includes the failing expression and source location. Recoverable
+// conditions (e.g. file I/O) use pmmrec::Status instead.
+
+namespace pmmrec {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "PMM_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Streams the operands of a failed binary comparison into the abort message.
+template <typename A, typename B>
+std::string FormatBinary(const A& a, const B& b) {
+  std::ostringstream oss;
+  oss << "(" << a << " vs. " << b << ")";
+  return oss.str();
+}
+
+}  // namespace internal
+}  // namespace pmmrec
+
+#define PMM_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::pmmrec::internal::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                  \
+  } while (0)
+
+#define PMM_CHECK_MSG(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::pmmrec::internal::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+    }                                                                   \
+  } while (0)
+
+#define PMM_CHECK_OP_(a, b, op)                                      \
+  do {                                                               \
+    const auto& pmm_check_a_ = (a);                                  \
+    const auto& pmm_check_b_ = (b);                                  \
+    if (!(pmm_check_a_ op pmm_check_b_)) {                           \
+      ::pmmrec::internal::CheckFailed(                               \
+          __FILE__, __LINE__, #a " " #op " " #b,                     \
+          ::pmmrec::internal::FormatBinary(pmm_check_a_,             \
+                                           pmm_check_b_));           \
+    }                                                                \
+  } while (0)
+
+#define PMM_CHECK_EQ(a, b) PMM_CHECK_OP_(a, b, ==)
+#define PMM_CHECK_NE(a, b) PMM_CHECK_OP_(a, b, !=)
+#define PMM_CHECK_LT(a, b) PMM_CHECK_OP_(a, b, <)
+#define PMM_CHECK_LE(a, b) PMM_CHECK_OP_(a, b, <=)
+#define PMM_CHECK_GT(a, b) PMM_CHECK_OP_(a, b, >)
+#define PMM_CHECK_GE(a, b) PMM_CHECK_OP_(a, b, >=)
+
+#endif  // PMMREC_UTILS_CHECK_H_

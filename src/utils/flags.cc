@@ -1,0 +1,67 @@
+#include "utils/flags.h"
+
+#include <cstdlib>
+
+namespace pmmrec {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // Bare boolean flag.
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::UnqueriedFlags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,91 @@
+#include "utils/io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pmmrec {
+
+void BinaryWriter::WriteBytes(const void* data, size_t count) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + count);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteBytes(&v, sizeof(v)); }
+void BinaryWriter::WriteFloat(float v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloats(const float* data, size_t count) {
+  WriteBytes(data, count * sizeof(float));
+}
+
+Status BinaryWriter::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  size_t written = buffer_.empty()
+                       ? 0
+                       : std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != buffer_.size() || close_rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::LoadFromFile(const std::string& path, BinaryReader* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> buffer(static_cast<size_t>(size));
+  size_t read = buffer.empty() ? 0 : std::fread(buffer.data(), 1, buffer.size(), f);
+  std::fclose(f);
+  if (read != buffer.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  *out = BinaryReader(std::move(buffer));
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadBytes(void* dst, size_t count) {
+  if (pos_ + count > buffer_.size()) {
+    return Status::Corruption("binary buffer underflow");
+  }
+  std::memcpy(dst, buffer_.data() + pos_, count);
+  pos_ += count;
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadU64(uint64_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadI64(int64_t* v) { return ReadBytes(v, sizeof(*v)); }
+Status BinaryReader::ReadFloat(float* v) { return ReadBytes(v, sizeof(*v)); }
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t size = 0;
+  Status st = ReadU64(&size);
+  if (!st.ok()) return st;
+  if (pos_ + size > buffer_.size()) {
+    return Status::Corruption("string length exceeds buffer");
+  }
+  s->assign(reinterpret_cast<const char*>(buffer_.data() + pos_),
+            static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadFloats(float* data, size_t count) {
+  return ReadBytes(data, count * sizeof(float));
+}
+
+}  // namespace pmmrec

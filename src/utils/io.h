@@ -1,0 +1,63 @@
+#ifndef PMMREC_UTILS_IO_H_
+#define PMMREC_UTILS_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "utils/status.h"
+
+namespace pmmrec {
+
+// In-memory binary buffer with primitive serialization helpers.
+//
+// Used by the model checkpoint format: a checkpoint is a sequence of
+// (name, shape, float data) records written through a BinaryWriter and read
+// back with a BinaryReader. Writers append; readers consume front-to-back
+// and report corruption via Status.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteFloat(float v);
+  void WriteString(const std::string& s);
+  void WriteFloats(const float* data, size_t count);
+  void WriteBytes(const void* data, size_t count);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+
+  // Writes the accumulated buffer to a file.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<uint8_t> buffer)
+      : buffer_(std::move(buffer)) {}
+
+  static Status LoadFromFile(const std::string& path, BinaryReader* out);
+
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadFloat(float* v);
+  Status ReadString(std::string* s);
+  Status ReadFloats(float* data, size_t count);
+
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+  size_t remaining() const { return buffer_.size() - pos_; }
+
+ private:
+  Status ReadBytes(void* dst, size_t count);
+
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_IO_H_

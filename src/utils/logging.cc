@@ -1,0 +1,43 @@
+#include "utils/logging.h"
+
+#include <cstdio>
+
+namespace pmmrec {
+namespace {
+
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_min_level) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+}
+
+void LogMessage::SetMinLevel(LogLevel level) { g_min_level = level; }
+
+LogLevel LogMessage::min_level() { return g_min_level; }
+
+ScopedLogSilencer::ScopedLogSilencer() : previous_(LogMessage::min_level()) {
+  LogMessage::SetMinLevel(LogLevel::kWarning);
+}
+
+ScopedLogSilencer::~ScopedLogSilencer() { LogMessage::SetMinLevel(previous_); }
+
+}  // namespace pmmrec

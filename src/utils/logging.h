@@ -1,0 +1,53 @@
+#ifndef PMMREC_UTILS_LOGGING_H_
+#define PMMREC_UTILS_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pmmrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimal stream-style logger writing to stderr. Thread-compatible (the
+// library is single-threaded); a line is emitted when the temporary
+// LogMessage is destroyed.
+//
+// Usage: PMM_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+  // Messages below this level are suppressed. Default: kInfo.
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Silences logging below kWarning for the lifetime of the guard (used by
+// tests and benches that train many models).
+class ScopedLogSilencer {
+ public:
+  ScopedLogSilencer();
+  ~ScopedLogSilencer();
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace pmmrec
+
+#define PMM_LOG(severity)                                              \
+  ::pmmrec::LogMessage(::pmmrec::LogLevel::k##severity, __FILE__,      \
+                       __LINE__)                                       \
+      .stream()
+
+#endif  // PMMREC_UTILS_LOGGING_H_

@@ -1,0 +1,127 @@
+#include "utils/rng.h"
+
+#include <cmath>
+
+namespace pmmrec {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  has_cached_normal_ = false;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  PMM_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PMM_CHECK_LT(lo, hi);
+  return lo + static_cast<int64_t>(NextUint64(static_cast<uint64_t>(hi - lo)));
+}
+
+float Rng::UniformFloat() {
+  // 24 high-quality bits -> [0, 1).
+  return static_cast<float>(NextUint64() >> 40) * (1.0f / 16777216.0f);
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + (hi - lo) * UniformFloat();
+}
+
+float Rng::NormalFloat() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = UniformFloat();
+  float u2 = UniformFloat();
+  // Guard against log(0).
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 6.2831853071795864769f * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::NormalFloat(float mean, float stddev) {
+  return mean + stddev * NormalFloat();
+}
+
+int64_t Rng::Categorical(const std::vector<float>& weights) {
+  PMM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (float w : weights) {
+    PMM_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  PMM_CHECK_GT(total, 0.0);
+  double r = static_cast<double>(UniformFloat()) * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+int64_t Rng::Zipf(int64_t n, float s) {
+  PMM_CHECK_GT(n, 0);
+  // Inverse-CDF over precomputed weights would be faster for repeated use;
+  // generators that sample heavily precompute a Categorical instead.
+  std::vector<float> weights(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] =
+        1.0f / std::pow(static_cast<float>(i + 1), s);
+  }
+  return Categorical(weights);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  PMM_CHECK_LE(k, n);
+  PMM_CHECK_GE(k, 0);
+  // Floyd's algorithm.
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(k));
+  std::vector<bool> chosen(static_cast<size_t>(n), false);
+  for (int64_t j = n - k; j < n; ++j) {
+    int64_t t = UniformInt(0, j + 1);
+    if (chosen[static_cast<size_t>(t)]) t = j;
+    chosen[static_cast<size_t>(t)] = true;
+    result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace pmmrec

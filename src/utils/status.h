@@ -1,0 +1,60 @@
+#ifndef PMMREC_UTILS_STATUS_H_
+#define PMMREC_UTILS_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace pmmrec {
+
+// Lightweight status object for recoverable errors (primarily file I/O).
+//
+// The library style forbids exceptions, so functions that can fail for
+// environmental reasons return Status (or a value plus Status out-param).
+// Invariant violations use PMM_CHECK and abort.
+class Status {
+ public:
+  Status() = default;  // OK.
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(Code::kCorruption, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kIoError: name = "IoError"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+    }
+    return name + ": " + message_;
+  }
+
+ private:
+  enum class Code { kOk, kIoError, kInvalidArgument, kCorruption, kNotFound };
+
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef PMMREC_UTILS_STOPWATCH_H_
+#define PMMREC_UTILS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pmmrec {
+
+// Wall-clock stopwatch used to report training / benchmark timings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_STOPWATCH_H_

@@ -1,0 +1,75 @@
+#include "utils/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace {
+constexpr const char* kSeparatorSentinel = "\x01";
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PMM_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  PMM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string Table::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (size_t c = 0; c < cols; ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t c = 0; c < cols; ++c) {
+      s.append(width[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      s += " " + row[c];
+      s.append(width[c] - row[c].size() + 1, ' ');
+      s += "|";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << hline() << format_row(header_) << hline();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      out << hline();
+    } else {
+      out << format_row(row);
+    }
+  }
+  out << hline();
+  return out.str();
+}
+
+}  // namespace pmmrec

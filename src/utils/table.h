@@ -1,0 +1,45 @@
+#ifndef PMMREC_UTILS_TABLE_H_
+#define PMMREC_UTILS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pmmrec {
+
+// ASCII table printer used by the benchmark harness to render paper-style
+// result tables (Table II-VIII of the PMMRec paper).
+//
+// Usage:
+//   Table t({"Dataset", "Metric", "SASRec", "PMMRec"});
+//   t.AddRow({"Bili", "HR@10", "4.04", "5.49"});
+//   std::string s = t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a data row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Adds a horizontal separator at the current position.
+  void AddSeparator();
+
+  // Sets a caption printed above the table.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  std::string ToString() const;
+
+  // Convenience: formats a double with the given precision.
+  static std::string Fmt(double value, int precision = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // A row with the sentinel single cell "\x01" is a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_TABLE_H_

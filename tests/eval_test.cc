@@ -1,0 +1,156 @@
+// Tests for ranking metrics and the leave-one-out evaluator.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+
+namespace pmmrec {
+namespace {
+
+TEST(MetricsTest, RankOfTargetBasics) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  EXPECT_EQ(RankOfTarget(scores, 1, {}), 0);
+  EXPECT_EQ(RankOfTarget(scores, 0, {}), 3);
+  EXPECT_EQ(RankOfTarget(scores, 2, {}), 2);
+}
+
+TEST(MetricsTest, RankOfTargetExcludesHistory) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  // Excluding the two better-scored items moves the target to rank 0.
+  EXPECT_EQ(RankOfTarget(scores, 2, {1, 3}), 0);
+  // Excluding the target itself must not remove it from the ranking.
+  EXPECT_EQ(RankOfTarget(scores, 2, {2}), 2);
+}
+
+TEST(MetricsTest, TiesRankAheadOfTarget) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(RankOfTarget(scores, 1, {}), 2);  // Pessimistic.
+}
+
+TEST(MetricsTest, HrAndNdcgAccumulation) {
+  RankingMetrics m;
+  m.AddRank(0);    // Hit everywhere, NDCG@k gain = 1.
+  m.AddRank(15);   // Hit @20/@50 only.
+  m.AddRank(100);  // Miss everywhere.
+  m.Finalize();
+  EXPECT_EQ(m.count, 3);
+  EXPECT_NEAR(m.Hr(10), 100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.Hr(20), 200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.Hr(50), 200.0 / 3.0, 1e-9);
+  const double gain15 = 1.0 / std::log2(17.0);
+  EXPECT_NEAR(m.Ndcg(10), 100.0 / 3.0, 1e-6);
+  EXPECT_NEAR(m.Ndcg(20), 100.0 * (1.0 + gain15) / 3.0, 1e-6);
+}
+
+TEST(MetricsTest, MeanRankAccumulates) {
+  RankingMetrics m;
+  m.AddRank(0);
+  m.AddRank(10);
+  m.AddRank(200);
+  m.Finalize();
+  EXPECT_DOUBLE_EQ(m.mean_rank, 70.0);
+}
+
+TEST(MetricsTest, NdcgDiscountsLowerRanks) {
+  RankingMetrics top;
+  top.AddRank(0);
+  top.Finalize();
+  RankingMetrics low;
+  low.AddRank(9);
+  low.Finalize();
+  EXPECT_GT(top.Ndcg(10), low.Ndcg(10));
+  EXPECT_DOUBLE_EQ(top.Hr(10), low.Hr(10));
+}
+
+// A scorer that always ranks item (last prefix item + 1) first — matching
+// the ground truth of the ConsecutiveDataset below.
+class OracleScorer : public Scorer {
+ public:
+  explicit OracleScorer(int64_t n_items) : n_items_(n_items) {}
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override {
+    std::vector<float> scores(static_cast<size_t>(n_items_), 0.0f);
+    const int32_t next = (prefix.back() + 1) % static_cast<int32_t>(n_items_);
+    scores[static_cast<size_t>(next)] = 1.0f;
+    ++calls_;
+    return scores;
+  }
+  int64_t calls() const { return calls_; }
+
+ private:
+  int64_t n_items_;
+  int64_t calls_ = 0;
+};
+
+Dataset ConsecutiveDataset(int64_t n_users, int64_t n_items) {
+  Dataset ds;
+  ds.items.resize(static_cast<size_t>(n_items));
+  for (int64_t u = 0; u < n_users; ++u) {
+    std::vector<int32_t> seq;
+    const int32_t start = static_cast<int32_t>(u % n_items);
+    for (int32_t i = 0; i < 5; ++i) {
+      seq.push_back((start + i) % static_cast<int32_t>(n_items));
+    }
+    ds.sequences.push_back(seq);
+  }
+  return ds;
+}
+
+TEST(EvaluatorTest, OracleGetsPerfectMetrics) {
+  Dataset ds = ConsecutiveDataset(20, 50);
+  OracleScorer oracle(50);
+  const RankingMetrics test = EvaluateRanking(oracle, ds, EvalSplit::kTest);
+  EXPECT_DOUBLE_EQ(test.Hr(10), 100.0);
+  EXPECT_DOUBLE_EQ(test.Ndcg(10), 100.0);
+  const RankingMetrics val =
+      EvaluateRanking(oracle, ds, EvalSplit::kValidation);
+  EXPECT_DOUBLE_EQ(val.Hr(10), 100.0);
+}
+
+TEST(EvaluatorTest, MaxUsersSubsamples) {
+  Dataset ds = ConsecutiveDataset(100, 50);
+  OracleScorer oracle(50);
+  const RankingMetrics m =
+      EvaluateRanking(oracle, ds, EvalSplit::kTest, /*max_users=*/10);
+  EXPECT_EQ(m.count, 10);
+  EXPECT_EQ(oracle.calls(), 10);
+}
+
+TEST(EvaluatorTest, ColdStartEvaluation) {
+  Dataset ds = ConsecutiveDataset(10, 50);
+  OracleScorer oracle(50);
+  std::vector<ColdStartCase> cases;
+  cases.push_back({{3}, 4});
+  cases.push_back({{7, 8}, 9});
+  const RankingMetrics m = EvaluateColdStart(oracle, cases);
+  EXPECT_EQ(m.count, 2);
+  EXPECT_DOUBLE_EQ(m.Hr(10), 100.0);
+}
+
+// A scorer that ranks the target second-best to exercise NDCG < 100.
+class SecondBestScorer : public Scorer {
+ public:
+  explicit SecondBestScorer(int64_t n_items) : n_items_(n_items) {}
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override {
+    std::vector<float> scores(static_cast<size_t>(n_items_), 0.0f);
+    const int32_t next = (prefix.back() + 1) % static_cast<int32_t>(n_items_);
+    scores[static_cast<size_t>(next)] = 0.9f;
+    scores[static_cast<size_t>((next + 5) % n_items_)] = 1.0f;
+    return scores;
+  }
+
+ private:
+  int64_t n_items_;
+};
+
+TEST(EvaluatorTest, NonPerfectScorerGetsDiscountedNdcg) {
+  Dataset ds = ConsecutiveDataset(10, 50);
+  SecondBestScorer scorer(50);
+  const RankingMetrics m = EvaluateRanking(scorer, ds, EvalSplit::kTest);
+  EXPECT_DOUBLE_EQ(m.Hr(10), 100.0);
+  EXPECT_NEAR(m.Ndcg(10), 100.0 / std::log2(3.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace pmmrec

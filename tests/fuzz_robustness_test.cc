@@ -1,0 +1,143 @@
+// Fuzz-style robustness tests: deserializers must reject arbitrary
+// corruption with a Status (never crash, never hang, never over-allocate),
+// and loss computations must stay finite under randomized inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/losses.h"
+#include "data/generator.h"
+#include "data/serialization.h"
+#include "nn/layers.h"
+
+namespace pmmrec {
+namespace {
+
+Dataset FuzzDataset() {
+  SyntheticWorld world{WorldConfig{}};
+  DatasetGenerator gen(&world);
+  PlatformConfig pc;
+  pc.name = "Fuzz";
+  pc.platform = "Bili";
+  pc.clusters = {0, 1};
+  pc.n_items = 15;
+  pc.n_users = 10;
+  pc.seed = 4;
+  return gen.Generate(pc);
+}
+
+TEST(FuzzRobustnessTest, DatasetReaderSurvivesRandomByteFlips) {
+  const Dataset original = FuzzDataset();
+  BinaryWriter writer;
+  WriteDataset(original, &writer);
+  const std::vector<uint8_t>& good = writer.buffer();
+
+  Rng rng(123);
+  int64_t accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> mutated = good;
+    // Flip 1-4 random bytes.
+    const int64_t flips = rng.UniformInt(1, 5);
+    for (int64_t f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(mutated.size())));
+      mutated[pos] ^= static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    BinaryReader reader(std::move(mutated));
+    Dataset out;
+    const Status st = ReadDataset(&reader, &out);  // Must not crash.
+    if (st.ok()) {
+      ++accepted;
+      // If accepted, the result must still be internally consistent.
+      for (const auto& seq : out.sequences) {
+        for (int32_t item : seq) {
+          ASSERT_GE(item, 0);
+          ASSERT_LT(item, out.num_items());
+        }
+      }
+    }
+  }
+  // Some single-byte flips only touch float payloads and are legitimately
+  // accepted; structural corruption must be rejected.
+  EXPECT_LT(accepted, 200);
+}
+
+TEST(FuzzRobustnessTest, DatasetReaderSurvivesRandomTruncation) {
+  const Dataset original = FuzzDataset();
+  BinaryWriter writer;
+  WriteDataset(original, &writer);
+  Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t cut = static_cast<size_t>(
+        rng.NextUint64(static_cast<uint64_t>(writer.buffer().size())));
+    std::vector<uint8_t> truncated(writer.buffer().begin(),
+                                   writer.buffer().begin() +
+                                       static_cast<int64_t>(cut));
+    BinaryReader reader(std::move(truncated));
+    Dataset out;
+    EXPECT_FALSE(ReadDataset(&reader, &out).ok());
+  }
+}
+
+TEST(FuzzRobustnessTest, ModelCheckpointReaderSurvivesGarbage) {
+  Rng rng(55);
+  Linear module(6, 4, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t size = static_cast<size_t>(rng.UniformInt(0, 200));
+    std::vector<uint8_t> garbage(size);
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    BinaryReader reader(std::move(garbage));
+    const Status st = module.LoadState(&reader);  // Must not crash.
+    (void)st;
+  }
+}
+
+TEST(FuzzRobustnessTest, LossesStayFiniteUnderExtremeActivations) {
+  // Very large and very small representations must not produce NaN/Inf
+  // losses (softmax stabilization, log clamping, l2-normalize epsilon).
+  const SeqBatch batch = MakeBatchFromSequences({{0, 1, 2}, {3, 4, 5}}, 3);
+  Rng rng(77);
+  for (float scale : {1e-6f, 1.0f, 1e3f}) {
+    Tensor t = Tensor::Randn(Shape{6, 4}, rng, scale, true);
+    Tensor v = Tensor::Randn(Shape{6, 4}, rng, scale, true);
+    Tensor hidden = Tensor::Randn(Shape{2, 3, 4}, rng, scale, true);
+    Tensor reps = Tensor::Randn(Shape{6, 4}, rng, scale, true);
+
+    const float dap = DapLoss(hidden, reps, batch).item();
+    EXPECT_TRUE(std::isfinite(dap)) << "DAP at scale " << scale;
+    const float nicl =
+        CrossModalLoss(t, v, batch, NiclMode::kNicl, 0.5f).item();
+    EXPECT_TRUE(std::isfinite(nicl)) << "NICL at scale " << scale;
+    const float rcl = RclLoss(hidden, hidden, batch, 0.5f).item();
+    EXPECT_TRUE(std::isfinite(rcl)) << "RCL at scale " << scale;
+
+    // Gradients must also be finite.
+    Tensor total = Add(DapLoss(hidden, reps, batch),
+                       CrossModalLoss(t, v, batch, NiclMode::kNicl, 0.5f));
+    total.Backward();
+    for (Tensor* p : {&t, &v, &hidden, &reps}) {
+      const float* g = p->grad_data();
+      for (int64_t i = 0; i < p->numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(g[i])) << "grad at scale " << scale;
+      }
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, ZeroVectorsDoNotBreakNormalization) {
+  Tensor zeros = Tensor::Zeros(Shape{3, 4}, true);
+  Tensor normalized = L2Normalize(zeros);
+  for (int64_t i = 0; i < normalized.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(normalized.data()[i]));
+  }
+  SumAll(Square(normalized)).Backward();
+  for (int64_t i = 0; i < zeros.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(zeros.grad_data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,54 @@
+#ifndef PMMREC_TESTS_GRADCHECK_H_
+#define PMMREC_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+namespace testing {
+
+// Verifies analytic gradients against central finite differences.
+//
+// `loss_fn` must rebuild the forward graph from `param` on every call and
+// return a scalar. The check runs backward once to collect the analytic
+// gradient, then perturbs every element of `param` (or a strided subset if
+// the tensor is large) and compares.
+inline void ExpectGradientsClose(const std::function<Tensor()>& loss_fn,
+                                 Tensor param, float eps = 1e-2f,
+                                 float tolerance = 2e-2f,
+                                 int64_t max_checks = 64) {
+  param.ZeroGrad();
+  Tensor loss = loss_fn();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  ASSERT_TRUE(param.has_grad());
+  std::vector<float> analytic(param.grad_data(),
+                              param.grad_data() + param.numel());
+
+  const int64_t n = param.numel();
+  const int64_t stride = std::max<int64_t>(1, n / max_checks);
+  for (int64_t i = 0; i < n; i += stride) {
+    float* p = param.data();
+    const float original = p[i];
+    p[i] = original + eps;
+    const float plus = loss_fn().item();
+    p[i] = original - eps;
+    const float minus = loss_fn().item();
+    p[i] = original;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    const float scale =
+        std::max({1.0f, std::fabs(numeric), std::fabs(analytic[i])});
+    EXPECT_NEAR(analytic[i], numeric, tolerance * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace pmmrec
+
+#endif  // PMMREC_TESTS_GRADCHECK_H_

@@ -1,0 +1,319 @@
+// Tests for the PMMRec objectives (DAP, VCL/ICL/NICL, NID, RCL) and
+// sequence corruption. These check the loss semantics of paper Eq. 5-11:
+// which pairs count as positives, which as negatives, and that gradients
+// point the right way.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/corruption.h"
+#include "core/losses.h"
+#include "tests/gradcheck.h"
+
+namespace pmmrec {
+namespace {
+
+// Batch of two users sharing no items:
+//   user 0: items 10, 11, 12
+//   user 1: items 20, 21
+SeqBatch TwoUserBatch() {
+  return MakeBatchFromSequences({{10, 11, 12}, {20, 21}}, 4);
+}
+
+TEST(CorruptionTest, LabelsAreConsistentWithChanges) {
+  Rng rng(3);
+  SeqBatch batch = MakeBatchFromSequences(
+      {{1, 2, 3, 4, 5, 6, 7, 8}, {9, 10, 11, 12, 13, 14, 15, 16}}, 8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CorruptedBatch corrupted = CorruptSequences(batch, 0.25f, 0.2f, rng);
+    ASSERT_EQ(corrupted.labels.size(), batch.position_to_unique.size());
+    int shuffled = 0, replaced = 0;
+    for (size_t p = 0; p < corrupted.labels.size(); ++p) {
+      const int32_t label = corrupted.labels[p];
+      const int32_t before = batch.position_to_unique[p];
+      const int32_t after = corrupted.position_to_unique[p];
+      if (before < 0) {
+        EXPECT_EQ(label, kNidIgnore);
+        EXPECT_EQ(after, -1);
+        continue;
+      }
+      EXPECT_NE(label, kNidIgnore);
+      if (label == kNidUnchanged) {
+        EXPECT_EQ(after, before);
+      } else if (label == kNidReplaced) {
+        ++replaced;
+        EXPECT_NE(after, before);
+        EXPECT_GE(after, 0);
+        EXPECT_LT(after, batch.num_unique());
+      } else {
+        ++shuffled;
+      }
+    }
+    EXPECT_GE(shuffled, 2);  // At least one rotation of >= 2 positions.
+  }
+}
+
+TEST(CorruptionTest, ShuffleKeepsMultisetOfItems) {
+  Rng rng(4);
+  SeqBatch batch = MakeBatchFromSequences({{1, 2, 3, 4, 5, 6}}, 6);
+  const CorruptedBatch corrupted =
+      CorruptSequences(batch, 0.5f, 0.0f, rng);  // No replacement.
+  std::vector<int32_t> before(batch.position_to_unique);
+  std::vector<int32_t> after(corrupted.position_to_unique);
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(DapLossTest, PrefersTrueNextItem) {
+  // Hidden state at (0, 0) equals the representation of user 0's next item
+  // -> loss must be lower than when it matches a different user's item.
+  SeqBatch batch = TwoUserBatch();
+  const int64_t d = 4;
+  const int64_t u = batch.num_unique();  // 5 items.
+  Rng rng(5);
+  Tensor reps = Tensor::Randn(Shape{u, d}, rng, 1.0f);
+
+  auto hidden_matching = [&](int32_t unique_idx) {
+    Tensor h = Tensor::Zeros(Shape{2, 4, d});
+    // All positions point at the right next item except we control (0,0).
+    for (int64_t b = 0; b < 2; ++b) {
+      const int64_t len = batch.RowLength(b);
+      for (int64_t l = 0; l + 1 < len; ++l) {
+        const int32_t next = batch.UniqueAt(b, l + 1);
+        for (int64_t j = 0; j < d; ++j) {
+          h.data()[(b * 4 + l) * d + j] = 3.0f * reps.at({next, j});
+        }
+      }
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      h.data()[j] = 3.0f * reps.at({unique_idx, j});
+    }
+    return h;
+  };
+
+  const int32_t true_next = batch.UniqueAt(0, 1);
+  const int32_t other_user_item = batch.UniqueAt(1, 0);
+  const float good = DapLoss(hidden_matching(true_next), reps, batch).item();
+  const float bad =
+      DapLoss(hidden_matching(other_user_item), reps, batch).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(DapLossTest, OwnItemsAreNotNegatives) {
+  // Make the hidden state also align strongly with ANOTHER item of the
+  // same user; since own items are masked from the denominator, the loss
+  // must stay (near) zero.
+  SeqBatch batch = TwoUserBatch();
+  const int64_t d = 8;
+  const int64_t u = batch.num_unique();
+  Tensor reps = Tensor::Zeros(Shape{u, d});
+  // Orthogonal one-hot representations.
+  for (int64_t i = 0; i < u; ++i) reps.data()[i * d + i] = 1.0f;
+
+  Tensor h = Tensor::Zeros(Shape{2, 4, d});
+  for (int64_t b = 0; b < 2; ++b) {
+    const int64_t len = batch.RowLength(b);
+    for (int64_t l = 0; l + 1 < len; ++l) {
+      const int32_t next = batch.UniqueAt(b, l + 1);
+      h.data()[(b * 4 + l) * d + next] = 20.0f;
+      // Also align with the user's FIRST item (an own item).
+      h.data()[(b * 4 + l) * d + batch.UniqueAt(b, 0)] = 20.0f;
+    }
+  }
+  const float loss = DapLoss(h, reps, batch).item();
+  // The own-item logit is masked, so the target still wins (≈ log(1)).
+  EXPECT_LT(loss, 0.1f);
+}
+
+TEST(DapLossTest, GradCheck) {
+  SeqBatch batch = TwoUserBatch();
+  Rng rng(6);
+  Tensor hidden = Tensor::Randn(Shape{2, 4, 4}, rng, 0.8f, true);
+  Tensor reps =
+      Tensor::Randn(Shape{batch.num_unique(), 4}, rng, 0.8f, true);
+  auto loss = [&] { return DapLoss(hidden, reps, batch); };
+  testing::ExpectGradientsClose(loss, hidden, 1e-2f, 3e-2f);
+  testing::ExpectGradientsClose(loss, reps, 1e-2f, 3e-2f);
+}
+
+TEST(CrossModalLossTest, OffModeReturnsUndefined) {
+  SeqBatch batch = TwoUserBatch();
+  Rng rng(7);
+  Tensor t = Tensor::Randn(Shape{batch.num_unique(), 4}, rng);
+  Tensor v = Tensor::Randn(Shape{batch.num_unique(), 4}, rng);
+  EXPECT_FALSE(
+      CrossModalLoss(t, v, batch, NiclMode::kOff, 0.15f).defined());
+}
+
+TEST(CrossModalLossTest, AlignedModalitiesScoreLower) {
+  SeqBatch batch = TwoUserBatch();
+  const int64_t u = batch.num_unique();
+  const int64_t d = 8;
+  Rng rng(8);
+  Tensor t = Tensor::Randn(Shape{u, d}, rng);
+  Tensor v_aligned = t.Clone();
+  Tensor v_random = Tensor::Randn(Shape{u, d}, rng);
+  for (NiclMode mode :
+       {NiclMode::kVcl, NiclMode::kIcl, NiclMode::kNicl}) {
+    const float aligned =
+        CrossModalLoss(t, v_aligned, batch, mode, 0.15f).item();
+    const float random =
+        CrossModalLoss(t, v_random, batch, mode, 0.15f).item();
+    EXPECT_LT(aligned, random) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(CrossModalLossTest, NiclRewardsNextItemAlignment) {
+  // With NICL, making the anchor similar to the NEXT item's embedding
+  // lowers the loss (next items are positives, Eq. 8); with VCL it does
+  // not help the numerator.
+  SeqBatch batch = TwoUserBatch();
+  const int64_t u = batch.num_unique();
+  const int64_t d = 8;
+  Rng rng(9);
+  Tensor t = Tensor::Randn(Shape{u, d}, rng);
+  Tensor v = t.Clone();
+
+  // Pull item (0,0)'s text embedding toward its next item (0,1).
+  Tensor t_next_aligned = t.Clone();
+  const int32_t c = batch.UniqueAt(0, 0);
+  const int32_t n = batch.UniqueAt(0, 1);
+  for (int64_t j = 0; j < d; ++j) {
+    t_next_aligned.data()[c * d + j] =
+        0.2f * t.data()[c * d + j] + 0.8f * t.data()[n * d + j];
+  }
+  const float nicl_before =
+      CrossModalLoss(t, v, batch, NiclMode::kNicl, 0.15f).item();
+  const float nicl_after =
+      CrossModalLoss(t_next_aligned, v, batch, NiclMode::kNicl, 0.15f).item();
+  EXPECT_LT(nicl_after, nicl_before + 0.05f);
+}
+
+TEST(CrossModalLossTest, IclAddsIntraModalityNegatives) {
+  // Making two DIFFERENT-user items' text embeddings similar should hurt
+  // ICL (intra-modality negative) more than VCL (which has no tt terms).
+  SeqBatch batch = TwoUserBatch();
+  const int64_t u = batch.num_unique();
+  const int64_t d = 8;
+  Rng rng(10);
+  Tensor t = Tensor::Randn(Shape{u, d}, rng);
+  Tensor v = t.Clone();
+
+  Tensor t_collided = t.Clone();
+  const int32_t a = batch.UniqueAt(0, 0);   // User 0 item.
+  const int32_t b = batch.UniqueAt(1, 0);   // User 1 item.
+  for (int64_t j = 0; j < d; ++j) {
+    t_collided.data()[a * d + j] = t.data()[b * d + j];
+  }
+  const float vcl_delta =
+      CrossModalLoss(t_collided, v, batch, NiclMode::kVcl, 0.15f).item() -
+      CrossModalLoss(t, v, batch, NiclMode::kVcl, 0.15f).item();
+  const float icl_delta =
+      CrossModalLoss(t_collided, v, batch, NiclMode::kIcl, 0.15f).item() -
+      CrossModalLoss(t, v, batch, NiclMode::kIcl, 0.15f).item();
+  EXPECT_GT(icl_delta, vcl_delta);
+}
+
+TEST(CrossModalLossTest, GradCheckAllModes) {
+  SeqBatch batch = TwoUserBatch();
+  Rng rng(11);
+  Tensor t = Tensor::Randn(Shape{batch.num_unique(), 4}, rng, 0.6f, true);
+  Tensor v = Tensor::Randn(Shape{batch.num_unique(), 4}, rng, 0.6f, true);
+  for (NiclMode mode : {NiclMode::kVcl, NiclMode::kIcl, NiclMode::kNicl}) {
+    auto loss = [&] { return CrossModalLoss(t, v, batch, mode, 0.3f); };
+    testing::ExpectGradientsClose(loss, t, 1e-2f, 4e-2f);
+    testing::ExpectGradientsClose(loss, v, 1e-2f, 4e-2f);
+  }
+}
+
+TEST(NidLossTest, PerfectClassifierGetsLowLoss) {
+  SeqBatch batch = MakeBatchFromSequences(
+      {{1, 2, 3, 4, 5, 6}, {7, 8, 9, 10, 11, 12}}, 6);
+  Rng rng(12);
+  const CorruptedBatch corrupted = CorruptSequences(batch, 0.3f, 0.2f, rng);
+
+  const int64_t d = 4;
+  // Hidden states encode the label in the first component.
+  Tensor hidden = Tensor::Zeros(Shape{2, 6, d});
+  for (size_t p = 0; p < corrupted.labels.size(); ++p) {
+    if (corrupted.labels[p] == kNidIgnore) continue;
+    hidden.data()[p * d] = static_cast<float>(corrupted.labels[p]);
+  }
+  Rng rng2(13);
+  Linear head(d, 3, rng2);
+  // Hand-craft the head: logit_k = large if x0 == k.
+  head.weight.Fill(0.0f);
+  head.weight.data()[0 * 3 + 0] = -20.0f;
+  head.weight.data()[0 * 3 + 1] = 0.0f;
+  head.weight.data()[0 * 3 + 2] = 20.0f;
+  head.bias.data()[0] = 10.0f;
+  head.bias.data()[1] = 0.0f;
+  head.bias.data()[2] = -30.0f;
+  // logits(x0=0) = (10, 0, -30): class 0. x0=1 -> (-10, 0, -10): class 1.
+  // x0=2 -> (-30, 0, 10): class 2.
+  const float loss = NidLoss(hidden, head, corrupted).item();
+  EXPECT_LT(loss, 0.01f);
+
+  // A random head does much worse.
+  Linear random_head(d, 3, rng2);
+  EXPECT_GT(NidLoss(hidden, random_head, corrupted).item(), loss + 0.2f);
+}
+
+TEST(MaskedMeanPoolTest, IgnoresPadding) {
+  SeqBatch batch = MakeBatchFromSequences({{1, 2}, {3, 4, 5, 6}}, 4);
+  Tensor hidden = Tensor::Zeros(Shape{2, 4, 2});
+  // Row 0: valid positions 0,1 hold (1,1) and (3,3); pads hold junk.
+  hidden.data()[0] = 1, hidden.data()[1] = 1;
+  hidden.data()[2] = 3, hidden.data()[3] = 3;
+  hidden.data()[4] = 99, hidden.data()[5] = 99;  // Padding junk.
+  Tensor pooled = MaskedMeanPool(hidden, batch);
+  EXPECT_FLOAT_EQ(pooled.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(pooled.at({0, 1}), 2.0f);
+}
+
+TEST(RclLossTest, MatchingPairsBeatMismatched) {
+  SeqBatch batch = MakeBatchFromSequences(
+      {{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}}, 4);
+  Rng rng(14);
+  Tensor hidden = Tensor::Randn(Shape{3, 4, 6}, rng);
+  // Corrupted = original (perfect robustness) vs shuffled users.
+  Tensor matched = hidden.Clone();
+  Tensor mismatched = Tensor::Zeros(Shape{3, 4, 6});
+  // Rotate the rows so user u pairs with user u+1's sequence.
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t i = 0; i < 24; ++i) {
+      mismatched.data()[b * 24 + i] = hidden.data()[((b + 1) % 3) * 24 + i];
+    }
+  }
+  const float good = RclLoss(hidden, matched, batch, 0.15f).item();
+  const float bad = RclLoss(hidden, mismatched, batch, 0.15f).item();
+  EXPECT_LT(good, bad);
+}
+
+TEST(RclLossTest, GradCheck) {
+  SeqBatch batch = MakeBatchFromSequences({{1, 2, 3}, {4, 5, 6}}, 3);
+  Rng rng(15);
+  Tensor hidden = Tensor::Randn(Shape{2, 3, 4}, rng, 0.7f, true);
+  Tensor corrupted = Tensor::Randn(Shape{2, 3, 4}, rng, 0.7f, true);
+  auto loss = [&] { return RclLoss(hidden, corrupted, batch, 0.3f); };
+  testing::ExpectGradientsClose(loss, hidden, 1e-2f, 4e-2f);
+  testing::ExpectGradientsClose(loss, corrupted, 1e-2f, 4e-2f);
+}
+
+TEST(GatherSequenceRepsTest, MapsPositionsAndPads) {
+  SeqBatch batch = MakeBatchFromSequences({{5, 6}, {7, 8, 9}}, 3);
+  Tensor reps = Tensor::FromVector(
+      Shape{batch.num_unique(), 2},
+      {1, 1, 2, 2, 3, 3, 4, 4, 5, 5});  // Unique: 5,6,7,8,9.
+  Tensor seq = GatherSequenceReps(reps, batch.position_to_unique, 2, 3);
+  EXPECT_EQ(seq.shape(), (Shape{2, 3, 2}));
+  EXPECT_FLOAT_EQ(seq.at({0, 0, 0}), 1.0f);  // Item 5.
+  EXPECT_FLOAT_EQ(seq.at({0, 1, 0}), 2.0f);  // Item 6.
+  EXPECT_FLOAT_EQ(seq.at({0, 2, 0}), 0.0f);  // Padding -> zero row.
+  EXPECT_FLOAT_EQ(seq.at({1, 2, 1}), 5.0f);  // Item 9.
+}
+
+}  // namespace
+}  // namespace pmmrec

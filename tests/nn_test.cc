@@ -1,0 +1,319 @@
+// Tests for the nn module layer: shapes, semantics (causality, training
+// mode), optimizer behaviour and checkpoint round-trips.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/gru.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "tests/gradcheck.h"
+
+namespace pmmrec {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, rng);
+  Tensor x2 = Tensor::Randn(Shape{5, 4}, rng);
+  EXPECT_EQ(lin.Forward(x2).shape(), (Shape{5, 3}));
+  Tensor x3 = Tensor::Randn(Shape{2, 5, 4}, rng);
+  EXPECT_EQ(lin.Forward(x3).shape(), (Shape{2, 5, 3}));
+
+  // Zero input -> bias only.
+  lin.bias.Fill(0.75f);
+  Tensor y = lin.Forward(Tensor::Zeros(Shape{1, 4}));
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 0.75f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, rng, /*with_bias=*/false);
+  EXPECT_FALSE(lin.bias.defined());
+  EXPECT_EQ(lin.NumParameters(), 12);
+}
+
+TEST(LinearTest, GradCheckThroughModule) {
+  Rng rng(3);
+  Linear lin(3, 2, rng);
+  Tensor x = Tensor::Randn(Shape{4, 3}, rng);
+  auto loss = [&] { return SumAll(Square(lin.Forward(x))); };
+  testing::ExpectGradientsClose(loss, lin.weight);
+  testing::ExpectGradientsClose(loss, lin.bias);
+}
+
+TEST(EmbeddingTest, LookupAndSizes) {
+  Rng rng(4);
+  Embedding emb(10, 6, rng);
+  EXPECT_EQ(emb.vocab_size(), 10);
+  EXPECT_EQ(emb.embedding_dim(), 6);
+  Tensor out = emb.Forward({3, 3, 7});
+  EXPECT_EQ(out.shape(), (Shape{3, 6}));
+  for (int64_t j = 0; j < 6; ++j) {
+    EXPECT_FLOAT_EQ(out.at({0, j}), out.at({1, j}));
+  }
+}
+
+TEST(ModuleTest, ParameterTraversalAndCount) {
+  Rng rng(5);
+  FeedForward ffn(8, 16, 0.0f, &rng);
+  // fc1: 8*16+16, fc2: 16*8+8.
+  EXPECT_EQ(ffn.NumParameters(), 8 * 16 + 16 + 16 * 8 + 8);
+  auto named = ffn.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc1.weight");
+  EXPECT_EQ(named[3].first, "fc2.bias");
+}
+
+TEST(ModuleTest, CheckpointRoundTrip) {
+  Rng rng(6);
+  Linear a(5, 4, rng);
+  Linear b(5, 4, rng);
+  BinaryWriter writer;
+  a.SaveState(&writer);
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(b.LoadState(&reader).ok());
+  for (int64_t i = 0; i < a.weight.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.weight.data()[i], b.weight.data()[i]);
+  }
+  for (int64_t i = 0; i < a.bias.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.bias.data()[i], b.bias.data()[i]);
+  }
+}
+
+TEST(ModuleTest, CheckpointShapeMismatchFails) {
+  Rng rng(7);
+  Linear a(5, 4, rng);
+  Linear b(5, 3, rng);
+  BinaryWriter writer;
+  a.SaveState(&writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(b.LoadState(&reader).ok());
+}
+
+TEST(ModuleTest, CheckpointCorruptionFails) {
+  Rng rng(8);
+  Linear a(3, 3, rng);
+  BinaryWriter writer;
+  a.SaveState(&writer);
+  std::vector<uint8_t> truncated(writer.buffer().begin(),
+                                 writer.buffer().begin() + 10);
+  BinaryReader reader(std::move(truncated));
+  EXPECT_FALSE(a.LoadState(&reader).ok());
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng(9);
+  Linear a(4, 4, rng);
+  Linear b(4, 4, rng);
+  b.CopyParametersFrom(a);
+  for (int64_t i = 0; i < a.weight.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.weight.data()[i], b.weight.data()[i]);
+  }
+}
+
+TEST(ModuleTest, FileRoundTrip) {
+  Rng rng(10);
+  Linear a(3, 2, rng);
+  const std::string path = ::testing::TempDir() + "/pmmrec_ckpt.bin";
+  ASSERT_TRUE(a.SaveToFile(path).ok());
+  Linear b(3, 2, rng);
+  ASSERT_TRUE(b.LoadFromFile(path).ok());
+  EXPECT_FLOAT_EQ(a.weight.data()[0], b.weight.data()[0]);
+  Linear c(3, 2, rng);
+  EXPECT_FALSE(c.LoadFromFile(path + ".missing").ok());
+}
+
+TEST(AttentionTest, CausalMaskShape) {
+  Tensor mask = MultiHeadSelfAttention::CausalMask(4);
+  EXPECT_EQ(mask.shape(), (Shape{4, 4}));
+  EXPECT_FLOAT_EQ(mask.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(mask.at({0, 3}), -1e9f);
+  EXPECT_FLOAT_EQ(mask.at({3, 0}), 0.0f);
+}
+
+TEST(AttentionTest, CausalOutputIgnoresFuture) {
+  // Changing a future input must not change past outputs.
+  Rng rng(11);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{1, 5, 8}, rng);
+  Tensor mask = MultiHeadSelfAttention::CausalMask(5);
+  Tensor y1 = attn.Forward(x, mask);
+  // Perturb the last position.
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) x2.data()[4 * 8 + j] += 10.0f;
+  Tensor y2 = attn.Forward(x2, mask);
+  for (int64_t l = 0; l < 4; ++l) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.at({0, l, j}), y2.at({0, l, j}), 1e-5f)
+          << "future leaked into position " << l;
+    }
+  }
+}
+
+TEST(AttentionTest, BidirectionalSeesEverything) {
+  Rng rng(12);
+  MultiHeadSelfAttention attn(8, 2, 0.0f, &rng);
+  attn.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{1, 4, 8}, rng);
+  Tensor y1 = attn.Forward(x, Tensor());
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) x2.data()[3 * 8 + j] += 5.0f;
+  Tensor y2 = attn.Forward(x2, Tensor());
+  // Position 0 should change when position 3 changes (no mask).
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 8; ++j) {
+    diff += std::fabs(y1.at({0, 0, j}) - y2.at({0, 0, j}));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TransformerTest, CausalStackNoFutureLeak) {
+  Rng rng(13);
+  TransformerEncoder enc(2, 8, 2, 16, 0.0f, &rng);
+  enc.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{2, 6, 8}, rng);
+  Tensor mask = MultiHeadSelfAttention::CausalMask(6);
+  Tensor y1 = enc.Forward(x, mask);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) x2.data()[(0 * 6 + 5) * 8 + j] += 3.0f;
+  Tensor y2 = enc.Forward(x2, mask);
+  for (int64_t l = 0; l < 5; ++l) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y1.at({0, l, j}), y2.at({0, l, j}), 1e-4f);
+    }
+  }
+}
+
+TEST(TransformerTest, ForwardFromSkipsLowerBlocks) {
+  Rng rng(14);
+  TransformerEncoder enc(3, 8, 2, 16, 0.0f, &rng);
+  enc.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{1, 4, 8}, rng);
+  Tensor all = enc.Forward(x, Tensor());
+  Tensor skipped = enc.ForwardFrom(x, Tensor(), 3);  // Runs nothing.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(skipped.at({0, 0, j}), x.at({0, 0, j}));
+  }
+  // ForwardFrom(0) == Forward.
+  Tensor full2 = enc.ForwardFrom(x, Tensor(), 0);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(all.at({0, 1, j}), full2.at({0, 1, j}));
+  }
+}
+
+TEST(GruTest, ShapesAndStateEvolution) {
+  Rng rng(15);
+  Gru gru(4, 6, rng);
+  Tensor x = Tensor::Randn(Shape{3, 5, 4}, rng);
+  Tensor h = gru.Forward(x);
+  EXPECT_EQ(h.shape(), (Shape{3, 5, 6}));
+}
+
+TEST(GruTest, CausalByConstruction) {
+  Rng rng(16);
+  Gru gru(4, 4, rng);
+  Tensor x = Tensor::Randn(Shape{1, 4, 4}, rng);
+  Tensor y1 = gru.Forward(x);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 4; ++j) x2.data()[3 * 4 + j] += 5.0f;
+  Tensor y2 = gru.Forward(x2);
+  for (int64_t l = 0; l < 3; ++l) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(y1.at({0, l, j}), y2.at({0, l, j}));
+    }
+  }
+}
+
+TEST(GruTest, GradCheck) {
+  Rng rng(17);
+  Gru gru(3, 3, rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 3}, rng, 0.5f);
+  auto loss = [&] { return SumAll(Square(gru.Forward(x))); };
+  testing::ExpectGradientsClose(loss, gru.w_ih, 1e-2f, 4e-2f);
+  testing::ExpectGradientsClose(loss, gru.w_hh, 1e-2f, 4e-2f);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Tensor w = Tensor::FromVector(Shape{2}, {5.0f, -3.0f}, true);
+  Sgd sgd({&w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    sgd.ZeroGrad();
+    SumAll(Square(w)).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.at({0}), 0.0f, 1e-3f);
+  EXPECT_NEAR(w.at({1}), 0.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, AdamWConvergesOnLinearRegression) {
+  Rng rng(18);
+  // y = X w*, recover w*.
+  Tensor x = Tensor::Randn(Shape{32, 4}, rng);
+  Tensor w_true = Tensor::FromVector(Shape{4, 1}, {1.0f, -2.0f, 0.5f, 3.0f});
+  Tensor y = MatMul(x, w_true).Detach();
+  Tensor w = Tensor::Zeros(Shape{4, 1}, true);
+  AdamW opt({&w}, 0.05f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.0f);
+  for (int i = 0; i < 400; ++i) {
+    opt.ZeroGrad();
+    MeanAll(Square(Sub(MatMul(x, w), y))).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.at({0, 0}), 1.0f, 0.05f);
+  EXPECT_NEAR(w.at({1, 0}), -2.0f, 0.05f);
+  EXPECT_NEAR(w.at({3, 0}), 3.0f, 0.05f);
+}
+
+TEST(OptimizerTest, AdamWWeightDecayShrinksUnusedParams) {
+  Tensor w = Tensor::FromVector(Shape{1}, {1.0f}, true);
+  AdamW opt({&w}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    w.grad_data();  // Zero gradient.
+    opt.Step();
+  }
+  EXPECT_LT(w.at({0}), 1.0f);
+  EXPECT_GT(w.at({0}), 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNorm) {
+  Tensor a = Tensor::FromVector(Shape{2}, {3.0f, 4.0f}, true);
+  a.grad_data()[0] = 3.0f;
+  a.grad_data()[1] = 4.0f;
+  const float norm = ClipGradNorm({&a}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  const float clipped =
+      std::sqrt(a.grad_data()[0] * a.grad_data()[0] +
+                a.grad_data()[1] * a.grad_data()[1]);
+  EXPECT_NEAR(clipped, 1.0f, 1e-4f);
+
+  // Below the threshold nothing changes.
+  Tensor b = Tensor::FromVector(Shape{1}, {1.0f}, true);
+  b.grad_data()[0] = 0.5f;
+  ClipGradNorm({&b}, 1.0f);
+  EXPECT_FLOAT_EQ(b.grad_data()[0], 0.5f);
+}
+
+TEST(DropoutLayerTest, RespectsTrainingMode) {
+  Rng rng(19);
+  DropoutLayer drop(0.5f, &rng);
+  Tensor x = Tensor::Ones(Shape{100});
+  drop.SetTraining(false);
+  Tensor eval_out = drop.Forward(x);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_FLOAT_EQ(eval_out.data()[i], 1.0f);
+  }
+  drop.SetTraining(true);
+  Tensor train_out = drop.Forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 100; ++i) {
+    if (train_out.data()[i] == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 20);
+}
+
+}  // namespace
+}  // namespace pmmrec

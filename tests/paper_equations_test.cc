@@ -1,0 +1,134 @@
+// Hand-verified numerical checks of the paper-equation implementations:
+// loss values computed analytically for tiny, fully-known inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/losses.h"
+
+namespace pmmrec {
+namespace {
+
+// Two users, two items each: user 0 = {0, 1}, user 1 = {2, 3}. Anchors:
+// (c=0, n=1) for user 0 and (c=2, n=3) for user 1.
+SeqBatch FourItemBatch() {
+  return MakeBatchFromSequences({{0, 1}, {2, 3}}, 2);
+}
+
+// Orthonormal ±e_i embeddings so every pairwise dot is exactly 0, 1 or -1.
+Tensor UnitEmbeddings() {
+  return Tensor::FromVector(Shape{4, 2}, {1, 0, 0, 1, -1, 0, 0, -1});
+}
+
+TEST(PaperEquationsTest, NiclValueMatchesHandComputation) {
+  // With t == v and temperature 1:
+  //   anchor 0 (c=0, n=1, negatives {2,3}):
+  //     num = E_tv[0,0] + E_tv[0,1] + E_tt[0,1] = e + 1 + 1
+  //     den = cross (e + 1 + e^-1 + 1) + intra (1 + e^-1 + 1)
+  //   loss per anchor/direction = log(den) - log(num); all four
+  //   anchor-direction combinations are identical by symmetry.
+  const SeqBatch batch = FourItemBatch();
+  const Tensor t = UnitEmbeddings();
+  const Tensor v = t.Clone();
+  const double e = std::exp(1.0);
+  const double ei = std::exp(-1.0);
+  const double num = e + 2.0;
+  const double den = (e + 2.0 + ei) + (2.0 + ei);
+  const double expected = std::log(den) - std::log(num);
+  const float loss =
+      CrossModalLoss(t, v, batch, NiclMode::kNicl, 1.0f).item();
+  EXPECT_NEAR(loss, expected, 1e-5);
+}
+
+TEST(PaperEquationsTest, VclValueMatchesHandComputation) {
+  // VCL (Eq. 6): num = E_tv[c,c] = e; den = e + negatives (e^-1 + 1).
+  const SeqBatch batch = FourItemBatch();
+  const Tensor t = UnitEmbeddings();
+  const Tensor v = t.Clone();
+  const double e = std::exp(1.0);
+  const double ei = std::exp(-1.0);
+  const double expected = std::log(e + ei + 1.0) - 1.0;  // log(den) - log(e)
+  const float loss = CrossModalLoss(t, v, batch, NiclMode::kVcl, 1.0f).item();
+  EXPECT_NEAR(loss, expected, 1e-5);
+}
+
+TEST(PaperEquationsTest, IclAddsIntraNegativesToDenominator) {
+  // ICL (Eq. 7) = VCL + intra-modality negatives: den gains E_tt over the
+  // same negative set, so the ICL loss is strictly larger here.
+  const SeqBatch batch = FourItemBatch();
+  const Tensor t = UnitEmbeddings();
+  const Tensor v = t.Clone();
+  const double e = std::exp(1.0);
+  const double ei = std::exp(-1.0);
+  const double expected = std::log(e + 2.0 * (ei + 1.0)) - 1.0;
+  const float icl = CrossModalLoss(t, v, batch, NiclMode::kIcl, 1.0f).item();
+  EXPECT_NEAR(icl, expected, 1e-5);
+  const float vcl = CrossModalLoss(t, v, batch, NiclMode::kVcl, 1.0f).item();
+  EXPECT_GT(icl, vcl);
+}
+
+TEST(PaperEquationsTest, DapEqualsCrossEntropyOverOtherUsersItems) {
+  // Single valid prediction position per user; with orthogonal item reps
+  // and hidden = 2 * rep(next), the DAP loss is the mean of two softmax
+  // cross-entropies whose logits we can enumerate.
+  const SeqBatch batch = FourItemBatch();
+  const Tensor reps = UnitEmbeddings();
+  Tensor hidden = Tensor::Zeros(Shape{2, 2, 2});
+  // User 0, position 0 predicts item 1 (unique idx 1): rep = (0, 1).
+  hidden.data()[0 * 4 + 0 * 2 + 0] = 0.0f;
+  hidden.data()[0 * 4 + 0 * 2 + 1] = 2.0f;
+  // User 1, position 0 predicts item 3 (unique idx 3): rep = (0, -1).
+  hidden.data()[1 * 4 + 0 * 2 + 0] = 0.0f;
+  hidden.data()[1 * 4 + 0 * 2 + 1] = -2.0f;
+
+  // Logits for user 0 anchor: dot(h, rep_j) = [0, 2, 0, -2], with own
+  // items {0, 1} masked except the target 1 -> candidates {1, 2, 3} with
+  // logits {2, 0, -2}.
+  const double z0 = std::exp(2.0) + std::exp(0.0) + std::exp(-2.0);
+  const double loss0 = std::log(z0) - 2.0;
+  // User 1 anchor: logits over {3, 0, 1} = {2, 0, -2}: same value.
+  const double expected = loss0;
+  const float dap = DapLoss(hidden, reps, batch).item();
+  EXPECT_NEAR(dap, expected, 1e-5);
+}
+
+TEST(PaperEquationsTest, RclMatchesSymmetricInfoNce) {
+  // Two users with hand-set pooled representations. Sequences of length 1
+  // pool to the single hidden state.
+  const SeqBatch batch = MakeBatchFromSequences({{0}, {1}}, 1);
+  Tensor hidden = Tensor::FromVector(Shape{2, 1, 2}, {1, 0, 0, 1});
+  Tensor corrupted = Tensor::FromVector(Shape{2, 1, 2}, {1, 0, 0, 1});
+  // Similarities (temperature 1): S = I (unit vectors), so each row's CE =
+  // log(e^1 + e^0) - 1.
+  const double expected = std::log(std::exp(1.0) + 1.0) - 1.0;
+  const float rcl = RclLoss(hidden, corrupted, batch, 1.0f).item();
+  EXPECT_NEAR(rcl, expected, 1e-5);
+}
+
+TEST(PaperEquationsTest, NidCorruptionRatesApproximateConfig) {
+  // Over many rows, the fraction of shuffled positions should be near
+  // max(2, 0.15 * len) / len and replacements near 5% of the remainder.
+  Rng rng(99);
+  std::vector<std::vector<int32_t>> seqs;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int32_t> s;
+    for (int32_t j = 0; j < 10; ++j) s.push_back((i * 10 + j) % 64);
+    seqs.push_back(s);
+  }
+  const SeqBatch batch = MakeBatchFromSequences(seqs, 10);
+  const CorruptedBatch corrupted = CorruptSequences(batch, 0.15f, 0.05f, rng);
+  int64_t shuffled = 0, replaced = 0, total = 0;
+  for (int32_t label : corrupted.labels) {
+    if (label == kNidIgnore) continue;
+    ++total;
+    if (label == kNidShuffled) ++shuffled;
+    if (label == kNidReplaced) ++replaced;
+  }
+  // 10 positions -> max(2, round(1.5)) = 2 shuffled per row = 20%.
+  EXPECT_NEAR(static_cast<double>(shuffled) / total, 0.20, 0.02);
+  EXPECT_NEAR(static_cast<double>(replaced) / total, 0.05 * 0.8, 0.025);
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,219 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// configuration ranges, not just single settings.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "nn/transformer.h"
+#include "utils/logging.h"
+
+namespace pmmrec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transformer configuration sweep: causality and gradient flow must hold
+// for every (d_model, n_heads, n_blocks) combination.
+// ---------------------------------------------------------------------------
+
+using TransformerParams = std::tuple<int64_t, int64_t, int64_t>;
+
+class TransformerSweepTest
+    : public ::testing::TestWithParam<TransformerParams> {};
+
+TEST_P(TransformerSweepTest, CausalMaskBlocksFutureInformation) {
+  const auto [d, heads, blocks] = GetParam();
+  Rng rng(7);
+  TransformerEncoder enc(blocks, d, heads, 2 * d, 0.0f, &rng);
+  enc.SetTraining(false);
+  const int64_t len = 6;
+  Tensor x = Tensor::Randn(Shape{2, len, d}, rng);
+  Tensor mask = MultiHeadSelfAttention::CausalMask(len);
+  Tensor y1 = enc.Forward(x, mask);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < d; ++j) {
+    x2.data()[(len - 1) * d + j] += 7.0f;  // Perturb last position, row 0.
+  }
+  Tensor y2 = enc.Forward(x2, mask);
+  for (int64_t l = 0; l + 1 < len; ++l) {
+    for (int64_t j = 0; j < d; ++j) {
+      ASSERT_NEAR(y1.at({0, l, j}), y2.at({0, l, j}), 1e-4f)
+          << "future leak at d=" << d << " heads=" << heads
+          << " blocks=" << blocks << " pos=" << l;
+    }
+  }
+}
+
+TEST_P(TransformerSweepTest, GradientsReachEveryParameter) {
+  const auto [d, heads, blocks] = GetParam();
+  Rng rng(8);
+  TransformerEncoder enc(blocks, d, heads, 2 * d, 0.0f, &rng);
+  Tensor x = Tensor::Randn(Shape{2, 4, d}, rng);
+  Tensor loss = SumAll(Square(enc.Forward(x, Tensor())));
+  loss.Backward();
+  for (const auto& [name, param] : enc.NamedParameters()) {
+    ASSERT_TRUE(param->has_grad()) << name;
+    double norm = 0.0;
+    for (int64_t i = 0; i < param->numel(); ++i) {
+      norm += std::fabs(param->grad_data()[i]);
+    }
+    EXPECT_GT(norm, 0.0) << "zero gradient at " << name << " (d=" << d
+                         << ", heads=" << heads << ", blocks=" << blocks
+                         << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TransformerSweepTest,
+    ::testing::Values(TransformerParams{8, 1, 1}, TransformerParams{8, 2, 2},
+                      TransformerParams{16, 4, 1},
+                      TransformerParams{16, 2, 3},
+                      TransformerParams{32, 2, 2}));
+
+// ---------------------------------------------------------------------------
+// Generator sweep: for every behaviour configuration, sequences must be
+// valid and the empirical cluster-transition matrix must follow the world
+// kernel.
+// ---------------------------------------------------------------------------
+
+using GeneratorParams = std::tuple<float /*zipf*/, float /*affinity*/,
+                                   float /*noise*/>;
+
+class GeneratorSweepTest : public ::testing::TestWithParam<GeneratorParams> {
+};
+
+TEST_P(GeneratorSweepTest, SequencesValidAndKernelRespected) {
+  const auto [zipf, affinity, noise] = GetParam();
+  SyntheticWorld world{WorldConfig{}};
+  DatasetGenerator gen(&world);
+  PlatformConfig config;
+  config.name = "Sweep";
+  config.platform = "Bili";
+  config.clusters = {0, 1};
+  config.n_items = 60;
+  config.n_users = 400;
+  config.min_seq_len = 4;
+  config.max_seq_len = 10;
+  config.item_pop_zipf = zipf;
+  config.content_affinity = affinity;
+  config.image_noise = noise;
+  config.seed = 3;
+  const Dataset ds = gen.Generate(config);
+
+  double counts[2][2] = {{0, 0}, {0, 0}};
+  for (const auto& seq : ds.sequences) {
+    ASSERT_GE(seq.size(), 4u);
+    ASSERT_LE(seq.size(), 10u);
+    for (size_t i = 0; i < seq.size(); ++i) {
+      ASSERT_GE(seq[i], 0);
+      ASSERT_LT(seq[i], ds.num_items());
+      if (i > 0) {
+        counts[ds.items[static_cast<size_t>(seq[i - 1])].true_cluster]
+              [ds.items[static_cast<size_t>(seq[i])].true_cluster] += 1.0;
+      }
+    }
+  }
+  // Cluster-level transitions follow the (restricted, renormalized) world
+  // kernel regardless of item-level popularity/affinity settings.
+  for (int c = 0; c < 2; ++c) {
+    const double total = counts[c][0] + counts[c][1];
+    ASSERT_GT(total, 50.0);
+    const double expected =
+        world.TransitionProb(c, 0) /
+        (world.TransitionProb(c, 0) + world.TransitionProb(c, 1));
+    EXPECT_NEAR(counts[c][0] / total, expected, 0.06)
+        << "zipf=" << zipf << " affinity=" << affinity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Behaviours, GeneratorSweepTest,
+    ::testing::Values(GeneratorParams{0.0f, 0.0f, 0.2f},
+                      GeneratorParams{0.7f, 0.0f, 0.5f},
+                      GeneratorParams{0.7f, 3.0f, 0.5f},
+                      GeneratorParams{1.2f, 5.0f, 0.9f}));
+
+// ---------------------------------------------------------------------------
+// Model determinism sweep: identical seeds must give bit-identical
+// training outcomes for every modality mode.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweepTest : public ::testing::TestWithParam<ModalityMode> {};
+
+TEST_P(DeterminismSweepTest, SameSeedSameResult) {
+  ScopedLogSilencer silence;
+  SyntheticWorld world{WorldConfig{}};
+  DatasetGenerator gen(&world);
+  PlatformConfig pc;
+  pc.name = "Det";
+  pc.platform = "HM";
+  pc.clusters = {6, 7};
+  pc.n_items = 30;
+  pc.n_users = 30;
+  pc.seed = 5;
+  const Dataset ds = gen.Generate(pc);
+
+  auto run = [&] {
+    PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+    config.d_model = 16;
+    config.modality = GetParam();
+    PMMRecModel model(config, 42);
+    model.SetPretrainingObjectives(true);
+    FitOptions opts;
+    opts.max_epochs = 2;
+    opts.eval_users = -1;
+    FitModel(model, ds, opts);
+    return model.ScoreItems(ds.TestPrefix(0));
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modalities, DeterminismSweepTest,
+                         ::testing::Values(ModalityMode::kBoth,
+                                           ModalityMode::kTextOnly,
+                                           ModalityMode::kVisionOnly));
+
+// ---------------------------------------------------------------------------
+// Sequence-length sweep: the user encoder and scoring path must accept any
+// history length from 1 to beyond max_seq_len (truncation).
+// ---------------------------------------------------------------------------
+
+class HistoryLengthSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistoryLengthSweepTest, ScoreItemsHandlesAnyPrefixLength) {
+  SyntheticWorld world{WorldConfig{}};
+  DatasetGenerator gen(&world);
+  PlatformConfig pc;
+  pc.name = "Len";
+  pc.platform = "HM";
+  pc.clusters = {6, 7};
+  pc.n_items = 25;
+  pc.n_users = 20;
+  pc.seed = 6;
+  const Dataset ds = gen.Generate(pc);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.d_model = 16;
+  PMMRecModel model(config, 1);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+
+  std::vector<int32_t> prefix;
+  for (int i = 0; i < GetParam(); ++i) {
+    prefix.push_back(static_cast<int32_t>(i % ds.num_items()));
+  }
+  const auto scores = model.ScoreItems(prefix);
+  EXPECT_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
+  for (float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HistoryLengthSweepTest,
+                         ::testing::Values(1, 2, 5, 10, 17, 40));
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,396 @@
+// Tests for the PMMRec model: item encoders, fusion, modality modes,
+// training dynamics, transfer plumbing and evaluation caching.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "nn/optimizer.h"
+#include "data/generator.h"
+#include "utils/logging.h"
+
+namespace pmmrec {
+namespace {
+
+// A tiny dataset for fast model tests.
+Dataset TinyDataset(uint64_t seed = 17) {
+  SyntheticWorld world = SyntheticWorld(WorldConfig{});
+  DatasetGenerator gen(&world);
+  PlatformConfig config;
+  config.name = "Tiny";
+  config.platform = "Bili";
+  config.clusters = {0, 1};
+  config.n_items = 30;
+  config.n_users = 40;
+  config.min_seq_len = 4;
+  config.max_seq_len = 8;
+  config.seed = seed;
+  return gen.Generate(config);
+}
+
+PMMRecConfig TinyConfig(const Dataset& ds) {
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.d_model = 16;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(ItemEncodersTest, TextEncoderShapes) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(1);
+  TextEncoder te(config, &rng);
+  EncoderOutput out = te.EncodeItems(ds, {0, 5, 5});
+  EXPECT_EQ(out.cls.shape(), (Shape{3, 16}));
+  EXPECT_EQ(out.hidden.shape(), (Shape{3, config.text_len, 16}));
+  // Same item -> same embedding (deterministic in eval mode).
+  te.SetTraining(false);
+  EncoderOutput out2 = te.EncodeItems(ds, {5, 5});
+  for (int64_t j = 0; j < 16; ++j) {
+    EXPECT_FLOAT_EQ(out2.cls.at({0, j}), out2.cls.at({1, j}));
+  }
+}
+
+TEST(ItemEncodersTest, VisionEncoderShapes) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(2);
+  VisionEncoder ve(config, &rng);
+  EncoderOutput out = ve.EncodeItems(ds, {0, 1});
+  EXPECT_EQ(out.cls.shape(), (Shape{2, 16}));
+  EXPECT_EQ(out.hidden.shape(), (Shape{2, config.n_patches, 16}));
+}
+
+TEST(ItemEncodersTest, DifferentItemsGetDifferentEmbeddings) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(3);
+  TextEncoder te(config, &rng);
+  te.SetTraining(false);
+  EncoderOutput out = te.EncodeItems(ds, {0, 1});
+  float diff = 0.0f;
+  for (int64_t j = 0; j < 16; ++j) {
+    diff += std::fabs(out.cls.at({0, j}) - out.cls.at({1, j}));
+  }
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(ItemEncodersTest, PretrainingReducesLoss) {
+  ScopedLogSilencer silence;
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PretrainedEncoders encoders(config, 11);
+
+  EncoderPretrainConfig short_run;
+  short_run.epochs = 1;
+  short_run.batch_items = 16;
+  Rng probe_rng(5);
+
+  // Measure the pretraining loss before vs after several epochs by running
+  // a fresh single pass each time.
+  PretrainedEncoders fresh(config, 11);
+  const float initial =
+      PretrainItemEncoders(&fresh.text(), &fresh.vision(), ds, short_run);
+  EncoderPretrainConfig long_run = short_run;
+  long_run.epochs = 8;
+  PretrainedEncoders trained(config, 11);
+  const float after =
+      PretrainItemEncoders(&trained.text(), &trained.vision(), ds, long_run);
+  EXPECT_LT(after, initial);
+}
+
+TEST(ItemEncodersTest, PretrainingAlignsModalities) {
+  // After CLIP-style pretraining, an item's text embedding should be more
+  // similar to its own image than to other items' images.
+  ScopedLogSilencer silence;
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PretrainedEncoders encoders(config, 12);
+  EncoderPretrainConfig pt;
+  pt.epochs = 10;
+  encoders.Pretrain(ds, pt);
+
+  const auto text = encoders.FrozenTextFeatures(ds);
+  const auto vision = encoders.FrozenVisionFeatures(ds);
+  const int64_t d = config.d_model;
+  auto cos = [&](const float* a, const float* b) {
+    float dot = 0, na = 0, nb = 0;
+    for (int64_t j = 0; j < d; ++j) {
+      dot += a[j] * b[j];
+      na += a[j] * a[j];
+      nb += b[j] * b[j];
+    }
+    return dot / std::sqrt(na * nb + 1e-9f);
+  };
+  int64_t wins = 0;
+  const int64_t n = 20;
+  for (int64_t i = 0; i < n; ++i) {
+    const float own = cos(text.data() + i * d, vision.data() + i * d);
+    const float other =
+        cos(text.data() + i * d, vision.data() + ((i + 7) % n) * d);
+    if (own > other) ++wins;
+  }
+  EXPECT_GE(wins, n * 3 / 5);
+}
+
+TEST(FusionTest, OutputShape) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(4);
+  FusionModule fusion(config, &rng);
+  Tensor t_hidden = Tensor::Randn(Shape{3, config.text_len, 16}, rng);
+  Tensor v_hidden = Tensor::Randn(Shape{3, config.n_patches, 16}, rng);
+  Tensor e = fusion.Forward(t_hidden, v_hidden);
+  EXPECT_EQ(e.shape(), (Shape{3, 16}));
+}
+
+TEST(FusionTest, SensitiveToBothModalities) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(5);
+  FusionModule fusion(config, &rng);
+  fusion.SetTraining(false);
+  Tensor t_hidden = Tensor::Randn(Shape{1, config.text_len, 16}, rng);
+  Tensor v_hidden = Tensor::Randn(Shape{1, config.n_patches, 16}, rng);
+  Tensor base = fusion.Forward(t_hidden, v_hidden);
+  Tensor t2 = t_hidden.Clone();
+  t2.data()[0] += 5.0f;
+  Tensor v2 = v_hidden.Clone();
+  v2.data()[0] += 5.0f;
+  float dt = 0, dv = 0;
+  Tensor out_t = fusion.Forward(t2, v_hidden);
+  Tensor out_v = fusion.Forward(t_hidden, v2);
+  for (int64_t j = 0; j < 16; ++j) {
+    dt += std::fabs(out_t.at({0, j}) - base.at({0, j}));
+    dv += std::fabs(out_v.at({0, j}) - base.at({0, j}));
+  }
+  EXPECT_GT(dt, 1e-4f);
+  EXPECT_GT(dv, 1e-4f);
+}
+
+TEST(UserEncoderTest, CausalNoFutureLeak) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  Rng rng(6);
+  UserEncoder ue(config, &rng);
+  ue.SetTraining(false);
+  Tensor x = Tensor::Randn(Shape{1, 6, 16}, rng);
+  Tensor y1 = ue.Forward(x);
+  Tensor x2 = x.Clone();
+  for (int64_t j = 0; j < 16; ++j) x2.data()[5 * 16 + j] += 4.0f;
+  Tensor y2 = ue.Forward(x2);
+  for (int64_t l = 0; l < 5; ++l) {
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_NEAR(y1.at({0, l, j}), y2.at({0, l, j}), 1e-4f);
+    }
+  }
+}
+
+TEST(PMMRecModelTest, LossDecreasesOverSteps) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel model(config, 42);
+  model.SetPretrainingObjectives(true);
+  model.AttachDataset(&ds);
+  model.SetTrainingMode(true);
+
+  AdamW opt(model.Parameters(), 2e-3f);
+  Rng rng(9);
+  SequenceBatcher batcher(&ds, 8, config.max_seq_len);
+  float first_loss = -1, last_loss = -1;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (const auto& group : batcher.EpochUserGroups(rng)) {
+      const SeqBatch batch = MakeTrainBatch(ds, group, config.max_seq_len);
+      Tensor loss = model.TrainStepLoss(batch);
+      if (!loss.defined()) continue;
+      if (first_loss < 0) first_loss = loss.item();
+      last_loss = loss.item();
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.Step();
+    }
+  }
+  EXPECT_GT(first_loss, 0.0f);
+  EXPECT_LT(last_loss, first_loss);
+}
+
+TEST(PMMRecModelTest, LossPartsPopulatedInPretraining) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel model(config, 42);
+  model.SetPretrainingObjectives(true);
+  model.AttachDataset(&ds);
+  model.SetTrainingMode(true);
+  const SeqBatch batch = MakeTrainBatch(ds, {0, 1, 2, 3}, config.max_seq_len);
+  Tensor loss = model.TrainStepLoss(batch);
+  ASSERT_TRUE(loss.defined());
+  const auto& parts = model.last_loss_parts();
+  EXPECT_GT(parts.dap, 0.0f);
+  EXPECT_GT(parts.nicl, 0.0f);
+  EXPECT_GT(parts.nid, 0.0f);
+  EXPECT_GT(parts.rcl, 0.0f);
+  EXPECT_NEAR(parts.total,
+              parts.dap + config.nicl_weight * parts.nicl +
+                  config.nid_weight * parts.nid +
+                  config.rcl_weight * parts.rcl,
+              1e-3f);
+}
+
+TEST(PMMRecModelTest, FinetuningUsesDapOnly) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel model(config, 42);
+  model.SetPretrainingObjectives(false);
+  model.AttachDataset(&ds);
+  model.SetTrainingMode(true);
+  const SeqBatch batch = MakeTrainBatch(ds, {0, 1, 2, 3}, config.max_seq_len);
+  Tensor loss = model.TrainStepLoss(batch);
+  ASSERT_TRUE(loss.defined());
+  const auto& parts = model.last_loss_parts();
+  EXPECT_GT(parts.dap, 0.0f);
+  EXPECT_EQ(parts.nicl, 0.0f);
+  EXPECT_EQ(parts.nid, 0.0f);
+  EXPECT_EQ(parts.rcl, 0.0f);
+}
+
+TEST(PMMRecModelTest, SingleModalityModesWork) {
+  Dataset ds = TinyDataset();
+  for (ModalityMode mode :
+       {ModalityMode::kTextOnly, ModalityMode::kVisionOnly}) {
+    PMMRecConfig config = TinyConfig(ds);
+    config.modality = mode;
+    PMMRecModel model(config, 42);
+    model.SetPretrainingObjectives(true);  // NICL silently inactive.
+    model.AttachDataset(&ds);
+    model.SetTrainingMode(true);
+    const SeqBatch batch =
+        MakeTrainBatch(ds, {0, 1, 2, 3}, config.max_seq_len);
+    Tensor loss = model.TrainStepLoss(batch);
+    ASSERT_TRUE(loss.defined());
+    EXPECT_EQ(model.last_loss_parts().nicl, 0.0f);
+    // Scoring works end-to-end.
+    model.SetTrainingMode(false);
+    const auto scores = model.ScoreItems(ds.TestPrefix(0));
+    EXPECT_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
+  }
+}
+
+TEST(PMMRecModelTest, ScoreItemsDeterministicAfterEvalPrep) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+  const auto s1 = model.ScoreItems(ds.TestPrefix(3));
+  const auto s2 = model.ScoreItems(ds.TestPrefix(3));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(PMMRecModelTest, TransferFromCopiesSelectedComponents) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel source(config, 1);
+  PMMRecModel target(config, 2);
+
+  auto params_equal = [](Module& a, Module& b) {
+    auto pa = a.NamedParameters();
+    auto pb = b.NamedParameters();
+    for (size_t i = 0; i < pa.size(); ++i) {
+      for (int64_t j = 0; j < pa[i].second->numel(); ++j) {
+        if (pa[i].second->data()[j] != pb[i].second->data()[j]) return false;
+      }
+    }
+    return true;
+  };
+
+  ASSERT_FALSE(params_equal(source.text_encoder(), target.text_encoder()));
+  target.TransferFrom(source, TransferSetting::kItemEncoders);
+  EXPECT_TRUE(params_equal(source.text_encoder(), target.text_encoder()));
+  EXPECT_TRUE(params_equal(source.vision_encoder(), target.vision_encoder()));
+  EXPECT_TRUE(params_equal(source.fusion(), target.fusion()));
+  EXPECT_FALSE(params_equal(source.user_encoder(), target.user_encoder()));
+
+  PMMRecModel target2(config, 3);
+  target2.TransferFrom(source, TransferSetting::kUserEncoder);
+  EXPECT_TRUE(params_equal(source.user_encoder(), target2.user_encoder()));
+  EXPECT_FALSE(params_equal(source.text_encoder(), target2.text_encoder()));
+
+  PMMRecModel target3(config, 4);
+  target3.TransferFrom(source, TransferSetting::kFull);
+  EXPECT_TRUE(params_equal(source.text_encoder(), target3.text_encoder()));
+  EXPECT_TRUE(params_equal(source.user_encoder(), target3.user_encoder()));
+
+  PMMRecModel target4(config, 5);
+  target4.TransferFrom(source, TransferSetting::kTextOnly);
+  EXPECT_TRUE(params_equal(source.text_encoder(), target4.text_encoder()));
+  EXPECT_FALSE(params_equal(source.vision_encoder(),
+                            target4.vision_encoder()));
+
+  PMMRecModel target5(config, 6);
+  target5.TransferFrom(source, TransferSetting::kVisionOnly);
+  EXPECT_TRUE(
+      params_equal(source.vision_encoder(), target5.vision_encoder()));
+  EXPECT_FALSE(params_equal(source.text_encoder(), target5.text_encoder()));
+}
+
+TEST(PMMRecModelTest, CheckpointRoundTripThroughFile) {
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel a(config, 1);
+  const std::string path = ::testing::TempDir() + "/pmmrec_model.ckpt";
+  ASSERT_TRUE(a.SaveToFile(path).ok());
+  PMMRecModel b(config, 2);
+  ASSERT_TRUE(b.LoadFromFile(path).ok());
+  a.AttachDataset(&ds);
+  b.AttachDataset(&ds);
+  a.PrepareForEval();
+  b.PrepareForEval();
+  const auto sa = a.ScoreItems(ds.TestPrefix(0));
+  const auto sb = b.ScoreItems(ds.TestPrefix(0));
+  for (size_t i = 0; i < sa.size(); ++i) EXPECT_FLOAT_EQ(sa[i], sb[i]);
+}
+
+TEST(TrainerTest, FitModelImprovesOverUntrained) {
+  ScopedLogSilencer silence;
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+
+  PMMRecModel untrained(config, 42);
+  untrained.AttachDataset(&ds);
+  const RankingMetrics before =
+      EvaluateRanking(untrained, ds, EvalSplit::kTest);
+
+  PMMRecModel model(config, 42);
+  FitOptions opts;
+  opts.max_epochs = 8;
+  opts.batch_size = 8;
+  opts.eval_users = -1;
+  const FitResult result = FitModel(model, ds, opts);
+  const RankingMetrics after = EvaluateRanking(model, ds, EvalSplit::kTest);
+
+  EXPECT_GE(after.Hr(10), before.Hr(10));
+  EXPECT_GT(result.best_val_hr10, 0.0);
+  EXPECT_EQ(static_cast<int64_t>(result.val_hr10_per_epoch.size()),
+            result.epochs_run);
+}
+
+TEST(TrainerTest, EarlyStoppingRestoresBestParams) {
+  ScopedLogSilencer silence;
+  Dataset ds = TinyDataset();
+  PMMRecConfig config = TinyConfig(ds);
+  PMMRecModel model(config, 42);
+  FitOptions opts;
+  opts.max_epochs = 6;
+  opts.batch_size = 8;
+  opts.patience = 2;
+  opts.eval_users = -1;
+  const FitResult result = FitModel(model, ds, opts);
+  // The restored model's validation metric equals the best epoch's.
+  const RankingMetrics val =
+      EvaluateRanking(model, ds, EvalSplit::kValidation, opts.eval_users);
+  EXPECT_NEAR(val.Hr(10), result.best_val_hr10, 1e-9);
+}
+
+}  // namespace
+}  // namespace pmmrec

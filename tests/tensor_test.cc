@@ -1,0 +1,312 @@
+// Forward-value and API tests for the tensor library.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "utils/rng.h"
+
+namespace pmmrec {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.Strides(), (std::vector<int64_t>{12, 4, 1}));
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, Broadcast) {
+  EXPECT_EQ(Shape::Broadcast({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(Shape::Broadcast({2, 1, 4}, {3, 1}), (Shape{2, 3, 4}));
+  EXPECT_EQ(Shape::Broadcast({5}, {}), (Shape{5}));
+  EXPECT_TRUE(Shape::BroadcastCompatible({2, 3}, {1, 3}));
+  EXPECT_FALSE(Shape::BroadcastCompatible({2, 3}, {4}));
+}
+
+TEST(TensorTest, FactoriesAndAccess) {
+  Tensor z = Tensor::Zeros(Shape{2, 2});
+  EXPECT_EQ(z.at({1, 1}), 0.0f);
+  Tensor f = Tensor::Full(Shape{3}, 2.5f);
+  EXPECT_EQ(f.at({2}), 2.5f);
+  Tensor v = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at({0, 1}), 2.0f);
+  EXPECT_EQ(v.at({1, 0}), 3.0f);
+  EXPECT_EQ(Tensor::Scalar(7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, DetachSharesStorage) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.data()[0] = 5.0f;
+  EXPECT_EQ(a.at({0}), 5.0f);  // Same buffer.
+  Tensor c = a.Clone();
+  c.data()[0] = 9.0f;
+  EXPECT_EQ(a.at({0}), 5.0f);  // Clone is independent.
+}
+
+TEST(TensorTest, BackwardSimple) {
+  Tensor a = Tensor::FromVector(Shape{3}, {1, 2, 3}, true);
+  Tensor loss = SumAll(Mul(a, a));  // d/da = 2a
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad_data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(a.grad_data()[1], 4.0f);
+  EXPECT_FLOAT_EQ(a.grad_data()[2], 6.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesAcrossCalls) {
+  Tensor a = Tensor::FromVector(Shape{1}, {2.0f}, true);
+  SumAll(Mul(a, a)).Backward();
+  SumAll(Mul(a, a)).Backward();
+  EXPECT_FLOAT_EQ(a.grad_data()[0], 8.0f);  // 2 * (2a)
+  a.ZeroGrad();
+  EXPECT_FLOAT_EQ(a.grad_data()[0], 0.0f);
+}
+
+TEST(TensorTest, NoGradGuardSkipsGraph) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  NoGradGuard guard;
+  Tensor out = Mul(a, a);
+  EXPECT_EQ(out.impl()->parents.size(), 0u);
+  EXPECT_FALSE(out.impl()->backward_fn != nullptr);
+}
+
+TEST(TensorTest, DiamondGraph) {
+  // loss = (a*a) + (a*a) uses the same intermediate twice.
+  Tensor a = Tensor::FromVector(Shape{1}, {3.0f}, true);
+  Tensor sq = Mul(a, a);
+  Tensor loss = SumAll(Add(sq, sq));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad_data()[0], 12.0f);  // 2 * 2a
+}
+
+TEST(OpsTest, AddBroadcastValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2}, {10, 20});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 13.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 24.0f);
+}
+
+TEST(OpsTest, MatMulValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(OpsTest, BatchedMatMulMatchesLoop) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(Shape{3, 2, 4}, rng);
+  Tensor b = Tensor::Randn(Shape{3, 4, 5}, rng);
+  Tensor c = MatMul(a, b);
+  for (int64_t bi = 0; bi < 3; ++bi) {
+    Tensor a2 = Slice(a, 0, bi, 1);
+    Tensor b2 = Slice(b, 0, bi, 1);
+    Tensor c2 = MatMul(Reshape(a2, Shape{2, 4}), Reshape(b2, Shape{4, 5}));
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t j = 0; j < 5; ++j) {
+        EXPECT_NEAR(c.at({bi, i, j}), c2.at({i, j}), 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn(Shape{4, 7}, rng, 3.0f);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 7; ++c) sum += s.at({r, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxNumericallyStable) {
+  Tensor a = Tensor::FromVector(Shape{1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor s = Softmax(a);
+  EXPECT_FALSE(std::isnan(s.at({0, 0})));
+  EXPECT_GT(s.at({0, 2}), s.at({0, 0}));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn(Shape{3, 5}, rng);
+  Tensor ls = LogSoftmax(a);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(ls.at({r, c}), std::log(s.at({r, c})), 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, TransposeLast2Values) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = TransposeLast2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(t.at({2, 0}), 3.0f);
+}
+
+TEST(OpsTest, ConcatAlongEachDim) {
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c0.at({1, 0}), 3.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_FLOAT_EQ(c1.at({0, 3}), 4.0f);
+}
+
+TEST(OpsTest, SliceValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = Slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 1}), 7.0f);
+}
+
+TEST(OpsTest, SelectRowsValues) {
+  Tensor a = Tensor::FromVector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = SelectRows(a, {2, 0, 2});
+  EXPECT_EQ(s.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(s.at({2, 1}), 6.0f);
+}
+
+TEST(OpsTest, EmbeddingLookupValues) {
+  Tensor w = Tensor::FromVector(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor e = EmbeddingLookup(w, {2, 2, 1});
+  EXPECT_FLOAT_EQ(e.at({0, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(e.at({1, 1}), 21.0f);
+  EXPECT_FLOAT_EQ(e.at({2, 0}), 10.0f);
+}
+
+TEST(OpsTest, LayerNormNormalizes) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn(Shape{5, 16}, rng, 4.0f);
+  Tensor gamma = Tensor::Ones(Shape{16});
+  Tensor beta = Tensor::Zeros(Shape{16});
+  Tensor y = LayerNormOp(x, gamma, beta);
+  for (int64_t r = 0; r < 5; ++r) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    for (int64_t c = 0; c < 16; ++c) mean += y.at({r, c});
+    mean /= 16.0f;
+    for (int64_t c = 0; c < 16; ++c) {
+      var += (y.at({r, c}) - mean) * (y.at({r, c}) - mean);
+    }
+    var /= 16.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(OpsTest, L2NormalizeRows) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {3, 4, 0, 5});
+  Tensor y = L2Normalize(x);
+  EXPECT_NEAR(y.at({0, 0}), 0.6f, 1e-5f);
+  EXPECT_NEAR(y.at({0, 1}), 0.8f, 1e-5f);
+  EXPECT_NEAR(y.at({1, 1}), 1.0f, 1e-5f);
+}
+
+TEST(OpsTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros(Shape{2, 4});
+  Tensor loss = CrossEntropy(logits, {1, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, CrossEntropyIgnoresMaskedRows) {
+  Tensor logits = Tensor::FromVector(Shape{2, 2}, {100.0f, 0.0f, 0.0f, 0.0f});
+  // Row 0 predicts class 0 with huge confidence; row 1 is ignored.
+  Tensor loss = CrossEntropy(logits, {0, -1}, -1);
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+}
+
+TEST(OpsTest, DropoutTrainAndEval) {
+  Rng rng(11);
+  Tensor a = Tensor::Ones(Shape{1000});
+  Tensor kept = Dropout(a, 0.5f, rng, /*training=*/true);
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    if (kept.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(kept.data()[i], 2.0f);  // Inverted scaling.
+      sum += kept.data()[i];
+    }
+  }
+  EXPECT_GT(zeros, 350);
+  EXPECT_LT(zeros, 650);
+  EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);  // Expectation preserved.
+
+  Tensor eval_out = Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(eval_out.data(), a.data());  // Identity pass-through.
+}
+
+TEST(OpsTest, Conv1dCausalIdentityKernel) {
+  // Kernel with only the "current" tap = identity mapping.
+  Tensor x = Tensor::FromVector(Shape{1, 3, 1}, {1, 2, 3});
+  Tensor w = Tensor::FromVector(Shape{2, 1, 1}, {0.0f, 1.0f});
+  Tensor y = Conv1dCausal(x, w, Tensor(), 1);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0}), 3.0f);
+}
+
+TEST(OpsTest, Conv1dCausalNeverSeesFuture) {
+  // Kernel = previous tap only: y_l = x_{l-1}, y_0 = 0.
+  Tensor x = Tensor::FromVector(Shape{1, 4, 1}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector(Shape{2, 1, 1}, {1.0f, 0.0f});
+  Tensor y = Conv1dCausal(x, w, Tensor(), 1);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 3, 0}), 3.0f);
+}
+
+TEST(OpsTest, Conv1dCausalDilation) {
+  // Previous tap with dilation 2: y_l = x_{l-2}.
+  Tensor x = Tensor::FromVector(Shape{1, 4, 1}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromVector(Shape{2, 1, 1}, {1.0f, 0.0f});
+  Tensor y = Conv1dCausal(x, w, Tensor(), 2);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 3, 0}), 2.0f);
+}
+
+TEST(OpsTest, ReductionValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 21.0f);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 3.5f);
+  Tensor s0 = Sum(a, 0, false);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0.at({0}), 5.0f);
+  Tensor m1 = Mean(a, 1, true);
+  EXPECT_EQ(m1.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(m1.at({1, 0}), 5.0f);
+}
+
+}  // namespace
+}  // namespace pmmrec

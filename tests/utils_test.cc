@@ -1,0 +1,204 @@
+// Tests for the utils module: RNG statistics/determinism, table printing,
+// binary IO, status.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "utils/io.h"
+#include "utils/rng.h"
+#include "utils/status.h"
+#include "utils/table.h"
+
+namespace pmmrec {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  Rng c(43);
+  EXPECT_NE(a.NextUint64(), c.NextUint64());
+}
+
+TEST(RngTest, UniformFloatRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.UniformFloat();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const float u = rng.UniformFloat(-2.0f, 3.0f);
+    EXPECT_GE(u, -2.0f);
+    EXPECT_LT(u, 3.0f);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LT(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NormalFloat();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, CategoricalProportions) {
+  Rng rng(4);
+  const std::vector<float> weights = {1.0f, 3.0f, 0.0f, 6.0f};
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) counts[static_cast<size_t>(rng.Categorical(weights))]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardHead) {
+  Rng rng(5);
+  int head = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(100, 1.2f) < 10) ++head;
+  }
+  EXPECT_GT(head, n / 2);  // Top-10 of 100 gets most mass.
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(6);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 8);
+    std::set<int64_t> s(sample.begin(), sample.end());
+    EXPECT_EQ(s.size(), 8u);
+    for (int64_t v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+  // Full sample.
+  const auto all = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(std::set<int64_t>(all.begin(), all.end()).size(), 5u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(8);
+  Rng b = a.Fork();
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::IoError("disk on fire");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "disk on fire");
+  EXPECT_EQ(err.ToString(), "IoError: disk on fire");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(TableTest, FormatsAlignedGrid) {
+  Table t({"Dataset", "HR@10"});
+  t.AddRow({"Bili", "5.49"});
+  t.AddSeparator();
+  t.AddRow({"Kwai_Cartoon", "16.42"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Dataset      | HR@10 |"), std::string::npos);
+  EXPECT_NE(s.find("| Bili         | 5.49  |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // Incl. separator sentinel.
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::Fmt(-1.5, 1), "-1.5");
+}
+
+TEST(BinaryIoTest, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(1234567890123ULL);
+  w.WriteI64(-42);
+  w.WriteFloat(2.5f);
+  w.WriteString("hello");
+  const float floats[] = {1.0f, 2.0f, 3.0f};
+  w.WriteFloats(floats, 3);
+
+  BinaryReader r(w.buffer());
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  float f;
+  std::string s;
+  float out[3];
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadFloat(&f).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadFloats(out, 3).ok());
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 1234567890123ULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_FLOAT_EQ(f, 2.5f);
+  EXPECT_EQ(s, "hello");
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, UnderflowReportsCorruption) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.buffer());
+  uint64_t u64;
+  EXPECT_FALSE(r.ReadU64(&u64).ok());
+}
+
+TEST(BinaryIoTest, StringLengthGuard) {
+  BinaryWriter w;
+  w.WriteU64(1000000);  // Claims a giant string with no payload.
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s).ok());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/pmmrec_io_test.bin";
+  BinaryWriter w;
+  w.WriteString("persist me");
+  ASSERT_TRUE(w.SaveToFile(path).ok());
+  BinaryReader r({});
+  ASSERT_TRUE(BinaryReader::LoadFromFile(path, &r).ok());
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "persist me");
+  EXPECT_FALSE(BinaryReader::LoadFromFile(path + ".nope", &r).ok());
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,228 @@
+// pmmrec_cli — command-line interface to the PMMRec library.
+//
+// Subcommands:
+//   gen-data  --out-dir DIR [--scale S] [--seed N]
+//             Generate the benchmark suite and save every dataset as
+//             DIR/<name>.pmds.
+//   stats     --data FILE.pmds
+//             Print dataset statistics (Table II style).
+//   train     --data FILE.pmds --out MODEL.ckpt [--epochs N] [--seed N]
+//             [--modality both|text|vision] [--pretrain-objectives]
+//   evaluate  --data FILE.pmds --model MODEL.ckpt [--split test|valid]
+//   transfer  --data TARGET.pmds --source-model SRC.ckpt --out DST.ckpt
+//             [--setting full|item|user|text|vision] [--epochs N]
+//             Transfer components from a pre-trained checkpoint and
+//             fine-tune on the target.
+//   recommend --data FILE.pmds --model MODEL.ckpt --user U [--topk K]
+//
+// Model checkpoints store parameters only; the architecture is derived
+// from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
+// be loaded with the same --modality it was trained with.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "data/serialization.h"
+#include "utils/flags.h"
+
+namespace pmmrec {
+namespace {
+
+ModalityMode ParseModality(const std::string& name) {
+  if (name == "text") return ModalityMode::kTextOnly;
+  if (name == "vision") return ModalityMode::kVisionOnly;
+  PMM_CHECK_MSG(name == "both", "unknown modality: " + name);
+  return ModalityMode::kBoth;
+}
+
+TransferSetting ParseSetting(const std::string& name) {
+  if (name == "item") return TransferSetting::kItemEncoders;
+  if (name == "user") return TransferSetting::kUserEncoder;
+  if (name == "text") return TransferSetting::kTextOnly;
+  if (name == "vision") return TransferSetting::kVisionOnly;
+  PMM_CHECK_MSG(name == "full", "unknown transfer setting: " + name);
+  return TransferSetting::kFull;
+}
+
+Dataset LoadDataOrDie(const FlagParser& flags) {
+  const std::string path = flags.GetString("data");
+  PMM_CHECK_MSG(!path.empty(), "--data is required");
+  Dataset ds;
+  const Status st = LoadDatasetFromFile(path, &ds);
+  PMM_CHECK_MSG(st.ok(), st.ToString());
+  return ds;
+}
+
+int CmdGenData(const FlagParser& flags) {
+  const std::string out_dir = flags.GetString("out-dir", ".");
+  const double scale = flags.GetDouble("scale", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  BenchmarkSuite suite = BuildBenchmarkSuite(scale, seed);
+  auto save = [&](const Dataset& ds) {
+    const std::string path = out_dir + "/" + ds.name + ".pmds";
+    const Status st = SaveDatasetToFile(ds, path);
+    std::printf("%-20s -> %s (%s)\n", ds.name.c_str(), path.c_str(),
+                st.ToString().c_str());
+    return st.ok();
+  };
+  bool ok = true;
+  for (const Dataset& ds : suite.sources) ok &= save(ds);
+  for (const Dataset& ds : suite.targets) ok &= save(ds);
+  const Dataset fused = FuseDatasets(
+      {&suite.sources[0], &suite.sources[1], &suite.sources[2],
+       &suite.sources[3]},
+      "FusedSources");
+  ok &= save(fused);
+  return ok ? 0 : 1;
+}
+
+int CmdStats(const FlagParser& flags) {
+  const Dataset ds = LoadDataOrDie(flags);
+  std::printf("name:      %s (platform %s)\n", ds.name.c_str(),
+              ds.platform.c_str());
+  std::printf("users:     %lld\n", static_cast<long long>(ds.num_users()));
+  std::printf("items:     %lld\n", static_cast<long long>(ds.num_items()));
+  std::printf("actions:   %lld\n", static_cast<long long>(ds.num_actions()));
+  std::printf("avg.len:   %.2f\n", ds.avg_seq_len());
+  std::printf("sparsity:  %.2f%%\n", ds.sparsity() * 100.0);
+  std::printf("schema:    vocab=%d text_len=%d patches=%dx%d\n",
+              ds.text_vocab_size, ds.text_len, ds.n_patches, ds.patch_dim);
+  return 0;
+}
+
+int CmdTrain(const FlagParser& flags) {
+  const Dataset ds = LoadDataOrDie(flags);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.modality = ParseModality(flags.GetString("modality", "both"));
+  PMMRecModel model(config, static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  model.SetPretrainingObjectives(flags.GetBool("pretrain-objectives", false));
+
+  FitOptions opts;
+  opts.max_epochs = flags.GetInt("epochs", 12);
+  opts.verbose = true;
+  const FitResult result = FitModel(model, ds, opts);
+  std::printf("best validation HR@10 %.2f%% (epoch %lld, %.1fs)\n",
+              result.best_val_hr10, static_cast<long long>(result.best_epoch),
+              result.seconds);
+
+  const std::string out = flags.GetString("out", "pmmrec.ckpt");
+  const Status st = model.SaveToFile(out);
+  std::printf("saved %s: %s\n", out.c_str(), st.ToString().c_str());
+  return st.ok() ? 0 : 1;
+}
+
+int CmdEvaluate(const FlagParser& flags) {
+  const Dataset ds = LoadDataOrDie(flags);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.modality = ParseModality(flags.GetString("modality", "both"));
+  PMMRecModel model(config, 1);
+  const Status st = model.LoadFromFile(flags.GetString("model"));
+  PMM_CHECK_MSG(st.ok(), st.ToString());
+  model.AttachDataset(&ds);
+  const EvalSplit split = flags.GetString("split", "test") == "valid"
+                              ? EvalSplit::kValidation
+                              : EvalSplit::kTest;
+  const RankingMetrics metrics = EvaluateRanking(model, ds, split);
+  std::printf("%s\n", metrics.ToString().c_str());
+  return 0;
+}
+
+int CmdTransfer(const FlagParser& flags) {
+  const Dataset target = LoadDataOrDie(flags);
+  PMMRecConfig config = PMMRecConfig::FromDataset(target);
+  const TransferSetting setting =
+      ParseSetting(flags.GetString("setting", "full"));
+  if (setting == TransferSetting::kTextOnly) {
+    config.modality = ModalityMode::kTextOnly;
+  } else if (setting == TransferSetting::kVisionOnly) {
+    config.modality = ModalityMode::kVisionOnly;
+  }
+
+  // The source checkpoint was saved from a multi-modal model with the
+  // same schema.
+  PMMRecConfig source_config = config;
+  source_config.modality = ModalityMode::kBoth;
+  PMMRecModel source(source_config, 1);
+  const Status st = source.LoadFromFile(flags.GetString("source-model"));
+  PMM_CHECK_MSG(st.ok(), st.ToString());
+
+  PMMRecModel model(config, static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  model.TransferFrom(source, setting);
+
+  FitOptions opts;
+  opts.max_epochs = flags.GetInt("epochs", 12);
+  opts.verbose = true;
+  FitModel(model, target, opts);
+  const RankingMetrics metrics =
+      EvaluateRanking(model, target, EvalSplit::kTest);
+  std::printf("fine-tuned (%s transfer): %s\n", ToString(setting),
+              metrics.ToString().c_str());
+
+  const std::string out = flags.GetString("out", "pmmrec_finetuned.ckpt");
+  const Status save = model.SaveToFile(out);
+  std::printf("saved %s: %s\n", out.c_str(), save.ToString().c_str());
+  return save.ok() ? 0 : 1;
+}
+
+int CmdRecommend(const FlagParser& flags) {
+  const Dataset ds = LoadDataOrDie(flags);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.modality = ParseModality(flags.GetString("modality", "both"));
+  PMMRecModel model(config, 1);
+  const Status st = model.LoadFromFile(flags.GetString("model"));
+  PMM_CHECK_MSG(st.ok(), st.ToString());
+  model.AttachDataset(&ds);
+
+  const int64_t user = flags.GetInt("user", 0);
+  PMM_CHECK_LT(user, ds.num_users());
+  const int64_t topk = flags.GetInt("topk", 10);
+  const std::vector<int32_t> history = ds.TestPrefix(user);
+  const std::vector<float> scores = model.ScoreItems(history);
+
+  std::vector<int32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+  });
+  std::printf("user %lld history:", static_cast<long long>(user));
+  for (int32_t item : history) std::printf(" %d", item);
+  std::printf("\ntop-%lld:", static_cast<long long>(topk));
+  int64_t shown = 0;
+  for (int32_t item : order) {
+    if (std::find(history.begin(), history.end(), item) != history.end()) {
+      continue;  // Skip already-consumed items.
+    }
+    std::printf(" %d(%.3f)", item, scores[static_cast<size_t>(item)]);
+    if (++shown == topk) break;
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pmmrec_cli <gen-data|stats|train|evaluate|transfer|"
+               "recommend> [--flags]\n(see the header of tools/pmmrec_cli.cc "
+               "for per-command flags)\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  using namespace pmmrec;
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+  if (command == "gen-data") return CmdGenData(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "transfer") return CmdTransfer(flags);
+  if (command == "recommend") return CmdRecommend(flags);
+  return Usage();
+}
