@@ -8,6 +8,7 @@
 #include "data/generator.h"
 #include "nn/transformer.h"
 #include "tensor/ops.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
@@ -46,6 +47,66 @@ void BM_LayerNorm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayerNorm);
+
+// --- Thread-scaling variants (the knob is state.range(0) threads) ---------
+// Results are bit-identical across thread counts, so these measure pure
+// wall-clock scaling of the parallel backend on large shapes.
+
+void BM_MatMulThreads(benchmark::State& state) {
+  NumThreadsGuard guard(state.range(0));
+  const int64_t n = 192;
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape{n, n}, rng);
+  Tensor b = Tensor::Randn(Shape{n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MatMulBackwardThreads(benchmark::State& state) {
+  NumThreadsGuard guard(state.range(0));
+  const int64_t n = 128;
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape{n, n}, rng, 1.0f, true);
+  Tensor b = Tensor::Randn(Shape{n, n}, rng, 1.0f, true);
+  for (auto _ : state) {
+    Tensor loss = SumAll(Square(MatMul(a, b)));
+    loss.Backward();
+    a.ZeroGrad();
+    b.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
+}
+BENCHMARK(BM_MatMulBackwardThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SoftmaxThreads(benchmark::State& state) {
+  NumThreadsGuard guard(state.range(0));
+  Rng rng(2);
+  Tensor a = Tensor::Randn(Shape{2048, 64}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_SoftmaxThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_LayerNormThreads(benchmark::State& state) {
+  NumThreadsGuard guard(state.range(0));
+  Rng rng(3);
+  Tensor x = Tensor::Randn(Shape{2048, 64}, rng);
+  Tensor gamma = Tensor::Ones(Shape{64});
+  Tensor beta = Tensor::Zeros(Shape{64});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNormOp(x, gamma, beta).data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LayerNormThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_TransformerBlockForward(benchmark::State& state) {
   Rng rng(4);

@@ -75,6 +75,12 @@ struct PMMRecConfig {
 
   ModalityMode modality = ModalityMode::kBoth;
 
+  // Intra-op threads for this model's kernels and eval precompute. 0 keeps
+  // the process-wide setting (PMMREC_NUM_THREADS env var, or all hardware
+  // threads); 1 forces the exact serial path. Results are bit-identical for
+  // every value — see DESIGN.md "Threading model".
+  int64_t num_threads = 0;
+
   static PMMRecConfig FromDataset(const Dataset& ds) {
     PMMRecConfig config;
     config.text_vocab = ds.text_vocab_size;

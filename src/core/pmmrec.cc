@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "utils/parallel.h"
+
 namespace pmmrec {
 
 PMMRecModel::PMMRecModel(const PMMRecConfig& config, uint64_t seed)
@@ -12,6 +14,9 @@ PMMRecModel::PMMRecModel(const PMMRecConfig& config, uint64_t seed)
       fusion_(config, &rng_),
       user_encoder_(config, &rng_),
       nid_head_(config.d_model, 3, rng_) {
+  // 0 leaves the process-wide setting (PMMREC_NUM_THREADS / SetNumThreads)
+  // untouched.
+  if (config.num_threads > 0) SetNumThreads(config.num_threads);
   RegisterModule("text_encoder", &text_encoder_);
   RegisterModule("vision_encoder", &vision_encoder_);
   RegisterModule("fusion", &fusion_);
@@ -120,17 +125,26 @@ void PMMRecModel::PrepareForEval() {
   const int64_t d = config_.d_model;
   item_table_.assign(static_cast<size_t>(n_items * d), 0.0f);
 
+  // Chunk size is fixed (not derived from the thread count) so the encoded
+  // representations — and therefore all downstream metrics — are identical
+  // for every PMMREC_NUM_THREADS setting.
   constexpr int64_t kChunk = 64;
-  for (int64_t start = 0; start < n_items; start += kChunk) {
-    const int64_t count = std::min<int64_t>(kChunk, n_items - start);
-    std::vector<int32_t> ids(static_cast<size_t>(count));
-    for (int64_t i = 0; i < count; ++i) {
-      ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
+  const int64_t n_chunks = (n_items + kChunk - 1) / kChunk;
+  ParallelFor(0, n_chunks, /*grain=*/1, [&](int64_t c0, int64_t c1) {
+    // Pool workers start grad-enabled; the encode must stay graph-free.
+    NoGradGuard chunk_no_grad;
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t start = c * kChunk;
+      const int64_t count = std::min<int64_t>(kChunk, n_items - start);
+      std::vector<int32_t> ids(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
+      }
+      ItemReps reps = EncodeItemReps(ids);
+      std::memcpy(item_table_.data() + start * d, reps.final_.data(),
+                  static_cast<size_t>(count * d) * sizeof(float));
     }
-    ItemReps reps = EncodeItemReps(ids);
-    std::memcpy(item_table_.data() + start * d, reps.final_.data(),
-                static_cast<size_t>(count * d) * sizeof(float));
-  }
+  });
   item_table_valid_ = true;
 }
 

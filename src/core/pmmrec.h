@@ -38,6 +38,10 @@ class PMMRecModel : public Module, public TrainableRecommender {
   void SetTrainingMode(bool training) override;
   void PrepareForEval() override;
   std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override;
+  // Scoring only reads the cached item table and runs stateless forward
+  // passes under NoGradGuard, so the evaluator may fan users out across
+  // threads.
+  bool SupportsParallelEval() const override { return true; }
 
   // --- Representation export -----------------------------------------------
   // Final-position user-encoder hidden state for a history ([d_model]).

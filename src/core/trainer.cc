@@ -2,6 +2,7 @@
 
 #include "nn/optimizer.h"
 #include "utils/logging.h"
+#include "utils/parallel.h"
 #include "utils/stopwatch.h"
 
 namespace pmmrec {
@@ -32,6 +33,7 @@ void RestoreParams(const std::vector<Tensor*>& params,
 FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
                    const FitOptions& options) {
   Stopwatch watch;
+  if (options.num_threads > 0) SetNumThreads(options.num_threads);
   model.AttachDataset(&ds);
   std::vector<Tensor*> params = model.TrainableParameters();
   PMM_CHECK(!params.empty());

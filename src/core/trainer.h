@@ -46,6 +46,10 @@ struct FitOptions {
   int64_t eval_users = 120;
   uint64_t seed = 7;
   bool verbose = false;
+  // Intra-op threads for the run; 0 keeps the process-wide setting and 1
+  // forces the serial path. Training results are bit-identical for every
+  // value (see DESIGN.md "Threading model").
+  int64_t num_threads = 0;
 };
 
 struct FitResult {

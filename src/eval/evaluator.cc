@@ -1,6 +1,10 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
+
+#include "tensor/tensor.h"
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
@@ -8,7 +12,10 @@ namespace {
 // Deterministic strided subsample of [0, n).
 std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
   std::vector<int64_t> out;
+  if (n <= 0) return out;
   if (max_count <= 0 || max_count >= n) {
+    // Asking for more users/cases than exist evaluates everything exactly
+    // once; no striding past the end.
     out.resize(static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = i;
     return out;
@@ -16,9 +23,37 @@ std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
   const double stride = static_cast<double>(n) / static_cast<double>(max_count);
   out.reserve(static_cast<size_t>(max_count));
   for (int64_t i = 0; i < max_count; ++i) {
-    out.push_back(static_cast<int64_t>(static_cast<double>(i) * stride));
+    // Clamp guards against floating-point rounding ever producing n.
+    out.push_back(std::min<int64_t>(
+        n - 1, static_cast<int64_t>(static_cast<double>(i) * stride)));
   }
   return out;
+}
+
+// Scores every case with `score_one` — in parallel when the model opts in,
+// serially otherwise — and accumulates ranks in case order either way, so
+// metrics are independent of the thread count.
+template <typename ScoreOne>
+RankingMetrics RankAll(Scorer& model, int64_t count,
+                       const ScoreOne& score_one) {
+  std::vector<int64_t> ranks(static_cast<size_t>(count));
+  if (model.SupportsParallelEval()) {
+    ParallelFor(0, count, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+      // Pool workers start grad-enabled; scoring must not record graphs.
+      NoGradGuard no_grad;
+      for (int64_t i = lo; i < hi; ++i) {
+        ranks[static_cast<size_t>(i)] = score_one(i);
+      }
+    });
+  } else {
+    for (int64_t i = 0; i < count; ++i) {
+      ranks[static_cast<size_t>(i)] = score_one(i);
+    }
+  }
+  RankingMetrics metrics;
+  for (int64_t rank : ranks) metrics.AddRank(rank);
+  metrics.Finalize();
+  return metrics;
 }
 
 }  // namespace
@@ -26,38 +61,38 @@ std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
 RankingMetrics EvaluateRanking(Scorer& model, const Dataset& ds,
                                EvalSplit split, int64_t max_users) {
   model.PrepareForEval();
-  RankingMetrics metrics;
-  for (int64_t u : StridedSubset(ds.num_users(), max_users)) {
-    std::vector<int32_t> prefix;
-    int32_t target;
-    if (split == EvalSplit::kValidation) {
-      prefix = ds.ValidationPrefix(u);
-      target = ds.ValidationTarget(u);
-    } else {
-      prefix = ds.TestPrefix(u);
-      target = ds.TestTarget(u);
-    }
-    const std::vector<float> scores = model.ScoreItems(prefix);
-    PMM_CHECK_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
-    metrics.AddRank(RankOfTarget(scores, target, prefix));
-  }
-  metrics.Finalize();
-  return metrics;
+  const std::vector<int64_t> users = StridedSubset(ds.num_users(), max_users);
+  return RankAll(
+      model, static_cast<int64_t>(users.size()), [&](int64_t i) -> int64_t {
+        const int64_t u = users[static_cast<size_t>(i)];
+        std::vector<int32_t> prefix;
+        int32_t target;
+        if (split == EvalSplit::kValidation) {
+          prefix = ds.ValidationPrefix(u);
+          target = ds.ValidationTarget(u);
+        } else {
+          prefix = ds.TestPrefix(u);
+          target = ds.TestTarget(u);
+        }
+        const std::vector<float> scores = model.ScoreItems(prefix);
+        PMM_CHECK_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
+        return RankOfTarget(scores, target, prefix);
+      });
 }
 
 RankingMetrics EvaluateColdStart(Scorer& model,
                                  const std::vector<ColdStartCase>& cases,
                                  int64_t max_cases) {
   model.PrepareForEval();
-  RankingMetrics metrics;
-  for (int64_t i :
-       StridedSubset(static_cast<int64_t>(cases.size()), max_cases)) {
-    const ColdStartCase& c = cases[static_cast<size_t>(i)];
-    const std::vector<float> scores = model.ScoreItems(c.prefix);
-    metrics.AddRank(RankOfTarget(scores, c.target, c.prefix));
-  }
-  metrics.Finalize();
-  return metrics;
+  const std::vector<int64_t> subset =
+      StridedSubset(static_cast<int64_t>(cases.size()), max_cases);
+  return RankAll(
+      model, static_cast<int64_t>(subset.size()), [&](int64_t i) -> int64_t {
+        const ColdStartCase& c = cases[static_cast<size_t>(subset[
+            static_cast<size_t>(i)])];
+        const std::vector<float> scores = model.ScoreItems(c.prefix);
+        return RankOfTarget(scores, c.target, c.prefix);
+      });
 }
 
 }  // namespace pmmrec

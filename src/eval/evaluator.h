@@ -23,6 +23,13 @@ class Scorer {
   // prefix (higher is better).
   virtual std::vector<float> ScoreItems(
       const std::vector<int32_t>& prefix) = 0;
+
+  // Opt-in: returns true if ScoreItems() is safe to call concurrently from
+  // multiple threads after PrepareForEval(). The evaluator then scores
+  // users in parallel (results are still accumulated in user order, so
+  // metrics are bit-identical to the serial path). Defaults to false so
+  // stateful baselines stay on the serial path.
+  virtual bool SupportsParallelEval() const { return false; }
 };
 
 enum class EvalSplit { kValidation, kTest };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "utils/parallel.h"
+
 namespace pmmrec {
 namespace {
 
@@ -11,13 +13,16 @@ bool NeedsGrad(const TensorImpl& impl) {
 }
 
 // Calls f(out_linear, a_offset, b_offset) for every element of the
-// broadcast output. Strides of size-1 broadcast dims are zero.
+// broadcast output with linear index in [lin_begin, lin_end). Strides of
+// size-1 broadcast dims are zero. Restartable at any linear index so
+// ParallelFor chunks can each walk their own sub-range.
 template <typename F>
-void ForEachBroadcastPair(const Shape& out, const Shape& a, const Shape& b,
-                          F&& f) {
+void ForEachBroadcastPairRange(const Shape& out, const Shape& a,
+                               const Shape& b, int64_t lin_begin,
+                               int64_t lin_end, F&& f) {
   const int64_t rank = out.rank();
   if (rank == 0) {
-    f(0, 0, 0);
+    if (lin_begin <= 0 && lin_end > 0) f(0, 0, 0);
     return;
   }
   auto pad_strides = [&](const Shape& s) {
@@ -33,11 +38,19 @@ void ForEachBroadcastPair(const Shape& out, const Shape& a, const Shape& b,
   };
   const auto sa = pad_strides(a);
   const auto sb = pad_strides(b);
+  // Seed the multi-index and operand offsets at lin_begin.
   std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
   int64_t a_off = 0;
   int64_t b_off = 0;
-  const int64_t n = out.numel();
-  for (int64_t lin = 0; lin < n; ++lin) {
+  int64_t rest = lin_begin;
+  for (int64_t d = rank - 1; d >= 0; --d) {
+    const size_t du = static_cast<size_t>(d);
+    idx[du] = rest % out.dim(d);
+    rest /= out.dim(d);
+    a_off += idx[du] * sa[du];
+    b_off += idx[du] * sb[du];
+  }
+  for (int64_t lin = lin_begin; lin < lin_end; ++lin) {
     f(lin, a_off, b_off);
     for (int64_t d = rank - 1; d >= 0; --d) {
       const size_t du = static_cast<size_t>(d);
@@ -50,6 +63,12 @@ void ForEachBroadcastPair(const Shape& out, const Shape& a, const Shape& b,
       idx[du] = 0;
     }
   }
+}
+
+template <typename F>
+void ForEachBroadcastPair(const Shape& out, const Shape& a, const Shape& b,
+                          F&& f) {
+  ForEachBroadcastPairRange(out, a, b, 0, out.numel(), f);
 }
 
 // Generic differentiable binary broadcast op.
@@ -74,27 +93,47 @@ Tensor BinaryBroadcastOp(const Tensor& a, const Tensor& b, FwdFn f, DaFn da,
         if (need_b) b_impl->EnsureGrad();
         float* ga = need_a ? a_impl->grad.data() : nullptr;
         float* gb = need_b ? b_impl->grad.data() : nullptr;
-        ForEachBroadcastPair(
-            self.shape, a_impl->shape, b_impl->shape,
-            [&](int64_t lin, int64_t ao, int64_t bo) {
-              const float g = gout[lin];
-              if (ga) ga[ao] += g * da(av[ao], bv[bo]);
-              if (gb) gb[bo] += g * db(av[ao], bv[bo]);
-            });
+        if (a_impl->shape == b_impl->shape) {
+          // No broadcasting: every input gradient element is owned by
+          // exactly one output element, so chunks never alias.
+          const int64_t n = self.shape.numel();
+          ParallelFor(0, n, GrainForCost(4), [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              const float g = gout[i];
+              if (ga) ga[i] += g * da(av[i], bv[i]);
+              if (gb) gb[i] += g * db(av[i], bv[i]);
+            }
+          });
+        } else {
+          // Broadcast dims scatter several output gradients into one input
+          // element; stay serial to keep accumulation race-free and in the
+          // reference order.
+          ForEachBroadcastPair(
+              self.shape, a_impl->shape, b_impl->shape,
+              [&](int64_t lin, int64_t ao, int64_t bo) {
+                const float g = gout[lin];
+                if (ga) ga[ao] += g * da(av[ao], bv[bo]);
+                if (gb) gb[bo] += g * db(av[ao], bv[bo]);
+              });
+        }
       });
 
   // Forward.
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
+  const int64_t n = out.numel();
   if (a.shape() == b.shape()) {
-    const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) ov[i] = f(av[i], bv[i]);
+    ParallelFor(0, n, GrainForCost(1), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ov[i] = f(av[i], bv[i]);
+    });
   } else {
-    ForEachBroadcastPair(out_shape, a.shape(), b.shape(),
-                         [&](int64_t lin, int64_t ao, int64_t bo) {
-                           ov[lin] = f(av[ao], bv[bo]);
-                         });
+    ParallelFor(0, n, GrainForCost(2), [&](int64_t lo, int64_t hi) {
+      ForEachBroadcastPairRange(out_shape, a.shape(), b.shape(), lo, hi,
+                                [&](int64_t lin, int64_t ao, int64_t bo) {
+                                  ov[lin] = f(av[ao], bv[bo]);
+                                });
+    });
   }
   return out;
 }
@@ -113,12 +152,18 @@ Tensor UnaryOp(const Tensor& a, FwdFn f, DFn dydx) {
         const float* gout = self.grad.data();
         float* ga = a_impl->grad.data();
         const int64_t n = self.shape.numel();
-        for (int64_t i = 0; i < n; ++i) ga[i] += gout[i] * dydx(x[i], y[i]);
+        ParallelFor(0, n, GrainForCost(2), [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            ga[i] += gout[i] * dydx(x[i], y[i]);
+          }
+        });
       });
   const float* x = a.data();
   float* y = out.data();
   const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) y[i] = f(x[i]);
+  ParallelFor(0, n, GrainForCost(1), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) y[i] = f(x[i]);
+  });
   return out;
 }
 
@@ -385,6 +430,8 @@ Tensor SelectRows(const Tensor& a, const std::vector<int32_t>& rows) {
         a_impl->EnsureGrad();
         const float* gout = self.grad.data();
         float* ga = a_impl->grad.data();
+        // Serial: duplicate indices scatter-add into the same source row,
+        // so a parallel partition over the gather axis would race.
         for (size_t i = 0; i < rows_copy.size(); ++i) {
           const float* src = gout + static_cast<int64_t>(i) * row_size;
           float* dst = ga + static_cast<int64_t>(rows_copy[i]) * row_size;
@@ -394,11 +441,15 @@ Tensor SelectRows(const Tensor& a, const std::vector<int32_t>& rows) {
 
   const float* av = a.data();
   float* ov = out.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    std::copy(av + static_cast<int64_t>(rows[i]) * row_size,
-              av + (static_cast<int64_t>(rows[i]) + 1) * row_size,
-              ov + static_cast<int64_t>(i) * row_size);
-  }
+  ParallelFor(0, static_cast<int64_t>(rows.size()), GrainForCost(row_size),
+              [&](int64_t i0, int64_t i1) {
+                for (int64_t i = i0; i < i1; ++i) {
+                  const int64_t r =
+                      static_cast<int64_t>(rows[static_cast<size_t>(i)]);
+                  std::copy(av + r * row_size, av + (r + 1) * row_size,
+                            ov + i * row_size);
+                }
+              });
   return out;
 }
 
@@ -454,33 +505,40 @@ Tensor Softmax(const Tensor& a) {
         const float* y = self.const_data();
         const float* gout = self.grad.data();
         float* ga = a_impl->grad.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* yr = y + r * cols;
-          const float* gr = gout + r * cols;
-          float dot = 0.0f;
-          for (int64_t c = 0; c < cols; ++c) dot += yr[c] * gr[c];
-          float* gar = ga + r * cols;
-          for (int64_t c = 0; c < cols; ++c) {
-            gar[c] += yr[c] * (gr[c] - dot);
-          }
-        }
+        ParallelFor(0, rows, GrainForCost(cols * 3),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        const float* yr = y + r * cols;
+                        const float* gr = gout + r * cols;
+                        float dot = 0.0f;
+                        for (int64_t c = 0; c < cols; ++c) {
+                          dot += yr[c] * gr[c];
+                        }
+                        float* gar = ga + r * cols;
+                        for (int64_t c = 0; c < cols; ++c) {
+                          gar[c] += yr[c] * (gr[c] - dot);
+                        }
+                      }
+                    });
       });
 
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float max_v = xr[0];
-    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) {
-      yr[c] = std::exp(xr[c] - max_v);
-      sum += yr[c];
+  ParallelFor(0, rows, GrainForCost(cols * 4), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float max_v = xr[0];
+      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = std::exp(xr[c] - max_v);
+        sum += yr[c];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
-  }
+  });
   return out;
 }
 
@@ -498,30 +556,35 @@ Tensor LogSoftmax(const Tensor& a) {
         const float* y = self.const_data();  // log p
         const float* gout = self.grad.data();
         float* ga = a_impl->grad.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* yr = y + r * cols;
-          const float* gr = gout + r * cols;
-          float gsum = 0.0f;
-          for (int64_t c = 0; c < cols; ++c) gsum += gr[c];
-          float* gar = ga + r * cols;
-          for (int64_t c = 0; c < cols; ++c) {
-            gar[c] += gr[c] - std::exp(yr[c]) * gsum;
-          }
-        }
+        ParallelFor(0, rows, GrainForCost(cols * 3),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        const float* yr = y + r * cols;
+                        const float* gr = gout + r * cols;
+                        float gsum = 0.0f;
+                        for (int64_t c = 0; c < cols; ++c) gsum += gr[c];
+                        float* gar = ga + r * cols;
+                        for (int64_t c = 0; c < cols; ++c) {
+                          gar[c] += gr[c] - std::exp(yr[c]) * gsum;
+                        }
+                      }
+                    });
       });
 
   const float* x = a.data();
   float* y = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = x + r * cols;
-    float* yr = y + r * cols;
-    float max_v = xr[0];
-    for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
-    float sum = 0.0f;
-    for (int64_t c = 0; c < cols; ++c) sum += std::exp(xr[c] - max_v);
-    const float log_z = max_v + std::log(sum);
-    for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - log_z;
-  }
+  ParallelFor(0, rows, GrainForCost(cols * 4), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float max_v = xr[0];
+      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) sum += std::exp(xr[c] - max_v);
+      const float log_z = max_v + std::log(sum);
+      for (int64_t c = 0; c < cols; ++c) yr[c] = xr[c] - log_z;
+    }
+  });
   return out;
 }
 

@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "tensor/ops.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
@@ -55,6 +56,25 @@ void GemmTN(const float* a, const float* g, float* c, int64_t m, int64_t k,
   }
 }
 
+// Rows [p0, p1) of C[K,N] += A[M,K]^T * G[M,N]. Restricting the K range
+// lets the broadcast MatMul backward partition dB across threads: each
+// chunk owns a disjoint row band of C while still walking i = 0..M-1 in
+// ascending order, so per-element accumulation order matches GemmTN
+// exactly (bit-identical reductions).
+void GemmTNRowRange(const float* a, const float* g, float* c, int64_t m,
+                    int64_t k, int64_t n, int64_t p0, int64_t p1) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    const float* gi = g + i * n;
+    for (int64_t p = p0; p < p1; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      float* cp = c + p * n;
+      for (int64_t j = 0; j < n; ++j) cp[j] += av * gi[j];
+    }
+  }
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -92,18 +112,41 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         const bool need_b = NeedsGrad(*b_impl);
         if (need_a) a_impl->EnsureGrad();
         if (need_b) b_impl->EnsureGrad();
-        for (int64_t bi = 0; bi < batch; ++bi) {
-          const float* ab = av + bi * m * k;
-          const float* bb = b_broadcast ? bv : bv + bi * k * n;
-          const float* gb = gout + bi * m * n;
-          if (need_a) {
-            // dA = dC * B^T
-            GemmNT(gb, bb, a_impl->grad.data() + bi * m * k, m, n, k);
-          }
-          if (need_b) {
-            // dB = A^T * dC (accumulates across batches if broadcast).
-            float* gbv = b_impl->grad.data() + (b_broadcast ? 0 : bi * k * n);
-            GemmTN(ab, gb, gbv, m, k, n);
+        if (need_a) {
+          // dA = dC * B^T, partitioned over the batch*m output rows; each
+          // dA row is owned by one chunk.
+          float* ga = a_impl->grad.data();
+          ParallelFor(0, batch * m, GrainForCost(n * k),
+                      [&](int64_t r0, int64_t r1) {
+                        for (int64_t r = r0; r < r1; ++r) {
+                          const int64_t bi = r / m;
+                          const float* bb =
+                              b_broadcast ? bv : bv + bi * k * n;
+                          GemmNT(gout + r * n, bb, ga + r * k, 1, n, k);
+                        }
+                      });
+        }
+        if (need_b) {
+          float* gb = b_impl->grad.data();
+          if (b_broadcast) {
+            // dB = sum over batches of A^T * dC. Every batch accumulates
+            // into the one shared [k, n] gradient, so partition over the
+            // K rows of dB instead: A and dC are contiguous [batch*m, .]
+            // row spaces, and each chunk owns a disjoint row band of dB.
+            ParallelFor(0, k, GrainForCost(batch * m * n),
+                        [&](int64_t p0, int64_t p1) {
+                          GemmTNRowRange(av, gout, gb, batch * m, k, n, p0,
+                                         p1);
+                        });
+          } else {
+            // Per-batch dB slices are disjoint: partition over batches.
+            ParallelFor(0, batch, GrainForCost(m * k * n),
+                        [&](int64_t b0, int64_t b1) {
+                          for (int64_t bi = b0; bi < b1; ++bi) {
+                            GemmTN(av + bi * m * k, gout + bi * m * n,
+                                   gb + bi * k * n, m, k, n);
+                          }
+                        });
           }
         }
       });
@@ -111,10 +154,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    GemmNN(av + bi * m * k, b_broadcast ? bv : bv + bi * k * n,
-           ov + bi * m * n, m, k, n);
-  }
+  // Partition over the batch*m output rows; each C row is written by
+  // exactly one chunk and its K-loop accumulation order is unchanged.
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const int64_t bi = r / m;
+      GemmNN(av + r * k, b_broadcast ? bv : bv + bi * k * n, ov + r * n, 1, k,
+             n);
+    }
+  });
   return out;
 }
 
@@ -185,36 +233,52 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (need_g) g_impl->EnsureGrad();
         if (need_b) b_impl->EnsureGrad();
         const float inv_d = 1.0f / static_cast<float>(d);
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* gr = gout + r * d;
-          const float* xh = xhat->data() + r * d;
-          const float istd = (*inv_std)[static_cast<size_t>(r)];
-          if (need_g || need_b) {
-            float* gg = need_g ? g_impl->grad.data() : nullptr;
-            float* gb = need_b ? b_impl->grad.data() : nullptr;
-            for (int64_t c = 0; c < d; ++c) {
-              if (gg) gg[c] += gr[c] * xh[c];
-              if (gb) gb[c] += gr[c];
-            }
-          }
-          if (need_x) {
-            // dxhat = gout * gamma;
-            // dx = istd * (dxhat - mean(dxhat) - xhat * mean(dxhat*xhat))
-            float mean_dxh = 0.0f;
-            float mean_dxh_xh = 0.0f;
-            for (int64_t c = 0; c < d; ++c) {
-              const float dxh = gr[c] * gam[c];
-              mean_dxh += dxh;
-              mean_dxh_xh += dxh * xh[c];
-            }
-            mean_dxh *= inv_d;
-            mean_dxh_xh *= inv_d;
-            float* gx = x_impl->grad.data() + r * d;
-            for (int64_t c = 0; c < d; ++c) {
-              const float dxh = gr[c] * gam[c];
-              gx[c] += istd * (dxh - mean_dxh - xh[c] * mean_dxh_xh);
-            }
-          }
+        if (need_g || need_b) {
+          // gamma/beta reduce over all rows. Partition over *columns* so
+          // each chunk owns a disjoint slice of the [d] gradients while
+          // walking rows in ascending order — the same per-element
+          // accumulation order as the serial loop, hence bit-identical.
+          float* gg = need_g ? g_impl->grad.data() : nullptr;
+          float* gb = need_b ? b_impl->grad.data() : nullptr;
+          ParallelFor(0, d, GrainForCost(rows * 2),
+                      [&](int64_t c0, int64_t c1) {
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const float* gr = gout + r * d;
+                          const float* xh = xhat->data() + r * d;
+                          for (int64_t c = c0; c < c1; ++c) {
+                            if (gg) gg[c] += gr[c] * xh[c];
+                            if (gb) gb[c] += gr[c];
+                          }
+                        }
+                      });
+        }
+        if (need_x) {
+          float* gx_base = x_impl->grad.data();
+          ParallelFor(
+              0, rows, GrainForCost(d * 6), [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const float* gr = gout + r * d;
+                  const float* xh = xhat->data() + r * d;
+                  const float istd = (*inv_std)[static_cast<size_t>(r)];
+                  // dxhat = gout * gamma;
+                  // dx = istd * (dxhat - mean(dxhat)
+                  //              - xhat * mean(dxhat*xhat))
+                  float mean_dxh = 0.0f;
+                  float mean_dxh_xh = 0.0f;
+                  for (int64_t c = 0; c < d; ++c) {
+                    const float dxh = gr[c] * gam[c];
+                    mean_dxh += dxh;
+                    mean_dxh_xh += dxh * xh[c];
+                  }
+                  mean_dxh *= inv_d;
+                  mean_dxh_xh *= inv_d;
+                  float* gx = gx_base + r * d;
+                  for (int64_t c = 0; c < d; ++c) {
+                    const float dxh = gr[c] * gam[c];
+                    gx[c] += istd * (dxh - mean_dxh - xh[c] * mean_dxh_xh);
+                  }
+                }
+              });
         }
       });
 
@@ -222,26 +286,28 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* gam = gamma.data();
   const float* bet = beta.data();
   float* ov = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xv + r * d;
-    float mean = 0.0f;
-    for (int64_t c = 0; c < d; ++c) mean += xr[c];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t c = 0; c < d; ++c) {
-      const float diff = xr[c] - mean;
-      var += diff * diff;
+  ParallelFor(0, rows, GrainForCost(d * 5), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xv + r * d;
+      float mean = 0.0f;
+      for (int64_t c = 0; c < d; ++c) mean += xr[c];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t c = 0; c < d; ++c) {
+        const float diff = xr[c] - mean;
+        var += diff * diff;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      (*inv_std)[static_cast<size_t>(r)] = istd;
+      float* xh = xhat->data() + r * d;
+      float* yr = ov + r * d;
+      for (int64_t c = 0; c < d; ++c) {
+        xh[c] = (xr[c] - mean) * istd;
+        yr[c] = gam[c] * xh[c] + bet[c];
+      }
     }
-    var /= static_cast<float>(d);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    float* xh = xhat->data() + r * d;
-    float* yr = ov + r * d;
-    for (int64_t c = 0; c < d; ++c) {
-      xh[c] = (xr[c] - mean) * istd;
-      yr[c] = gam[c] * xh[c] + bet[c];
-    }
-  }
+  });
   return out;
 }
 
@@ -261,33 +327,40 @@ Tensor L2Normalize(const Tensor& x, float eps) {
         const float* xv = x_impl->const_data();
         const float* gout = self.grad.data();
         float* gx = x_impl->grad.data();
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* xr = xv + r * d;
-          const float* gr = gout + r * d;
-          const float nrm = (*norms)[static_cast<size_t>(r)];
-          float dot = 0.0f;
-          for (int64_t c = 0; c < d; ++c) dot += xr[c] * gr[c];
-          const float inv = 1.0f / nrm;
-          const float inv3 = inv * inv * inv;
-          float* gxr = gx + r * d;
-          for (int64_t c = 0; c < d; ++c) {
-            gxr[c] += gr[c] * inv - xr[c] * dot * inv3;
-          }
-        }
+        ParallelFor(0, rows, GrainForCost(d * 4),
+                    [&](int64_t r0, int64_t r1) {
+                      for (int64_t r = r0; r < r1; ++r) {
+                        const float* xr = xv + r * d;
+                        const float* gr = gout + r * d;
+                        const float nrm = (*norms)[static_cast<size_t>(r)];
+                        float dot = 0.0f;
+                        for (int64_t c = 0; c < d; ++c) {
+                          dot += xr[c] * gr[c];
+                        }
+                        const float inv = 1.0f / nrm;
+                        const float inv3 = inv * inv * inv;
+                        float* gxr = gx + r * d;
+                        for (int64_t c = 0; c < d; ++c) {
+                          gxr[c] += gr[c] * inv - xr[c] * dot * inv3;
+                        }
+                      }
+                    });
       });
 
   const float* xv = x.data();
   float* ov = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xv + r * d;
-    float sq = 0.0f;
-    for (int64_t c = 0; c < d; ++c) sq += xr[c] * xr[c];
-    const float nrm = std::max(std::sqrt(sq), eps);
-    (*norms)[static_cast<size_t>(r)] = nrm;
-    const float inv = 1.0f / nrm;
-    float* yr = ov + r * d;
-    for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv;
-  }
+  ParallelFor(0, rows, GrainForCost(d * 3), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = xv + r * d;
+      float sq = 0.0f;
+      for (int64_t c = 0; c < d; ++c) sq += xr[c] * xr[c];
+      const float nrm = std::max(std::sqrt(sq), eps);
+      (*norms)[static_cast<size_t>(r)] = nrm;
+      const float inv = 1.0f / nrm;
+      float* yr = ov + r * d;
+      for (int64_t c = 0; c < d; ++c) yr[c] = xr[c] * inv;
+    }
+  });
   return out;
 }
 

@@ -7,7 +7,10 @@ namespace pmmrec {
 
 namespace {
 
-bool g_grad_mode_enabled = true;
+// Thread-local so parallel evaluation paths (eval/evaluator.cc, the item
+// table precompute) can disable graph recording on pool workers without
+// racing on a shared flag. Every thread starts with grad mode enabled.
+thread_local bool g_grad_mode_enabled = true;
 
 std::shared_ptr<TensorImpl> NewImpl(const Shape& shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();

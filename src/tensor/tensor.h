@@ -25,8 +25,10 @@ struct TensorImpl;
 //    dtype keeps the op surface simple and fast).
 //  - The data buffer is shared (shared_ptr), so Detach()/Reshape() are
 //    zero-copy.
-//  - Single-threaded by design: the target machines run one training
-//    process per core and the graphs are small.
+//  - Graph construction is single-threaded, but the kernels inside each op
+//    are intra-op parallel via ParallelFor (utils/parallel.h) and
+//    bit-identical across thread counts; GradMode is thread-local so
+//    evaluation can run on pool workers. See DESIGN.md "Threading model".
 class Tensor {
  public:
   Tensor() = default;  // Undefined tensor.
@@ -119,8 +121,10 @@ struct TensorImpl {
   }
 };
 
-// Global flag controlling whether ops record the autograd graph.
-// Evaluation code wraps itself in NoGradGuard to skip graph construction.
+// Per-thread flag controlling whether ops record the autograd graph.
+// Evaluation code wraps itself in NoGradGuard to skip graph construction;
+// pool workers start with grad mode enabled and must install their own
+// guard.
 class GradMode {
  public:
   static bool enabled();

@@ -1,0 +1,74 @@
+#include "utils/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "utils/threadpool.h"
+
+namespace pmmrec {
+namespace {
+
+int64_t DefaultNumThreads() {
+  if (const char* env = std::getenv("PMMREC_NUM_THREADS")) {
+    const int64_t n = std::atoll(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+// 0 = not yet resolved (first GetNumThreads call reads the environment).
+std::atomic<int64_t> g_num_threads{0};
+
+// True while this thread is the submitter of an active ParallelFor. Pool
+// workers are covered by ThreadPool::InWorker(); this flag catches nested
+// ParallelFor calls made from the submitter's own chunks, so they take the
+// single-call inline path instead of RunChunks' per-chunk fallback.
+thread_local bool t_in_parallel_region = false;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { t_in_parallel_region = true; }
+  ~ParallelRegionGuard() { t_in_parallel_region = false; }
+};
+
+}  // namespace
+
+int64_t GetNumThreads() {
+  int64_t n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    // Benign race: every thread resolves the same value.
+    n = DefaultNumThreads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void SetNumThreads(int64_t n) {
+  g_num_threads.store(std::max<int64_t>(1, n), std::memory_order_relaxed);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;  // Empty range: no work, no threads.
+  const int64_t n = end - begin;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t chunks = std::min(GetNumThreads(), max_chunks);
+  if (chunks <= 1 || t_in_parallel_region || ThreadPool::InWorker()) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(chunks - 1);
+  const int64_t base = n / chunks;
+  const int64_t rem = n % chunks;
+  ParallelRegionGuard region;
+  pool.RunChunks(chunks, [&](int64_t c) {
+    const int64_t lo = begin + c * base + std::min(c, rem);
+    const int64_t hi = lo + base + (c < rem ? 1 : 0);
+    fn(lo, hi);
+  });
+}
+
+}  // namespace pmmrec

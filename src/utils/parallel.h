@@ -1,0 +1,67 @@
+#ifndef PMMREC_UTILS_PARALLEL_H_
+#define PMMREC_UTILS_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace pmmrec {
+
+// Intra-op parallelism configuration and the ParallelFor primitive the
+// tensor kernels are written against.
+//
+// Thread-count resolution order: the last SetNumThreads() call, else the
+// PMMREC_NUM_THREADS environment variable, else hardware_concurrency().
+// A count of 1 routes every ParallelFor through the exact serial path (no
+// pool, no worker threads).
+//
+// Determinism contract: kernels partition work over an *owner* dimension
+// (each output element written by exactly one chunk) and keep per-element
+// accumulation order identical to the serial loop, so results are
+// bit-identical for every thread count. See DESIGN.md "Threading model".
+int64_t GetNumThreads();
+void SetNumThreads(int64_t n);  // Clamped to >= 1.
+
+// RAII thread-count override (tests and benchmarks).
+class NumThreadsGuard {
+ public:
+  explicit NumThreadsGuard(int64_t n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~NumThreadsGuard() { SetNumThreads(previous_); }
+
+  NumThreadsGuard(const NumThreadsGuard&) = delete;
+  NumThreadsGuard& operator=(const NumThreadsGuard&) = delete;
+
+ private:
+  int64_t previous_;
+};
+
+// Partitions [begin, end) into at most GetNumThreads() contiguous,
+// ascending chunks of at least `grain` indices each and invokes
+// fn(chunk_begin, chunk_end) for every chunk, returning when all chunks
+// are done. Guarantees:
+//  - an empty range returns immediately and never invokes fn;
+//  - every index lands in exactly one chunk; ragged tails (range not a
+//    multiple of the chunk count) are spread one extra index at a time
+//    over the leading chunks;
+//  - with one thread, a range no larger than `grain`, or when called from
+//    inside another parallel region, fn(begin, end) runs inline on the
+//    calling thread — the exact serial path.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+// Grain heuristic: the number of loop indices needed so one chunk amounts
+// to roughly `kParallelMinCostPerChunk` scalar operations, given the cost
+// of a single index. Keeps tiny kernels on the serial path where pool
+// dispatch would dominate.
+inline constexpr int64_t kParallelMinCostPerChunk = 16384;
+
+inline int64_t GrainForCost(int64_t per_index_cost) {
+  return std::max<int64_t>(
+      1, kParallelMinCostPerChunk / std::max<int64_t>(per_index_cost, 1));
+}
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_PARALLEL_H_

@@ -1,0 +1,111 @@
+#include "utils/threadpool.h"
+
+#include <algorithm>
+
+namespace pmmrec {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+// Hard cap on spawned workers; far above any sensible PMMREC_NUM_THREADS.
+constexpr int64_t kMaxWorkers = 256;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: joining workers during static destruction would
+  // race with other translation units' teardown.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::EnsureWorkers(int64_t count) {
+  count = std::min(count, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int64_t>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int64_t ThreadPool::num_workers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(workers_.size());
+}
+
+void ThreadPool::ClaimAndRun(Batch* batch) {
+  for (;;) {
+    const int64_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->total) break;
+    (*batch->fn)(i);
+    batch->completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || batch_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = batch_epoch_;
+      batch = batch_;
+      if (batch == nullptr) continue;
+      // Registering under mu_ keeps the Batch (stack-allocated in
+      // RunChunks) alive: the submitter cannot return while
+      // active_workers > 0.
+      ++batch->active_workers;
+    }
+    ClaimAndRun(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --batch->active_workers;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunChunks(int64_t n, const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (t_in_worker || !submit_mu_.try_lock()) {
+    // Nested or concurrent submission: degrade to inline execution.
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_, std::adopt_lock);
+
+  Batch batch;
+  batch.total = n;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++batch_epoch_;
+  }
+  work_cv_.notify_all();
+  ClaimAndRun(&batch);  // The submitter participates.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.completed.load(std::memory_order_acquire) == batch.total &&
+             batch.active_workers == 0;
+    });
+    batch_ = nullptr;
+  }
+}
+
+}  // namespace pmmrec

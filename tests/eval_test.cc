@@ -117,6 +117,23 @@ TEST(EvaluatorTest, MaxUsersSubsamples) {
   EXPECT_EQ(oracle.calls(), 10);
 }
 
+// Asking for more users than exist must evaluate every user exactly once
+// (no striding past the end) and match the evaluate-everything result.
+TEST(EvaluatorTest, MaxUsersBeyondUserCountEvaluatesAll) {
+  Dataset ds = ConsecutiveDataset(20, 50);
+  OracleScorer oracle(50);
+  const RankingMetrics capped =
+      EvaluateRanking(oracle, ds, EvalSplit::kTest, /*max_users=*/100);
+  EXPECT_EQ(capped.count, 20);
+  EXPECT_EQ(oracle.calls(), 20);
+  const RankingMetrics all =
+      EvaluateRanking(oracle, ds, EvalSplit::kTest, /*max_users=*/-1);
+  EXPECT_EQ(all.count, capped.count);
+  EXPECT_DOUBLE_EQ(all.Hr(10), capped.Hr(10));
+  EXPECT_DOUBLE_EQ(all.Ndcg(10), capped.Ndcg(10));
+  EXPECT_DOUBLE_EQ(all.mean_rank, capped.mean_rank);
+}
+
 TEST(EvaluatorTest, ColdStartEvaluation) {
   Dataset ds = ConsecutiveDataset(10, 50);
   OracleScorer oracle(50);

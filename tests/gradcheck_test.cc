@@ -6,6 +6,7 @@
 
 #include "tensor/ops.h"
 #include "tests/gradcheck.h"
+#include "utils/parallel.h"
 #include "utils/rng.h"
 
 namespace pmmrec {
@@ -90,6 +91,31 @@ TEST_F(GradCheckTest, MatMulBroadcastRhs) {
   ExpectGradientsClose(loss, b);
 }
 
+// Same analytic-vs-finite-difference check, but with the kernels running
+// on the parallel backend. Shapes are sized so the grain heuristic splits
+// the work at 4 threads (tiny shapes would silently stay serial); the loss
+// is a mixed-sign weighted sum so its float32 accumulation stays small and
+// central differences remain accurate at these sizes.
+TEST_F(GradCheckTest, MatMulBackwardParallelBackend) {
+  NumThreadsGuard guard(4);
+  Tensor a = Tensor::Randn(Shape{40, 32}, rng_, 0.5f, true);
+  Tensor b = Tensor::Randn(Shape{32, 36}, rng_, 0.5f, true);
+  Tensor w = Tensor::Randn(Shape{40, 36}, rng_, 1.0f);
+  auto loss = [&] { return SumAll(Mul(MatMul(a, b), w)); };
+  ExpectGradientsClose(loss, a);
+  ExpectGradientsClose(loss, b);
+}
+
+TEST_F(GradCheckTest, MatMulBroadcastRhsBackwardParallelBackend) {
+  NumThreadsGuard guard(4);
+  Tensor a = Tensor::Randn(Shape{3, 24, 20}, rng_, 0.5f, true);
+  Tensor b = Tensor::Randn(Shape{20, 28}, rng_, 0.5f, true);
+  Tensor w = Tensor::Randn(Shape{3, 24, 28}, rng_, 1.0f);
+  auto loss = [&] { return SumAll(Mul(MatMul(a, b), w)); };
+  ExpectGradientsClose(loss, a);
+  ExpectGradientsClose(loss, b);
+}
+
 TEST_F(GradCheckTest, TransposeReshapeSlice) {
   Tensor a = Tensor::Randn(Shape{3, 4}, rng_, 1.0f, true);
   auto loss = [&] {
@@ -161,6 +187,18 @@ TEST_F(GradCheckTest, LayerNorm) {
   ExpectGradientsClose(loss, x, 1e-2f, 4e-2f);
   ExpectGradientsClose(loss, gamma, 1e-2f, 4e-2f);
   ExpectGradientsClose(loss, beta, 1e-2f, 4e-2f);
+}
+
+TEST_F(GradCheckTest, LayerNormBackwardParallelBackend) {
+  NumThreadsGuard guard(4);
+  Tensor x = Tensor::Randn(Shape{280, 24}, rng_, 1.0f, true);
+  Tensor gamma = Tensor::RandUniform(Shape{24}, rng_, 0.5f, 1.5f, true);
+  Tensor beta = Tensor::Randn(Shape{24}, rng_, 0.2f, true);
+  Tensor w = Tensor::Randn(Shape{280, 24}, rng_, 1.0f);
+  auto loss = [&] { return SumAll(Mul(LayerNormOp(x, gamma, beta), w)); };
+  ExpectGradientsClose(loss, x, 3e-2f, 4e-2f);
+  ExpectGradientsClose(loss, gamma, 3e-2f, 4e-2f);
+  ExpectGradientsClose(loss, beta, 3e-2f, 4e-2f);
 }
 
 TEST_F(GradCheckTest, L2Normalize) {

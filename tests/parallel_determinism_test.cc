@@ -1,0 +1,81 @@
+// End-to-end determinism of training under the parallel backend.
+//
+// Runs two full FitModel sessions on the same synthetic dataset with the
+// same seed — one at threads = 1 (exact serial path), one at threads = 4 —
+// and requires the per-epoch validation HR@10 series and the final train
+// loss to match exactly. This is the user-facing guarantee documented in
+// README "Performance": PMMREC_NUM_THREADS changes wall-clock time only,
+// never results.
+
+#include <vector>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "gtest/gtest.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+FitResult FitAtThreads(int64_t threads) {
+  NumThreadsGuard guard(threads);
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.25, 11);
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  FitOptions opts;
+  opts.max_epochs = 2;
+  opts.eval_users = 40;
+  opts.seed = 7;
+  return FitModel(model, ds, opts);
+}
+
+TEST(ParallelDeterminismTest, TwoEpochFitBitIdenticalAcrossThreadCounts) {
+  const FitResult serial = FitAtThreads(1);
+  const FitResult parallel = FitAtThreads(4);
+
+  ASSERT_EQ(serial.epochs_run, 2);
+  ASSERT_EQ(parallel.epochs_run, serial.epochs_run);
+  ASSERT_EQ(parallel.val_hr10_per_epoch.size(),
+            serial.val_hr10_per_epoch.size());
+  for (size_t e = 0; e < serial.val_hr10_per_epoch.size(); ++e) {
+    EXPECT_EQ(parallel.val_hr10_per_epoch[e], serial.val_hr10_per_epoch[e])
+        << "validation HR@10 diverged at epoch " << e;
+  }
+  EXPECT_EQ(parallel.final_train_loss, serial.final_train_loss);
+  EXPECT_EQ(parallel.best_val_hr10, serial.best_val_hr10);
+  EXPECT_EQ(parallel.best_epoch, serial.best_epoch);
+}
+
+// The num_threads knob on FitOptions must behave exactly like the global
+// setting: a run configured with num_threads = 3 matches a serial run.
+TEST(ParallelDeterminismTest, FitOptionsThreadKnobMatchesSerial) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.2, 13);
+  const Dataset& ds = suite.sources[0];
+  FitOptions opts;
+  opts.max_epochs = 1;
+  opts.eval_users = 24;
+  opts.seed = 7;
+
+  NumThreadsGuard restore(GetNumThreads());
+
+  SetNumThreads(1);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel serial_model(config, 42);
+  const FitResult serial = FitModel(serial_model, ds, opts);
+
+  opts.num_threads = 3;
+  PMMRecModel parallel_model(config, 42);
+  const FitResult parallel = FitModel(parallel_model, ds, opts);
+  EXPECT_EQ(GetNumThreads(), 3);
+
+  ASSERT_EQ(parallel.val_hr10_per_epoch.size(),
+            serial.val_hr10_per_epoch.size());
+  for (size_t e = 0; e < serial.val_hr10_per_epoch.size(); ++e) {
+    EXPECT_EQ(parallel.val_hr10_per_epoch[e], serial.val_hr10_per_epoch[e]);
+  }
+  EXPECT_EQ(parallel.final_train_loss, serial.final_train_loss);
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,364 @@
+// Kernel-equivalence tests for the intra-op parallel backend.
+//
+// Every parallelized kernel must produce bit-identical forward values AND
+// backward gradients for every thread count (the determinism contract of
+// utils/parallel.h). Each case builds identical inputs from a re-seeded
+// Rng, runs forward + backward at threads = 1 (the exact serial path) and
+// at threads = 2 and 7 (ragged partitions on most shapes), and compares
+// every buffer with exact float equality — no tolerance.
+//
+// Shapes are chosen large enough that the grain heuristic actually splits
+// the work at 2 and 7 threads; tiny shapes would silently take the serial
+// path and the test would vacuously pass.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParallelFor primitive.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesFn) {
+  NumThreadsGuard guard(7);
+  std::atomic<int64_t> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(10, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleThreadIsOneInlineCall) {
+  NumThreadsGuard guard(1);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(3, 40, 1, [&](int64_t lo, int64_t hi) {
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 3);
+  EXPECT_EQ(chunks[0].second, 40);
+}
+
+TEST(ParallelForTest, LargeGrainStaysSerial) {
+  NumThreadsGuard guard(7);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  std::mutex mu;
+  ParallelFor(0, 100, 1000, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 0);
+  EXPECT_EQ(chunks[0].second, 100);
+}
+
+// Chunks must cover the range exactly once, be contiguous, and spread
+// ragged tails one index at a time over the leading chunks.
+TEST(ParallelForTest, ChunksPartitionRaggedRanges) {
+  struct Case {
+    int64_t begin, end, grain, threads;
+  };
+  const Case cases[] = {
+      {0, 10, 1, 7},   {0, 7, 1, 7},    {3, 20, 1, 2},   {0, 100, 9, 7},
+      {5, 6, 1, 7},    {0, 1000, 1, 7}, {-4, 11, 1, 3},  {0, 13, 4, 7},
+  };
+  for (const Case& c : cases) {
+    NumThreadsGuard guard(c.threads);
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    ParallelFor(c.begin, c.end, c.grain, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_LE(static_cast<int64_t>(chunks.size()), c.threads);
+    EXPECT_EQ(chunks.front().first, c.begin);
+    EXPECT_EQ(chunks.back().second, c.end);
+    int64_t min_size = chunks[0].second - chunks[0].first;
+    int64_t max_size = min_size;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      const int64_t size = chunks[i].second - chunks[i].first;
+      EXPECT_GT(size, 0) << "empty chunk";
+      min_size = std::min(min_size, size);
+      max_size = std::max(max_size, size);
+      if (i > 0) {
+        EXPECT_EQ(chunks[i].first, chunks[i - 1].second)
+            << "gap or overlap between chunks";
+      }
+    }
+    EXPECT_LE(max_size - min_size, 1)
+        << "ragged tail not spread evenly over leading chunks";
+  }
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInlineAndCoversRange) {
+  NumThreadsGuard guard(4);
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      // Inner region must degrade to one inline call (no deadlock, no
+      // nested fan-out).
+      int64_t inner_calls = 0;
+      int64_t inner_sum = 0;
+      ParallelFor(0, 100, 1, [&](int64_t a, int64_t b) {
+        ++inner_calls;
+        for (int64_t j = a; j < b; ++j) inner_sum += j;
+      });
+      EXPECT_EQ(inner_calls, 1);
+      EXPECT_EQ(inner_sum, 4950);
+      total += 1;
+    }
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ParallelForTest, SetNumThreadsClampsToOne) {
+  NumThreadsGuard guard(0);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(-5);
+  EXPECT_EQ(GetNumThreads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel equivalence harness.
+// ---------------------------------------------------------------------------
+
+using Capture = std::vector<std::vector<float>>;
+
+void AppendValues(const Tensor& t, Capture* cap) {
+  cap->emplace_back(t.data(), t.data() + t.numel());
+}
+
+void AppendGrad(const Tensor& t, Capture* cap) {
+  const float* g = static_cast<const Tensor&>(t).grad_data();
+  ASSERT_NE(g, nullptr) << "gradient not populated";
+  cap->emplace_back(g, g + t.numel());
+}
+
+// Runs `fn` (which must build all of its inputs from scratch, typically
+// from a freshly seeded Rng) at threads = 1, 2 and 7 and requires every
+// captured buffer to match the serial run bit-for-bit.
+template <typename Fn>
+void ExpectThreadInvariant(const Fn& fn) {
+  Capture reference;
+  {
+    NumThreadsGuard guard(1);
+    fn(&reference);
+  }
+  ASSERT_FALSE(reference.empty());
+  for (int64_t threads : {2, 7}) {
+    Capture got;
+    {
+      NumThreadsGuard guard(threads);
+      fn(&got);
+    }
+    ASSERT_EQ(reference.size(), got.size());
+    for (size_t b = 0; b < reference.size(); ++b) {
+      ASSERT_EQ(reference[b].size(), got[b].size()) << "buffer " << b;
+      for (size_t i = 0; i < reference[b].size(); ++i) {
+        ASSERT_EQ(reference[b][i], got[b][i])
+            << "threads=" << threads << " buffer=" << b << " elem=" << i
+            << " differs from the serial result";
+      }
+    }
+  }
+}
+
+// Builds loss = sum((out * w)^2) with a fixed random weighting so backward
+// sees a non-uniform upstream gradient.
+Tensor WeightedSquareLoss(const Tensor& out, Rng& rng) {
+  Tensor w = Tensor::Randn(out.shape(), rng);
+  return SumAll(Square(Mul(out, w)));
+}
+
+TEST(ParallelKernelsTest, MatMul2D) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(101);
+    Tensor a = Tensor::Randn(Shape{64, 48}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{48, 56}, rng, 1.0f, true);
+    Tensor out = MatMul(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, MatMulBatched) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(102);
+    Tensor a = Tensor::Randn(Shape{4, 33, 24}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{4, 24, 40}, rng, 1.0f, true);
+    Tensor out = MatMul(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+// Broadcast rhs: the dB reduction sums over batch*m rows; the kernel
+// partitions it over K output rows, which must not change the per-element
+// accumulation order.
+TEST(ParallelKernelsTest, MatMulBroadcastRhs) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(103);
+    Tensor a = Tensor::Randn(Shape{5, 40, 24}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{24, 32}, rng, 1.0f, true);
+    Tensor out = MatMul(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, Softmax) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(104);
+    Tensor x = Tensor::Randn(Shape{600, 32}, rng, 2.0f, true);
+    Tensor out = Softmax(x);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(x, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, LogSoftmax) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(105);
+    Tensor x = Tensor::Randn(Shape{600, 32}, rng, 2.0f, true);
+    Tensor out = LogSoftmax(x);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(x, cap);
+  });
+}
+
+// LayerNorm gamma/beta gradients reduce over all rows; the kernel
+// partitions those reductions over columns instead, keeping row order.
+TEST(ParallelKernelsTest, LayerNorm) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(106);
+    Tensor x = Tensor::Randn(Shape{500, 32}, rng, 1.0f, true);
+    Tensor gamma = Tensor::Randn(Shape{32}, rng, 0.5f, true);
+    Tensor beta = Tensor::Randn(Shape{32}, rng, 0.5f, true);
+    Tensor out = LayerNormOp(x, gamma, beta);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(x, cap);
+    AppendGrad(gamma, cap);
+    AppendGrad(beta, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, L2Normalize) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(107);
+    Tensor x = Tensor::Randn(Shape{400, 48}, rng, 1.0f, true);
+    Tensor out = L2Normalize(x);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(x, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, ElementwiseSameShape) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(108);
+    Tensor a = Tensor::Randn(Shape{200, 200}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{200, 200}, rng, 1.0f, true);
+    Tensor out = Mul(Add(a, b), Sub(a, b));
+    AppendValues(out, cap);
+    SumAll(Square(out)).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, ElementwiseBroadcast) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(109);
+    Tensor a = Tensor::Randn(Shape{150, 170}, rng, 1.0f, true);
+    Tensor row = Tensor::Randn(Shape{170}, rng, 1.0f, true);
+    Tensor col = Tensor::Randn(Shape{150, 1}, rng, 1.0f, true);
+    Tensor out = Mul(Add(a, row), col);
+    AppendValues(out, cap);
+    SumAll(Square(out)).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(row, cap);
+    AppendGrad(col, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, UnaryActivation) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(110);
+    Tensor x = Tensor::Randn(Shape{220, 190}, rng, 1.0f, true);
+    Tensor out = Gelu(x);
+    AppendValues(out, cap);
+    SumAll(Square(out)).Backward();
+    AppendGrad(x, cap);
+  });
+}
+
+// Duplicate indices make the backward a scatter-add with aliasing; it
+// stays serial, but forward gathers are partitioned over output rows.
+TEST(ParallelKernelsTest, SelectRowsWithDuplicates) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(111);
+    Tensor table = Tensor::Randn(Shape{300, 64}, rng, 1.0f, true);
+    std::vector<int32_t> rows(400);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<int32_t>(rng.UniformInt(0, 300));
+    }
+    Tensor out = SelectRows(table, rows);
+    AppendValues(out, cap);
+    SumAll(Square(out)).Backward();
+    AppendGrad(table, cap);
+  });
+}
+
+// Randomized-shape sweep: odd/prime dimensions produce ragged partitions
+// at both 2 and 7 threads; composite graphs exercise several kernels per
+// backward pass.
+TEST(ParallelKernelsTest, RandomizedShapeSweep) {
+  for (uint64_t seed = 900; seed < 906; ++seed) {
+    ExpectThreadInvariant([seed](Capture* cap) {
+      Rng rng(seed);
+      const int64_t batch = rng.UniformInt(1, 5);
+      const int64_t m = rng.UniformInt(17, 80);
+      const int64_t k = rng.UniformInt(9, 50);
+      const int64_t n = rng.UniformInt(13, 60);
+      Tensor a = Tensor::Randn(Shape{batch, m, k}, rng, 1.0f, true);
+      Tensor b = Tensor::Randn(Shape{k, n}, rng, 1.0f, true);
+      Tensor bias = Tensor::Randn(Shape{n}, rng, 1.0f, true);
+      Tensor gamma = Tensor::Randn(Shape{n}, rng, 0.5f, true);
+      Tensor beta = Tensor::Randn(Shape{n}, rng, 0.5f, true);
+      Tensor h = LayerNormOp(Add(MatMul(a, b), bias), gamma, beta);
+      Tensor out = Softmax(h);
+      AppendValues(out, cap);
+      WeightedSquareLoss(out, rng).Backward();
+      AppendGrad(a, cap);
+      AppendGrad(b, cap);
+      AppendGrad(bias, cap);
+      AppendGrad(gamma, cap);
+      AppendGrad(beta, cap);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace pmmrec

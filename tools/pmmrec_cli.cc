@@ -15,6 +15,11 @@
 //             fine-tune on the target.
 //   recommend --data FILE.pmds --model MODEL.ckpt --user U [--topk K]
 //
+// Global flags (any subcommand):
+//   --threads N   Intra-op threads for the tensor kernels and evaluation
+//                 (overrides the PMMREC_NUM_THREADS env var; 1 = serial).
+//                 Results are bit-identical for every value.
+//
 // Model checkpoints store parameters only; the architecture is derived
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
 // be loaded with the same --modality it was trained with.
@@ -27,6 +32,7 @@
 #include "data/generator.h"
 #include "data/serialization.h"
 #include "utils/flags.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
@@ -217,6 +223,8 @@ int main(int argc, char** argv) {
   using namespace pmmrec;
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
+  const int64_t threads = flags.GetInt("threads", 0);
+  if (threads > 0) SetNumThreads(threads);
   const std::string command = flags.positional()[0];
   if (command == "gen-data") return CmdGenData(flags);
   if (command == "stats") return CmdStats(flags);
