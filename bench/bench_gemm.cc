@@ -1,0 +1,197 @@
+// GEMM kernel benchmark: blocked vs. reference kernels on square and
+// ragged shapes, plus an end-to-end PMMRec training-step A/B under both
+// kernels. Emits machine-readable BENCH_gemm.json and
+// BENCH_train_step.json (in the current directory) so the perf
+// trajectory is tracked PR-over-PR.
+//
+// Usage: bench_gemm [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED (see bench_common.h).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+double Flops(const GemmShape& s) {
+  return 2.0 * static_cast<double>(s.m) * static_cast<double>(s.k) *
+         static_cast<double>(s.n);
+}
+
+// Median-of-reps wall time for one kernel invocation.
+template <typename Fn>
+double TimeMs(Fn&& fn, int reps) {
+  // Warm-up (populates pack scratch, faults pages).
+  fn();
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct GemmResult {
+  std::string op;
+  GemmShape shape;
+  double ref_ms;
+  double blocked_ms;
+};
+
+std::vector<GemmResult> RunGemmSuite() {
+  // Single-thread by construction: the acceptance bar is per-core
+  // throughput, and thread scaling is bench_micro_ops' job.
+  NumThreadsGuard single(1);
+  const std::vector<GemmShape> shapes = {
+      {256, 256, 256},  // acceptance-criterion shape
+      {128, 128, 128},
+      {512, 64, 512},
+      {129, 65, 257},  // ragged: every edge path exercised
+      {64, 512, 64},
+  };
+  Rng rng(11);
+  std::vector<GemmResult> results;
+  for (const GemmShape& s : shapes) {
+    const Tensor a = Tensor::Randn(Shape{s.m, s.k}, rng);
+    const Tensor bt = Tensor::Randn(Shape{s.n, s.k}, rng);  // NT operand
+    const Tensor b = Tensor::Randn(Shape{s.k, s.n}, rng);
+    Tensor c = Tensor::Zeros(Shape{s.m, s.n});
+    const int reps = s.m * s.k * s.n >= (1 << 24) ? 7 : 21;
+
+    struct OpCase {
+      const char* name;
+      void (*blocked)(const float*, const float*, float*, int64_t, int64_t,
+                      int64_t, int64_t, int64_t, int64_t);
+      void (*reference)(const float*, const float*, float*, int64_t, int64_t,
+                        int64_t, int64_t, int64_t, int64_t);
+      const Tensor* rhs;
+      int64_t ldb;
+    };
+    const OpCase cases[] = {
+        {"NN", &gemm::GemmNN, &gemm::ReferenceGemmNN, &b, s.n},
+        {"NT", &gemm::GemmNT, &gemm::ReferenceGemmNT, &bt, s.k},
+        {"TN", &gemm::GemmTN, &gemm::ReferenceGemmTN, &b, s.n},
+    };
+    for (const OpCase& oc : cases) {
+      // TN reads A as [k, m]; reuse `a` storage with swapped leading dim.
+      const int64_t lda = (oc.name[0] == 'T') ? s.m : s.k;
+      GemmResult r;
+      r.op = oc.name;
+      r.shape = s;
+      r.blocked_ms = TimeMs(
+          [&] {
+            oc.blocked(a.data(), oc.rhs->data(), c.data(), s.m, s.k, s.n, lda,
+                       oc.ldb, s.n);
+          },
+          reps);
+      r.ref_ms = TimeMs(
+          [&] {
+            oc.reference(a.data(), oc.rhs->data(), c.data(), s.m, s.k, s.n,
+                         lda, oc.ldb, s.n);
+          },
+          reps);
+      std::printf("GEMM %-2s %4lldx%4lldx%4lld  ref %8.3f ms  blocked %8.3f "
+                  "ms  speedup %5.2fx  (%.2f GFLOP/s)\n",
+                  r.op.c_str(), static_cast<long long>(s.m),
+                  static_cast<long long>(s.k), static_cast<long long>(s.n),
+                  r.ref_ms, r.blocked_ms, r.ref_ms / r.blocked_ms,
+                  Flops(s) / (r.blocked_ms * 1e6));
+      results.push_back(r);
+    }
+  }
+  return results;
+}
+
+void WriteGemmJson(const std::string& path,
+                   const std::vector<GemmResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f, "{\n  \"bench\": \"gemm\",\n  \"threads\": 1,\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const GemmResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"m\": %lld, \"k\": %lld, \"n\": %lld, "
+        "\"reference_ms\": %.6f, \"blocked_ms\": %.6f, \"speedup\": %.3f, "
+        "\"blocked_gflops\": %.3f}%s\n",
+        r.op.c_str(), static_cast<long long>(r.shape.m),
+        static_cast<long long>(r.shape.k), static_cast<long long>(r.shape.n),
+        r.ref_ms, r.blocked_ms, r.ref_ms / r.blocked_ms,
+        Flops(r.shape) / (r.blocked_ms * 1e6),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// End-to-end training-step A/B: the same model and batch stepped under
+// the reference kernels and then the blocked kernels.
+void RunTrainStepSuite(const std::string& path) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.4, bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.SetTrainingMode(true);
+  model.SetPretrainingObjectives(true);
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 16; ++u) users.push_back(u);
+  const SeqBatch batch = MakeTrainBatch(ds, users, config.max_seq_len);
+
+  auto step = [&] {
+    Tensor loss = model.TrainStepLoss(batch);
+    loss.Backward();
+    model.ZeroGrad();
+  };
+  auto measure = [&](gemm::Kernel kernel) {
+    gemm::SetKernel(kernel);
+    return TimeMs(step, 15);
+  };
+  const double ref_ms = measure(gemm::Kernel::kReference);
+  const double blocked_ms = measure(gemm::Kernel::kBlocked);
+  gemm::SetKernel(gemm::Kernel::kBlocked);
+  std::printf("train step  ref %8.2f ms  blocked %8.2f ms  speedup %.2fx\n",
+              ref_ms, blocked_ms, ref_ms / blocked_ms);
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"train_step\",\n  \"batch_size\": 16,\n"
+               "  \"reference_ms\": %.4f,\n  \"blocked_ms\": %.4f,\n"
+               "  \"speedup\": %.3f\n}\n",
+               ref_ms, blocked_ms, ref_ms / blocked_ms);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  const auto results = pmmrec::RunGemmSuite();
+  pmmrec::WriteGemmJson(out_dir + "/BENCH_gemm.json", results);
+  pmmrec::RunTrainStepSuite(out_dir + "/BENCH_train_step.json");
+  return 0;
+}

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/pmmrec.h"
 #include "data/generator.h"
 #include "nn/transformer.h"
@@ -191,4 +194,27 @@ BENCHMARK(BM_FullRankingEval);
 }  // namespace
 }  // namespace pmmrec
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to machine-readable JSON output
+// (BENCH_micro_ops.json in the working directory) unless the caller
+// already passed --benchmark_out. Console reporting is unaffected.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  static std::string out_arg = "--benchmark_out=BENCH_micro_ops.json";
+  static std::string fmt_arg = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_arg.data());
+    args.push_back(fmt_arg.data());
+  }
+  int effective_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&effective_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(effective_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

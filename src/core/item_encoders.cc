@@ -226,8 +226,8 @@ float PretrainItemEncoders(TextEncoder* text_encoder,
           Reshape(text_out.hidden, Shape{b * text_len, text_encoder
                                                           ->token_embedding()
                                                           .embedding_dim()});
-      Tensor logits = MatMul(
-          flat_hidden, TransposeLast2(text_encoder->token_embedding().weight));
+      Tensor logits =
+          MatMulNT(flat_hidden, text_encoder->token_embedding().weight);
       bool any_masked = false;
       for (int32_t t : mlm_targets) {
         if (t >= 0) {
@@ -276,7 +276,7 @@ float PretrainItemEncoders(TextEncoder* text_encoder,
       // --- CLIP-style text<->image contrastive alignment -------------------
       Tensor t_n = L2Normalize(text_out.cls);
       Tensor v_n = L2Normalize(vis_out.cls);
-      Tensor sim = MulScalar(MatMul(t_n, TransposeLast2(v_n)),
+      Tensor sim = MulScalar(MatMulNT(t_n, v_n),
                              1.0f / config.temperature);  // [b, b]
       std::vector<int32_t> diag(static_cast<size_t>(b));
       for (int64_t i = 0; i < b; ++i) diag[static_cast<size_t>(i)] =

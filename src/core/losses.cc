@@ -82,7 +82,7 @@ Tensor DapLoss(const Tensor& hidden, const Tensor& item_reps,
   }
 
   Tensor flat = Reshape(hidden, Shape{b_count * len, d});
-  Tensor logits = Add(MatMul(flat, TransposeLast2(item_reps)), mask);
+  Tensor logits = Add(MatMulNT(flat, item_reps), mask);
   return CrossEntropy(logits, targets, -1);
 }
 
@@ -144,11 +144,9 @@ Tensor CrossModalLoss(const Tensor& t_cls, const Tensor& v_cls,
   const Tensor v_n = L2Normalize(v_cls);
   const float inv_temp = 1.0f / temperature;
   const Tensor e_tv =
-      Exp(MulScalar(MatMul(t_n, TransposeLast2(v_n)), inv_temp));  // [U, U]
-  const Tensor e_tt = Exp(MulScalar(MatMul(t_n, TransposeLast2(t_n)),
-                                    inv_temp));
-  const Tensor e_vv = Exp(MulScalar(MatMul(v_n, TransposeLast2(v_n)),
-                                    inv_temp));
+      Exp(MulScalar(MatMulNT(t_n, v_n), inv_temp));  // [U, U]
+  const Tensor e_tt = Exp(MulScalar(MatMulNT(t_n, t_n), inv_temp));
+  const Tensor e_vv = Exp(MulScalar(MatMulNT(v_n, v_n), inv_temp));
   const Tensor e_vt = TransposeLast2(e_tv);
 
   auto directional = [&](const Tensor& cross, const Tensor& intra) {
@@ -232,7 +230,7 @@ Tensor RclLoss(const Tensor& hidden, const Tensor& corrupted_hidden,
   const Tensor h = L2Normalize(MaskedMeanPool(hidden, batch));
   const Tensor h_tilde =
       L2Normalize(MaskedMeanPool(corrupted_hidden, batch));
-  Tensor sim = MulScalar(MatMul(h, TransposeLast2(h_tilde)),
+  Tensor sim = MulScalar(MatMulNT(h, h_tilde),
                          1.0f / temperature);  // [B, B]
   std::vector<int32_t> diag(static_cast<size_t>(b_count));
   for (int64_t i = 0; i < b_count; ++i) {

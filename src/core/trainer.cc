@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include "nn/optimizer.h"
+#include "utils/arena.h"
 #include "utils/logging.h"
 #include "utils/parallel.h"
 #include "utils/stopwatch.h"
@@ -47,6 +48,9 @@ FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
   int64_t epochs_since_best = 0;
 
   for (int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
+    // Recycle tensor storage within the epoch; drop the cache at its end
+    // so one epoch's buffers never pin memory into the next.
+    ArenaEpochScope arena_epoch;
     model.SetTrainingMode(true);
     double epoch_loss = 0.0;
     int64_t steps = 0;

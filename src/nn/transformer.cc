@@ -47,7 +47,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
     const Tensor qh = Slice(q, 2, h * d_head_, d_head_);  // [B, L, dh]
     const Tensor kh = Slice(k, 2, h * d_head_, d_head_);
     const Tensor vh = Slice(v, 2, h * d_head_, d_head_);
-    Tensor scores = MulScalar(MatMul(qh, TransposeLast2(kh)), scale);
+    Tensor scores = MulScalar(MatMulNT(qh, kh), scale);
     if (attn_mask.defined()) scores = Add(scores, attn_mask);
     Tensor attn = attn_drop_.Forward(Softmax(scores));
     head_outputs.push_back(MatMul(attn, vh));  // [B, L, dh]

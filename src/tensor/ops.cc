@@ -12,6 +12,30 @@ bool NeedsGrad(const TensorImpl& impl) {
   return impl.requires_grad || impl.backward_fn != nullptr;
 }
 
+// Cache-blocked out-of-place transpose: dst[j, i] (+)= src[i, j] over
+// square tiles, so both matrices are touched in short contiguous runs
+// instead of striding one of them column-major through every cache line.
+constexpr int64_t kTransposeBlock = 32;
+
+template <bool Accumulate>
+void BlockedTranspose(const float* src, float* dst, int64_t m, int64_t n) {
+  for (int64_t ib = 0; ib < m; ib += kTransposeBlock) {
+    const int64_t ie = std::min(m, ib + kTransposeBlock);
+    for (int64_t jb = 0; jb < n; jb += kTransposeBlock) {
+      const int64_t je = std::min(n, jb + kTransposeBlock);
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t j = jb; j < je; ++j) {
+          if constexpr (Accumulate) {
+            dst[j * m + i] += src[i * n + j];
+          } else {
+            dst[j * m + i] = src[i * n + j];
+          }
+        }
+      }
+    }
+  }
+}
+
 // Calls f(out_linear, a_offset, b_offset) for every element of the
 // broadcast output with linear index in [lin_begin, lin_end). Strides of
 // size-1 broadcast dims are zero. Restartable at any linear index so
@@ -280,27 +304,24 @@ Tensor TransposeLast2(const Tensor& a) {
         a_impl->EnsureGrad();
         const float* gout = self.grad.data();
         float* ga = a_impl->grad.data();
-        for (int64_t b = 0; b < batch; ++b) {
-          const float* g = gout + b * m * n;
-          float* dst = ga + b * m * n;
-          for (int64_t i = 0; i < m; ++i) {
-            for (int64_t j = 0; j < n; ++j) {
-              dst[i * n + j] += g[j * m + i];
-            }
-          }
-        }
+        // gout slices are [n, m]; transposing them back accumulates one
+        // value per dA element, so the batch partition is race-free and
+        // the result is partition-invariant.
+        ParallelFor(0, batch, GrainForCost(m * n),
+                    [&](int64_t b0, int64_t b1) {
+                      for (int64_t b = b0; b < b1; ++b) {
+                        BlockedTranspose<true>(gout + b * m * n,
+                                               ga + b * m * n, n, m);
+                      }
+                    });
       });
   const float* av = a.data();
   float* ov = out.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* src = av + b * m * n;
-    float* dst = ov + b * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        dst[j * m + i] = src[i * n + j];
-      }
+  ParallelFor(0, batch, GrainForCost(m * n), [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      BlockedTranspose<false>(av + b * m * n, ov + b * m * n, m, n);
     }
-  }
+  });
   return out;
 }
 

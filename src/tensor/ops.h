@@ -35,6 +35,12 @@ Tensor Square(const Tensor& a);
 // Supports (M,K)x(K,N) -> (M,N); (B,M,K)x(B,K,N) -> (B,M,N); and the
 // broadcast form (B,M,K)x(K,N) -> (B,M,N).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// Fused-transpose variants — no materialized TransposeLast2 intermediate.
+// MatMulNT(a, b) == MatMul(a, TransposeLast2(b)): (..,M,K)x(..,N,K) -> (..,M,N)
+// MatMulTN(a, b) == MatMul(TransposeLast2(a), b): (..,K,M)x(..,K,N) -> (..,M,N)
+// Both accept 2-D, batched 3-D, and broadcast (3-D a, 2-D b) operands.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+Tensor MatMulTN(const Tensor& a, const Tensor& b);
 
 // --- Shape manipulation ------------------------------------------------------
 // Zero-copy reshape (shares storage; numel must match).

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "utils/parallel.h"
 
@@ -11,99 +12,71 @@ bool NeedsGrad(const TensorImpl& impl) {
   return impl.requires_grad || impl.backward_fn != nullptr;
 }
 
-// C[M,N] += A[M,K] * B[K,N]
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      const float* bp = b + p * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += av * bp[j];
-    }
+// Invokes fn(bi, r, rows) for the maximal row runs [r, r + rows) that stay
+// inside one batch entry, covering [begin, end) of a flattened batch*m row
+// space. ParallelFor chunks may split mid-entry; runs restore per-entry
+// GEMM calls so each kernel invocation sees one contiguous operand slice.
+template <typename Fn>
+void ForEachBatchRun(int64_t m, int64_t begin, int64_t end, Fn&& fn) {
+  int64_t r = begin;
+  while (r < end) {
+    const int64_t bi = r / m;
+    const int64_t hi = std::min(end, (bi + 1) * m);
+    fn(bi, r, hi - r);
+    r = hi;
   }
 }
 
-// C[M,K] += X[M,N] * Y[K,N]^T
-void GemmNT(const float* x, const float* y, float* c, int64_t m, int64_t n,
-            int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* xi = x + i * n;
-    float* ci = c + i * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const float* yp = y + p * n;
-      float dot = 0.0f;
-      for (int64_t j = 0; j < n; ++j) dot += xi[j] * yp[j];
-      ci[p] += dot;
-    }
-  }
-}
+// Shared shape/broadcast validation for the three MatMul variants.
+// a_rows/a_cols (resp. b_rows/b_cols) are the last-two dims of a (resp. b)
+// after the variant's transpose is applied.
+struct MatMulDims {
+  int64_t batch;
+  int64_t m;
+  int64_t k;
+  int64_t n;
+  bool b_broadcast;
+  Shape out_shape;
+};
 
-// C[K,N] += A[M,K]^T * G[M,N]
-void GemmTN(const float* a, const float* g, float* c, int64_t m, int64_t k,
-            int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    const float* gi = g + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      float* cp = c + p * n;
-      for (int64_t j = 0; j < n; ++j) cp[j] += av * gi[j];
-    }
-  }
-}
-
-// Rows [p0, p1) of C[K,N] += A[M,K]^T * G[M,N]. Restricting the K range
-// lets the broadcast MatMul backward partition dB across threads: each
-// chunk owns a disjoint row band of C while still walking i = 0..M-1 in
-// ascending order, so per-element accumulation order matches GemmTN
-// exactly (bit-identical reductions).
-void GemmTNRowRange(const float* a, const float* g, float* c, int64_t m,
-                    int64_t k, int64_t n, int64_t p0, int64_t p1) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * k;
-    const float* gi = g + i * n;
-    for (int64_t p = p0; p < p1; ++p) {
-      const float av = ai[p];
-      if (av == 0.0f) continue;
-      float* cp = c + p * n;
-      for (int64_t j = 0; j < n; ++j) cp[j] += av * gi[j];
-    }
-  }
-}
-
-}  // namespace
-
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+MatMulDims CheckMatMulDims(const Tensor& a, const Tensor& b, int64_t m,
+                           int64_t ka, int64_t kb, int64_t n,
+                           const char* name) {
   PMM_CHECK(a.defined());
   PMM_CHECK(b.defined());
   PMM_CHECK_GE(a.rank(), 2);
   PMM_CHECK_GE(b.rank(), 2);
   PMM_CHECK_LE(a.rank(), 3);
   PMM_CHECK_LE(b.rank(), 3);
-
-  const int64_t m = a.dim(-2);
-  const int64_t k = a.dim(-1);
-  PMM_CHECK_EQ(k, b.dim(-2));
-  const int64_t n = b.dim(-1);
-
+  PMM_CHECK_EQ(ka, kb);
   const int64_t a_batch = a.rank() == 3 ? a.dim(0) : 1;
   const int64_t b_batch = b.rank() == 3 ? b.dim(0) : 1;
   PMM_CHECK_MSG(a_batch == b_batch || b_batch == 1,
-                "MatMul batch mismatch: " + a.shape().ToString() + " x " +
-                    b.shape().ToString());
-  const int64_t batch = a_batch;
-  const bool b_broadcast = (b.rank() == 2);
+                std::string(name) + " batch mismatch: " +
+                    a.shape().ToString() + " x " + b.shape().ToString());
+  MatMulDims d;
+  d.batch = a_batch;
+  d.m = m;
+  d.k = ka;
+  d.n = n;
+  d.b_broadcast = (b.rank() == 2);
+  d.out_shape = (a.rank() == 3) ? Shape{d.batch, m, n} : Shape{m, n};
+  return d;
+}
 
-  Shape out_shape = (a.rank() == 3) ? Shape{batch, m, n} : Shape{m, n};
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const MatMulDims dm =
+      CheckMatMulDims(a, b, a.dim(-2), a.dim(-1), b.dim(-2), b.dim(-1),
+                      "MatMul");
+  const int64_t batch = dm.batch, m = dm.m, k = dm.k, n = dm.n;
+  const bool b_broadcast = dm.b_broadcast;
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   Tensor out = internal::MakeNode(
-      out_shape, {a, b},
+      dm.out_shape, {a, b},
       [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
         const float* av = a_impl->const_data();
         const float* bv = b_impl->const_data();
@@ -118,12 +91,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           float* ga = a_impl->grad.data();
           ParallelFor(0, batch * m, GrainForCost(n * k),
                       [&](int64_t r0, int64_t r1) {
-                        for (int64_t r = r0; r < r1; ++r) {
-                          const int64_t bi = r / m;
-                          const float* bb =
-                              b_broadcast ? bv : bv + bi * k * n;
-                          GemmNT(gout + r * n, bb, ga + r * k, 1, n, k);
-                        }
+                        ForEachBatchRun(
+                            m, r0, r1,
+                            [&](int64_t bi, int64_t r, int64_t rows) {
+                              const float* bb =
+                                  b_broadcast ? bv : bv + bi * k * n;
+                              gemm::GemmNT(gout + r * n, bb, ga + r * k,
+                                           rows, n, k, n, n, k);
+                            });
                       });
         }
         if (need_b) {
@@ -132,19 +107,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
             // dB = sum over batches of A^T * dC. Every batch accumulates
             // into the one shared [k, n] gradient, so partition over the
             // K rows of dB instead: A and dC are contiguous [batch*m, .]
-            // row spaces, and each chunk owns a disjoint row band of dB.
+            // row spaces, and each chunk owns a disjoint row band of dB
+            // (selected via the column offset p0 into A).
             ParallelFor(0, k, GrainForCost(batch * m * n),
                         [&](int64_t p0, int64_t p1) {
-                          GemmTNRowRange(av, gout, gb, batch * m, k, n, p0,
-                                         p1);
+                          gemm::GemmTN(av + p0, gout, gb + p0 * n, p1 - p0,
+                                       batch * m, n, k, n, n);
                         });
           } else {
             // Per-batch dB slices are disjoint: partition over batches.
             ParallelFor(0, batch, GrainForCost(m * k * n),
                         [&](int64_t b0, int64_t b1) {
                           for (int64_t bi = b0; bi < b1; ++bi) {
-                            GemmTN(av + bi * m * k, gout + bi * m * n,
-                                   gb + bi * k * n, m, k, n);
+                            gemm::GemmTN(av + bi * m * k, gout + bi * m * n,
+                                         gb + bi * k * n, k, m, n, k, n, n);
                           }
                         });
           }
@@ -155,13 +131,163 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bv = b.data();
   float* ov = out.data();
   // Partition over the batch*m output rows; each C row is written by
-  // exactly one chunk and its K-loop accumulation order is unchanged.
+  // exactly one chunk and its accumulation chain is row-local.
   ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const int64_t bi = r / m;
-      GemmNN(av + r * k, b_broadcast ? bv : bv + bi * k * n, ov + r * n, 1, k,
-             n);
-    }
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmNN(av + r * k, b_broadcast ? bv : bv + bi * k * n, ov + r * n,
+                   rows, k, n, k, n, n);
+    });
+  });
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  // C[.., m, n] = A[.., m, k] * B[.., n, k]^T
+  const MatMulDims dm =
+      CheckMatMulDims(a, b, a.dim(-2), a.dim(-1), b.dim(-1), b.dim(-2),
+                      "MatMulNT");
+  const int64_t batch = dm.batch, m = dm.m, k = dm.k, n = dm.n;
+  const bool b_broadcast = dm.b_broadcast;
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = internal::MakeNode(
+      dm.out_shape, {a, b},
+      [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        const float* av = a_impl->const_data();
+        const float* bv = b_impl->const_data();
+        const float* gout = self.grad.data();
+        const bool need_a = NeedsGrad(*a_impl);
+        const bool need_b = NeedsGrad(*b_impl);
+        if (need_a) a_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        if (need_a) {
+          // dA = dC * B ([.., m, n] x [.., n, k]); rows of dA disjoint.
+          float* ga = a_impl->grad.data();
+          ParallelFor(0, batch * m, GrainForCost(n * k),
+                      [&](int64_t r0, int64_t r1) {
+                        ForEachBatchRun(
+                            m, r0, r1,
+                            [&](int64_t bi, int64_t r, int64_t rows) {
+                              const float* bb =
+                                  b_broadcast ? bv : bv + bi * n * k;
+                              gemm::GemmNN(gout + r * n, bb, ga + r * k,
+                                           rows, n, k, n, k, k);
+                            });
+                      });
+        }
+        if (need_b) {
+          float* gb = b_impl->grad.data();
+          if (b_broadcast) {
+            // dB = sum over batches of dC^T * A; partition over the n rows
+            // of dB via the column offset p0 into dC.
+            ParallelFor(0, n, GrainForCost(batch * m * k),
+                        [&](int64_t p0, int64_t p1) {
+                          gemm::GemmTN(gout + p0, av, gb + p0 * k, p1 - p0,
+                                       batch * m, k, n, k, k);
+                        });
+          } else {
+            // dB_bi = dC_bi^T * A_bi; per-batch slices disjoint.
+            ParallelFor(0, batch, GrainForCost(m * n * k),
+                        [&](int64_t b0, int64_t b1) {
+                          for (int64_t bi = b0; bi < b1; ++bi) {
+                            gemm::GemmTN(gout + bi * m * n, av + bi * m * k,
+                                         gb + bi * n * k, n, m, k, n, k, k);
+                          }
+                        });
+          }
+        }
+      });
+
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* ov = out.data();
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmNT(av + r * k, b_broadcast ? bv : bv + bi * n * k, ov + r * n,
+                   rows, k, n, k, k, n);
+    });
+  });
+  return out;
+}
+
+Tensor MatMulTN(const Tensor& a, const Tensor& b) {
+  // C[.., m, n] = A[.., k, m]^T * B[.., k, n]
+  const MatMulDims dm =
+      CheckMatMulDims(a, b, a.dim(-1), a.dim(-2), b.dim(-2), b.dim(-1),
+                      "MatMulTN");
+  const int64_t batch = dm.batch, m = dm.m, k = dm.k, n = dm.n;
+  const bool b_broadcast = dm.b_broadcast;
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = internal::MakeNode(
+      dm.out_shape, {a, b},
+      [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        const float* av = a_impl->const_data();
+        const float* bv = b_impl->const_data();
+        const float* gout = self.grad.data();
+        const bool need_a = NeedsGrad(*a_impl);
+        const bool need_b = NeedsGrad(*b_impl);
+        if (need_a) a_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        if (need_a) {
+          // dA = B * dC^T ([.., k, n] x [.., n, m]); partition over the
+          // batch*k rows of dA.
+          float* ga = a_impl->grad.data();
+          ParallelFor(0, batch * k, GrainForCost(n * m),
+                      [&](int64_t q0, int64_t q1) {
+                        ForEachBatchRun(
+                            k, q0, q1,
+                            [&](int64_t bi, int64_t q, int64_t rows) {
+                              const float* bb =
+                                  b_broadcast ? bv + (q - bi * k) * n
+                                              : bv + q * n;
+                              gemm::GemmNT(bb, gout + bi * m * n, ga + q * m,
+                                           rows, n, m, n, n, m);
+                            });
+                      });
+        }
+        if (need_b) {
+          float* gb = b_impl->grad.data();
+          if (b_broadcast) {
+            // dB = sum over batches of A_bi * dC_bi; partition over the k
+            // rows of dB, batches accumulated in ascending order.
+            ParallelFor(0, k, GrainForCost(batch * m * n),
+                        [&](int64_t p0, int64_t p1) {
+                          for (int64_t bi = 0; bi < batch; ++bi) {
+                            gemm::GemmNN(av + bi * k * m + p0 * m,
+                                         gout + bi * m * n, gb + p0 * n,
+                                         p1 - p0, m, n, m, n, n);
+                          }
+                        });
+          } else {
+            // dB = A * dC ([.., k, m] x [.., m, n]); rows of dB disjoint.
+            ParallelFor(0, batch * k, GrainForCost(m * n),
+                        [&](int64_t q0, int64_t q1) {
+                          ForEachBatchRun(
+                              k, q0, q1,
+                              [&](int64_t bi, int64_t q, int64_t rows) {
+                                gemm::GemmNN(av + q * m, gout + bi * m * n,
+                                             gb + q * n, rows, m, n, m, n,
+                                             n);
+                              });
+                        });
+          }
+        }
+      });
+
+  const float* av = a.data();
+  const float* bv = b.data();
+  float* ov = out.data();
+  // Output row r is column (r - bi*m) of A_bi: select it via the column
+  // offset, lda = m.
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmTN(av + bi * k * m + (r - bi * m),
+                   b_broadcast ? bv : bv + bi * k * n, ov + r * n, rows, k, n,
+                   m, n, n);
+    });
   });
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "utils/arena.h"
+
 namespace pmmrec {
 
 namespace {
@@ -15,13 +17,23 @@ thread_local bool g_grad_mode_enabled = true;
 std::shared_ptr<TensorImpl> NewImpl(const Shape& shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(shape.numel()), 0.0f);
+  impl->data =
+      BufferArena::Global().AcquireShared(static_cast<size_t>(shape.numel()));
   impl->requires_grad = requires_grad;
   return impl;
 }
 
 }  // namespace
+
+TensorImpl::~TensorImpl() {
+  BufferArena::Global().Release(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) {
+    grad = BufferArena::Global().AcquireVec(static_cast<size_t>(shape.numel()));
+  }
+}
 
 bool GradMode::enabled() { return g_grad_mode_enabled; }
 void GradMode::set_enabled(bool value) { g_grad_mode_enabled = value; }
@@ -230,8 +242,8 @@ Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
                 std::function<void(TensorImpl&)> backward_fn) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(shape.numel()), 0.0f);
+  impl->data =
+      BufferArena::Global().AcquireShared(static_cast<size_t>(shape.numel()));
   bool needs_grad = false;
   if (GradMode::enabled()) {
     for (const Tensor& p : parents) {

@@ -114,11 +114,12 @@ struct TensorImpl {
   std::function<void(TensorImpl&)> backward_fn;
   std::vector<std::shared_ptr<TensorImpl>> parents;
 
+  ~TensorImpl();  // Releases grad storage back to the BufferArena.
+
   float* mutable_data() { return data->data(); }
   const float* const_data() const { return data->data(); }
-  void EnsureGrad() {
-    if (grad.empty()) grad.assign(static_cast<size_t>(shape.numel()), 0.0f);
-  }
+  // Allocates zero-filled grad storage (arena-recycled) on first use.
+  void EnsureGrad();
 };
 
 // Per-thread flag controlling whether ops record the autograd graph.

@@ -1,0 +1,103 @@
+#include "utils/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pmmrec {
+
+namespace {
+
+bool ArenaEnabledFromEnv() {
+  const char* env = std::getenv("PMMREC_ARENA");
+  return env == nullptr || env[0] != '0';
+}
+
+int64_t ArenaCapFromEnv() {
+  constexpr int64_t kDefaultMb = 256;
+  int64_t mb = kDefaultMb;
+  if (const char* env = std::getenv("PMMREC_ARENA_MAX_MB")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && parsed > 0) mb = static_cast<int64_t>(parsed);
+  }
+  return mb * (1 << 20);
+}
+
+}  // namespace
+
+BufferArena::BufferArena()
+    : enabled_(ArenaEnabledFromEnv()), max_cached_bytes_(ArenaCapFromEnv()) {}
+
+BufferArena& BufferArena::Global() {
+  static BufferArena* arena = new BufferArena();  // Leaked; see header.
+  return *arena;
+}
+
+std::vector<float> BufferArena::AcquireVec(size_t n) {
+  if (n > 0 && enabled_) {
+    std::vector<float> v;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = buckets_.find(n);
+      if (it != buckets_.end() && !it->second.empty()) {
+        v = std::move(it->second.back());
+        it->second.pop_back();
+        cached_bytes_ -= static_cast<int64_t>(n * sizeof(float));
+        ++hits_;
+      } else {
+        ++misses_;
+      }
+    }
+    if (!v.empty()) {
+      std::fill(v.begin(), v.end(), 0.0f);
+      return v;
+    }
+  }
+  return std::vector<float>(n, 0.0f);
+}
+
+std::shared_ptr<std::vector<float>> BufferArena::AcquireShared(size_t n) {
+  if (!enabled_) return std::make_shared<std::vector<float>>(n, 0.0f);
+  auto* raw = new std::vector<float>(AcquireVec(n));
+  return std::shared_ptr<std::vector<float>>(raw, [](std::vector<float>* p) {
+    BufferArena::Global().Release(std::move(*p));
+    delete p;
+  });
+}
+
+void BufferArena::Release(std::vector<float>&& v) {
+  if (v.empty() || !enabled_) return;
+  std::vector<float> local = std::move(v);
+  const int64_t bytes = static_cast<int64_t>(local.size() * sizeof(float));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_bytes_ + bytes <= max_cached_bytes_) {
+      buckets_[local.size()].push_back(std::move(local));
+      cached_bytes_ += bytes;
+      ++released_;
+      return;
+    }
+    ++dropped_;
+  }
+  // `local` frees outside the lock when the cap rejected it.
+}
+
+void BufferArena::Trim() {
+  std::unordered_map<size_t, std::vector<std::vector<float>>> doomed;
+  std::lock_guard<std::mutex> lock(mu_);
+  doomed.swap(buckets_);
+  cached_bytes_ = 0;
+}
+
+BufferArena::Stats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.released = released_;
+  s.dropped = dropped_;
+  s.cached_bytes = cached_bytes_;
+  return s;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,89 @@
+#ifndef PMMREC_UTILS_ARENA_H_
+#define PMMREC_UTILS_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace pmmrec {
+
+// Thread-safe, size-bucketed recycling pool for tensor storage.
+//
+// Every op node heap-allocates a fresh float buffer for its result (and
+// often a second one for its gradient); within a training step the same
+// few dozen shapes recur thousands of times, so the allocator round-trip
+// is pure overhead. The arena keeps freed buffers in exact-size buckets
+// and hands them back zero-filled, which preserves the "fresh storage is
+// zeroed" invariant every kernel relies on.
+//
+// Lifetime rules (see DESIGN.md "Kernel architecture"):
+//  - A buffer enters the arena only from the shared_ptr deleter of
+//    TensorImpl::data or from ~TensorImpl releasing grad storage — i.e.
+//    strictly after the last reference to the owning tensor is gone, so a
+//    recycled buffer can never alias a live tensor.
+//  - Acquire zero-fills before handing a buffer out; callers observe no
+//    difference from `new std::vector<float>(n, 0.f)`.
+//  - The cache is capped (PMMREC_ARENA_MAX_MB, default 256); releases
+//    beyond the cap fall through to the allocator. Trim() drops the whole
+//    cache; ArenaEpochScope does so per training epoch.
+//  - PMMREC_ARENA=0 disables recycling entirely (allocator passthrough).
+class BufferArena {
+ public:
+  // Process-wide instance. Intentionally leaked: tensor buffers held by
+  // objects with static storage duration (test fixtures, benches) may be
+  // released during static destruction, after a normal static arena would
+  // already be gone.
+  static BufferArena& Global();
+
+  // Zero-filled buffer of exactly n elements, recycled when possible.
+  std::vector<float> AcquireVec(size_t n);
+  // Same, wrapped so the buffer returns to this arena when the last
+  // reference drops.
+  std::shared_ptr<std::vector<float>> AcquireShared(size_t n);
+  // Returns a buffer to the cache (or frees it once the cache is full).
+  void Release(std::vector<float>&& v);
+
+  // Frees every cached buffer.
+  void Trim();
+
+  bool enabled() const { return enabled_; }
+
+  struct Stats {
+    uint64_t hits = 0;      // Acquires served from the cache.
+    uint64_t misses = 0;    // Acquires that hit the allocator.
+    uint64_t released = 0;  // Buffers accepted into the cache.
+    uint64_t dropped = 0;   // Releases rejected by the byte cap.
+    int64_t cached_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  BufferArena();
+
+  const bool enabled_;
+  const int64_t max_cached_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<size_t, std::vector<std::vector<float>>> buckets_;
+  int64_t cached_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t released_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// RAII epoch reset: drops the arena cache when the scope ends, so one
+// epoch's worth of recycled buffers cannot pin memory into the next.
+class ArenaEpochScope {
+ public:
+  ArenaEpochScope() = default;
+  ~ArenaEpochScope() { BufferArena::Global().Trim(); }
+
+  ArenaEpochScope(const ArenaEpochScope&) = delete;
+  ArenaEpochScope& operator=(const ArenaEpochScope&) = delete;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_ARENA_H_

@@ -225,6 +225,91 @@ TEST(ParallelKernelsTest, MatMulBroadcastRhs) {
   });
 }
 
+// Fused-transpose variants share the blocked GEMM kernels; their forward
+// and all backward partitions must also be thread-invariant.
+TEST(ParallelKernelsTest, MatMulNT2D) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(121);
+    Tensor a = Tensor::Randn(Shape{64, 48}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{56, 48}, rng, 1.0f, true);
+    Tensor out = MatMulNT(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, MatMulNTBatched) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(122);
+    Tensor a = Tensor::Randn(Shape{4, 33, 24}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{4, 40, 24}, rng, 1.0f, true);
+    Tensor out = MatMulNT(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+// Broadcast rhs: dB partitions over the N rows of the shared gradient
+// via a column offset into dC; the band start must not change chains.
+TEST(ParallelKernelsTest, MatMulNTBroadcastRhs) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(123);
+    Tensor a = Tensor::Randn(Shape{5, 40, 24}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{32, 24}, rng, 1.0f, true);
+    Tensor out = MatMulNT(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, MatMulTN2D) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(124);
+    Tensor a = Tensor::Randn(Shape{48, 64}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{48, 56}, rng, 1.0f, true);
+    Tensor out = MatMulTN(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+TEST(ParallelKernelsTest, MatMulTNBatched) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(125);
+    Tensor a = Tensor::Randn(Shape{4, 24, 33}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{4, 24, 40}, rng, 1.0f, true);
+    Tensor out = MatMulTN(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
+// Broadcast rhs: dB sums every batch entry into the shared [k, n] grad;
+// the partition over its k rows must leave batch order (and therefore
+// every accumulation chain) fixed.
+TEST(ParallelKernelsTest, MatMulTNBroadcastRhs) {
+  ExpectThreadInvariant([](Capture* cap) {
+    Rng rng(126);
+    Tensor a = Tensor::Randn(Shape{5, 24, 40}, rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{24, 32}, rng, 1.0f, true);
+    Tensor out = MatMulTN(a, b);
+    AppendValues(out, cap);
+    WeightedSquareLoss(out, rng).Backward();
+    AppendGrad(a, cap);
+    AppendGrad(b, cap);
+  });
+}
+
 TEST(ParallelKernelsTest, Softmax) {
   ExpectThreadInvariant([](Capture* cap) {
     Rng rng(104);
