@@ -8,6 +8,7 @@
 // Knobs: PMMREC_SCALE / PMMREC_SEED (see bench_common.h).
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "utils/parallel.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -50,7 +52,19 @@ struct GemmResult {
   GemmShape shape;
   double ref_ms;
   double blocked_ms;
+  // FLOP-counter cross-check (trace level >= epoch): the delta the
+  // gemm.<op>.flops counter accumulated over the timed dispatcher calls,
+  // and the analytic 2·m·k·n per call it must equal.
+  uint64_t counted_flops = 0;
+  uint64_t analytic_flops = 0;
 };
+
+// Lower-cased op name -> "gemm.nn.flops" style counter name.
+std::string FlopCounterName(const std::string& op) {
+  std::string lower = op;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  return "gemm." + lower + ".flops";
+}
 
 std::vector<GemmResult> RunGemmSuite() {
   // Single-thread by construction: the acceptance bar is per-core
@@ -92,12 +106,24 @@ std::vector<GemmResult> RunGemmSuite() {
       GemmResult r;
       r.op = oc.name;
       r.shape = s;
+      // The timed dispatcher calls bump gemm.<op>.flops by 2·m·k·n each;
+      // the delta over warmup + reps calls must match the analytic count
+      // exactly (acceptance criterion for the trace counters).
+      const bool counting = trace::Enabled(trace::Level::kEpoch);
+      const uint64_t flops_before =
+          counting ? trace::Counter::Get(FlopCounterName(r.op)).value() : 0;
       r.blocked_ms = TimeMs(
           [&] {
             oc.blocked(a.data(), oc.rhs->data(), c.data(), s.m, s.k, s.n, lda,
                        oc.ldb, s.n);
           },
           reps);
+      if (counting) {
+        r.counted_flops =
+            trace::Counter::Get(FlopCounterName(r.op)).value() - flops_before;
+        r.analytic_flops = static_cast<uint64_t>(reps + 1) *
+                           static_cast<uint64_t>(2 * s.m * s.k * s.n);
+      }
       r.ref_ms = TimeMs(
           [&] {
             oc.reference(a.data(), oc.rhs->data(), c.data(), s.m, s.k, s.n,
@@ -111,6 +137,25 @@ std::vector<GemmResult> RunGemmSuite() {
                   r.ref_ms, r.blocked_ms, r.ref_ms / r.blocked_ms,
                   Flops(s) / (r.blocked_ms * 1e6));
       results.push_back(r);
+    }
+  }
+  if (trace::Enabled(trace::Level::kEpoch)) {
+    bool all_match = true;
+    for (const GemmResult& r : results) {
+      if (r.counted_flops != r.analytic_flops) {
+        all_match = false;
+        std::printf("FLOP counter MISMATCH %s %lldx%lldx%lld: counted %llu "
+                    "analytic %llu\n",
+                    r.op.c_str(), static_cast<long long>(r.shape.m),
+                    static_cast<long long>(r.shape.k),
+                    static_cast<long long>(r.shape.n),
+                    static_cast<unsigned long long>(r.counted_flops),
+                    static_cast<unsigned long long>(r.analytic_flops));
+      }
+    }
+    if (all_match) {
+      std::printf("per-kernel FLOP counters match analytic 2*m*k*n for all "
+                  "%zu benched cases\n", results.size());
     }
   }
   return results;
@@ -135,7 +180,20 @@ void WriteGemmJson(const std::string& path,
         Flops(r.shape) / (r.blocked_ms * 1e6),
         i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  // Counter snapshot rides along when tracing is on, so BENCH entries
+  // carry observability data instead of wall-clock only.
+  if (trace::Enabled(trace::Level::kEpoch)) {
+    const auto counters = trace::CounterSnapshot();
+    std::fprintf(f, ",\n  \"counters\": {");
+    for (size_t i = 0; i < counters.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                   counters[i].first.c_str(),
+                   static_cast<unsigned long long>(counters[i].second));
+    }
+    std::fprintf(f, "\n  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

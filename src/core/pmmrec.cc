@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "utils/parallel.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 
@@ -72,17 +73,30 @@ Tensor PMMRecModel::TrainStepLoss(const SeqBatch& batch) {
   if (batch.num_unique() < 2 || batch.batch_size < 2) return Tensor();
   last_parts_ = LossParts();
 
-  ItemReps reps = EncodeItemReps(batch.unique_items);
+  ItemReps reps;
+  {
+    PMM_TRACE_SCOPE_AT("encode.items", kOp, "encode.items.ns");
+    reps = EncodeItemReps(batch.unique_items);
+  }
   Tensor seq_reps = GatherSequenceReps(reps.final_, batch.position_to_unique,
                                        batch.batch_size, batch.max_len);
-  Tensor hidden = user_encoder_.Forward(seq_reps);
+  Tensor hidden;
+  {
+    PMM_TRACE_SCOPE_AT("encode.user", kOp, "encode.user.ns");
+    hidden = user_encoder_.Forward(seq_reps);
+  }
 
-  Tensor loss = DapLoss(hidden, reps.final_, batch);
+  Tensor loss;
+  {
+    PMM_TRACE_SCOPE_AT("loss.dap", kOp, "loss.dap.ns");
+    loss = DapLoss(hidden, reps.final_, batch);
+  }
   last_parts_.dap = loss.item();
 
   if (pretraining_objectives_) {
     if (config_.modality == ModalityMode::kBoth &&
         config_.nicl_mode != NiclMode::kOff) {
+      PMM_TRACE_SCOPE_AT("loss.nicl", kOp, "loss.nicl.ns");
       Tensor nicl = CrossModalLoss(reps.t_cls, reps.v_cls, batch,
                                    config_.nicl_mode, config_.temperature);
       if (nicl.defined()) {
@@ -98,11 +112,13 @@ Tensor PMMRecModel::TrainStepLoss(const SeqBatch& batch) {
           batch.max_len);
       Tensor corrupted_hidden = user_encoder_.Forward(corrupted_seq_reps);
       if (config_.use_nid) {
+        PMM_TRACE_SCOPE_AT("loss.nid", kOp, "loss.nid.ns");
         Tensor nid = NidLoss(corrupted_hidden, nid_head_, corrupted);
         last_parts_.nid = nid.item();
         loss = Add(loss, MulScalar(nid, config_.nid_weight));
       }
       if (config_.use_rcl) {
+        PMM_TRACE_SCOPE_AT("loss.rcl", kOp, "loss.rcl.ns");
         Tensor rcl =
             RclLoss(hidden, corrupted_hidden, batch, config_.temperature);
         if (rcl.defined()) {
@@ -120,6 +136,7 @@ void PMMRecModel::PrepareForEval() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   SetTraining(false);
   if (item_table_valid_) return;
+  PMM_TRACE_SCOPE_AT("eval.item_table", kEpoch, "eval.item_table.ns");
   NoGradGuard no_grad;
   const int64_t n_items = dataset_->num_items();
   const int64_t d = config_.d_model;

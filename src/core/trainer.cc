@@ -1,10 +1,13 @@
 #include "core/trainer.h"
 
+#include <unordered_map>
+
 #include "nn/optimizer.h"
 #include "utils/arena.h"
 #include "utils/logging.h"
 #include "utils/parallel.h"
 #include "utils/stopwatch.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -29,6 +32,50 @@ void RestoreParams(const std::vector<Tensor*>& params,
   }
 }
 
+// Flat per-epoch telemetry: epoch stats plus the delta of every runtime
+// counter over the epoch (arena hit rate, GEMM FLOPs, loss-term ns, ...),
+// appended to the trace telemetry export. Only active at trace level
+// epoch and above.
+class EpochTelemetry {
+ public:
+  EpochTelemetry() : enabled_(trace::Enabled(trace::Level::kEpoch)) {
+    if (enabled_) Snapshot(&previous_);
+  }
+
+  void Record(const std::string& dataset, int64_t epoch, double loss,
+              double hr10, int64_t steps, double seconds) {
+    if (!enabled_) return;
+    std::vector<std::pair<std::string, double>> fields = {
+        {"epoch", static_cast<double>(epoch)},
+        {"train_loss", loss},
+        {"val_hr10", hr10},
+        {"steps", static_cast<double>(steps)},
+        {"seconds", seconds},
+    };
+    std::unordered_map<std::string, uint64_t> current;
+    Snapshot(&current);
+    for (const auto& [name, value] : current) {
+      const auto it = previous_.find(name);
+      const uint64_t before = it == previous_.end() ? 0 : it->second;
+      fields.emplace_back("ctr." + name,
+                          static_cast<double>(value - before));
+    }
+    previous_ = std::move(current);
+    trace::RecordEpochRow(dataset, std::move(fields));
+  }
+
+ private:
+  static void Snapshot(std::unordered_map<std::string, uint64_t>* out) {
+    out->clear();
+    for (auto& [name, value] : trace::CounterSnapshot()) {
+      out->emplace(std::move(name), value);
+    }
+  }
+
+  const bool enabled_;
+  std::unordered_map<std::string, uint64_t> previous_;
+};
+
 }  // namespace
 
 FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
@@ -46,24 +93,38 @@ FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
   FitResult result;
   std::vector<std::vector<float>> best_snapshot;
   int64_t epochs_since_best = 0;
+  EpochTelemetry telemetry;
 
   for (int64_t epoch = 0; epoch < options.max_epochs; ++epoch) {
     // Recycle tensor storage within the epoch; drop the cache at its end
     // so one epoch's buffers never pin memory into the next.
     ArenaEpochScope arena_epoch;
+    PMM_TRACE_SCOPE_AT("train.epoch", kEpoch, "train.epoch.ns");
+    Stopwatch epoch_watch;
     model.SetTrainingMode(true);
     double epoch_loss = 0.0;
     int64_t steps = 0;
     for (const auto& group : batcher.EpochUserGroups(rng)) {
       const SeqBatch batch = MakeTrainBatch(ds, group, options.max_seq_len);
-      Tensor loss = model.TrainStepLoss(batch);
+      Tensor loss;
+      {
+        PMM_TRACE_SCOPE_AT("train.forward", kOp, "train.forward.ns");
+        loss = model.TrainStepLoss(batch);
+      }
       if (!loss.defined()) continue;
       optimizer.ZeroGrad();
-      loss.Backward();
-      if (options.clip_norm > 0.0f) ClipGradNorm(params, options.clip_norm);
-      optimizer.Step();
+      {
+        PMM_TRACE_SCOPE_AT("train.backward", kOp, "train.backward.ns");
+        loss.Backward();
+      }
+      {
+        PMM_TRACE_SCOPE_AT("train.optim", kOp, "train.optim.ns");
+        if (options.clip_norm > 0.0f) ClipGradNorm(params, options.clip_norm);
+        optimizer.Step();
+      }
       epoch_loss += loss.item();
       ++steps;
+      PMM_TRACE_COUNT("train.steps", 1);
     }
     if (steps > 0) {
       result.final_train_loss = epoch_loss / static_cast<double>(steps);
@@ -75,6 +136,8 @@ FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
     const double hr10 = metrics.Hr(10);
     result.val_hr10_per_epoch.push_back(hr10);
     result.epochs_run = epoch + 1;
+    telemetry.Record(ds.name, epoch, result.final_train_loss, hr10, steps,
+                     epoch_watch.ElapsedSeconds());
     if (options.verbose) {
       PMM_LOG(Info) << ds.name << " epoch " << epoch << " loss "
                     << result.final_train_loss << " val HR@10 " << hr10;

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "utils/check.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 
@@ -31,11 +32,15 @@ void BuildUniqueIndex(SeqBatch* batch) {
 
 SeqBatch MakeTrainBatch(const Dataset& ds, const std::vector<int64_t>& users,
                         int64_t max_len) {
+  PMM_TRACE_SCOPE("batch.make");
   std::vector<std::vector<int32_t>> sequences;
   sequences.reserve(users.size());
   for (int64_t u : users) sequences.push_back(ds.TrainSeq(u));
   SeqBatch batch = MakeBatchFromSequences(sequences, max_len);
   batch.user_rows = users;
+  PMM_TRACE_COUNT("batcher.batches", 1);
+  PMM_TRACE_COUNT("batcher.rows", batch.batch_size);
+  PMM_TRACE_COUNT("batcher.unique_items", batch.unique_items.size());
   return batch;
 }
 

@@ -5,6 +5,7 @@
 #include "tensor/tensor.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -36,17 +37,21 @@ std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
 template <typename ScoreOne>
 RankingMetrics RankAll(Scorer& model, int64_t count,
                        const ScoreOne& score_one) {
+  PMM_TRACE_SCOPE_AT("eval.rank_all", kEpoch, "eval.rank_all.ns");
+  PMM_TRACE_COUNT("eval.cases", count);
   std::vector<int64_t> ranks(static_cast<size_t>(count));
   if (model.SupportsParallelEval()) {
     ParallelFor(0, count, /*grain=*/1, [&](int64_t lo, int64_t hi) {
       // Pool workers start grad-enabled; scoring must not record graphs.
       NoGradGuard no_grad;
       for (int64_t i = lo; i < hi; ++i) {
+        PMM_TRACE_SCOPE("eval.case");
         ranks[static_cast<size_t>(i)] = score_one(i);
       }
     });
   } else {
     for (int64_t i = 0; i < count; ++i) {
+      PMM_TRACE_SCOPE("eval.case");
       ranks[static_cast<size_t>(i)] = score_one(i);
     }
   }

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <vector>
 
+#include "utils/trace.h"
+
 namespace pmmrec {
 namespace gemm {
 namespace {
@@ -360,6 +362,28 @@ inline bool UseSmallPath(int64_t m, int64_t k, int64_t n) {
   return k <= kKC && m * k * n <= kSmallCost;
 }
 
+// Per-kernel dispatch counters. Call counts and analytic FLOPs
+// (2·m·k·n per call) are attributed to the public entry point; which
+// inner path ran lands in the gemm.dispatch.* counters. Counting happens
+// before the kernel body, so concurrent ParallelFor chunks each attribute
+// exactly their own slice of a partitioned MatMul.
+inline void CountDispatch(const char* calls, const char* flops, int64_t m,
+                          int64_t k, int64_t n, Kernel kernel, bool small) {
+  if (!trace::Enabled(trace::Level::kEpoch)) return;
+  // Counter names vary per caller, so look them up directly — the
+  // PMM_TRACE_COUNT macro caches one name per call site and would pin
+  // whichever entry point happened to run first.
+  trace::Counter::Get(calls).Add(1);
+  trace::Counter::Get(flops).Add(static_cast<uint64_t>(2 * m * k * n));
+  if (kernel == Kernel::kReference) {
+    trace::Counter::Get("gemm.dispatch.reference").Add(1);
+  } else if (small) {
+    trace::Counter::Get("gemm.dispatch.small").Add(1);
+  } else {
+    trace::Counter::Get("gemm.dispatch.blocked").Add(1);
+  }
+}
+
 }  // namespace
 
 Kernel ActiveKernel() { return g_kernel.load(std::memory_order_relaxed); }
@@ -370,9 +394,12 @@ void SetKernel(Kernel kernel) {
 void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, int64_t lda, int64_t ldb, int64_t ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  if (ActiveKernel() == Kernel::kReference) {
+  const Kernel kernel = ActiveKernel();
+  const bool small = UseSmallPath(m, k, n);
+  CountDispatch("gemm.nn.calls", "gemm.nn.flops", m, k, n, kernel, small);
+  if (kernel == Kernel::kReference) {
     ReferenceGemmNN(a, b, c, m, k, n, lda, ldb, ldc);
-  } else if (UseSmallPath(m, k, n)) {
+  } else if (small) {
     SmallGemmNN(a, b, c, m, k, n, lda, ldb, ldc);
   } else {
     BlockedGemm(Trans::kNo, Trans::kNo, a, b, c, m, k, n, lda, ldb, ldc);
@@ -382,9 +409,12 @@ void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, int64_t lda, int64_t ldb, int64_t ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  if (ActiveKernel() == Kernel::kReference) {
+  const Kernel kernel = ActiveKernel();
+  const bool small = UseSmallPath(m, k, n);
+  CountDispatch("gemm.nt.calls", "gemm.nt.flops", m, k, n, kernel, small);
+  if (kernel == Kernel::kReference) {
     ReferenceGemmNT(a, b, c, m, k, n, lda, ldb, ldc);
-  } else if (UseSmallPath(m, k, n)) {
+  } else if (small) {
     SmallGemmNT(a, b, c, m, k, n, lda, ldb, ldc);
   } else {
     BlockedGemm(Trans::kNo, Trans::kYes, a, b, c, m, k, n, lda, ldb, ldc);
@@ -394,9 +424,12 @@ void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, int64_t lda, int64_t ldb, int64_t ldc) {
   if (m <= 0 || n <= 0 || k <= 0) return;
-  if (ActiveKernel() == Kernel::kReference) {
+  const Kernel kernel = ActiveKernel();
+  const bool small = UseSmallPath(m, k, n);
+  CountDispatch("gemm.tn.calls", "gemm.tn.flops", m, k, n, kernel, small);
+  if (kernel == Kernel::kReference) {
     ReferenceGemmTN(a, b, c, m, k, n, lda, ldb, ldc);
-  } else if (UseSmallPath(m, k, n)) {
+  } else if (small) {
     SmallGemmTN(a, b, c, m, k, n, lda, ldb, ldc);
   } else {
     BlockedGemm(Trans::kYes, Trans::kNo, a, b, c, m, k, n, lda, ldb, ldc);

@@ -4,6 +4,7 @@
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "utils/parallel.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -78,6 +79,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out = internal::MakeNode(
       dm.out_shape, {a, b},
       [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        PMM_TRACE_SCOPE("MatMul.bwd");
         const float* av = a_impl->const_data();
         const float* bv = b_impl->const_data();
         const float* gout = self.grad.data();
@@ -132,6 +134,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   float* ov = out.data();
   // Partition over the batch*m output rows; each C row is written by
   // exactly one chunk and its accumulation chain is row-local.
+  PMM_TRACE_SCOPE("MatMul");
   ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
     ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
       gemm::GemmNN(av + r * k, b_broadcast ? bv : bv + bi * k * n, ov + r * n,
@@ -154,6 +157,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   Tensor out = internal::MakeNode(
       dm.out_shape, {a, b},
       [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        PMM_TRACE_SCOPE("MatMulNT.bwd");
         const float* av = a_impl->const_data();
         const float* bv = b_impl->const_data();
         const float* gout = self.grad.data();
@@ -202,6 +206,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
+  PMM_TRACE_SCOPE("MatMulNT");
   ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
     ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
       gemm::GemmNT(av + r * k, b_broadcast ? bv : bv + bi * n * k, ov + r * n,
@@ -224,6 +229,7 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   Tensor out = internal::MakeNode(
       dm.out_shape, {a, b},
       [a_impl, b_impl, batch, m, k, n, b_broadcast](TensorImpl& self) {
+        PMM_TRACE_SCOPE("MatMulTN.bwd");
         const float* av = a_impl->const_data();
         const float* bv = b_impl->const_data();
         const float* gout = self.grad.data();
@@ -282,6 +288,7 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
   float* ov = out.data();
   // Output row r is column (r - bi*m) of A_bi: select it via the column
   // offset, lda = m.
+  PMM_TRACE_SCOPE("MatMulTN");
   ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
     ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
       gemm::GemmTN(av + bi * k * m + (r - bi * m),

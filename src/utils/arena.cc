@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "utils/trace.h"
+
 namespace pmmrec {
 
 namespace {
@@ -49,9 +51,12 @@ std::vector<float> BufferArena::AcquireVec(size_t n) {
       }
     }
     if (!v.empty()) {
+      PMM_TRACE_COUNT("arena.hits", 1);
+      PMM_TRACE_COUNT("arena.reused_bytes", n * sizeof(float));
       std::fill(v.begin(), v.end(), 0.0f);
       return v;
     }
+    PMM_TRACE_COUNT("arena.misses", 1);
   }
   return std::vector<float>(n, 0.0f);
 }
@@ -75,9 +80,11 @@ void BufferArena::Release(std::vector<float>&& v) {
       buckets_[local.size()].push_back(std::move(local));
       cached_bytes_ += bytes;
       ++released_;
+      PMM_TRACE_COUNT("arena.released", 1);
       return;
     }
     ++dropped_;
+    PMM_TRACE_COUNT("arena.dropped", 1);
   }
   // `local` frees outside the lock when the cap rejected it.
 }

@@ -27,7 +27,16 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ < g_min_level) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  // Assemble the whole line first and emit it with one fwrite: stdio
+  // locks the stream per call, so lines from concurrent threads (e.g.
+  // ParallelFor workers) cannot tear. A multi-argument fprintf may flush
+  // between conversions under contention, so it is not enough.
+  std::string line = "[";
+  line += LevelName(level_);
+  line += "] ";
+  line += stream_.str();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void LogMessage::SetMinLevel(LogLevel level) { g_min_level = level; }

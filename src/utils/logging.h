@@ -8,9 +8,11 @@ namespace pmmrec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Minimal stream-style logger writing to stderr. Thread-compatible (the
-// library is single-threaded); a line is emitted when the temporary
-// LogMessage is destroyed.
+// Minimal stream-style logger writing to stderr. Thread-safe: the library
+// runs ParallelFor workers (PR 1), so each line — prefix, message, and
+// trailing newline — is emitted with a single stdio write when the
+// temporary LogMessage is destroyed. stdio locks the stream per call,
+// so concurrent PMM_LOG lines never interleave mid-line.
 //
 // Usage: PMM_LOG(INFO) << "epoch " << epoch << " loss " << loss;
 class LogMessage {

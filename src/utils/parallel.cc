@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "utils/threadpool.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -56,9 +57,12 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t max_chunks = (n + grain - 1) / grain;
   const int64_t chunks = std::min(GetNumThreads(), max_chunks);
   if (chunks <= 1 || t_in_parallel_region || ThreadPool::InWorker()) {
+    PMM_TRACE_COUNT("parallel.inline_calls", 1);
     fn(begin, end);
     return;
   }
+  PMM_TRACE_COUNT("parallel.pool_calls", 1);
+  PMM_TRACE_COUNT("parallel.chunks", chunks);
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureWorkers(chunks - 1);
   const int64_t base = n / chunks;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "utils/trace.h"
+
 namespace pmmrec {
 namespace {
 
@@ -47,7 +49,16 @@ void ThreadPool::ClaimAndRun(Batch* batch) {
   for (;;) {
     const int64_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->total) break;
+    // Per-chunk run time, attributed by whichever thread (worker or
+    // submitter) claimed the chunk. Chunks are coarse (one per thread per
+    // ParallelFor), so the two clock reads are noise.
+    const bool timing = trace::Enabled(trace::Level::kEpoch);
+    const uint64_t t0 = timing ? trace::NowNs() : 0;
     (*batch->fn)(i);
+    if (timing) {
+      PMM_TRACE_COUNT("threadpool.run_ns", trace::NowNs() - t0);
+      PMM_TRACE_COUNT("threadpool.chunks", 1);
+    }
     batch->completed.fetch_add(1, std::memory_order_acq_rel);
   }
 }
@@ -57,6 +68,12 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_epoch = 0;
   for (;;) {
     Batch* batch = nullptr;
+    // Time spent parked between batches (idle + queue wait). Together
+    // with threadpool.run_ns this gives per-worker utilization; wait is
+    // measured only while tracing is on, so an idle pool with tracing
+    // off reads no clocks.
+    const bool timing = trace::Enabled(trace::Level::kEpoch);
+    const uint64_t wait_start = timing ? trace::NowNs() : 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
@@ -70,6 +87,7 @@ void ThreadPool::WorkerLoop() {
       // active_workers > 0.
       ++batch->active_workers;
     }
+    if (timing) PMM_TRACE_COUNT("threadpool.wait_ns", trace::NowNs() - wait_start);
     ClaimAndRun(batch);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -83,10 +101,12 @@ void ThreadPool::RunChunks(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
   if (t_in_worker || !submit_mu_.try_lock()) {
     // Nested or concurrent submission: degrade to inline execution.
+    PMM_TRACE_COUNT("threadpool.inline_batches", 1);
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
   std::lock_guard<std::mutex> submit_lock(submit_mu_, std::adopt_lock);
+  PMM_TRACE_COUNT("threadpool.batches", 1);
 
   Batch batch;
   batch.total = n;

@@ -1,0 +1,427 @@
+// Tests for the trace/telemetry subsystem (utils/trace.*): scope nesting
+// and ordering, counter arithmetic, chrome-JSON well-formedness (parsed
+// back by a minimal JSON reader), the `off` level recording nothing, the
+// per-kernel GEMM FLOP counters matching the analytic 2*m*k*n counts, and
+// a concurrent scopes+counters hammer that the tsan build re-runs.
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "utils/parallel.h"
+#include "utils/trace.h"
+
+namespace pmmrec {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// --- Minimal JSON reader (validation only) -----------------------------------
+// Recursive-descent pass over the full grammar; returns false on any
+// syntax error. Enough to prove the exporters emit well-formed JSON that
+// a real consumer (Perfetto) can load.
+
+struct JsonReader {
+  const std::string& s;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\n' ||
+                              s[pos] == '\t' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Literal(const char* lit) {
+    const size_t len = std::string(lit).size();
+    if (s.compare(pos, len, lit) != 0) return false;
+    pos += len;
+    return true;
+  }
+  bool String() {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') {
+        ++pos;
+        if (pos >= s.size()) return false;
+      }
+      ++pos;
+    }
+    if (pos >= s.size()) return false;
+    ++pos;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos;
+    if (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < s.size() && (std::isdigit(s[pos]) || s[pos] == '.' ||
+                              s[pos] == 'e' || s[pos] == 'E' ||
+                              s[pos] == '-' || s[pos] == '+')) {
+      digits = digits || std::isdigit(s[pos]);
+      ++pos;
+    }
+    return digits && pos > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos >= s.size()) return false;
+    switch (s[pos]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    if (s[pos] != '{') return false;
+    ++pos;
+    SkipWs();
+    if (pos < s.size() && s[pos] == '}') { ++pos; return true; }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos >= s.size() || s[pos] != ':') return false;
+      ++pos;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos < s.size() && s[pos] == ',') { ++pos; continue; }
+      break;
+    }
+    SkipWs();
+    if (pos >= s.size() || s[pos] != '}') return false;
+    ++pos;
+    return true;
+  }
+  bool Array() {
+    if (s[pos] != '[') return false;
+    ++pos;
+    SkipWs();
+    if (pos < s.size() && s[pos] == ']') { ++pos; return true; }
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos < s.size() && s[pos] == ',') { ++pos; continue; }
+      break;
+    }
+    SkipWs();
+    if (pos >= s.size() || s[pos] != ']') return false;
+    ++pos;
+    return true;
+  }
+  bool Document() {
+    if (!Value()) return false;
+    SkipWs();
+    return pos == s.size();
+  }
+};
+
+bool IsValidJson(const std::string& text) {
+  JsonReader reader{text};
+  return reader.Document();
+}
+
+TEST(JsonReaderTest, SelfCheck) {
+  EXPECT_TRUE(IsValidJson("{\"a\": [1, 2.5, -3e4], \"b\": \"x\\\"y\"}"));
+  EXPECT_TRUE(IsValidJson("[]"));
+  EXPECT_FALSE(IsValidJson("{\"a\": }"));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1"));
+  EXPECT_FALSE(IsValidJson("{\"a\": 1} extra"));
+}
+
+// --- Levels ------------------------------------------------------------------
+
+TEST(TraceLevelTest, GuardRestoresAndEnabledIsOrdered) {
+  const trace::Level before = trace::GetLevel();
+  {
+    trace::LevelGuard guard(trace::Level::kEpoch);
+    EXPECT_EQ(trace::GetLevel(), trace::Level::kEpoch);
+    EXPECT_TRUE(trace::Enabled(trace::Level::kEpoch));
+    EXPECT_FALSE(trace::Enabled(trace::Level::kOp));
+  }
+  EXPECT_EQ(trace::GetLevel(), before);
+}
+
+// --- Scopes ------------------------------------------------------------------
+
+TEST(TraceScopeTest, NestedScopesRecordContainedOrderedEvents) {
+  trace::LevelGuard guard(trace::Level::kOp);
+  trace::ResetForTest();
+  {
+    PMM_TRACE_SCOPE("outer");
+    {
+      PMM_TRACE_SCOPE("inner");
+    }
+  }
+  const std::vector<trace::Event> events = trace::SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Chronological by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  // Containment: inner closed before outer.
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  // Both on the recording (this) thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+}
+
+TEST(TraceScopeTest, EpochScopeRecordsAtEpochLevelOnly) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  {
+    PMM_TRACE_SCOPE("op_only");  // op level: suppressed at epoch.
+    PMM_TRACE_SCOPE_AT("epoch_scope", kEpoch, nullptr);
+  }
+  const std::vector<trace::Event> events = trace::SnapshotEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "epoch_scope");
+}
+
+TEST(TraceScopeTest, DurationCounterAccumulatesNs) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  {
+    PMM_TRACE_SCOPE_AT("timed", kEpoch, "trace_test.timed.ns");
+  }
+  {
+    PMM_TRACE_SCOPE_AT("timed", kEpoch, "trace_test.timed.ns");
+  }
+  const std::vector<trace::Event> events = trace::SnapshotEvents();
+  ASSERT_EQ(events.size(), 2u);
+  const uint64_t total = events[0].dur_ns + events[1].dur_ns;
+  EXPECT_EQ(trace::Counter::Get("trace_test.timed.ns").value(), total);
+}
+
+// --- Counters ----------------------------------------------------------------
+
+TEST(TraceCounterTest, AddAndSnapshotArithmetic) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  trace::Counter& counter = trace::Counter::Get("trace_test.arith");
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add(3);
+  counter.Add(39);
+  EXPECT_EQ(counter.value(), 42u);
+  // Get interns: same object for the same name.
+  EXPECT_EQ(&trace::Counter::Get("trace_test.arith"), &counter);
+
+  PMM_TRACE_COUNT("trace_test.arith", 8);
+  EXPECT_EQ(counter.value(), 50u);
+
+  bool found = false;
+  for (const auto& [name, value] : trace::CounterSnapshot()) {
+    if (name == "trace_test.arith") {
+      found = true;
+      EXPECT_EQ(value, 50u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  trace::ResetCounters();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(TraceCounterTest, SnapshotIsSortedByName) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::Counter::Get("trace_test.zz").Add(1);
+  trace::Counter::Get("trace_test.aa").Add(1);
+  const auto snapshot = trace::CounterSnapshot();
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].first, snapshot[i].first);
+  }
+}
+
+// --- Off level ---------------------------------------------------------------
+
+TEST(TraceOffTest, OffLevelRecordsNoEventsAndMovesNoCounters) {
+  trace::LevelGuard guard(trace::Level::kOff);
+  trace::ResetForTest();
+  const uint64_t before = trace::Counter::Get("trace_test.off").value();
+  for (int i = 0; i < 100; ++i) {
+    PMM_TRACE_SCOPE("off_scope");
+    PMM_TRACE_SCOPE_AT("off_epoch", kEpoch, "trace_test.off.ns");
+    PMM_TRACE_COUNT("trace_test.off", 1);
+  }
+  EXPECT_EQ(trace::NumBufferedEvents(), 0);
+  EXPECT_EQ(trace::Counter::Get("trace_test.off").value(), before);
+  EXPECT_EQ(trace::Counter::Get("trace_test.off.ns").value(), 0u);
+  EXPECT_EQ(trace::SummaryTable(), "");
+}
+
+// --- GEMM FLOP counters ------------------------------------------------------
+
+TEST(TraceGemmTest, FlopCountersMatchAnalytic2MKN) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  // One small-path shape and one blocked-path shape; the dispatch-level
+  // counters must report the analytic count either way.
+  const struct { int64_t m, k, n; } shapes[] = {{7, 9, 11}, {129, 65, 130}};
+  uint64_t expected_flops = 0;
+  uint64_t expected_calls = 0;
+  for (const auto& s : shapes) {
+    std::vector<float> a(static_cast<size_t>(s.m * s.k), 1.0f);
+    std::vector<float> b(static_cast<size_t>(s.k * s.n), 1.0f);
+    std::vector<float> c(static_cast<size_t>(s.m * s.n), 0.0f);
+    gemm::GemmNN(a.data(), b.data(), c.data(), s.m, s.k, s.n, s.k, s.n, s.n);
+    // B reinterpreted as [n, k] for NT; same element count.
+    gemm::GemmNT(a.data(), b.data(), c.data(), s.m, s.k, s.n, s.k, s.k, s.n);
+    // A reinterpreted as [k, m] for TN.
+    gemm::GemmTN(a.data(), b.data(), c.data(), s.m, s.k, s.n, s.m, s.n, s.n);
+    expected_flops += static_cast<uint64_t>(2 * s.m * s.k * s.n);
+    expected_calls += 1;
+  }
+  EXPECT_EQ(trace::Counter::Get("gemm.nn.flops").value(), expected_flops);
+  EXPECT_EQ(trace::Counter::Get("gemm.nt.flops").value(), expected_flops);
+  EXPECT_EQ(trace::Counter::Get("gemm.tn.flops").value(), expected_flops);
+  EXPECT_EQ(trace::Counter::Get("gemm.nn.calls").value(), expected_calls);
+  EXPECT_EQ(trace::Counter::Get("gemm.nt.calls").value(), expected_calls);
+  EXPECT_EQ(trace::Counter::Get("gemm.tn.calls").value(), expected_calls);
+  // Every call took exactly one dispatch path.
+  const uint64_t dispatched =
+      trace::Counter::Get("gemm.dispatch.small").value() +
+      trace::Counter::Get("gemm.dispatch.blocked").value() +
+      trace::Counter::Get("gemm.dispatch.reference").value();
+  EXPECT_EQ(dispatched, 3 * expected_calls);
+}
+
+// --- Export ------------------------------------------------------------------
+
+TEST(TraceExportTest, ChromeTraceAndTelemetryAreWellFormedJson) {
+  trace::LevelGuard guard(trace::Level::kOp);
+  trace::ResetForTest();
+  {
+    PMM_TRACE_SCOPE("export \"quoted\" name");  // Exercises escaping.
+    PMM_TRACE_SCOPE("export_inner");
+    PMM_TRACE_COUNT("trace_test.export", 5);
+  }
+  trace::RecordEpochRow("epoch0", {{"loss", 1.25}, {"hr10", 0.5}});
+
+  const std::string dir = ::testing::TempDir();
+  const std::string chrome_path = dir + "/pmmrec_trace_test.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(chrome_path).ok());
+  const std::string chrome = ReadFile(chrome_path);
+  EXPECT_TRUE(IsValidJson(chrome)) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(chrome.find("export_inner"), std::string::npos);
+
+  const std::string telemetry_path = trace::TelemetryPathFor(chrome_path);
+  EXPECT_EQ(telemetry_path, dir + "/pmmrec_trace_test.telemetry.json");
+  ASSERT_TRUE(trace::WriteTelemetry(telemetry_path).ok());
+  const std::string telemetry = ReadFile(telemetry_path);
+  EXPECT_TRUE(IsValidJson(telemetry)) << telemetry;
+  EXPECT_NE(telemetry.find("\"counters\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"trace_test.export\": 5"), std::string::npos);
+  EXPECT_NE(telemetry.find("\"epochs\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"label\": \"epoch0\""), std::string::npos);
+
+  std::remove(chrome_path.c_str());
+  std::remove(telemetry_path.c_str());
+}
+
+TEST(TraceExportTest, TelemetryPathDerivation) {
+  EXPECT_EQ(trace::TelemetryPathFor("trace.json"), "trace.telemetry.json");
+  EXPECT_EQ(trace::TelemetryPathFor("out/t.json"), "out/t.telemetry.json");
+  EXPECT_EQ(trace::TelemetryPathFor("trace"), "trace.telemetry.json");
+}
+
+TEST(TraceExportTest, SummaryTableListsScopesAndCounters) {
+  trace::LevelGuard guard(trace::Level::kOp);
+  trace::ResetForTest();
+  {
+    PMM_TRACE_SCOPE("summary_scope");
+    PMM_TRACE_COUNT("trace_test.summary", 7);
+  }
+  const std::string summary = trace::SummaryTable();
+  EXPECT_NE(summary.find("summary_scope"), std::string::npos);
+  EXPECT_NE(summary.find("trace_test.summary"), std::string::npos);
+  EXPECT_NE(summary.find("7"), std::string::npos);
+}
+
+// --- Concurrency (tsan) ------------------------------------------------------
+
+TEST(TraceConcurrencyTest, ScopesAndCountersFromParallelForWorkers) {
+  trace::LevelGuard guard(trace::Level::kOp);
+  NumThreadsGuard threads(8);
+  trace::ResetForTest();
+  constexpr int64_t kIters = 4000;
+  ParallelFor(0, kIters, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      PMM_TRACE_SCOPE("concurrent_scope");
+      PMM_TRACE_COUNT("trace_test.concurrent", 2);
+    }
+  });
+  EXPECT_EQ(trace::Counter::Get("trace_test.concurrent").value(),
+            static_cast<uint64_t>(2 * kIters));
+  // One event per index, spread across the participating threads; the
+  // per-thread rings are far larger than kIters, so nothing dropped.
+  EXPECT_EQ(trace::NumBufferedEvents(), kIters);
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+  const std::vector<trace::Event> events = trace::SnapshotEvents();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kIters));
+  for (const trace::Event& e : events) {
+    EXPECT_STREQ(e.name, "concurrent_scope");
+  }
+}
+
+TEST(TraceConcurrencyTest, RawThreadsHammerOneCounter) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      trace::Counter& counter = trace::Counter::Get("trace_test.hammer");
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(trace::Counter::Get("trace_test.hammer").value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(TraceConcurrencyTest, ConcurrentExportWhileRecording) {
+  trace::LevelGuard guard(trace::Level::kOp);
+  trace::ResetForTest();
+  // One thread records scopes while another snapshots and aggregates —
+  // the pattern the at-exit exporter relies on being safe.
+  std::thread recorder([] {
+    for (int i = 0; i < 2000; ++i) {
+      PMM_TRACE_SCOPE("export_race");
+      PMM_TRACE_COUNT("trace_test.export_race", 1);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    (void)trace::SnapshotEvents();
+    (void)trace::CounterSnapshot();
+    (void)trace::NumBufferedEvents();
+  }
+  recorder.join();
+  EXPECT_EQ(trace::Counter::Get("trace_test.export_race").value(), 2000u);
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -19,6 +19,12 @@
 //   --threads N   Intra-op threads for the tensor kernels and evaluation
 //                 (overrides the PMMREC_NUM_THREADS env var; 1 = serial).
 //                 Results are bit-identical for every value.
+//   --trace PATH  Record op-level trace events and runtime counters, write
+//                 a chrome://tracing JSON to PATH (open it in Perfetto)
+//                 plus flat telemetry to PATH's *.telemetry.json sibling,
+//                 and print a summary table at exit. Respects an explicit
+//                 PMMREC_TRACE_LEVEL; defaults to `op`. Tracing never
+//                 changes results — only wall-clock, slightly.
 //
 // Model checkpoints store parameters only; the architecture is derived
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
@@ -33,6 +39,7 @@
 #include "data/serialization.h"
 #include "utils/flags.h"
 #include "utils/parallel.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace {
@@ -225,12 +232,36 @@ int main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   const int64_t threads = flags.GetInt("threads", 0);
   if (threads > 0) SetNumThreads(threads);
+  const std::string trace_path = flags.GetString("trace");
+  if (!trace_path.empty()) {
+    trace::SetExportPath(trace_path);
+    // An explicit PMMREC_TRACE_LEVEL (or an earlier SetLevel) wins; the
+    // flag alone means full op-level tracing.
+    if (!trace::Enabled(trace::Level::kEpoch)) {
+      trace::SetLevel(trace::Level::kOp);
+    }
+  }
   const std::string command = flags.positional()[0];
-  if (command == "gen-data") return CmdGenData(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  if (command == "transfer") return CmdTransfer(flags);
-  if (command == "recommend") return CmdRecommend(flags);
-  return Usage();
+  int rc = 2;
+  if (command == "gen-data") rc = CmdGenData(flags);
+  else if (command == "stats") rc = CmdStats(flags);
+  else if (command == "train") rc = CmdTrain(flags);
+  else if (command == "evaluate") rc = CmdEvaluate(flags);
+  else if (command == "transfer") rc = CmdTransfer(flags);
+  else if (command == "recommend") rc = CmdRecommend(flags);
+  else return Usage();
+
+  if (trace::Enabled(trace::Level::kEpoch)) {
+    const std::string summary = trace::SummaryTable();
+    if (!summary.empty()) std::printf("\n%s", summary.c_str());
+    const Status st = trace::ExportConfigured();
+    const std::string path = trace::ExportPath();
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n", st.ToString().c_str());
+    } else if (!path.empty()) {
+      std::printf("wrote trace %s and telemetry %s\n", path.c_str(),
+                  trace::TelemetryPathFor(path).c_str());
+    }
+  }
+  return rc;
 }
