@@ -1,0 +1,210 @@
+// Inference-path benchmark: full-catalogue scoring throughput of the
+// grad-free batched serving path (InferenceMode + ItemTableCache +
+// ScoreUsersBatched) against the legacy grad-capable per-user forward
+// (graph recorded and dropped, hand-rolled dot loop). Emits
+// machine-readable BENCH_infer.json so the serving-perf trajectory is
+// tracked PR-over-PR.
+//
+// Both phases score the same users against the same cached item table, so
+// the score buffers must match bitwise — checked here and reported in the
+// JSON. Peak memory is reported as getrusage max-RSS (monotone, so the
+// inference phase runs first) plus per-phase allocation-traffic proxies
+// from the tensor-layer counters (autograd nodes, grad buffers, tensor
+// buffers).
+//
+// Usage: bench_infer [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS.
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tensor/ops.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+struct PhaseStats {
+  double ms = 0;             // median whole-sweep wall time
+  double users_per_sec = 0;
+  uint64_t autograd_nodes = 0;   // per-sweep deltas
+  uint64_t grad_buffers = 0;
+  uint64_t tensor_buffers = 0;
+  long maxrss_kb = 0;  // process max-RSS after the phase (monotone)
+};
+
+long MaxRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+// Median wall time of `fn` over `reps` runs (after one warm-up), plus the
+// tensor-layer counter deltas of a single run.
+template <typename Fn>
+PhaseStats MeasurePhase(Fn&& fn, int reps, int64_t n_users) {
+  fn();  // warm-up: faults pages, fills the arena
+  PhaseStats stats;
+  const uint64_t nodes0 = internal::AutogradNodesCreated();
+  const uint64_t grads0 = internal::GradBuffersAllocated();
+  const uint64_t bufs0 = internal::TensorBuffersAllocated();
+  fn();
+  stats.autograd_nodes = internal::AutogradNodesCreated() - nodes0;
+  stats.grad_buffers = internal::GradBuffersAllocated() - grads0;
+  stats.tensor_buffers = internal::TensorBuffersAllocated() - bufs0;
+
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedMillis());
+  }
+  std::sort(times.begin(), times.end());
+  stats.ms = times[times.size() / 2];
+  stats.users_per_sec = static_cast<double>(n_users) / (stats.ms / 1e3);
+  stats.maxrss_kb = MaxRssKb();
+  return stats;
+}
+
+// The pre-refactor scoring path: one grad-capable user-encoder forward per
+// user (autograd tape recorded, then dropped) and a hand-rolled dot loop
+// against the item table.
+void ScoreLegacy(PMMRecModel& model,
+                 const std::vector<std::vector<int32_t>>& prefixes,
+                 float* out) {
+  const std::vector<float>& table = model.ItemRepresentationTable();
+  const int64_t d = model.config().d_model;
+  const int64_t max_len = model.config().max_seq_len;
+  const int64_t n_items = model.dataset()->num_items();
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    const std::vector<int32_t>& prefix = prefixes[u];
+    const int64_t start = std::max<int64_t>(
+        0, static_cast<int64_t>(prefix.size()) - max_len);
+    const int64_t len = static_cast<int64_t>(prefix.size()) - start;
+    Tensor seq = Tensor::Zeros(Shape{1, len, d});
+    for (int64_t l = 0; l < len; ++l) {
+      const int32_t item = prefix[static_cast<size_t>(start + l)];
+      std::memcpy(seq.data() + l * d,
+                  table.data() + static_cast<int64_t>(item) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+    Tensor hidden = model.user_encoder().Forward(seq);  // graph-building
+    const float* h = hidden.data() + (len - 1) * d;
+    float* row = out + static_cast<int64_t>(u) * n_items;
+    for (int64_t i = 0; i < n_items; ++i) {
+      const float* e = table.data() + i * d;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < d; ++j) dot += h[j] * e[j];
+      row[i] = dot;
+    }
+  }
+}
+
+void PrintPhase(const char* name, const PhaseStats& s) {
+  std::printf("%-10s %8.2f ms  %9.1f users/s  nodes %8llu  grad-bufs %6llu  "
+              "tensor-bufs %8llu  maxrss %ld kB\n",
+              name, s.ms, s.users_per_sec,
+              static_cast<unsigned long long>(s.autograd_nodes),
+              static_cast<unsigned long long>(s.grad_buffers),
+              static_cast<unsigned long long>(s.tensor_buffers), s.maxrss_kb);
+}
+
+void WriteJson(const std::string& path, int64_t n_users, int64_t n_items,
+               int64_t threads, const PhaseStats& infer,
+               const PhaseStats& legacy, bool bitwise_equal) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  const auto phase = [f](const char* name, const PhaseStats& s,
+                         const char* trailing) {
+    std::fprintf(f,
+                 "  \"%s\": {\"ms\": %.4f, \"users_per_sec\": %.2f, "
+                 "\"autograd_nodes\": %llu, \"grad_buffers\": %llu, "
+                 "\"tensor_buffers\": %llu, \"maxrss_kb\": %ld}%s\n",
+                 name, s.ms, s.users_per_sec,
+                 static_cast<unsigned long long>(s.autograd_nodes),
+                 static_cast<unsigned long long>(s.grad_buffers),
+                 static_cast<unsigned long long>(s.tensor_buffers),
+                 s.maxrss_kb, trailing);
+  };
+  std::fprintf(f,
+               "{\n  \"bench\": \"infer\",\n  \"users\": %lld,\n"
+               "  \"items\": %lld,\n  \"threads\": %lld,\n",
+               static_cast<long long>(n_users),
+               static_cast<long long>(n_items),
+               static_cast<long long>(threads));
+  phase("inference_mode", infer, ",");
+  phase("legacy_forward", legacy, ",");
+  std::fprintf(f, "  \"speedup\": %.3f,\n  \"bitwise_equal\": %s\n}\n",
+               infer.ms > 0 ? legacy.ms / infer.ms : 0.0,
+               bitwise_equal ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run(const std::string& out_dir) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
+                                             bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();  // builds the item-table cache once, up front
+
+  // Every user's test prefix, cycled up to a fixed sweep size so the
+  // throughput number is stable across dataset scales.
+  const int64_t n_users = std::min<int64_t>(256, ds.num_users() * 4);
+  std::vector<std::vector<int32_t>> prefixes;
+  prefixes.reserve(static_cast<size_t>(n_users));
+  for (int64_t u = 0; u < n_users; ++u) {
+    prefixes.push_back(ds.TestPrefix(u % ds.num_users()));
+  }
+  const int64_t n_items = ds.num_items();
+  std::vector<float> infer_scores(static_cast<size_t>(n_users * n_items));
+  std::vector<float> legacy_scores(static_cast<size_t>(n_users * n_items));
+
+  const int reps = 9;
+  // Inference phase first: max-RSS is monotone, so the grad-capable phase's
+  // extra footprint shows up as growth between the two snapshots.
+  const PhaseStats infer = MeasurePhase(
+      [&] { model.ScoreUsersBatched(prefixes, infer_scores.data()); }, reps,
+      n_users);
+  const PhaseStats legacy = MeasurePhase(
+      [&] { ScoreLegacy(model, prefixes, legacy_scores.data()); }, reps,
+      n_users);
+
+  const bool bitwise_equal =
+      std::memcmp(infer_scores.data(), legacy_scores.data(),
+                  infer_scores.size() * sizeof(float)) == 0;
+
+  std::printf("inference bench: %lld users x %lld items, %lld threads\n",
+              static_cast<long long>(n_users), static_cast<long long>(n_items),
+              static_cast<long long>(GetNumThreads()));
+  PrintPhase("inference", infer);
+  PrintPhase("legacy", legacy);
+  std::printf("speedup %.2fx, scores bitwise %s\n", legacy.ms / infer.ms,
+              bitwise_equal ? "EQUAL" : "DIFFERENT");
+
+  WriteJson(out_dir + "/BENCH_infer.json", n_users, n_items, GetNumThreads(),
+            infer, legacy, bitwise_equal);
+  return bitwise_equal ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  return pmmrec::Run(out_dir);
+}

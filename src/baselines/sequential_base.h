@@ -1,9 +1,11 @@
 #ifndef PMMREC_BASELINES_SEQUENTIAL_BASE_H_
 #define PMMREC_BASELINES_SEQUENTIAL_BASE_H_
 
+#include <span>
 #include <vector>
 
 #include "core/losses.h"
+#include "core/serving.h"
 #include "core/trainer.h"
 #include "nn/layers.h"
 
@@ -20,8 +22,9 @@ namespace pmmrec {
 //
 // The base implements the shared DAP training step (Eq. 5 with in-batch
 // negatives, identical to PMMRec's fine-tuning objective so comparisons
-// are apples-to-apples), the cached full-catalogue evaluation path, and
-// TrainableRecommender boilerplate.
+// are apples-to-apples), the cached full-catalogue serving path (an
+// ItemTableCache holding the raw reps and the projected scoring keys,
+// built once under InferenceMode), and TrainableRecommender boilerplate.
 class SequentialRecBase : public Module, public TrainableRecommender {
  public:
   SequentialRecBase(int64_t max_seq_len, uint64_t seed);
@@ -32,6 +35,16 @@ class SequentialRecBase : public Module, public TrainableRecommender {
   void SetTrainingMode(bool training) override;
   void PrepareForEval() override;
   std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override;
+  // Batched serving path (same scheme as PMMRec::ScoreUsersBatched):
+  // length-grouped joint forwards plus one MatMulNT per group against the
+  // cached key table; bitwise identical to per-user ScoreItems().
+  bool SupportsBatchedEval() const override { return true; }
+  int64_t ScoreWidth() const override;
+  void ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
+                       float* out) override;
+
+  // Serving cache over raw item reps (table 0) and scoring keys (table 1).
+  const ItemTableCache& item_table_cache() const { return item_cache_; }
 
  protected:
   // Called after a dataset is attached (features, codebooks, ...).
@@ -48,16 +61,24 @@ class SequentialRecBase : public Module, public TrainableRecommender {
   Rng& rng() { return rng_; }
 
  private:
+  // Rebuilds the serving cache if stale (dataset must be attached).
+  void EnsureTables();
+  // Builds [g, len, rep_dim] from the cached raw table for the given
+  // same-length group of prefixes, then encodes and projects the final
+  // position to scoring queries [g, score_dim].
+  Tensor EncodeQueries(std::span<const std::vector<int32_t>> prefixes,
+                       std::span<const int64_t> group, int64_t len);
+
+  static constexpr int64_t kRawTable = 0;
+  static constexpr int64_t kKeyTable = 1;
+
   int64_t max_seq_len_;
   Rng rng_;
   const Dataset* dataset_ = nullptr;
 
-  // Evaluation caches, invalidated when training resumes.
-  std::vector<float> raw_table_;  // [I, rep_dim]
-  std::vector<float> key_table_;  // [I, score_dim]
-  int64_t rep_dim_ = 0;
-  int64_t score_dim_ = 0;
-  bool tables_valid_ = false;
+  // Serving cache, invalidated when training resumes or the dataset /
+  // parameters change.
+  ItemTableCache item_cache_;
 };
 
 }  // namespace pmmrec

@@ -1,5 +1,6 @@
 #include "core/pmmrec.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "utils/parallel.h"
@@ -32,12 +33,12 @@ void PMMRecModel::AttachDataset(const Dataset* ds) {
   PMM_CHECK_EQ(ds->n_patches, static_cast<int32_t>(config_.n_patches));
   PMM_CHECK_EQ(ds->patch_dim, static_cast<int32_t>(config_.patch_dim));
   dataset_ = ds;
-  item_table_valid_ = false;
+  item_cache_.Invalidate();
 }
 
 void PMMRecModel::SetTrainingMode(bool training) {
   SetTraining(training);
-  if (training) item_table_valid_ = false;
+  if (training) item_cache_.Invalidate();
 }
 
 PMMRecModel::ItemReps PMMRecModel::EncodeItemReps(
@@ -132,46 +133,31 @@ Tensor PMMRecModel::TrainStepLoss(const SeqBatch& batch) {
   return loss;
 }
 
+void PMMRecModel::EnsureItemTable() {
+  PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
+  // Scoring implies eval mode (deterministic dropout path); entering it
+  // here keeps "score without an explicit PrepareForEval" working.
+  if (training()) SetTraining(false);
+  item_cache_.Ensure(dataset_->num_items(),
+                     [this](const std::vector<int32_t>& ids) {
+                       return std::vector<Tensor>{EncodeItemReps(ids).final_};
+                     });
+}
+
 void PMMRecModel::PrepareForEval() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   SetTraining(false);
-  if (item_table_valid_) return;
-  PMM_TRACE_SCOPE_AT("eval.item_table", kEpoch, "eval.item_table.ns");
-  NoGradGuard no_grad;
-  const int64_t n_items = dataset_->num_items();
-  const int64_t d = config_.d_model;
-  item_table_.assign(static_cast<size_t>(n_items * d), 0.0f);
-
-  // Chunk size is fixed (not derived from the thread count) so the encoded
-  // representations — and therefore all downstream metrics — are identical
-  // for every PMMREC_NUM_THREADS setting.
-  constexpr int64_t kChunk = 64;
-  const int64_t n_chunks = (n_items + kChunk - 1) / kChunk;
-  ParallelFor(0, n_chunks, /*grain=*/1, [&](int64_t c0, int64_t c1) {
-    // Pool workers start grad-enabled; the encode must stay graph-free.
-    NoGradGuard chunk_no_grad;
-    for (int64_t c = c0; c < c1; ++c) {
-      const int64_t start = c * kChunk;
-      const int64_t count = std::min<int64_t>(kChunk, n_items - start);
-      std::vector<int32_t> ids(static_cast<size_t>(count));
-      for (int64_t i = 0; i < count; ++i) {
-        ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
-      }
-      ItemReps reps = EncodeItemReps(ids);
-      std::memcpy(item_table_.data() + start * d, reps.final_.data(),
-                  static_cast<size_t>(count * d) * sizeof(float));
-    }
-  });
-  item_table_valid_ = true;
+  EnsureItemTable();
 }
 
 std::vector<float> PMMRecModel::UserRepresentation(
     const std::vector<int32_t>& prefix) {
   PMM_CHECK(!prefix.empty());
-  if (!item_table_valid_) PrepareForEval();
-  NoGradGuard no_grad;
+  EnsureItemTable();
+  InferenceMode inference;
   const int64_t d = config_.d_model;
   const int64_t max_len = config_.max_seq_len;
+  const std::vector<float>& table = item_cache_.table_data(0);
 
   // Keep the most recent max_len interactions.
   const int64_t start =
@@ -183,7 +169,7 @@ std::vector<float> PMMRecModel::UserRepresentation(
   for (int64_t l = 0; l < len; ++l) {
     const int32_t item = prefix[static_cast<size_t>(start + l)];
     std::memcpy(seq.data() + l * d,
-                item_table_.data() + static_cast<int64_t>(item) * d,
+                table.data() + static_cast<int64_t>(item) * d,
                 static_cast<size_t>(d) * sizeof(float));
   }
   Tensor hidden = user_encoder_.Forward(seq);  // [1, len, d]
@@ -192,22 +178,95 @@ std::vector<float> PMMRecModel::UserRepresentation(
 }
 
 const std::vector<float>& PMMRecModel::ItemRepresentationTable() {
-  if (!item_table_valid_) PrepareForEval();
-  return item_table_;
+  EnsureItemTable();
+  return item_cache_.table_data(0);
 }
 
 std::vector<float> PMMRecModel::ScoreItems(const std::vector<int32_t>& prefix) {
+  // Serial reference path: per-user forward plus a hand-rolled ascending-j
+  // dot loop. Kept independent of the batched GEMM path so the two can be
+  // checked bitwise against each other.
   const std::vector<float> h = UserRepresentation(prefix);
+  const std::vector<float>& table = item_cache_.table_data(0);
   const int64_t d = config_.d_model;
   const int64_t n_items = dataset_->num_items();
   std::vector<float> scores(static_cast<size_t>(n_items));
   for (int64_t i = 0; i < n_items; ++i) {
-    const float* e = item_table_.data() + i * d;
+    const float* e = table.data() + i * d;
     float dot = 0.0f;
     for (int64_t j = 0; j < d; ++j) dot += h[static_cast<size_t>(j)] * e[j];
     scores[static_cast<size_t>(i)] = dot;
   }
   return scores;
+}
+
+int64_t PMMRecModel::ScoreWidth() const {
+  return dataset_ != nullptr ? dataset_->num_items() : -1;
+}
+
+void PMMRecModel::ScoreItemsBatch(
+    std::span<const std::vector<int32_t>> prefixes, float* out) {
+  ScoreUsersBatched(prefixes, out);
+}
+
+void PMMRecModel::ScoreUsersBatched(
+    std::span<const std::vector<int32_t>> prefixes, float* out) {
+  if (prefixes.empty()) return;
+  PMM_CHECK(out != nullptr);
+  EnsureItemTable();
+  PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
+  InferenceMode inference;
+  const int64_t d = config_.d_model;
+  const int64_t max_len = config_.max_seq_len;
+  const int64_t n_items = dataset_->num_items();
+  const std::vector<float>& table = item_cache_.table_data(0);
+
+  // Group users by effective sequence length (the most recent
+  // min(len, max_seq_len) interactions). Same-length users share one joint
+  // forward; per-batch-row independence of every op keeps each row bitwise
+  // equal to the user's solo forward, and grouping (instead of padding)
+  // sidesteps masking entirely.
+  std::vector<std::vector<int64_t>> groups(static_cast<size_t>(max_len) + 1);
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    PMM_CHECK_MSG(!prefixes[u].empty(), "empty prefix in batch");
+    const int64_t len =
+        std::min<int64_t>(static_cast<int64_t>(prefixes[u].size()), max_len);
+    groups[static_cast<size_t>(len)].push_back(static_cast<int64_t>(u));
+  }
+
+  for (int64_t len = 1; len <= max_len; ++len) {
+    const std::vector<int64_t>& group = groups[static_cast<size_t>(len)];
+    if (group.empty()) continue;
+    const int64_t g = static_cast<int64_t>(group.size());
+
+    Tensor seq = Tensor::Zeros(Shape{g, len, d});
+    for (int64_t r = 0; r < g; ++r) {
+      const std::vector<int32_t>& prefix =
+          prefixes[static_cast<size_t>(group[static_cast<size_t>(r)])];
+      const int64_t start = static_cast<int64_t>(prefix.size()) - len;
+      for (int64_t l = 0; l < len; ++l) {
+        const int32_t item = prefix[static_cast<size_t>(start + l)];
+        std::memcpy(seq.data() + (r * len + l) * d,
+                    table.data() + static_cast<int64_t>(item) * d,
+                    static_cast<size_t>(d) * sizeof(float));
+      }
+    }
+
+    Tensor hidden = user_encoder_.Forward(seq);          // [g, len, d]
+    Tensor last = Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
+                                /*length=*/1),
+                          Shape{g, d});                  // [g, d]
+    Tensor scores = MatMulNT(last, item_cache_.table(0));  // [g, n_items]
+    PMM_TRACE_COUNT("infer.score_gemms", 1);
+
+    for (int64_t r = 0; r < g; ++r) {
+      std::memcpy(out + group[static_cast<size_t>(r)] * n_items,
+                  scores.data() + r * n_items,
+                  static_cast<size_t>(n_items) * sizeof(float));
+    }
+  }
+  PMM_TRACE_COUNT("infer.users_scored",
+                  static_cast<int64_t>(prefixes.size()));
 }
 
 void PMMRecModel::TransferFrom(const PMMRecModel& source,
@@ -236,14 +295,14 @@ void PMMRecModel::TransferFrom(const PMMRecModel& source,
       user_encoder_.CopyParametersFrom(source.user_encoder_);
       break;
   }
-  item_table_valid_ = false;
+  item_cache_.Invalidate();
 }
 
 void PMMRecModel::InitEncodersFrom(const TextEncoder& text,
                                    const VisionEncoder& vision) {
   text_encoder_.CopyParametersFrom(text);
   vision_encoder_.CopyParametersFrom(vision);
-  item_table_valid_ = false;
+  item_cache_.Invalidate();
 }
 
 }  // namespace pmmrec

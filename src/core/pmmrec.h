@@ -1,12 +1,14 @@
 #ifndef PMMREC_CORE_PMMREC_H_
 #define PMMREC_CORE_PMMREC_H_
 
+#include <span>
 #include <vector>
 
 #include "core/config.h"
 #include "core/fusion.h"
 #include "core/item_encoders.h"
 #include "core/losses.h"
+#include "core/serving.h"
 #include "core/trainer.h"
 #include "core/transfer.h"
 #include "core/user_encoder.h"
@@ -39,9 +41,30 @@ class PMMRecModel : public Module, public TrainableRecommender {
   void PrepareForEval() override;
   std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override;
   // Scoring only reads the cached item table and runs stateless forward
-  // passes under NoGradGuard, so the evaluator may fan users out across
+  // passes under InferenceMode, so the evaluator may fan users out across
   // threads.
   bool SupportsParallelEval() const override { return true; }
+  // Batched serving path: fused joint forward passes + one MatMulNT per
+  // length group (see ScoreUsersBatched). The evaluator feeds this
+  // serially; parallelism comes from the intra-op kernels.
+  bool SupportsBatchedEval() const override { return true; }
+  int64_t ScoreWidth() const override;
+  void ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
+                       float* out) override;
+
+  // --- Frozen-model serving -------------------------------------------------
+  // Scores every prefix against the full catalogue, writing
+  // prefixes[i]'s scores to out[i * num_items .. (i+1) * num_items).
+  //
+  // Runs entirely under InferenceMode against the persistent item-table
+  // cache: prefixes are grouped by effective length (min(len, max_seq_len)
+  // most recent interactions), each group runs one joint user-encoder
+  // forward and one MatMulNT against the cached table. Because every
+  // forward op and the GEMM determinism contract are per-batch-row
+  // independent, the scores are bitwise identical to per-user
+  // ScoreItems() calls at any thread count.
+  void ScoreUsersBatched(std::span<const std::vector<int32_t>> prefixes,
+                         float* out);
 
   // --- Representation export -----------------------------------------------
   // Final-position user-encoder hidden state for a history ([d_model]).
@@ -65,6 +88,8 @@ class PMMRecModel : public Module, public TrainableRecommender {
   UserEncoder& user_encoder() { return user_encoder_; }
   const PMMRecConfig& config() const { return config_; }
   const Dataset* dataset() const { return dataset_; }
+  // Serving cache over the fused item representations (tests, telemetry).
+  const ItemTableCache& item_table_cache() const { return item_cache_; }
 
   // Loss decomposition of the last TrainStepLoss call (diagnostics).
   struct LossParts {
@@ -95,9 +120,12 @@ class PMMRecModel : public Module, public TrainableRecommender {
   bool pretraining_objectives_ = false;
   const Dataset* dataset_ = nullptr;
 
-  // Evaluation cache: representation table of the whole catalogue.
-  std::vector<float> item_table_;  // [num_items, d], row-major
-  bool item_table_valid_ = false;
+  // Rebuilds the serving cache if stale (dataset must be attached).
+  void EnsureItemTable();
+
+  // Serving cache: fused representation table of the whole catalogue,
+  // encoded once under InferenceMode (table 0: [num_items, d_model]).
+  ItemTableCache item_cache_;
 
   LossParts last_parts_;
 };

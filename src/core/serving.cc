@@ -1,0 +1,106 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/optimizer.h"
+#include "utils/check.h"
+#include "utils/parallel.h"
+#include "utils/trace.h"
+
+namespace pmmrec {
+
+bool ItemTableCache::valid() const {
+  return valid_ && built_param_version_ == ParamUpdateVersion();
+}
+
+const Tensor& ItemTableCache::table(int64_t t) const {
+  PMM_CHECK_GE(t, 0);
+  PMM_CHECK_LT(t, num_tables());
+  return tables_[static_cast<size_t>(t)];
+}
+
+const std::vector<float>& ItemTableCache::table_data(int64_t t) const {
+  return *table(t).impl()->data;
+}
+
+bool ItemTableCache::Ensure(int64_t num_items,
+                            const ChunkEncoder& encode_chunk) {
+  PMM_CHECK_GT(num_items, 0);
+  if (valid() && num_items_ == num_items) {
+    PMM_TRACE_COUNT("infer.item_table.hits", 1);
+    return false;
+  }
+  PMM_TRACE_SCOPE_AT("infer.item_table.build", kEpoch,
+                     "infer.item_table.build.ns");
+  PMM_TRACE_COUNT("infer.item_table.rebuilds", 1);
+  PMM_TRACE_COUNT("infer.item_table.rows", num_items);
+
+  // Record the version before encoding: a concurrent param update during
+  // the build (unsupported, but cheap to be safe against) leaves the cache
+  // stale rather than silently current.
+  const uint64_t version = ParamUpdateVersion();
+
+  const auto ids_for_chunk = [num_items](int64_t chunk) {
+    const int64_t start = chunk * kChunk;
+    const int64_t count = std::min<int64_t>(kChunk, num_items - start);
+    std::vector<int32_t> ids(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      ids[static_cast<size_t>(i)] = static_cast<int32_t>(start + i);
+    }
+    return ids;
+  };
+
+  // Chunk 0 runs serially: it determines how many tables the encoder
+  // produces and their widths, so storage can be allocated before the
+  // parallel sweep over the remaining chunks.
+  std::vector<Tensor> first;
+  {
+    InferenceMode inference;
+    first = encode_chunk(ids_for_chunk(0));
+  }
+  PMM_CHECK_MSG(!first.empty(), "ChunkEncoder returned no tables");
+  const int64_t n_tables = static_cast<int64_t>(first.size());
+  tables_.assign(first.size(), Tensor());
+  const int64_t first_count = std::min<int64_t>(kChunk, num_items);
+  for (int64_t t = 0; t < n_tables; ++t) {
+    const Tensor& chunk = first[static_cast<size_t>(t)];
+    PMM_CHECK_EQ(chunk.rank(), 2);
+    PMM_CHECK_EQ(chunk.dim(0), first_count);
+    const int64_t d = chunk.dim(1);
+    Tensor table = Tensor::Zeros(Shape{num_items, d});
+    std::memcpy(table.data(), chunk.data(),
+                static_cast<size_t>(first_count * d) * sizeof(float));
+    tables_[static_cast<size_t>(t)] = std::move(table);
+  }
+
+  const int64_t n_chunks = (num_items + kChunk - 1) / kChunk;
+  ParallelFor(1, n_chunks, /*grain=*/1, [&](int64_t c0, int64_t c1) {
+    // Pool workers start grad-enabled; encoding must build no graphs and
+    // allocate no grad storage.
+    InferenceMode inference;
+    for (int64_t c = c0; c < c1; ++c) {
+      const int64_t start = c * kChunk;
+      const int64_t count = std::min<int64_t>(kChunk, num_items - start);
+      const std::vector<Tensor> reps = encode_chunk(ids_for_chunk(c));
+      PMM_CHECK_EQ(static_cast<int64_t>(reps.size()), n_tables);
+      for (int64_t t = 0; t < n_tables; ++t) {
+        const Tensor& chunk = reps[static_cast<size_t>(t)];
+        const int64_t d = tables_[static_cast<size_t>(t)].dim(1);
+        PMM_CHECK_EQ(chunk.dim(0), count);
+        PMM_CHECK_EQ(chunk.dim(1), d);
+        std::memcpy(tables_[static_cast<size_t>(t)].data() + start * d,
+                    chunk.data(),
+                    static_cast<size_t>(count * d) * sizeof(float));
+      }
+    }
+  });
+
+  num_items_ = num_items;
+  built_param_version_ = version;
+  valid_ = true;
+  ++rebuilds_;
+  return true;
+}
+
+}  // namespace pmmrec

@@ -1,0 +1,76 @@
+#ifndef PMMREC_CORE_SERVING_H_
+#define PMMREC_CORE_SERVING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+
+// Frozen-model serving cache: the representation table(s) of the whole
+// catalogue, encoded once under InferenceMode and ranked against by the
+// batched scoring paths (see DESIGN.md "Inference path").
+//
+// A cache instance belongs to one model and stores one or more aligned
+// [num_items, d_t] tables (PMMRec caches the fused item representations;
+// the sequential baselines cache raw reps plus projected scoring keys).
+// Validity is two-layered:
+//  - explicit: Invalidate() is called by the owning model whenever its
+//    identity changes (dataset attach, transfer, encoder init, training
+//    mode re-entered);
+//  - implicit: the cache records ParamUpdateVersion() (nn/optimizer.h) at
+//    build time and considers itself stale once any parameters anywhere
+//    have been stepped, loaded or copied since. Conservative — an
+//    unrelated model's update also invalidates — but it makes "score after
+//    an optimizer step" correct by construction rather than by every call
+//    site remembering to invalidate.
+//
+// Ensure() rebuilds in fixed chunks of kChunk items: chunk 0 serially (it
+// determines the table widths), the rest via ParallelFor with a per-worker
+// InferenceMode guard. The chunk size is a constant, never derived from
+// the thread count, so the encoded tables — and all downstream metrics —
+// are bit-identical for every PMMREC_NUM_THREADS setting.
+class ItemTableCache {
+ public:
+  // Fixed encode-chunk size (also the historical PrepareForEval chunking,
+  // so cached tables are bitwise identical to the pre-cache precompute).
+  static constexpr int64_t kChunk = 64;
+
+  // Encodes one chunk of catalogue ids; returns one [ids.size(), d_t]
+  // tensor per table. Must be stateless/thread-safe in eval mode and is
+  // always invoked under InferenceMode.
+  using ChunkEncoder =
+      std::function<std::vector<Tensor>(const std::vector<int32_t>&)>;
+
+  // Rebuilds the tables when stale; returns true iff a rebuild happened.
+  bool Ensure(int64_t num_items, const ChunkEncoder& encode_chunk);
+
+  void Invalidate() { valid_ = false; }
+
+  // True when the cached tables are current (including the implicit
+  // param-version check).
+  bool valid() const;
+
+  int64_t num_tables() const { return static_cast<int64_t>(tables_.size()); }
+  // t-th cached table, [num_items, d_t]. Valid until the next rebuild.
+  const Tensor& table(int64_t t) const;
+  // The table's flat row-major storage (num_items * d_t floats).
+  const std::vector<float>& table_data(int64_t t) const;
+  int64_t width(int64_t t) const { return table(t).dim(1); }
+
+  // Lifetime rebuild count (tests, telemetry).
+  uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  std::vector<Tensor> tables_;
+  int64_t num_items_ = 0;
+  uint64_t built_param_version_ = 0;
+  bool valid_ = false;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_SERVING_H_

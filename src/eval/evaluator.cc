@@ -1,13 +1,30 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "tensor/tensor.h"
+#include "utils/arena.h"
 #include "utils/check.h"
 #include "utils/parallel.h"
 #include "utils/trace.h"
 
 namespace pmmrec {
+
+void Scorer::ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
+                             float* out) {
+  // Fallback: loop the serial per-user path into the caller's buffer.
+  // Trivially bitwise identical to per-prefix ScoreItems() calls.
+  const int64_t width = ScoreWidth();
+  PMM_CHECK_MSG(width > 0, "ScoreItemsBatch requires a known ScoreWidth()");
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    const std::vector<float> scores = ScoreItems(prefixes[i]);
+    PMM_CHECK_EQ(static_cast<int64_t>(scores.size()), width);
+    std::memcpy(out + static_cast<int64_t>(i) * width, scores.data(),
+                static_cast<size_t>(width) * sizeof(float));
+  }
+}
+
 namespace {
 
 // Deterministic strided subsample of [0, n).
@@ -31,30 +48,96 @@ std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
   return out;
 }
 
-// Scores every case with `score_one` — in parallel when the model opts in,
-// serially otherwise — and accumulates ranks in case order either way, so
-// metrics are independent of the thread count.
-template <typename ScoreOne>
-RankingMetrics RankAll(Scorer& model, int64_t count,
-                       const ScoreOne& score_one) {
+// Users per ScoreItemsBatch call. Fixed (never derived from the thread
+// count) so batch boundaries — and the length grouping inside a batched
+// scorer — are identical for every PMMREC_NUM_THREADS setting.
+constexpr int64_t kScoreBatch = 32;
+
+// Ranks every case and averages the metrics. One driver, three scoring
+// strategies — all accumulating ranks in case order, so the resulting
+// metrics are bitwise identical across strategies and thread counts:
+//  - batched scorer (SupportsBatchedEval): batches fed serially; the
+//    scorer's joint forward passes parallelise internally;
+//  - parallel scorer (SupportsParallelEval): batches fanned out across the
+//    pool, one arena-backed score buffer per worker;
+//  - otherwise: serial batches.
+// Scorers with unknown ScoreWidth() fall back to the legacy per-case
+// ScoreItems() vector path.
+RankingMetrics RankCases(Scorer& model,
+                         const std::vector<std::vector<int32_t>>& prefixes,
+                         const std::vector<int32_t>& targets) {
   PMM_TRACE_SCOPE_AT("eval.rank_all", kEpoch, "eval.rank_all.ns");
+  const int64_t count = static_cast<int64_t>(prefixes.size());
   PMM_TRACE_COUNT("eval.cases", count);
   std::vector<int64_t> ranks(static_cast<size_t>(count));
-  if (model.SupportsParallelEval()) {
+  const int64_t width = model.ScoreWidth();
+
+  if (width > 0) {
+    const int64_t n_batches = (count + kScoreBatch - 1) / kScoreBatch;
+    PMM_TRACE_COUNT("eval.batches", n_batches);
+    // Scores one contiguous batch of cases into `scores` (an arena-backed
+    // buffer of kScoreBatch * width floats, reused across batches) and
+    // ranks each row in place — the hot loop allocates nothing.
+    const auto rank_batch = [&](int64_t b, float* scores) {
+      PMM_TRACE_SCOPE("eval.batch");
+      const int64_t lo = b * kScoreBatch;
+      const int64_t hi = std::min<int64_t>(count, lo + kScoreBatch);
+      model.ScoreItemsBatch(
+          std::span<const std::vector<int32_t>>(prefixes).subspan(
+              static_cast<size_t>(lo), static_cast<size_t>(hi - lo)),
+          scores);
+      for (int64_t i = lo; i < hi; ++i) {
+        ranks[static_cast<size_t>(i)] =
+            RankOfTarget(scores + (i - lo) * width, width,
+                         targets[static_cast<size_t>(i)],
+                         prefixes[static_cast<size_t>(i)]);
+      }
+    };
+    const auto acquire_scores = [&]() {
+      std::vector<float> buf = BufferArena::Global().AcquireVec(
+          static_cast<size_t>(kScoreBatch * width));
+      PMM_TRACE_COUNT("arena.eval_scores.acquires", 1);
+      PMM_TRACE_COUNT("arena.eval_scores.bytes",
+                      static_cast<int64_t>(buf.size() * sizeof(float)));
+      return buf;
+    };
+
+    if (model.SupportsBatchedEval() || !model.SupportsParallelEval()) {
+      std::vector<float> scores = acquire_scores();
+      for (int64_t b = 0; b < n_batches; ++b) rank_batch(b, scores.data());
+      BufferArena::Global().Release(std::move(scores));
+    } else {
+      ParallelFor(0, n_batches, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+        // Pool workers start grad-enabled; scoring must not record graphs.
+        NoGradGuard no_grad;
+        std::vector<float> scores = acquire_scores();
+        for (int64_t b = b0; b < b1; ++b) rank_batch(b, scores.data());
+        BufferArena::Global().Release(std::move(scores));
+      });
+    }
+  } else if (model.SupportsParallelEval()) {
     ParallelFor(0, count, /*grain=*/1, [&](int64_t lo, int64_t hi) {
-      // Pool workers start grad-enabled; scoring must not record graphs.
       NoGradGuard no_grad;
       for (int64_t i = lo; i < hi; ++i) {
         PMM_TRACE_SCOPE("eval.case");
-        ranks[static_cast<size_t>(i)] = score_one(i);
+        const std::vector<float> scores =
+            model.ScoreItems(prefixes[static_cast<size_t>(i)]);
+        ranks[static_cast<size_t>(i)] =
+            RankOfTarget(scores, targets[static_cast<size_t>(i)],
+                         prefixes[static_cast<size_t>(i)]);
       }
     });
   } else {
     for (int64_t i = 0; i < count; ++i) {
       PMM_TRACE_SCOPE("eval.case");
-      ranks[static_cast<size_t>(i)] = score_one(i);
+      const std::vector<float> scores =
+          model.ScoreItems(prefixes[static_cast<size_t>(i)]);
+      ranks[static_cast<size_t>(i)] =
+          RankOfTarget(scores, targets[static_cast<size_t>(i)],
+                       prefixes[static_cast<size_t>(i)]);
     }
   }
+
   RankingMetrics metrics;
   for (int64_t rank : ranks) metrics.AddRank(rank);
   metrics.Finalize();
@@ -67,22 +150,22 @@ RankingMetrics EvaluateRanking(Scorer& model, const Dataset& ds,
                                EvalSplit split, int64_t max_users) {
   model.PrepareForEval();
   const std::vector<int64_t> users = StridedSubset(ds.num_users(), max_users);
-  return RankAll(
-      model, static_cast<int64_t>(users.size()), [&](int64_t i) -> int64_t {
-        const int64_t u = users[static_cast<size_t>(i)];
-        std::vector<int32_t> prefix;
-        int32_t target;
-        if (split == EvalSplit::kValidation) {
-          prefix = ds.ValidationPrefix(u);
-          target = ds.ValidationTarget(u);
-        } else {
-          prefix = ds.TestPrefix(u);
-          target = ds.TestTarget(u);
-        }
-        const std::vector<float> scores = model.ScoreItems(prefix);
-        PMM_CHECK_EQ(static_cast<int64_t>(scores.size()), ds.num_items());
-        return RankOfTarget(scores, target, prefix);
-      });
+  std::vector<std::vector<int32_t>> prefixes;
+  std::vector<int32_t> targets;
+  prefixes.reserve(users.size());
+  targets.reserve(users.size());
+  for (int64_t u : users) {
+    if (split == EvalSplit::kValidation) {
+      prefixes.push_back(ds.ValidationPrefix(u));
+      targets.push_back(ds.ValidationTarget(u));
+    } else {
+      prefixes.push_back(ds.TestPrefix(u));
+      targets.push_back(ds.TestTarget(u));
+    }
+  }
+  const int64_t width = model.ScoreWidth();
+  if (width > 0) PMM_CHECK_EQ(width, ds.num_items());
+  return RankCases(model, prefixes, targets);
 }
 
 RankingMetrics EvaluateColdStart(Scorer& model,
@@ -91,13 +174,15 @@ RankingMetrics EvaluateColdStart(Scorer& model,
   model.PrepareForEval();
   const std::vector<int64_t> subset =
       StridedSubset(static_cast<int64_t>(cases.size()), max_cases);
-  return RankAll(
-      model, static_cast<int64_t>(subset.size()), [&](int64_t i) -> int64_t {
-        const ColdStartCase& c = cases[static_cast<size_t>(subset[
-            static_cast<size_t>(i)])];
-        const std::vector<float> scores = model.ScoreItems(c.prefix);
-        return RankOfTarget(scores, c.target, c.prefix);
-      });
+  std::vector<std::vector<int32_t>> prefixes;
+  std::vector<int32_t> targets;
+  prefixes.reserve(subset.size());
+  targets.reserve(subset.size());
+  for (int64_t i : subset) {
+    prefixes.push_back(cases[static_cast<size_t>(i)].prefix);
+    targets.push_back(cases[static_cast<size_t>(i)].target);
+  }
+  return RankCases(model, prefixes, targets);
 }
 
 }  // namespace pmmrec

@@ -1,6 +1,7 @@
 #ifndef PMMREC_EVAL_EVALUATOR_H_
 #define PMMREC_EVAL_EVALUATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -10,9 +11,16 @@ namespace pmmrec {
 
 // Scoring interface implemented by every recommender in this library.
 //
-// PrepareForEval() is called once before a batch of ScoreItems() calls so
+// PrepareForEval() is called once before a batch of scoring calls so
 // content-based models can precompute their item-embedding table (encoding
 // the catalogue once instead of once per user).
+//
+// The serving-facing entry point is ScoreItemsBatch(): it scores a batch
+// of user prefixes into a caller-owned buffer (no per-call allocation on
+// the hot path). The default implementation loops over the serial
+// ScoreItems() path, so existing scorers keep working unchanged; models
+// that can fuse the batch into joint forward passes (PMMRec's
+// ScoreUsersBatched) opt in via SupportsBatchedEval().
 class Scorer {
  public:
   virtual ~Scorer() = default;
@@ -24,11 +32,28 @@ class Scorer {
   virtual std::vector<float> ScoreItems(
       const std::vector<int32_t>& prefix) = 0;
 
-  // Opt-in: returns true if ScoreItems() is safe to call concurrently from
+  // Scores prefixes[i] into out[i * ScoreWidth() .. (i+1) * ScoreWidth()),
+  // row-major. `out` must hold prefixes.size() * ScoreWidth() floats.
+  // Scores are bitwise identical to per-prefix ScoreItems() calls.
+  // Only callable when ScoreWidth() > 0.
+  virtual void ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
+                               float* out);
+
+  // Row width of ScoreItemsBatch — the catalogue size. The default (-1,
+  // unknown) keeps the evaluator on the per-case ScoreItems() path.
+  virtual int64_t ScoreWidth() const { return -1; }
+
+  // Opt-in: ScoreItemsBatch() fuses the whole batch into joint forward
+  // passes that are internally parallel (intra-op kernels), so the
+  // evaluator feeds it batches serially instead of fanning users out
+  // across threads.
+  virtual bool SupportsBatchedEval() const { return false; }
+
+  // Opt-in: returns true if scoring is safe to call concurrently from
   // multiple threads after PrepareForEval(). The evaluator then scores
-  // users in parallel (results are still accumulated in user order, so
-  // metrics are bit-identical to the serial path). Defaults to false so
-  // stateful baselines stay on the serial path.
+  // batches of users in parallel (results are still accumulated in user
+  // order, so metrics are bit-identical to the serial path). Defaults to
+  // false so stateful baselines stay on the serial path.
   virtual bool SupportsParallelEval() const { return false; }
 };
 
@@ -41,7 +66,8 @@ RankingMetrics EvaluateRanking(Scorer& model, const Dataset& ds,
                                EvalSplit split, int64_t max_users = -1);
 
 // Cold-start evaluation (paper Table VII): ranks each cold item against
-// the full catalogue given its prefix.
+// the full catalogue given its prefix. Drives the same batched scoring
+// path (and the same parallelism rules) as EvaluateRanking.
 RankingMetrics EvaluateColdStart(Scorer& model,
                                  const std::vector<ColdStartCase>& cases,
                                  int64_t max_cases = -1);

@@ -68,20 +68,28 @@ std::string RankingMetrics::ToString() const {
 
 int64_t RankOfTarget(const std::vector<float>& scores, int32_t target,
                      const std::vector<int32_t>& exclude) {
+  return RankOfTarget(scores.data(), static_cast<int64_t>(scores.size()),
+                      target, exclude);
+}
+
+int64_t RankOfTarget(const float* scores, int64_t n, int32_t target,
+                     const std::vector<int32_t>& exclude) {
   PMM_CHECK_GE(target, 0);
-  PMM_CHECK_LT(static_cast<size_t>(target), scores.size());
-  std::vector<bool> excluded(scores.size(), false);
+  PMM_CHECK_LT(static_cast<int64_t>(target), n);
+  std::vector<bool> excluded(static_cast<size_t>(n), false);
   for (int32_t e : exclude) {
-    if (e >= 0 && static_cast<size_t>(e) < scores.size()) {
+    if (e >= 0 && static_cast<int64_t>(e) < n) {
       excluded[static_cast<size_t>(e)] = true;
     }
   }
   excluded[static_cast<size_t>(target)] = false;
 
-  const float target_score = scores[static_cast<size_t>(target)];
+  const float target_score = scores[target];
   int64_t rank = 0;
-  for (size_t i = 0; i < scores.size(); ++i) {
-    if (excluded[i] || static_cast<int32_t>(i) == target) continue;
+  for (int64_t i = 0; i < n; ++i) {
+    if (excluded[static_cast<size_t>(i)] || static_cast<int32_t>(i) == target) {
+      continue;
+    }
     if (scores[i] >= target_score) ++rank;
   }
   return rank;

@@ -37,6 +37,10 @@ struct RankingMetrics {
 // metric deterministic and conservative.
 int64_t RankOfTarget(const std::vector<float>& scores, int32_t target,
                      const std::vector<int32_t>& exclude);
+// Same over a raw score row of `n` floats (one row of a batched score
+// buffer) — no per-case vector materialisation.
+int64_t RankOfTarget(const float* scores, int64_t n, int32_t target,
+                     const std::vector<int32_t>& exclude);
 
 }  // namespace pmmrec
 

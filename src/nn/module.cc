@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/optimizer.h"
 #include "utils/check.h"
 
 namespace pmmrec {
@@ -114,6 +115,8 @@ Status Module::LoadState(BinaryReader* reader) {
     st = reader->ReadFloats(p->data(), static_cast<size_t>(p->numel()));
     if (!st.ok()) return st;
   }
+  // Loaded weights invalidate any serving cache built from the old ones.
+  BumpParamUpdateVersion();
   return Status::Ok();
 }
 
@@ -141,6 +144,7 @@ void Module::CopyParametersFrom(const Module& other) {
     PMM_CHECK(mine[i].second->shape() == theirs[i].second->shape());
     mine[i].second->CopyDataFrom(*theirs[i].second);
   }
+  BumpParamUpdateVersion();
 }
 
 Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {

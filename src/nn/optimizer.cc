@@ -1,10 +1,23 @@
 #include "nn/optimizer.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "utils/check.h"
 
 namespace pmmrec {
+
+namespace {
+std::atomic<uint64_t> g_param_update_version{0};
+}  // namespace
+
+uint64_t ParamUpdateVersion() {
+  return g_param_update_version.load(std::memory_order_relaxed);
+}
+
+void BumpParamUpdateVersion() {
+  g_param_update_version.fetch_add(1, std::memory_order_relaxed);
+}
 
 Sgd::Sgd(std::vector<Tensor*> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
@@ -17,6 +30,7 @@ Sgd::Sgd(std::vector<Tensor*> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  BumpParamUpdateVersion();
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor* p = params_[i];
     const float* g = p->grad_data();
@@ -51,6 +65,7 @@ AdamW::AdamW(std::vector<Tensor*> params, float lr, float beta1, float beta2,
 }
 
 void AdamW::Step() {
+  BumpParamUpdateVersion();
   ++step_count_;
   const float bias1 =
       1.0f - std::pow(beta1_, static_cast<float>(step_count_));

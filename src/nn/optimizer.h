@@ -7,6 +7,14 @@
 
 namespace pmmrec {
 
+// Monotonic process-wide count of parameter-mutation events: optimizer
+// steps, checkpoint loads and parameter copies all bump it. Serving caches
+// (core/serving.h ItemTableCache) record the version at build time and
+// rebuild when it has moved — "invalidate on param update" without having
+// to wire every mutation site to every cache. Thread-safe (relaxed atomic).
+uint64_t ParamUpdateVersion();
+void BumpParamUpdateVersion();
+
 // Base optimizer over a fixed set of parameter tensors.
 class Optimizer {
  public:

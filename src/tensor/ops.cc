@@ -614,6 +614,12 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
   PMM_CHECK_GE(p, 0.0f);
   PMM_CHECK_LT(p, 1.0f);
   if (!training || p == 0.0f) return a;
+  // A stochastic forward under the inference guard is almost certainly a
+  // missing SetTraining(false); fail loudly instead of serving noisy,
+  // RNG-consuming scores.
+  PMM_CHECK_MSG(!InferenceMode::enabled(),
+                "training-mode Dropout under InferenceMode — call "
+                "SetTraining(false) before scoring");
 
   const int64_t n = a.numel();
   auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(n));

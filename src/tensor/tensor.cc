@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "utils/arena.h"
@@ -13,6 +14,13 @@ namespace {
 // table precompute) can disable graph recording on pool workers without
 // racing on a shared flag. Every thread starts with grad mode enabled.
 thread_local bool g_grad_mode_enabled = true;
+// Set while at least one InferenceMode guard is alive on this thread.
+thread_local bool g_inference_mode = false;
+
+// See internal::AutogradNodesCreated() etc.
+std::atomic<uint64_t> g_autograd_nodes_created{0};
+std::atomic<uint64_t> g_grad_buffers_allocated{0};
+std::atomic<uint64_t> g_tensor_buffers_allocated{0};
 
 std::shared_ptr<TensorImpl> NewImpl(const Shape& shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
@@ -20,6 +28,7 @@ std::shared_ptr<TensorImpl> NewImpl(const Shape& shape, bool requires_grad) {
   impl->data =
       BufferArena::Global().AcquireShared(static_cast<size_t>(shape.numel()));
   impl->requires_grad = requires_grad;
+  g_tensor_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
   return impl;
 }
 
@@ -31,12 +40,29 @@ TensorImpl::~TensorImpl() {
 
 void TensorImpl::EnsureGrad() {
   if (grad.empty()) {
+    PMM_CHECK_MSG(!InferenceMode::enabled(),
+                  "gradient storage allocated under InferenceMode");
     grad = BufferArena::Global().AcquireVec(static_cast<size_t>(shape.numel()));
+    g_grad_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 bool GradMode::enabled() { return g_grad_mode_enabled; }
 void GradMode::set_enabled(bool value) { g_grad_mode_enabled = value; }
+
+InferenceMode::InferenceMode()
+    : previous_inference_(g_inference_mode),
+      previous_grad_(g_grad_mode_enabled) {
+  g_inference_mode = true;
+  g_grad_mode_enabled = false;
+}
+
+InferenceMode::~InferenceMode() {
+  g_inference_mode = previous_inference_;
+  g_grad_mode_enabled = previous_grad_;
+}
+
+bool InferenceMode::enabled() { return g_inference_mode; }
 
 Tensor Tensor::Empty(const Shape& shape, bool requires_grad) {
   return Tensor(NewImpl(shape, requires_grad));
@@ -163,6 +189,8 @@ void Tensor::ZeroGrad() {
 
 void Tensor::Backward() {
   PMM_CHECK(defined());
+  PMM_CHECK_MSG(!InferenceMode::enabled(),
+                "Backward() called under InferenceMode");
   PMM_CHECK_MSG(numel() == 1, "Backward() requires a scalar root");
 
   // Topological order via iterative post-order DFS over parents.
@@ -244,8 +272,9 @@ Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
   impl->shape = shape;
   impl->data =
       BufferArena::Global().AcquireShared(static_cast<size_t>(shape.numel()));
+  g_tensor_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
   bool needs_grad = false;
-  if (GradMode::enabled()) {
+  if (GradMode::enabled() && !InferenceMode::enabled()) {
     for (const Tensor& p : parents) {
       if (p.defined() &&
           (p.impl()->requires_grad || p.impl()->backward_fn)) {
@@ -260,8 +289,21 @@ Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
     for (const Tensor& p : parents) {
       if (p.defined()) impl->parents.push_back(p.impl());
     }
+    g_autograd_nodes_created.fetch_add(1, std::memory_order_relaxed);
   }
   return Tensor(std::move(impl));
+}
+
+uint64_t AutogradNodesCreated() {
+  return g_autograd_nodes_created.load(std::memory_order_relaxed);
+}
+
+uint64_t GradBuffersAllocated() {
+  return g_grad_buffers_allocated.load(std::memory_order_relaxed);
+}
+
+uint64_t TensorBuffersAllocated() {
+  return g_tensor_buffers_allocated.load(std::memory_order_relaxed);
 }
 
 }  // namespace internal

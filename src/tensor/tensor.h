@@ -146,13 +146,53 @@ class NoGradGuard {
   bool previous_;
 };
 
+// Thread-local RAII inference guard — a strictly stronger NoGradGuard for
+// serving paths (see DESIGN.md "Inference path"). While at least one
+// InferenceMode is alive on the current thread:
+//  - ops never build autograd nodes: MakeNode drops the backward closure
+//    (releasing any activations it captured) and records no parents;
+//  - grad storage can never be allocated: EnsureGrad()/grad_data() on any
+//    tensor is a checked error, so a scoring pass cannot silently double a
+//    model's memory footprint;
+//  - Backward() is a checked error;
+//  - training-mode Dropout is a checked error (eval forwards must run
+//    under SetTraining(false), which makes them deterministic).
+// Entering the guard also disables GradMode so existing GradMode::enabled()
+// checks compose; both flags are restored on exit. The guard is per-thread:
+// parallel regions must install their own instance on each worker, exactly
+// like NoGradGuard.
+class InferenceMode {
+ public:
+  InferenceMode();
+  ~InferenceMode();
+
+  static bool enabled();
+
+  InferenceMode(const InferenceMode&) = delete;
+  InferenceMode& operator=(const InferenceMode&) = delete;
+
+ private:
+  bool previous_inference_;
+  bool previous_grad_;
+};
+
 namespace internal {
 
 // Creates an interior node. requires_grad of the node is derived from the
-// parents; if GradMode is disabled or no parent requires grad, the node is
-// a plain constant (no parents recorded, backward_fn dropped).
+// parents; if GradMode is disabled, InferenceMode is active, or no parent
+// requires grad, the node is a plain constant (no parents recorded,
+// backward_fn dropped).
 Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
                 std::function<void(TensorImpl&)> backward_fn);
+
+// Process-wide relaxed counters (one atomic add per event — negligible
+// next to the allocation they count). They back the InferenceMode guard
+// tests ("scoring builds zero nodes and allocates zero grad buffers") and
+// the bench_infer allocation-traffic proxy; they are monotonic and never
+// reset.
+uint64_t AutogradNodesCreated();    // MakeNode calls that recorded a backward_fn.
+uint64_t GradBuffersAllocated();    // EnsureGrad calls that allocated storage.
+uint64_t TensorBuffersAllocated();  // Data buffers handed to new TensorImpls.
 
 }  // namespace internal
 

@@ -50,6 +50,23 @@ TEST(ContractDeathTest, BackwardOnNonScalarAborts) {
   EXPECT_DEATH(y.Backward(), "scalar");
 }
 
+TEST(ContractDeathTest, BackwardUnderInferenceModeAborts) {
+  Tensor a = Tensor::Zeros(Shape{1}, /*requires_grad=*/true);
+  Tensor y = MulScalar(a, 2.0f);
+  InferenceMode inference;
+  EXPECT_DEATH(y.Backward(), "InferenceMode");
+}
+
+TEST(ContractDeathTest, TrainingModeDropoutUnderInferenceModeAborts) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn(Shape{4, 4}, rng);
+  InferenceMode inference;
+  // Eval-mode dropout is the identity and stays legal under the guard;
+  // training-mode dropout would sample, which inference must never do.
+  (void)Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_DEATH(Dropout(a, 0.5f, rng, /*training=*/true), "InferenceMode");
+}
+
 TEST(ContractDeathTest, ItemAccessOutOfRangeAborts) {
   Tensor a = Tensor::Zeros(Shape{2, 2});
   EXPECT_DEATH(a.item(), "PMM_CHECK");

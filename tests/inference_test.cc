@@ -1,0 +1,337 @@
+// Grad-free inference path: InferenceMode semantics, the frozen-model
+// item-table cache, and the batched scoring/evaluation pipeline.
+//
+// The load-bearing claims pinned down here:
+//  1. A forward pass under InferenceMode is bitwise identical to the same
+//     forward with autograd recording on — the guard changes bookkeeping,
+//     never numerics.
+//  2. A full ScoreUsersBatched sweep creates zero autograd nodes and
+//     allocates zero gradient buffers.
+//  3. The batched evaluator produces bitwise-identical metrics to the
+//     legacy per-user serial evaluator, at 1 and 4 threads, for PMMRec,
+//     for a baseline, and for cold-start evaluation.
+//  4. The item-table cache rebuilds exactly when it must: never on repeat
+//     scoring, always after an optimizer step / checkpoint load / return
+//     to training mode.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/id_models.h"
+#include "core/pmmrec.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  InferenceTest()
+      : suite_(BuildBenchmarkSuite(0.2, 13)),
+        ds_(suite_.sources[0]),
+        config_(PMMRecConfig::FromDataset(ds_)),
+        model_(config_, 42) {
+    model_.AttachDataset(&ds_);
+  }
+
+  // Sequence tensor for a prefix built from the cached item table, the
+  // same way every scoring path builds it.
+  Tensor SeqFromTable(const std::vector<int32_t>& prefix) {
+    const std::vector<float>& table = model_.ItemRepresentationTable();
+    const int64_t d = config_.d_model;
+    const int64_t start = std::max<int64_t>(
+        0, static_cast<int64_t>(prefix.size()) - config_.max_seq_len);
+    const int64_t len = static_cast<int64_t>(prefix.size()) - start;
+    Tensor seq = Tensor::Zeros(Shape{1, len, d});
+    for (int64_t l = 0; l < len; ++l) {
+      const int32_t item = prefix[static_cast<size_t>(start + l)];
+      std::memcpy(seq.data() + l * d,
+                  table.data() + static_cast<int64_t>(item) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+    return seq;
+  }
+
+  // A spread of mixed-length prefixes so the batched path exercises every
+  // length group.
+  std::vector<std::vector<int32_t>> MixedPrefixes(int64_t n) {
+    std::vector<std::vector<int32_t>> prefixes;
+    for (int64_t u = 0; u < n; ++u) {
+      std::vector<int32_t> p = ds_.TestPrefix(u % ds_.num_users());
+      // Truncate to varying lengths, including > max_seq_len tails.
+      const size_t len = 1 + static_cast<size_t>(u) % p.size();
+      p.resize(len);
+      prefixes.push_back(std::move(p));
+    }
+    return prefixes;
+  }
+
+  BenchmarkSuite suite_;
+  const Dataset& ds_;
+  PMMRecConfig config_;
+  PMMRecModel model_;
+};
+
+TEST_F(InferenceTest, InferenceForwardBitwiseEqualsGradRecordingForward) {
+  model_.PrepareForEval();
+  const std::vector<int32_t> prefix = ds_.TestPrefix(0);
+
+  const uint64_t nodes_before = internal::AutogradNodesCreated();
+  Tensor grad_out = model_.user_encoder().Forward(SeqFromTable(prefix));
+  EXPECT_GT(internal::AutogradNodesCreated(), nodes_before)
+      << "grad-recording forward built no graph; the A side of the A/B is "
+         "not actually the legacy path";
+
+  Tensor inf_out;
+  {
+    InferenceMode inference;
+    const uint64_t nodes_inf = internal::AutogradNodesCreated();
+    inf_out = model_.user_encoder().Forward(SeqFromTable(prefix));
+    EXPECT_EQ(internal::AutogradNodesCreated(), nodes_inf);
+  }
+
+  ASSERT_EQ(inf_out.numel(), grad_out.numel());
+  EXPECT_EQ(std::memcmp(inf_out.data(), grad_out.data(),
+                        static_cast<size_t>(inf_out.numel()) * sizeof(float)),
+            0)
+      << "InferenceMode changed forward numerics";
+}
+
+TEST_F(InferenceTest, ScoreUsersBatchedBuildsNoGraphAndAllocatesNoGrads) {
+  model_.PrepareForEval();  // cache build outside the measured window
+  const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(48);
+  std::vector<float> scores(prefixes.size() *
+                            static_cast<size_t>(ds_.num_items()));
+
+  const uint64_t nodes_before = internal::AutogradNodesCreated();
+  const uint64_t grads_before = internal::GradBuffersAllocated();
+  model_.ScoreUsersBatched(prefixes, scores.data());
+  EXPECT_EQ(internal::AutogradNodesCreated(), nodes_before)
+      << "batched scoring recorded autograd nodes";
+  EXPECT_EQ(internal::GradBuffersAllocated(), grads_before)
+      << "batched scoring allocated gradient storage";
+}
+
+TEST_F(InferenceTest, BatchedScoresBitwiseEqualSerialScoreItems) {
+  const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(40);
+  const int64_t n_items = ds_.num_items();
+  std::vector<float> batched(prefixes.size() * static_cast<size_t>(n_items));
+  model_.ScoreUsersBatched(prefixes, batched.data());
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    const std::vector<float> serial = model_.ScoreItems(prefixes[u]);
+    ASSERT_EQ(serial.size(), static_cast<size_t>(n_items));
+    ASSERT_EQ(std::memcmp(serial.data(),
+                          batched.data() + u * static_cast<size_t>(n_items),
+                          serial.size() * sizeof(float)),
+              0)
+        << "user " << u << " (len " << prefixes[u].size() << ")";
+  }
+}
+
+// Forces the legacy per-case evaluator path (ScoreWidth stays -1) over a
+// wrapped model. `parallel` additionally opts into the fan-out branch.
+class LegacyPathScorer : public Scorer {
+ public:
+  LegacyPathScorer(Scorer* inner, bool parallel)
+      : inner_(inner), parallel_(parallel) {}
+  void PrepareForEval() override { inner_->PrepareForEval(); }
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override {
+    return inner_->ScoreItems(prefix);
+  }
+  bool SupportsParallelEval() const override { return parallel_; }
+
+ private:
+  Scorer* inner_;
+  bool parallel_;
+};
+
+// Known width but no batched override: exercises the default
+// ScoreItemsBatch fallback, fanned out across the pool.
+class DefaultBatchScorer : public Scorer {
+ public:
+  explicit DefaultBatchScorer(Scorer* inner, int64_t width)
+      : inner_(inner), width_(width) {}
+  void PrepareForEval() override { inner_->PrepareForEval(); }
+  std::vector<float> ScoreItems(const std::vector<int32_t>& prefix) override {
+    return inner_->ScoreItems(prefix);
+  }
+  int64_t ScoreWidth() const override { return width_; }
+  bool SupportsParallelEval() const override { return true; }
+
+ private:
+  Scorer* inner_;
+  int64_t width_;
+};
+
+void ExpectMetricsBitwiseEqual(const RankingMetrics& a,
+                               const RankingMetrics& b, const char* what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.hr10, b.hr10) << what;
+  EXPECT_EQ(a.hr20, b.hr20) << what;
+  EXPECT_EQ(a.hr50, b.hr50) << what;
+  EXPECT_EQ(a.ndcg10, b.ndcg10) << what;
+  EXPECT_EQ(a.ndcg20, b.ndcg20) << what;
+  EXPECT_EQ(a.ndcg50, b.ndcg50) << what;
+  EXPECT_EQ(a.mean_rank, b.mean_rank) << what;
+}
+
+TEST_F(InferenceTest, EvaluatorMetricsBitwiseIdenticalAcrossPathsAndThreads) {
+  constexpr int64_t kMaxUsers = 60;
+  // Reference: legacy serial path, single thread.
+  RankingMetrics reference;
+  {
+    NumThreadsGuard guard(1);
+    LegacyPathScorer legacy(&model_, /*parallel=*/false);
+    reference = EvaluateRanking(legacy, ds_, EvalSplit::kTest, kMaxUsers);
+  }
+  ASSERT_GT(reference.count, 0);
+
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    const std::string tag = "threads=" + std::to_string(threads);
+
+    RankingMetrics batched =
+        EvaluateRanking(model_, ds_, EvalSplit::kTest, kMaxUsers);
+    ExpectMetricsBitwiseEqual(reference, batched, ("batched " + tag).c_str());
+
+    LegacyPathScorer parallel_legacy(&model_, /*parallel=*/true);
+    RankingMetrics fanned =
+        EvaluateRanking(parallel_legacy, ds_, EvalSplit::kTest, kMaxUsers);
+    ExpectMetricsBitwiseEqual(reference, fanned,
+                              ("legacy-parallel " + tag).c_str());
+
+    DefaultBatchScorer default_batch(&model_, ds_.num_items());
+    RankingMetrics fallback =
+        EvaluateRanking(default_batch, ds_, EvalSplit::kTest, kMaxUsers);
+    ExpectMetricsBitwiseEqual(reference, fallback,
+                              ("default-batch " + tag).c_str());
+  }
+}
+
+TEST_F(InferenceTest, ColdStartMetricsBitwiseIdenticalAcrossPathsAndThreads) {
+  const std::vector<ColdStartCase> cases = BuildColdStartCases(ds_, 2);
+  ASSERT_FALSE(cases.empty());
+  constexpr int64_t kMaxCases = 40;
+
+  RankingMetrics reference;
+  {
+    NumThreadsGuard guard(1);
+    LegacyPathScorer legacy(&model_, /*parallel=*/false);
+    reference = EvaluateColdStart(legacy, cases, kMaxCases);
+  }
+  ASSERT_GT(reference.count, 0);
+
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    const std::string tag = "threads=" + std::to_string(threads);
+    RankingMetrics batched = EvaluateColdStart(model_, cases, kMaxCases);
+    ExpectMetricsBitwiseEqual(reference, batched,
+                              ("cold-start batched " + tag).c_str());
+  }
+}
+
+TEST_F(InferenceTest, BaselineBatchedMetricsBitwiseIdenticalToSerial) {
+  SasRec sasrec(ds_.num_items(), config_.d_model, config_.max_seq_len, 7);
+  sasrec.AttachDataset(&ds_);
+  constexpr int64_t kMaxUsers = 60;
+
+  RankingMetrics reference;
+  {
+    NumThreadsGuard guard(1);
+    LegacyPathScorer legacy(&sasrec, /*parallel=*/false);
+    reference = EvaluateRanking(legacy, ds_, EvalSplit::kTest, kMaxUsers);
+  }
+  for (int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    RankingMetrics batched =
+        EvaluateRanking(sasrec, ds_, EvalSplit::kTest, kMaxUsers);
+    ExpectMetricsBitwiseEqual(
+        reference, batched,
+        ("sasrec threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST_F(InferenceTest, ItemTableCacheRebuildsExactlyWhenStale) {
+  const ItemTableCache& cache = model_.item_table_cache();
+  EXPECT_EQ(cache.rebuilds(), 0u);
+
+  model_.PrepareForEval();
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.rebuilds(), 1u);
+
+  // Repeat scoring reuses the cache.
+  const std::vector<int32_t> prefix = ds_.TestPrefix(0);
+  (void)model_.ScoreItems(prefix);
+  (void)model_.ScoreItems(prefix);
+  model_.PrepareForEval();
+  EXPECT_EQ(cache.rebuilds(), 1u);
+
+  // An optimizer step — with no explicit invalidation anywhere — makes the
+  // cache stale via the process-wide param-update version.
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
+  const SeqBatch batch = MakeTrainBatch(ds_, users, config_.max_seq_len);
+  AdamW opt(model_.TrainableParameters(), 1e-3f);
+  Tensor loss = model_.TrainStepLoss(batch);
+  ASSERT_TRUE(loss.defined());
+  loss.Backward();
+  opt.Step();
+  EXPECT_FALSE(cache.valid()) << "optimizer step left the cache valid";
+  (void)model_.ScoreItems(prefix);
+  EXPECT_EQ(cache.rebuilds(), 2u);
+  EXPECT_TRUE(cache.valid());
+
+  // Loading a checkpoint (even of the same weights) is a param update.
+  const std::string path = ::testing::TempDir() + "/inference_test.ckpt";
+  ASSERT_TRUE(model_.SaveToFile(path).ok());
+  ASSERT_TRUE(model_.LoadFromFile(path).ok());
+  EXPECT_FALSE(cache.valid()) << "checkpoint load left the cache valid";
+  (void)model_.ScoreItems(prefix);
+  EXPECT_EQ(cache.rebuilds(), 3u);
+
+  // Returning to training mode invalidates explicitly.
+  model_.SetTrainingMode(true);
+  EXPECT_FALSE(cache.valid());
+  model_.PrepareForEval();
+  EXPECT_EQ(cache.rebuilds(), 4u);
+
+  // Repeat scoring after the rebuild reuses the cache and is value-stable.
+  const std::vector<float> again = model_.ScoreItems(prefix);
+  const std::vector<float> once_more = model_.ScoreItems(prefix);
+  EXPECT_EQ(cache.rebuilds(), 4u);
+  ASSERT_EQ(again.size(), once_more.size());
+  EXPECT_EQ(std::memcmp(again.data(), once_more.data(),
+                        again.size() * sizeof(float)),
+            0);
+}
+
+TEST_F(InferenceTest, CacheRebuildIsThreadCountIndependent) {
+  std::vector<float> table_1thread;
+  {
+    NumThreadsGuard guard(1);
+    model_.SetTrainingMode(true);  // invalidate
+    model_.PrepareForEval();
+    table_1thread = model_.ItemRepresentationTable();
+  }
+  {
+    NumThreadsGuard guard(4);
+    model_.SetTrainingMode(true);  // invalidate again
+    model_.PrepareForEval();
+    const std::vector<float>& table_4threads =
+        model_.ItemRepresentationTable();
+    ASSERT_EQ(table_1thread.size(), table_4threads.size());
+    EXPECT_EQ(std::memcmp(table_1thread.data(), table_4threads.data(),
+                          table_1thread.size() * sizeof(float)),
+              0)
+        << "cached item table depends on the thread count";
+  }
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -14,6 +14,13 @@
 //             Transfer components from a pre-trained checkpoint and
 //             fine-tune on the target.
 //   recommend --data FILE.pmds --model MODEL.ckpt --user U [--topk K]
+//             Single-user mode: serial scoring path, prints the history
+//             and the top-K items.
+//   recommend --data FILE.pmds --model MODEL.ckpt --users U1,U2,... [--topk K]
+//             Batch mode (--users all scores every user): grad-free batched
+//             serving path — catalogue encoded once into the item-table
+//             cache, users scored jointly per length group — plus a
+//             users/sec line.
 //
 // Global flags (any subcommand):
 //   --threads N   Intra-op threads for the tensor kernels and evaluation
@@ -39,6 +46,7 @@
 #include "data/serialization.h"
 #include "utils/flags.h"
 #include "utils/parallel.h"
+#include "utils/stopwatch.h"
 #include "utils/trace.h"
 
 namespace pmmrec {
@@ -180,6 +188,55 @@ int CmdTransfer(const FlagParser& flags) {
   return save.ok() ? 0 : 1;
 }
 
+// Prints one "user U: top-K" line from a row of full-catalogue scores,
+// skipping items already in the user's history.
+void PrintTopK(int64_t user, const std::vector<int32_t>& history,
+               const float* scores, int64_t n_items, int64_t topk) {
+  std::vector<int32_t> order(static_cast<size_t>(n_items));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return scores[a] > scores[b];
+  });
+  std::printf("user %lld top-%lld:", static_cast<long long>(user),
+              static_cast<long long>(topk));
+  int64_t shown = 0;
+  for (int32_t item : order) {
+    if (std::find(history.begin(), history.end(), item) != history.end()) {
+      continue;  // Skip already-consumed items.
+    }
+    std::printf(" %d(%.3f)", item, scores[item]);
+    if (++shown == topk) break;
+  }
+  std::printf("\n");
+}
+
+// Parses --users as a comma-separated id list or "all".
+std::vector<int64_t> ParseUsers(const std::string& spec, int64_t num_users) {
+  std::vector<int64_t> users;
+  if (spec == "all") {
+    users.resize(static_cast<size_t>(num_users));
+    std::iota(users.begin(), users.end(), 0);
+    return users;
+  }
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    if (!tok.empty()) {
+      const int64_t u = std::atoll(tok.c_str());
+      PMM_CHECK_GE(u, 0);
+      PMM_CHECK_LT(u, num_users);
+      users.push_back(u);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  PMM_CHECK_MSG(!users.empty(), "--users parsed to an empty list");
+  return users;
+}
+
 int CmdRecommend(const FlagParser& flags) {
   const Dataset ds = LoadDataOrDie(flags);
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
@@ -189,29 +246,40 @@ int CmdRecommend(const FlagParser& flags) {
   PMM_CHECK_MSG(st.ok(), st.ToString());
   model.AttachDataset(&ds);
 
+  const int64_t topk = flags.GetInt("topk", 10);
+  const std::string users_spec = flags.GetString("users");
+  if (!users_spec.empty()) {
+    // Batch mode: all requested users scored through the grad-free batched
+    // serving path (one encode of the catalogue, joint forwards, one GEMM
+    // per length group).
+    const std::vector<int64_t> users = ParseUsers(users_spec, ds.num_users());
+    std::vector<std::vector<int32_t>> prefixes;
+    prefixes.reserve(users.size());
+    for (int64_t u : users) prefixes.push_back(ds.TestPrefix(u));
+    model.PrepareForEval();
+    const int64_t n_items = ds.num_items();
+    std::vector<float> scores(users.size() * static_cast<size_t>(n_items));
+    Stopwatch watch;
+    model.ScoreUsersBatched(prefixes, scores.data());
+    const double ms = watch.ElapsedMillis();
+    for (size_t i = 0; i < users.size(); ++i) {
+      PrintTopK(users[i], prefixes[i], scores.data() + i * n_items, n_items,
+                topk);
+    }
+    std::printf("scored %zu users in %.2f ms (%.1f users/s)\n", users.size(),
+                ms, static_cast<double>(users.size()) / (ms / 1e3));
+    return 0;
+  }
+
   const int64_t user = flags.GetInt("user", 0);
   PMM_CHECK_LT(user, ds.num_users());
-  const int64_t topk = flags.GetInt("topk", 10);
   const std::vector<int32_t> history = ds.TestPrefix(user);
   const std::vector<float> scores = model.ScoreItems(history);
-
-  std::vector<int32_t> order(scores.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
-  });
   std::printf("user %lld history:", static_cast<long long>(user));
   for (int32_t item : history) std::printf(" %d", item);
-  std::printf("\ntop-%lld:", static_cast<long long>(topk));
-  int64_t shown = 0;
-  for (int32_t item : order) {
-    if (std::find(history.begin(), history.end(), item) != history.end()) {
-      continue;  // Skip already-consumed items.
-    }
-    std::printf(" %d(%.3f)", item, scores[static_cast<size_t>(item)]);
-    if (++shown == topk) break;
-  }
   std::printf("\n");
+  PrintTopK(user, history, scores.data(), static_cast<int64_t>(scores.size()),
+            topk);
   return 0;
 }
 
