@@ -1,0 +1,368 @@
+// Serving benchmark: load generator for the request broker
+// (src/serve/broker.h). Three phases, one JSON artifact:
+//
+//   1. Serial direct loop — ScoreItems + TopKSelect per request with no
+//      serving stack at all; builds the bitwise reference and gives the
+//      zero-overhead sequential number for context.
+//   2. Saturating burst against the broker with coalescing DISABLED
+//      (max_batch=1): every request is its own ScoreUsersBatched call —
+//      the one-request-per-call dispatch this subsystem replaces.
+//   3. The identical burst with coalescing ENABLED: the only variable is
+//      whether workers drain one request or one micro-batch per call, so
+//      broker_qps / baseline_qps isolates what dynamic batching buys.
+//      Every response in both runs is checked bitwise (ids and score
+//      bits) against the serial reference; any divergence fails the bench
+//      (exit 1), mirroring bench_infer's equality gate.
+//   4. Open-loop offered-QPS sweep — a paced submitter offers 0.5x / 1.0x /
+//      2.0x of the measured coalesced capacity with a per-request
+//      deadline, showing graceful shedding past saturation.
+//
+// Emits BENCH_serving.json: baseline vs broker QPS + exact latency
+// percentiles (from raw sorted latencies, not histogram bucket bounds),
+// the speedup, the batch-size distribution, and one row per sweep point.
+//
+// Usage: bench_serve [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/broker.h"
+#include "utils/parallel.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+struct Percentiles {
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+// Exact percentiles from raw latencies (nearest-rank on the sorted list).
+Percentiles ExactPercentiles(std::vector<uint64_t> latencies_ns) {
+  Percentiles out;
+  if (latencies_ns.empty()) return out;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto pick = [&](double p) {
+    const size_t idx = std::min(
+        latencies_ns.size() - 1,
+        static_cast<size_t>(p / 100.0 *
+                            static_cast<double>(latencies_ns.size())));
+    return static_cast<double>(latencies_ns[idx]) / 1e3;
+  };
+  out.p50_us = pick(50);
+  out.p95_us = pick(95);
+  out.p99_us = pick(99);
+  return out;
+}
+
+// True iff the broker response matches the serial reference exactly: same
+// ids in the same order, and score floats identical at the bit level.
+bool BitwiseEqual(const std::vector<ScoredId>& got,
+                  const std::vector<ScoredId>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id) return false;
+    uint32_t a, b;
+    std::memcpy(&a, &got[i].score, sizeof(a));
+    std::memcpy(&b, &want[i].score, sizeof(b));
+    if (a != b) return false;
+  }
+  return true;
+}
+
+struct SweepRow {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  Percentiles pct;
+  uint64_t completed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t rejected_queue_full = 0;
+};
+
+int Run(const std::string& out_dir) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
+                                             bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+
+  constexpr int64_t kTopK = 10;
+  const int64_t n_requests = std::min<int64_t>(256, ds.num_users() * 4);
+
+  // Traffic model: production recommendation traffic is head-heavy, so
+  // half the requests hit a small hot set of users (feed refreshes) and
+  // the other half walk the long tail. Deterministic, so every phase
+  // offers the exact same request stream.
+  const int64_t hot_users = std::min<int64_t>(8, ds.num_users());
+  const int64_t cold_users = std::max<int64_t>(1, ds.num_users() - hot_users);
+  const auto user_of = [&](int64_t i) {
+    if (i % 2 == 0) return (i / 2) % hot_users;
+    return hot_users % ds.num_users() + (i / 2) % cold_users;
+  };
+
+  // Serial reference per distinct user: the exact response the broker must
+  // reproduce for any batch composition.
+  std::map<int64_t, std::vector<ScoredId>> reference;
+  for (int64_t i = 0; i < n_requests; ++i) {
+    const int64_t u = user_of(i);
+    if (reference.count(u)) continue;
+    const std::vector<int32_t> prefix = ds.TestPrefix(u);
+    const std::vector<float> scores = model.ScoreItems(prefix);
+    reference[u] = TopKSelect(
+        scores.data(), static_cast<int64_t>(scores.size()), kTopK, prefix);
+  }
+
+  // ---- Phase 1: serial direct loop (reference timing, no serving stack).
+  std::vector<uint64_t> serial_ns;
+  serial_ns.reserve(static_cast<size_t>(n_requests));
+  Stopwatch serial_watch;
+  for (int64_t i = 0; i < n_requests; ++i) {
+    Stopwatch per_request;
+    const std::vector<int32_t> prefix = ds.TestPrefix(user_of(i));
+    const std::vector<float> scores = model.ScoreItems(prefix);
+    const std::vector<ScoredId> topk = TopKSelect(
+        scores.data(), static_cast<int64_t>(scores.size()), kTopK, prefix);
+    (void)topk;
+    serial_ns.push_back(
+        static_cast<uint64_t>(per_request.ElapsedMillis() * 1e6));
+  }
+  const double serial_seconds = serial_watch.ElapsedMillis() / 1e3;
+  const double serial_qps = static_cast<double>(n_requests) / serial_seconds;
+  const Percentiles serial_pct = ExactPercentiles(serial_ns);
+
+  // ---- Phases 2+3: saturating burst load against the broker, with
+  // coalescing off (max_batch=1 — one request per ScoreUsersBatched call,
+  // the pre-broker dispatch) and on. The offered pattern is identical:
+  // every request is submitted up front, so the only variable is whether
+  // the workers drain one request or one micro-batch per call.
+  struct LoadResult {
+    double qps = 0;
+    Percentiles pct;
+    bool bitwise_equal = true;
+    uint64_t batches = 0;
+    uint64_t max_batch = 0;
+    uint64_t merged = 0;
+    double mean_batch = 0;
+    std::map<int64_t, uint64_t> batch_size_counts;
+  };
+  const auto run_burst = [&](const serve::BrokerOptions& options) {
+    serve::RequestBroker broker(&model, options);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<size_t>(n_requests));
+    Stopwatch watch;
+    for (int64_t i = 0; i < n_requests; ++i) {
+      serve::Request request;
+      request.prefix = ds.TestPrefix(user_of(i));
+      request.topk = kTopK;
+      futures.push_back(broker.Submit(std::move(request)));
+    }
+    LoadResult result;
+    std::vector<uint64_t> latencies;
+    latencies.reserve(static_cast<size_t>(n_requests));
+    for (int64_t i = 0; i < n_requests; ++i) {
+      const serve::Response r = futures[static_cast<size_t>(i)].get();
+      if (r.status != serve::ServeStatus::kOk ||
+          !BitwiseEqual(r.items,
+                        reference.at(user_of(i)))) {
+        result.bitwise_equal = false;
+      }
+      latencies.push_back(r.total_ns);
+      ++result.batch_size_counts[r.batch_size];
+    }
+    const double seconds = watch.ElapsedMillis() / 1e3;
+    result.qps = static_cast<double>(n_requests) / seconds;
+    result.pct = ExactPercentiles(std::move(latencies));
+    const serve::BrokerStats stats = broker.stats();
+    result.batches = stats.batches;
+    result.max_batch = stats.max_batch;
+    result.merged = stats.merged_requests;
+    result.mean_batch =
+        stats.batches == 0 ? 0.0
+                           : static_cast<double>(stats.batched_requests) /
+                                 static_cast<double>(stats.batches);
+    return result;
+  };
+
+  serve::BrokerOptions uncoalesced;
+  uncoalesced.num_workers = 2;
+  uncoalesced.max_batch = 1;
+  uncoalesced.max_wait_us = 0;
+  uncoalesced.queue_capacity = n_requests;
+  const LoadResult baseline = run_burst(uncoalesced);
+
+  serve::BrokerOptions options = uncoalesced;
+  options.max_batch = 64;
+  options.max_wait_us = 200;
+  const LoadResult coalesced = run_burst(options);
+
+  const double baseline_qps = baseline.qps;
+  const Percentiles baseline_pct = baseline.pct;
+  const double broker_qps = coalesced.qps;
+  const Percentiles broker_pct = coalesced.pct;
+  const bool bitwise_equal =
+      baseline.bitwise_equal && coalesced.bitwise_equal;
+  const uint64_t broker_batches = coalesced.batches;
+  const uint64_t broker_max_batch = coalesced.max_batch;
+  const double broker_mean_batch = coalesced.mean_batch;
+  const std::map<int64_t, uint64_t>& batch_size_counts =
+      coalesced.batch_size_counts;
+
+  // ---- Phase 4: open-loop offered-QPS sweep with deadlines. ----
+  std::vector<SweepRow> sweep;
+  for (const double factor : {0.5, 1.0, 2.0}) {
+    const double offered = std::max(1.0, broker_qps * factor);
+    const uint64_t interval_ns = static_cast<uint64_t>(1e9 / offered);
+    serve::RequestBroker broker(&model, options);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<size_t>(n_requests));
+    Stopwatch watch;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int64_t i = 0; i < n_requests; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::nanoseconds(interval_ns *
+                                        static_cast<uint64_t>(i)));
+      serve::Request request;
+      request.prefix = ds.TestPrefix(user_of(i));
+      request.topk = kTopK;
+      request.deadline_ns = serve::DeadlineFromNow(/*budget_us=*/50000);
+      futures.push_back(broker.Submit(std::move(request)));
+    }
+    SweepRow row;
+    row.offered_qps = offered;
+    std::vector<uint64_t> latencies;
+    for (auto& future : futures) {
+      const serve::Response r = future.get();
+      if (r.status == serve::ServeStatus::kOk) {
+        latencies.push_back(r.total_ns);
+      }
+    }
+    const double seconds = watch.ElapsedMillis() / 1e3;
+    const serve::BrokerStats stats = broker.stats();
+    row.completed = stats.completed;
+    row.deadline_exceeded = stats.deadline_exceeded;
+    row.rejected_queue_full = stats.rejected_queue_full;
+    row.achieved_qps = static_cast<double>(latencies.size()) / seconds;
+    row.pct = ExactPercentiles(std::move(latencies));
+    sweep.push_back(row);
+  }
+
+  // ---- Report. ----
+  const double speedup = baseline_qps > 0 ? broker_qps / baseline_qps : 0.0;
+  std::printf("serving bench: %lld requests, %lld items, %lld threads\n",
+              static_cast<long long>(n_requests),
+              static_cast<long long>(ds.num_items()),
+              static_cast<long long>(GetNumThreads()));
+  std::printf("serial direct     %9.1f req/s  p50 %7.0f us  p95 %7.0f us  "
+              "p99 %7.0f us\n",
+              serial_qps, serial_pct.p50_us, serial_pct.p95_us,
+              serial_pct.p99_us);
+  std::printf("broker batch=1    %9.1f req/s  p50 %7.0f us  p95 %7.0f us  "
+              "p99 %7.0f us\n",
+              baseline_qps, baseline_pct.p50_us, baseline_pct.p95_us,
+              baseline_pct.p99_us);
+  std::printf("broker coalesced  %9.1f req/s  p50 %7.0f us  p95 %7.0f us  "
+              "p99 %7.0f us  (%.2fx, mean batch %.2f, max %llu, "
+              "merged %llu)\n",
+              broker_qps, broker_pct.p50_us, broker_pct.p95_us,
+              broker_pct.p99_us, speedup, broker_mean_batch,
+              static_cast<unsigned long long>(broker_max_batch),
+              static_cast<unsigned long long>(coalesced.merged));
+  for (const SweepRow& row : sweep) {
+    std::printf("offered %8.1f -> achieved %8.1f req/s  p50 %7.0f us  "
+                "p99 %7.0f us  shed %llu\n",
+                row.offered_qps, row.achieved_qps, row.pct.p50_us,
+                row.pct.p99_us,
+                static_cast<unsigned long long>(row.deadline_exceeded));
+  }
+  std::printf("responses bitwise %s vs serial reference\n",
+              bitwise_equal ? "EQUAL" : "DIFFERENT");
+
+  const std::string path = out_dir + "/BENCH_serving.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"serving\",\n  \"requests\": %lld,\n"
+               "  \"items\": %lld,\n  \"threads\": %lld,\n",
+               static_cast<long long>(n_requests),
+               static_cast<long long>(ds.num_items()),
+               static_cast<long long>(GetNumThreads()));
+  std::fprintf(f,
+               "  \"serial_direct\": {\"qps\": %.2f, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f},\n",
+               serial_qps, serial_pct.p50_us, serial_pct.p95_us,
+               serial_pct.p99_us);
+  std::fprintf(f,
+               "  \"baseline\": {\"qps\": %.2f, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f, \"max_batch\": 1},\n",
+               baseline_qps, baseline_pct.p50_us, baseline_pct.p95_us,
+               baseline_pct.p99_us);
+  std::fprintf(f,
+               "  \"broker\": {\"qps\": %.2f, \"p50_us\": %.1f, "
+               "\"p95_us\": %.1f, \"p99_us\": %.1f, \"workers\": %lld, "
+               "\"max_batch\": %lld, \"max_wait_us\": %lld, "
+               "\"batches\": %llu, \"mean_batch\": %.2f, "
+               "\"max_batch_seen\": %llu, \"merged_requests\": %llu},\n",
+               broker_qps, broker_pct.p50_us, broker_pct.p95_us,
+               broker_pct.p99_us,
+               static_cast<long long>(options.num_workers),
+               static_cast<long long>(options.max_batch),
+               static_cast<long long>(options.max_wait_us),
+               static_cast<unsigned long long>(broker_batches),
+               broker_mean_batch,
+               static_cast<unsigned long long>(broker_max_batch),
+               static_cast<unsigned long long>(coalesced.merged));
+  std::fprintf(f, "  \"batch_size_counts\": {");
+  bool first = true;
+  for (const auto& [size, count] : batch_size_counts) {
+    std::fprintf(f, "%s\"%lld\": %llu", first ? "" : ", ",
+                 static_cast<long long>(size),
+                 static_cast<unsigned long long>(count));
+    first = false;
+  }
+  std::fprintf(f, "},\n  \"sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& row = sweep[i];
+    std::fprintf(f,
+                 "    {\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+                 "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"completed\": %llu, \"deadline_exceeded\": %llu, "
+                 "\"rejected_queue_full\": %llu}%s\n",
+                 row.offered_qps, row.achieved_qps, row.pct.p50_us,
+                 row.pct.p95_us, row.pct.p99_us,
+                 static_cast<unsigned long long>(row.completed),
+                 static_cast<unsigned long long>(row.deadline_exceeded),
+                 static_cast<unsigned long long>(row.rejected_queue_full),
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup\": %.3f,\n  \"bitwise_equal\": %s\n}\n",
+               speedup, bitwise_equal ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return bitwise_equal ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  return pmmrec::Run(out_dir);
+}

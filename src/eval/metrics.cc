@@ -1,5 +1,6 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -76,21 +77,32 @@ int64_t RankOfTarget(const float* scores, int64_t n, int32_t target,
                      const std::vector<int32_t>& exclude) {
   PMM_CHECK_GE(target, 0);
   PMM_CHECK_LT(static_cast<int64_t>(target), n);
-  std::vector<bool> excluded(static_cast<size_t>(n), false);
-  for (int32_t e : exclude) {
-    if (e >= 0 && static_cast<int64_t>(e) < n) {
-      excluded[static_cast<size_t>(e)] = true;
-    }
-  }
-  excluded[static_cast<size_t>(target)] = false;
-
+  // Count-then-subtract fast path (the degenerate form of the partial
+  // top-K kernel, utils/topk.h): a catalogue-sized exclusion mask would
+  // cost an O(n) allocation per case, but the rank only needs the number
+  // of non-excluded items scoring >= the target. So scan the row with a
+  // branch-free comparison loop, then correct for the target itself and
+  // for the handful of excluded ids that were counted.
   const float target_score = scores[target];
   int64_t rank = 0;
   for (int64_t i = 0; i < n; ++i) {
-    if (excluded[static_cast<size_t>(i)] || static_cast<int32_t>(i) == target) {
-      continue;
+    rank += scores[i] >= target_score ? 1 : 0;
+  }
+  // The target's self-comparison was counted iff it holds (it is false
+  // only for a NaN score, where the mask formulation also counts nothing).
+  if (target_score >= target_score) --rank;
+
+  // Histories may repeat ids and may include the target; the mask
+  // formulation counted each excluded id at most once and never excluded
+  // the target, so dedupe before subtracting.
+  std::vector<int32_t> skip(exclude);
+  std::sort(skip.begin(), skip.end());
+  skip.erase(std::unique(skip.begin(), skip.end()), skip.end());
+  for (int32_t e : skip) {
+    if (e >= 0 && static_cast<int64_t>(e) < n && e != target &&
+        scores[e] >= target_score) {
+      --rank;
     }
-    if (scores[i] >= target_score) ++rank;
   }
   return rank;
 }

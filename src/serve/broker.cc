@@ -1,0 +1,327 @@
+#include "serve/broker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "utils/arena.h"
+#include "utils/check.h"
+#include "utils/trace.h"
+
+namespace pmmrec {
+namespace serve {
+
+const char* ToString(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "OK";
+    case ServeStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ServeStatus::kQueueFull: return "QUEUE_FULL";
+    case ServeStatus::kShutdown: return "SHUTDOWN";
+    case ServeStatus::kInvalidRequest: return "INVALID_REQUEST";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t DeadlineFromNow(int64_t budget_us) {
+  PMM_CHECK_GE(budget_us, 0);
+  return trace::NowNs() + static_cast<uint64_t>(budget_us) * 1000;
+}
+
+RequestBroker::RequestBroker(PMMRecModel* model, const BrokerOptions& options)
+    : model_(model), options_([&options] {
+        BrokerOptions o = options;
+        o.num_workers = std::max<int64_t>(1, o.num_workers);
+        o.max_batch = std::max<int64_t>(1, o.max_batch);
+        o.max_wait_us = std::max<int64_t>(0, o.max_wait_us);
+        o.queue_capacity = std::max<int64_t>(1, o.queue_capacity);
+        return o;
+      }()) {
+  PMM_CHECK(model_ != nullptr);
+  PMM_CHECK_MSG(model_->dataset() != nullptr,
+                "RequestBroker requires an attached dataset");
+  n_items_ = model_->dataset()->num_items();
+  // Build the item table before any worker exists: no request pays the
+  // first-build latency and the workers start against a valid cache.
+  model_->PrepareForEval();
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int64_t w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestBroker::~RequestBroker() { Shutdown(); }
+
+std::future<Response> RequestBroker::Submit(Request request) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const uint64_t now = trace::NowNs();
+
+  const auto reject = [&](ServeStatus status) {
+    Response response;
+    response.status = status;
+    promise.set_value(std::move(response));
+    return std::move(future);
+  };
+
+  if (request.prefix.empty() || request.topk <= 0) {
+    stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.rejected_invalid", 1);
+    return reject(ServeStatus::kInvalidRequest);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return reject(ServeStatus::kShutdown);
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      stats_.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      PMM_TRACE_COUNT("serve.rejected_queue_full", 1);
+      return reject(ServeStatus::kQueueFull);
+    }
+    queue_.push_back(Pending{std::move(request), std::move(promise), now});
+    stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  PMM_TRACE_COUNT("serve.requests", 1);
+  cv_.notify_one();
+  return future;
+}
+
+Response RequestBroker::Recommend(std::vector<int32_t> prefix, int64_t topk,
+                                  uint64_t deadline_ns) {
+  Request request;
+  request.prefix = std::move(prefix);
+  request.topk = topk;
+  request.deadline_ns = deadline_ns;
+  return Submit(std::move(request)).get();
+}
+
+std::vector<RequestBroker::Pending> RequestBroker::NextBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || (!queue_.empty() && !paused_); });
+    if (stop_) return {};
+
+    // Coalescing policy: from the moment work is available, linger up to
+    // max_wait_us for the queue to fill toward max_batch. Submitters
+    // notify on every enqueue, so a filled batch is taken without waiting
+    // out the budget.
+    if (options_.max_wait_us > 0) {
+      const uint64_t budget_ns =
+          static_cast<uint64_t>(options_.max_wait_us) * 1000;
+      const uint64_t t0 = trace::NowNs();
+      while (!stop_ && !paused_ &&
+             static_cast<int64_t>(queue_.size()) < options_.max_batch) {
+        const uint64_t elapsed = trace::NowNs() - t0;
+        if (elapsed >= budget_ns) break;
+        cv_.wait_for(lock, std::chrono::nanoseconds(budget_ns - elapsed));
+      }
+      if (stop_) return {};
+    }
+
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<size_t>(
+        std::min<int64_t>(options_.max_batch,
+                          static_cast<int64_t>(queue_.size()))));
+    while (!queue_.empty() &&
+           static_cast<int64_t>(batch.size()) < options_.max_batch) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // A sibling worker may have drained the queue during the linger; an
+    // empty batch means "go back to waiting", never "shut down".
+    if (!batch.empty()) return batch;
+  }
+}
+
+void RequestBroker::ScoreBatch(
+    const std::vector<std::vector<int32_t>>& prefixes, float* scores) {
+  std::shared_lock<std::shared_mutex> read(model_mu_);
+  if (!model_->item_table_cache().valid()) {
+    // Stale table (a parameter update landed between requests): rebuild
+    // under the exclusive lock. Racing workers queue up here; whichever
+    // wins rebuilds, the rest re-check validity and fall through, so a
+    // single invalidation costs exactly one rebuild.
+    read.unlock();
+    {
+      std::unique_lock<std::shared_mutex> write(model_mu_);
+      if (!model_->item_table_cache().valid()) {
+        PMM_TRACE_COUNT("serve.cache_rebuilds", 1);
+        model_->PrepareForEval();
+      }
+    }
+    read.lock();
+  }
+  model_->ScoreUsersBatched(prefixes, scores);
+}
+
+void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
+  const uint64_t dequeue_ns = trace::NowNs();
+
+  // Shed requests whose deadline passed while they sat in the queue; the
+  // deadline is checked once, here — work started is work finished.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& pending : batch) {
+    if (pending.request.deadline_ns != 0 &&
+        dequeue_ns > pending.request.deadline_ns) {
+      Response response;
+      response.status = ServeStatus::kDeadlineExceeded;
+      response.queue_ns = dequeue_ns - pending.enqueue_ns;
+      response.total_ns = response.queue_ns;
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      PMM_TRACE_COUNT("serve.deadline_exceeded", 1);
+      pending.promise.set_value(std::move(response));
+      continue;
+    }
+    live.push_back(std::move(pending));
+  }
+  if (live.empty()) return;
+
+  // Request collapsing: identical prefixes in this batch map onto one
+  // scored row. `prefixes` keeps the unique rows (these go to the scoring
+  // call and to top-K exclusion); row_of[i] is live request i's row.
+  std::vector<std::vector<int32_t>> prefixes;
+  std::vector<int64_t> row_of(live.size());
+  prefixes.reserve(live.size());
+  if (options_.merge_duplicates) {
+    std::map<std::vector<int32_t>, int64_t> row_index;
+    for (size_t i = 0; i < live.size(); ++i) {
+      const auto [it, inserted] = row_index.try_emplace(
+          std::move(live[i].request.prefix),
+          static_cast<int64_t>(prefixes.size()));
+      if (inserted) prefixes.push_back(it->first);
+      row_of[i] = it->second;
+    }
+  } else {
+    for (size_t i = 0; i < live.size(); ++i) {
+      row_of[i] = static_cast<int64_t>(prefixes.size());
+      prefixes.push_back(std::move(live[i].request.prefix));
+    }
+  }
+  const int64_t merged =
+      static_cast<int64_t>(live.size() - prefixes.size());
+  if (merged > 0) {
+    stats_.merged_requests.fetch_add(static_cast<uint64_t>(merged),
+                                     std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.merged_requests", merged);
+  }
+
+  const int64_t g = static_cast<int64_t>(live.size());
+  const int64_t rows = static_cast<int64_t>(prefixes.size());
+  stats_.batches.fetch_add(1, std::memory_order_relaxed);
+  stats_.batched_requests.fetch_add(static_cast<uint64_t>(g),
+                                    std::memory_order_relaxed);
+  uint64_t prev_max = stats_.max_batch.load(std::memory_order_relaxed);
+  while (prev_max < static_cast<uint64_t>(g) &&
+         !stats_.max_batch.compare_exchange_weak(
+             prev_max, static_cast<uint64_t>(g), std::memory_order_relaxed)) {
+  }
+  PMM_TRACE_COUNT("serve.batches", 1);
+  PMM_TRACE_COUNT("serve.batched_requests", g);
+  PMM_TRACE_OBSERVE("serve.batch_size", g);
+
+  std::vector<float> scores = BufferArena::Global().AcquireVec(
+      static_cast<size_t>(rows) * static_cast<size_t>(n_items_));
+  {
+    PMM_TRACE_SCOPE_AT("serve.batch", kEpoch, "serve.batch.ns");
+    ScoreBatch(prefixes, scores.data());
+  }
+  for (int64_t i = 0; i < g; ++i) {
+    const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
+    Response response;
+    response.status = ServeStatus::kOk;
+    {
+      PMM_TRACE_SCOPE_AT("serve.topk", kOp, "serve.topk.ns");
+      response.items = TopKSelect(
+          scores.data() + static_cast<int64_t>(row) * n_items_, n_items_,
+          live[static_cast<size_t>(i)].request.topk,
+          options_.exclude_history
+              ? std::span<const int32_t>(prefixes[row])
+              : std::span<const int32_t>());
+    }
+    response.queue_ns =
+        dequeue_ns - live[static_cast<size_t>(i)].enqueue_ns;
+    response.total_ns =
+        trace::NowNs() - live[static_cast<size_t>(i)].enqueue_ns;
+    response.batch_size = g;
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_OBSERVE("serve.latency_us", response.total_ns / 1000);
+    PMM_TRACE_OBSERVE("serve.queue_wait_us", response.queue_ns / 1000);
+    live[static_cast<size_t>(i)].promise.set_value(std::move(response));
+  }
+  BufferArena::Global().Release(std::move(scores));
+}
+
+void RequestBroker::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch = NextBatch();
+    if (batch.empty()) return;  // Shutdown; leftovers are flushed there.
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void RequestBroker::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    paused_ = false;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Pending& pending : leftover) {
+    Response response;
+    response.status = ServeStatus::kShutdown;
+    response.total_ns = trace::NowNs() - pending.enqueue_ns;
+    stats_.shutdown_flushed.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+void RequestBroker::Pause() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  cv_.notify_all();
+}
+
+void RequestBroker::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+BrokerStats RequestBroker::stats() const {
+  BrokerStats out;
+  out.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  out.completed = stats_.completed.load(std::memory_order_relaxed);
+  out.deadline_exceeded =
+      stats_.deadline_exceeded.load(std::memory_order_relaxed);
+  out.rejected_queue_full =
+      stats_.rejected_queue_full.load(std::memory_order_relaxed);
+  out.rejected_invalid =
+      stats_.rejected_invalid.load(std::memory_order_relaxed);
+  out.shutdown_flushed =
+      stats_.shutdown_flushed.load(std::memory_order_relaxed);
+  out.batches = stats_.batches.load(std::memory_order_relaxed);
+  out.batched_requests =
+      stats_.batched_requests.load(std::memory_order_relaxed);
+  out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  out.merged_requests =
+      stats_.merged_requests.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace pmmrec

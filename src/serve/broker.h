@@ -1,0 +1,190 @@
+#ifndef PMMREC_SERVE_BROKER_H_
+#define PMMREC_SERVE_BROKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pmmrec.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace serve {
+
+// Online serving subsystem (see DESIGN.md "Serving subsystem").
+//
+// The RequestBroker turns independent single-user recommendation requests
+// into dynamically formed micro-batches over the frozen-model inference
+// path: requests enter a bounded MPSC queue, worker threads drain the
+// queue under a coalescing policy (wait up to `max_wait_us` for up to
+// `max_batch` requests), score the whole batch with one
+// PMMRecModel::ScoreUsersBatched call — collapsing identical prefixes onto
+// one shared score row first — and answer each request with its partial
+// top-K (utils/topk.h): K ids and scores, never the full catalogue row.
+//
+// Determinism contract: a request's response depends only on the request
+// and the model parameters — never on which batch it coalesced into, the
+// coalescing policy, the worker count, or PMMREC_NUM_THREADS. This holds
+// because ScoreUsersBatched is bitwise identical per row to the serial
+// ScoreItems path for any batch composition, and TopKSelect is a pure
+// function of the row with a total ordering rule.
+//
+// Backpressure and deadlines are checked, never blocking: a Submit against
+// a full queue resolves immediately with kQueueFull, and a request whose
+// deadline has passed when a worker dequeues it is shed with
+// kDeadlineExceeded instead of being scored.
+
+enum class ServeStatus {
+  kOk = 0,
+  kDeadlineExceeded,  // Shed at dequeue: the deadline passed while queued.
+  kQueueFull,         // Rejected at submit: queue at capacity.
+  kShutdown,          // Rejected at submit or flushed during Shutdown().
+  kInvalidRequest,    // Empty prefix or non-positive topk.
+};
+
+const char* ToString(ServeStatus status);
+
+struct Request {
+  std::vector<int32_t> prefix;  // Interaction history, most recent last.
+  int64_t topk = 10;
+  // Absolute deadline on the trace::NowNs() clock; 0 means none.
+  // DeadlineFromNow() converts a relative budget.
+  uint64_t deadline_ns = 0;
+};
+
+// Relative-budget helper: now + budget_us on the broker's clock.
+uint64_t DeadlineFromNow(int64_t budget_us);
+
+struct Response {
+  ServeStatus status = ServeStatus::kOk;
+  // Top-K (score desc, id asc), excluding the request's own history when
+  // BrokerOptions.exclude_history is set. Empty unless status == kOk.
+  std::vector<ScoredId> items;
+  uint64_t queue_ns = 0;   // Submit -> dequeue.
+  uint64_t total_ns = 0;   // Submit -> response.
+  int64_t batch_size = 0;  // Live requests in the coalesced batch (kOk only).
+};
+
+struct BrokerOptions {
+  int64_t num_workers = 2;      // Scoring threads (>= 1).
+  int64_t max_batch = 32;       // Requests coalesced per scoring call.
+  int64_t max_wait_us = 500;    // Max linger waiting to fill a batch.
+  int64_t queue_capacity = 256; // Submits beyond this are rejected.
+  bool exclude_history = true;  // Skip the request's own items in top-K.
+  // Request collapsing: within one micro-batch, requests with identical
+  // prefixes share a single score row (one forward instead of N); each
+  // request still gets its own top-K, so different `topk` values over the
+  // same prefix stay independent. Only batching makes this possible —
+  // one-request-per-call dispatch never sees two requests at once.
+  // Responses are unchanged bitwise: the shared row IS the row each
+  // duplicate would have produced alone.
+  bool merge_duplicates = true;
+};
+
+// Monotonic lifetime totals (relaxed-atomic snapshot; tests, telemetry).
+struct BrokerStats {
+  uint64_t submitted = 0;            // Admitted to the queue.
+  uint64_t completed = 0;            // Answered kOk.
+  uint64_t deadline_exceeded = 0;    // Shed at dequeue.
+  uint64_t rejected_queue_full = 0;  // Rejected at submit.
+  uint64_t rejected_invalid = 0;     // Rejected at submit.
+  uint64_t shutdown_flushed = 0;     // Flushed unscored by Shutdown().
+  uint64_t batches = 0;              // Scoring calls issued.
+  uint64_t batched_requests = 0;     // Live requests across all batches.
+  uint64_t max_batch = 0;            // Largest batch actually scored.
+  uint64_t merged_requests = 0;      // Duplicates collapsed onto a shared row.
+};
+
+class RequestBroker {
+ public:
+  // The model must have a dataset attached; the item-table cache is built
+  // up front (so no request pays the first-build latency) and the model
+  // is left in eval mode. The broker does not own the model.
+  RequestBroker(PMMRecModel* model, const BrokerOptions& options);
+  ~RequestBroker();  // Implies Shutdown().
+
+  RequestBroker(const RequestBroker&) = delete;
+  RequestBroker& operator=(const RequestBroker&) = delete;
+
+  // Non-blocking admission: the returned future is resolved by a worker,
+  // or immediately (kQueueFull / kShutdown / kInvalidRequest) when the
+  // request cannot be admitted. Safe from any number of threads.
+  std::future<Response> Submit(Request request);
+
+  // Convenience synchronous call: Submit + wait.
+  Response Recommend(std::vector<int32_t> prefix, int64_t topk,
+                     uint64_t deadline_ns = 0);
+
+  // Stops admission, wakes the workers, joins them, and resolves any
+  // still-queued request with kShutdown. Idempotent.
+  void Shutdown();
+
+  // Test hooks: a paused broker admits requests but starts no new batch,
+  // which makes queue-full and coalescing behaviour deterministic to
+  // test. Call while the broker is idle.
+  void Pause();
+  void Resume();
+
+  BrokerStats stats() const;
+  const BrokerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop();
+  // Blocks for work, applies the coalescing policy, and pops up to
+  // max_batch requests. An empty result means "shutting down".
+  std::vector<Pending> NextBatch();
+  void ProcessBatch(std::vector<Pending> batch);
+  // Scores `prefixes` under the cache-rebuild protocol: rebuilds (if
+  // stale) under the exclusive lock, scores under the shared lock.
+  void ScoreBatch(const std::vector<std::vector<int32_t>>& prefixes,
+                  float* scores);
+
+  PMMRecModel* const model_;
+  const BrokerOptions options_;
+  int64_t n_items_ = 0;
+
+  // Queue state.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::vector<std::thread> workers_;
+
+  // Cache-rebuild protocol: workers score under a shared lock; a stale
+  // item table is rebuilt under the exclusive lock, so concurrent batches
+  // after a parameter update trigger exactly one rebuild and no worker
+  // ever reads a table mid-rebuild.
+  std::shared_mutex model_mu_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> rejected_queue_full{0};
+    std::atomic<uint64_t> rejected_invalid{0};
+    std::atomic<uint64_t> shutdown_flushed{0};
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> batched_requests{0};
+    std::atomic<uint64_t> max_batch{0};
+    std::atomic<uint64_t> merged_requests{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace serve
+}  // namespace pmmrec
+
+#endif  // PMMREC_SERVE_BROKER_H_

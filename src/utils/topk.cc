@@ -1,0 +1,45 @@
+#include "utils/topk.h"
+
+#include <algorithm>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+
+std::vector<ScoredId> TopKSelect(const float* scores, int64_t n, int64_t k,
+                                 std::span<const int32_t> exclude) {
+  PMM_CHECK(scores != nullptr || n == 0);
+  PMM_CHECK_GE(k, 0);
+  std::vector<ScoredId> heap;
+  if (k == 0 || n == 0) return heap;
+
+  // Sorted copy of the (small) exclusion list for O(log m) membership
+  // tests; duplicates in a history are harmless under binary_search.
+  std::vector<int32_t> skip(exclude.begin(), exclude.end());
+  std::sort(skip.begin(), skip.end());
+
+  // Min-heap of the k best seen so far: with RanksBefore as the heap
+  // comparator the front is the *worst* retained entry, so a candidate
+  // displaces it exactly when the candidate ranks before it.
+  heap.reserve(static_cast<size_t>(std::min<int64_t>(k, n)));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t id = static_cast<int32_t>(i);
+    if (!skip.empty() &&
+        std::binary_search(skip.begin(), skip.end(), id)) {
+      continue;
+    }
+    const ScoredId candidate{id, scores[i]};
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    } else if (RanksBefore(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), RanksBefore);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), RanksBefore);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), RanksBefore);
+  return heap;
+}
+
+}  // namespace pmmrec

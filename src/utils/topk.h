@@ -1,0 +1,49 @@
+#ifndef PMMREC_UTILS_TOPK_H_
+#define PMMREC_UTILS_TOPK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pmmrec {
+
+// Partial top-K selection over a full-catalogue score row (see DESIGN.md
+// "Serving subsystem").
+//
+// Every ranked surface in the repo (broker responses, the CLI's top-K
+// printer) selects through this one kernel so the ordering rule is defined
+// in exactly one place:
+//
+//   a ranks before b  iff  a.score > b.score, or
+//                          a.score == b.score and a.id < b.id.
+//
+// The id tie-break makes the output a total order on (score, id), so the
+// selected set and its presentation order are deterministic — independent
+// of k, of which batch a request coalesced into, and of any thread count.
+
+struct ScoredId {
+  int32_t id = 0;
+  float score = 0.0f;
+};
+
+// The canonical ordering predicate: score descending, id ascending.
+inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Returns the top-k entries of scores[0, n) in presentation order, with
+// ids in `exclude` (a user's history; duplicates and out-of-range ids are
+// tolerated) skipped. k may exceed the number of eligible items, in which
+// case every eligible item is returned, still fully ordered.
+//
+// Cost is O(n log k) time and O(k + |exclude|) space via a bounded
+// min-heap — no n-sized buffer is allocated and the score row is never
+// reordered, which is what lets callers keep O(batch * n_items) scoring
+// buffers instead of materializing per-user sorted copies.
+std::vector<ScoredId> TopKSelect(const float* scores, int64_t n, int64_t k,
+                                 std::span<const int32_t> exclude = {});
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_UTILS_TOPK_H_

@@ -1,7 +1,9 @@
 #include "utils/trace.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,6 +68,16 @@ struct CounterRegistry {
 
 CounterRegistry& Counters() {
   static CounterRegistry* registry = new CounterRegistry();
+  return *registry;
+}
+
+struct HistogramRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, Histogram*> by_name;  // Values leaked.
+};
+
+HistogramRegistry& Histograms() {
+  static HistogramRegistry* registry = new HistogramRegistry();
   return *registry;
 }
 
@@ -207,6 +219,111 @@ void ResetCounters() {
   CounterRegistry& registry = Counters();
   std::lock_guard<std::mutex> lock(registry.mu);
   for (auto& [name, counter] : registry.by_name) counter->Reset();
+}
+
+// --- Histograms --------------------------------------------------------------
+
+Histogram& Histogram::Get(const std::string& name) {
+  HistogramRegistry& registry = Histograms();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.by_name.find(name);
+  if (it == registry.by_name.end()) {
+    it = registry.by_name.emplace(name, new Histogram(name)).first;
+  }
+  return *it->second;
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < static_cast<uint64_t>(kSub)) return static_cast<int>(value);
+  // Octave = position of the highest set bit; values past the grid clamp
+  // into the top bucket.
+  int octave = std::bit_width(value) - 1;
+  if (octave >= kOctaves) return kNumBuckets - 1;
+  const int sub = static_cast<int>((value >> (octave - kSubBits)) &
+                                   static_cast<uint64_t>(kSub - 1));
+  return kSub + (octave - kSubBits) * kSub + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSub) return static_cast<uint64_t>(index);
+  const int octave = (index - kSub) / kSub + kSubBits;
+  const int sub = (index - kSub) % kSub;
+  const uint64_t base = uint64_t{1} << octave;
+  const uint64_t step = uint64_t{1} << (octave - kSubBits);
+  return base + static_cast<uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  // Reporting path: relaxed bucket reads may tear against concurrent
+  // observers, which only shifts the estimate by in-flight samples.
+  uint64_t total = 0;
+  uint64_t counts[kNumBuckets];
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(clamped / 100.0 * static_cast<double>(total))));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (int b = 0; b < kNumBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<HistogramStats> HistogramSnapshot() {
+  std::vector<HistogramStats> snapshot;
+  {
+    HistogramRegistry& registry = Histograms();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    snapshot.reserve(registry.by_name.size());
+    for (const auto& [name, hist] : registry.by_name) {
+      // Like counters: histograms that never observed stay out of exports.
+      if (hist->count() == 0) continue;
+      HistogramStats stats;
+      stats.name = name;
+      stats.count = hist->count();
+      stats.mean = hist->Mean();
+      stats.p50 = hist->PercentileUpperBound(50);
+      stats.p95 = hist->PercentileUpperBound(95);
+      stats.p99 = hist->PercentileUpperBound(99);
+      snapshot.push_back(std::move(stats));
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const HistogramStats& a, const HistogramStats& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void ResetHistograms() {
+  HistogramRegistry& registry = Histograms();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, hist] : registry.by_name) hist->Reset();
 }
 
 // --- Events ------------------------------------------------------------------
@@ -415,6 +532,19 @@ Status WriteTelemetry(const std::string& path) {
                  JsonEscape(counters[i].first).c_str(),
                  static_cast<unsigned long long>(counters[i].second));
   }
+  std::fprintf(f, "\n  },\n  \"histograms\": {");
+  const auto histograms = HistogramSnapshot();
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramStats& h = histograms[i];
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"count\": %llu, \"mean\": %.3f, "
+                 "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu}",
+                 i == 0 ? "" : ",", JsonEscape(h.name).c_str(),
+                 static_cast<unsigned long long>(h.count), h.mean,
+                 static_cast<unsigned long long>(h.p50),
+                 static_cast<unsigned long long>(h.p95),
+                 static_cast<unsigned long long>(h.p99));
+  }
   std::fprintf(f, "\n  },\n  \"epochs\": [");
   {
     EpochRowStore& store = EpochRows();
@@ -452,7 +582,10 @@ Status ExportConfigured() {
 std::string SummaryTable() {
   const std::vector<Event> events = SnapshotEvents();
   const auto counters = CounterSnapshot();
-  if (events.empty() && counters.empty()) return std::string();
+  const auto histograms = HistogramSnapshot();
+  if (events.empty() && counters.empty() && histograms.empty()) {
+    return std::string();
+  }
 
   std::string out;
   if (!events.empty()) {
@@ -493,6 +626,17 @@ std::string SummaryTable() {
     if (!out.empty()) out += "\n";
     out += table.ToString();
   }
+  if (!histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p95", "p99"});
+    table.SetTitle("Latency histograms (bucket upper bounds)");
+    for (const HistogramStats& h : histograms) {
+      table.AddRow({h.name, std::to_string(h.count), Table::Fmt(h.mean, 1),
+                    std::to_string(h.p50), std::to_string(h.p95),
+                    std::to_string(h.p99)});
+    }
+    if (!out.empty()) out += "\n";
+    out += table.ToString();
+  }
   const uint64_t dropped = DroppedEvents();
   if (dropped > 0) {
     out += "\n(" + std::to_string(dropped) +
@@ -504,6 +648,7 @@ std::string SummaryTable() {
 void ResetForTest() {
   ClearEvents();
   ResetCounters();
+  ResetHistograms();
   ClearEpochRows();
 }
 

@@ -109,6 +109,71 @@ std::vector<std::pair<std::string, uint64_t>> CounterSnapshot();
 // Zeroes every registered counter (tests, per-section benchmarking).
 void ResetCounters();
 
+// --- Histograms --------------------------------------------------------------
+
+// Named fixed-bucket log-linear histogram for latency-style distributions
+// (the serving subsystem records request latency, queue wait and batch
+// size through these; see DESIGN.md "Serving subsystem").
+//
+// Bucket layout: values below kSub get one exact bucket each; every
+// power-of-two octave above that is split into kSub linear sub-buckets,
+// giving a fixed <= 1/kSub (12.5%) relative width everywhere. Buckets are
+// relaxed-atomic counters, so Observe() is lock-free and safe from any
+// thread; percentile queries are reporting-only and may run concurrently
+// with observers. Units are the caller's choice (the serve histograms use
+// microseconds) — the bucket grid is unit-agnostic.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;  // Sub-buckets per octave.
+  static constexpr int kOctaves = 48;         // Covers values < 2^48.
+  static constexpr int kNumBuckets = kSub + (kOctaves - kSubBits) * kSub;
+
+  // Interns by name in a process-wide registry, like Counter::Get.
+  static Histogram& Get(const std::string& name);
+  // Standalone instance (benches/tests); not registered for export.
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Observe(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Inclusive upper bound of the bucket containing the p-th percentile
+  // (p in [0, 100]); 0 when the histogram is empty. Reported bounds
+  // overestimate the true percentile by at most one bucket width.
+  uint64_t PercentileUpperBound(double p) const;
+  const std::string& name() const { return name_; }
+  // Zeroes all buckets (tests, per-section benchmarking).
+  void Reset();
+
+  // Bucket grid, exposed for tests: the index a value lands in and that
+  // bucket's inclusive upper bound.
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(int index);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+// Point-in-time stats of one registered histogram (telemetry export).
+struct HistogramStats {
+  std::string name;
+  uint64_t count = 0;
+  double mean = 0;
+  uint64_t p50 = 0, p95 = 0, p99 = 0;
+};
+
+// All registered histograms with at least one observation, sorted by name.
+std::vector<HistogramStats> HistogramSnapshot();
+// Zeroes every registered histogram (tests, per-section benchmarking).
+void ResetHistograms();
+
 // --- Events ------------------------------------------------------------------
 
 // One closed scope, as stored in the ring buffer. `name` must be a string
@@ -224,6 +289,9 @@ void ResetForTest();
 //   up). The counter is interned once per call site via a local static,
 //   so `name` must evaluate to the same string on every execution of
 //   that site — for runtime-varying names call Counter::Get directly.
+// PMM_TRACE_OBSERVE(name, value): record one sample into a named
+//   histogram (epoch level and up). Same static-interning rule as
+//   PMM_TRACE_COUNT.
 
 #ifndef PMMREC_TRACE_DISABLED
 
@@ -248,11 +316,21 @@ void ResetForTest();
     }                                                                      \
   } while (0)
 
+#define PMM_TRACE_OBSERVE(name, value)                                     \
+  do {                                                                     \
+    if (::pmmrec::trace::Enabled(::pmmrec::trace::Level::kEpoch)) {        \
+      static ::pmmrec::trace::Histogram& pmm_trace_hist_ =                 \
+          ::pmmrec::trace::Histogram::Get(name);                           \
+      pmm_trace_hist_.Observe(static_cast<uint64_t>(value));               \
+    }                                                                      \
+  } while (0)
+
 #else  // PMMREC_TRACE_DISABLED
 
 #define PMM_TRACE_SCOPE(name) ((void)0)
 #define PMM_TRACE_SCOPE_AT(name, level, counter) ((void)0)
 #define PMM_TRACE_COUNT(name, delta) ((void)0)
+#define PMM_TRACE_OBSERVE(name, value) ((void)0)
 
 #endif  // PMMREC_TRACE_DISABLED
 

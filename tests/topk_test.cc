@@ -1,0 +1,196 @@
+// The partial top-K selection kernel (utils/topk.h): equivalence to a
+// full-sort reference, the documented tie-break rule (score descending,
+// then id ascending), exclusion semantics, the prefix property that makes
+// results independent of k, and the RankOfTarget fast path staying
+// bitwise-identical to the original mask-based implementation.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+// Full-sort reference: sort every eligible (id, score) pair by the
+// canonical predicate and truncate.
+std::vector<ScoredId> TopKReference(const std::vector<float>& scores,
+                                    int64_t k,
+                                    const std::vector<int32_t>& exclude) {
+  std::vector<ScoredId> all;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (std::find(exclude.begin(), exclude.end(), static_cast<int32_t>(i)) !=
+        exclude.end()) {
+      continue;
+    }
+    all.push_back(ScoredId{static_cast<int32_t>(i),
+                           scores[static_cast<size_t>(i)]});
+  }
+  std::sort(all.begin(), all.end(), RanksBefore);
+  if (static_cast<int64_t>(all.size()) > k) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+// The pre-refactor RankOfTarget: O(n) exclusion mask + linear scan.
+int64_t RankOfTargetMaskReference(const std::vector<float>& scores,
+                                  int32_t target,
+                                  const std::vector<int32_t>& exclude) {
+  const int64_t n = static_cast<int64_t>(scores.size());
+  std::vector<bool> excluded(static_cast<size_t>(n), false);
+  for (int32_t e : exclude) {
+    if (e >= 0 && e < n) excluded[static_cast<size_t>(e)] = true;
+  }
+  const float target_score = scores[static_cast<size_t>(target)];
+  int64_t rank = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i == target || excluded[static_cast<size_t>(i)]) continue;
+    if (scores[static_cast<size_t>(i)] >= target_score) ++rank;
+  }
+  return rank;
+}
+
+std::vector<float> RandomScores(int64_t n, uint32_t seed,
+                                bool with_ties = false) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> scores(static_cast<size_t>(n));
+  for (float& s : scores) s = dist(rng);
+  if (with_ties) {
+    // Quantize coarsely so equal scores are common.
+    for (float& s : scores) s = std::round(s * 4.0f) / 4.0f;
+  }
+  return scores;
+}
+
+void ExpectSame(const std::vector<ScoredId>& got,
+                const std::vector<ScoredId>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << what << " position " << i;
+  }
+}
+
+TEST(TopKSelectTest, MatchesFullSortReference) {
+  for (const int64_t n : {int64_t{1}, int64_t{7}, int64_t{100},
+                          int64_t{701}}) {
+    for (const int64_t k : {int64_t{1}, int64_t{5}, int64_t{50},
+                            int64_t{1000}}) {
+      const std::vector<float> scores =
+          RandomScores(n, static_cast<uint32_t>(n * 31 + k));
+      const std::vector<ScoredId> got =
+          TopKSelect(scores.data(), n, k);
+      ExpectSame(got, TopKReference(scores, k, {}),
+                 ("n=" + std::to_string(n) + " k=" + std::to_string(k))
+                     .c_str());
+    }
+  }
+}
+
+TEST(TopKSelectTest, TiesBreakByAscendingId) {
+  // All-equal scores: top-k must be ids 0..k-1 in order.
+  const std::vector<float> flat(64, 1.5f);
+  const std::vector<ScoredId> got = TopKSelect(flat.data(), 64, 5);
+  ASSERT_EQ(got.size(), 5u);
+  for (int32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].id, i);
+    EXPECT_EQ(got[static_cast<size_t>(i)].score, 1.5f);
+  }
+
+  // Heavy-tie random case against the reference.
+  const std::vector<float> scores = RandomScores(257, 99, /*with_ties=*/true);
+  ExpectSame(TopKSelect(scores.data(), 257, 20),
+             TopKReference(scores, 20, {}), "quantized ties");
+}
+
+TEST(TopKSelectTest, ExcludesHistoryIncludingDuplicatesAndOutOfRange) {
+  const std::vector<float> scores = RandomScores(100, 7);
+  // Duplicated entries, unsorted order, and out-of-range ids must all be
+  // tolerated: history prefixes repeat items and are never sanitized.
+  const std::vector<int32_t> exclude = {17, 3, 17, 99, 3, -5, 100, 1000};
+  const std::vector<ScoredId> got =
+      TopKSelect(scores.data(), 100, 10, exclude);
+  ExpectSame(got, TopKReference(scores, 10, exclude), "exclusion");
+  for (const ScoredId& entry : got) {
+    EXPECT_NE(entry.id, 17);
+    EXPECT_NE(entry.id, 3);
+    EXPECT_NE(entry.id, 99);
+  }
+}
+
+TEST(TopKSelectTest, KExceedingEligibleReturnsAllOrdered) {
+  const std::vector<float> scores = RandomScores(8, 3);
+  const std::vector<int32_t> exclude = {0, 1};
+  const std::vector<ScoredId> got =
+      TopKSelect(scores.data(), 8, 100, exclude);
+  EXPECT_EQ(got.size(), 6u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_TRUE(RanksBefore(got[i - 1], got[i]));
+  }
+}
+
+TEST(TopKSelectTest, PrefixProperty) {
+  // top-j is exactly the first j entries of top-k for every j <= k: the
+  // selection is a pure function of the total order, not of k. This is
+  // what makes broker responses independent of the requested depth.
+  const std::vector<float> scores = RandomScores(300, 11, /*with_ties=*/true);
+  const std::vector<ScoredId> top50 = TopKSelect(scores.data(), 300, 50);
+  for (const int64_t j : {int64_t{1}, int64_t{10}, int64_t{49}}) {
+    const std::vector<ScoredId> topj = TopKSelect(scores.data(), 300, j);
+    ASSERT_EQ(topj.size(), static_cast<size_t>(j));
+    for (size_t i = 0; i < topj.size(); ++i) {
+      EXPECT_EQ(topj[i].id, top50[i].id) << "j=" << j << " position " << i;
+      EXPECT_EQ(topj[i].score, top50[i].score);
+    }
+  }
+}
+
+TEST(RankOfTargetTest, MatchesMaskReferenceIncludingTiesAndDuplicates) {
+  for (const uint32_t seed : {1u, 2u, 3u}) {
+    const std::vector<float> scores =
+        RandomScores(200, seed, /*with_ties=*/true);
+    std::mt19937 rng(seed * 17);
+    for (int round = 0; round < 20; ++round) {
+      const int32_t target =
+          static_cast<int32_t>(rng() % scores.size());
+      std::vector<int32_t> exclude;
+      const size_t m = rng() % 8;
+      for (size_t i = 0; i < m; ++i) {
+        // Duplicates on purpose: history prefixes repeat items.
+        const int32_t e = static_cast<int32_t>(rng() % scores.size());
+        if (e == target) continue;
+        exclude.push_back(e);
+        if (rng() % 2 == 0) exclude.push_back(e);
+      }
+      const int64_t got = RankOfTarget(scores, target, exclude);
+      const int64_t want =
+          RankOfTargetMaskReference(scores, target, exclude);
+      EXPECT_EQ(got, want) << "seed=" << seed << " round=" << round;
+    }
+  }
+}
+
+TEST(RankOfTargetTest, TargetWinningAndLosingExtremes) {
+  std::vector<float> scores(50, 0.0f);
+  scores[7] = 10.0f;
+  EXPECT_EQ(RankOfTarget(scores, 7, {}), 0);
+  scores[7] = -10.0f;
+  EXPECT_EQ(RankOfTarget(scores, 7, {}), 49);
+  // Excluding every competitor puts the target at rank 0.
+  std::vector<int32_t> all_others;
+  for (int32_t i = 0; i < 50; ++i) {
+    if (i != 7) all_others.push_back(i);
+  }
+  EXPECT_EQ(RankOfTarget(scores, 7, all_others), 0);
+}
+
+}  // namespace
+}  // namespace pmmrec

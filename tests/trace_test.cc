@@ -360,6 +360,109 @@ TEST(TraceExportTest, SummaryTableListsScopesAndCounters) {
   EXPECT_NE(summary.find("7"), std::string::npos);
 }
 
+// --- Histograms --------------------------------------------------------------
+
+TEST(TraceHistogramTest, BucketGridIsExactBelowKSubAndMonotoneAbove) {
+  // Values below kSub each get their own exact bucket.
+  for (uint64_t v = 0; v < trace::Histogram::kSub; ++v) {
+    const int idx = trace::Histogram::BucketIndex(v);
+    EXPECT_EQ(idx, static_cast<int>(v));
+    EXPECT_EQ(trace::Histogram::BucketUpperBound(idx), v);
+  }
+  // Above that: every value lands in a bucket whose upper bound covers it,
+  // indices are monotone in the value, and the relative bucket width stays
+  // within the documented 1/kSub bound.
+  int prev_idx = -1;
+  for (const uint64_t v :
+       {uint64_t{8}, uint64_t{9}, uint64_t{100}, uint64_t{1000},
+        uint64_t{4096}, uint64_t{123456}, uint64_t{1} << 20,
+        (uint64_t{1} << 40) + 17}) {
+    const int idx = trace::Histogram::BucketIndex(v);
+    const uint64_t upper = trace::Histogram::BucketUpperBound(idx);
+    EXPECT_GE(upper, v) << "value " << v;
+    EXPECT_GT(idx, prev_idx) << "value " << v;
+    prev_idx = idx;
+    // Upper bound overestimates by at most one sub-bucket width.
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / trace::Histogram::kSub + 1.0)
+        << "value " << v;
+  }
+}
+
+TEST(TraceHistogramTest, PercentilesOnKnownDistribution) {
+  trace::Histogram hist("trace_test.standalone");
+  EXPECT_EQ(hist.PercentileUpperBound(50), 0u);  // Empty -> 0.
+  for (uint64_t v = 1; v <= 100; ++v) hist.Observe(v);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.sum(), 5050u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 50.5);
+  // Each percentile's reported upper bound must cover the true value and
+  // overshoot by at most one bucket width (12.5%).
+  const struct { double p; uint64_t truth; } cases[] = {
+      {0, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100}};
+  for (const auto& c : cases) {
+    const uint64_t got = hist.PercentileUpperBound(c.p);
+    EXPECT_GE(got, c.truth) << "p" << c.p;
+    EXPECT_LE(static_cast<double>(got),
+              static_cast<double>(c.truth) * (1.0 + 1.0 / 8 ) + 1.0)
+        << "p" << c.p;
+  }
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum(), 0u);
+  EXPECT_EQ(hist.PercentileUpperBound(99), 0u);
+}
+
+TEST(TraceHistogramTest, ObserveMacroRespectsLevelGate) {
+  {
+    trace::LevelGuard guard(trace::Level::kOff);
+    trace::ResetForTest();
+    PMM_TRACE_OBSERVE("trace_test.gated_hist", 7);
+    EXPECT_EQ(trace::Histogram::Get("trace_test.gated_hist").count(), 0u);
+  }
+  {
+    trace::LevelGuard guard(trace::Level::kEpoch);
+    trace::ResetForTest();
+    for (int i = 0; i < 5; ++i) PMM_TRACE_OBSERVE("trace_test.gated_hist", 7);
+    EXPECT_EQ(trace::Histogram::Get("trace_test.gated_hist").count(), 5u);
+    EXPECT_EQ(trace::Histogram::Get("trace_test.gated_hist").sum(), 35u);
+  }
+}
+
+TEST(TraceHistogramTest, SnapshotExportAndSummaryIncludeHistograms) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  for (uint64_t v = 1; v <= 64; ++v) {
+    PMM_TRACE_OBSERVE("trace_test.latency_us", v * 10);
+  }
+  const std::vector<trace::HistogramStats> snapshot =
+      trace::HistogramSnapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "trace_test.latency_us");
+  EXPECT_EQ(snapshot[0].count, 64u);
+  EXPECT_GE(snapshot[0].p95, snapshot[0].p50);
+  EXPECT_GE(snapshot[0].p99, snapshot[0].p95);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/pmmrec_hist_test.telemetry.json";
+  ASSERT_TRUE(trace::WriteTelemetry(path).ok());
+  const std::string telemetry = ReadFile(path);
+  EXPECT_TRUE(IsValidJson(telemetry)) << telemetry;
+  EXPECT_NE(telemetry.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"trace_test.latency_us\""), std::string::npos);
+  EXPECT_NE(telemetry.find("\"p99\""), std::string::npos);
+  std::remove(path.c_str());
+
+  const std::string summary = trace::SummaryTable();
+  EXPECT_NE(summary.find("Latency histograms"), std::string::npos);
+  EXPECT_NE(summary.find("trace_test.latency_us"), std::string::npos);
+
+  // ResetForTest clears registered histograms along with counters.
+  trace::ResetForTest();
+  EXPECT_EQ(trace::Histogram::Get("trace_test.latency_us").count(), 0u);
+  EXPECT_TRUE(trace::HistogramSnapshot().empty());
+}
+
 // --- Concurrency (tsan) ------------------------------------------------------
 
 TEST(TraceConcurrencyTest, ScopesAndCountersFromParallelForWorkers) {
@@ -421,6 +524,30 @@ TEST(TraceConcurrencyTest, ConcurrentExportWhileRecording) {
   }
   recorder.join();
   EXPECT_EQ(trace::Counter::Get("trace_test.export_race").value(), 2000u);
+}
+
+TEST(TraceConcurrencyTest, RawThreadsHammerOneHistogram) {
+  trace::LevelGuard guard(trace::Level::kEpoch);
+  trace::ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr int kObservesPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      trace::Histogram& hist =
+          trace::Histogram::Get("trace_test.hammer_hist");
+      for (int i = 0; i < kObservesPerThread; ++i) {
+        hist.Observe(static_cast<uint64_t>(t * 1000 + i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  trace::Histogram& hist = trace::Histogram::Get("trace_test.hammer_hist");
+  EXPECT_EQ(hist.count(),
+            static_cast<uint64_t>(kThreads) * kObservesPerThread);
+  // Percentile queries concurrent with observers are exercised above; here
+  // the quiesced bucket totals must account for every observation.
+  EXPECT_EQ(hist.PercentileUpperBound(100) >= 7000u, true);
 }
 
 }  // namespace

@@ -17,10 +17,20 @@
 //             Single-user mode: serial scoring path, prints the history
 //             and the top-K items.
 //   recommend --data FILE.pmds --model MODEL.ckpt --users U1,U2,... [--topk K]
-//             Batch mode (--users all scores every user): grad-free batched
-//             serving path — catalogue encoded once into the item-table
-//             cache, users scored jointly per length group — plus a
-//             users/sec line.
+//             [--serve-workers N] [--max-batch B]
+//             Batch mode (--users all scores every user): requests are
+//             routed through the serving broker (src/serve/broker.h), so
+//             peak score memory is O(max_batch * n_items) — not
+//             O(users * n_items) — and only top-K ids/scores are kept per
+//             user. Prints a users/sec line.
+//   serve-bench --data FILE.pmds --model MODEL.ckpt [--requests N]
+//             [--clients C] [--workers W] [--max-batch B] [--max-wait-us U]
+//             [--deadline-ms D] [--topk K]
+//             Closed-loop load test of the request broker: C client
+//             threads submit N requests, printing achieved QPS, latency
+//             percentiles, shed/reject counts, and the batch-size
+//             distribution. (bench/bench_serve is the full offered-QPS
+//             sweep writing BENCH_serving.json.)
 //
 // Global flags (any subcommand):
 //   --threads N   Intra-op threads for the tensor kernels and evaluation
@@ -39,14 +49,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <numeric>
+#include <thread>
 
 #include "core/pmmrec.h"
 #include "data/generator.h"
 #include "data/serialization.h"
+#include "serve/broker.h"
 #include "utils/flags.h"
 #include "utils/parallel.h"
 #include "utils/stopwatch.h"
+#include "utils/topk.h"
 #include "utils/trace.h"
 
 namespace pmmrec {
@@ -188,26 +202,24 @@ int CmdTransfer(const FlagParser& flags) {
   return save.ok() ? 0 : 1;
 }
 
-// Prints one "user U: top-K" line from a row of full-catalogue scores,
-// skipping items already in the user's history.
-void PrintTopK(int64_t user, const std::vector<int32_t>& history,
-               const float* scores, int64_t n_items, int64_t topk) {
-  std::vector<int32_t> order(static_cast<size_t>(n_items));
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    return scores[a] > scores[b];
-  });
+// Prints one "user U: top-K" line. Ordering is the shared kernel's rule
+// (utils/topk.h): score descending, ties broken by ascending item id, so
+// the printed list is deterministic.
+void PrintTopKEntries(int64_t user, const std::vector<ScoredId>& items,
+                      int64_t topk) {
   std::printf("user %lld top-%lld:", static_cast<long long>(user),
               static_cast<long long>(topk));
-  int64_t shown = 0;
-  for (int32_t item : order) {
-    if (std::find(history.begin(), history.end(), item) != history.end()) {
-      continue;  // Skip already-consumed items.
-    }
-    std::printf(" %d(%.3f)", item, scores[item]);
-    if (++shown == topk) break;
+  for (const ScoredId& entry : items) {
+    std::printf(" %d(%.3f)", entry.id, entry.score);
   }
   std::printf("\n");
+}
+
+// Selects and prints the top-K of a full-catalogue score row via the
+// partial top-K kernel, skipping items already in the user's history.
+void PrintTopK(int64_t user, const std::vector<int32_t>& history,
+               const float* scores, int64_t n_items, int64_t topk) {
+  PrintTopKEntries(user, TopKSelect(scores, n_items, topk, history), topk);
 }
 
 // Parses --users as a comma-separated id list or "all".
@@ -249,25 +261,46 @@ int CmdRecommend(const FlagParser& flags) {
   const int64_t topk = flags.GetInt("topk", 10);
   const std::string users_spec = flags.GetString("users");
   if (!users_spec.empty()) {
-    // Batch mode: all requested users scored through the grad-free batched
-    // serving path (one encode of the catalogue, joint forwards, one GEMM
-    // per length group).
+    // Batch mode: requests routed through the serving broker, which
+    // coalesces them into micro-batches over the grad-free path. Peak
+    // score memory is O(max_batch * n_items) inside the broker — only the
+    // top-K ids/scores per user are ever held here, so `--users all`
+    // works at any catalogue/user scale.
     const std::vector<int64_t> users = ParseUsers(users_spec, ds.num_users());
-    std::vector<std::vector<int32_t>> prefixes;
-    prefixes.reserve(users.size());
-    for (int64_t u : users) prefixes.push_back(ds.TestPrefix(u));
-    model.PrepareForEval();
-    const int64_t n_items = ds.num_items();
-    std::vector<float> scores(users.size() * static_cast<size_t>(n_items));
+    serve::BrokerOptions options;
+    options.num_workers = flags.GetInt("serve-workers", 2);
+    options.max_batch = flags.GetInt("max-batch", 32);
+    options.max_wait_us = 0;  // Closed-loop: the queue is pre-filled.
+    options.queue_capacity = static_cast<int64_t>(users.size());
+    serve::RequestBroker broker(&model, options);
+
     Stopwatch watch;
-    model.ScoreUsersBatched(prefixes, scores.data());
-    const double ms = watch.ElapsedMillis();
-    for (size_t i = 0; i < users.size(); ++i) {
-      PrintTopK(users[i], prefixes[i], scores.data() + i * n_items, n_items,
-                topk);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(users.size());
+    for (int64_t u : users) {
+      serve::Request request;
+      request.prefix = ds.TestPrefix(u);
+      request.topk = topk;
+      futures.push_back(broker.Submit(std::move(request)));
     }
-    std::printf("scored %zu users in %.2f ms (%.1f users/s)\n", users.size(),
-                ms, static_cast<double>(users.size()) / (ms / 1e3));
+    std::vector<serve::Response> responses;
+    responses.reserve(users.size());
+    for (auto& future : futures) responses.push_back(future.get());
+    const double ms = watch.ElapsedMillis();
+
+    for (size_t i = 0; i < users.size(); ++i) {
+      PMM_CHECK_MSG(responses[i].status == serve::ServeStatus::kOk,
+                    std::string("serve status ") +
+                        serve::ToString(responses[i].status));
+      PrintTopKEntries(users[i], responses[i].items, topk);
+    }
+    const serve::BrokerStats stats = broker.stats();
+    std::printf("scored %zu users in %.2f ms (%.1f users/s, %llu batches, "
+                "max batch %llu)\n",
+                users.size(), ms,
+                static_cast<double>(users.size()) / (ms / 1e3),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.max_batch));
     return 0;
   }
 
@@ -283,11 +316,102 @@ int CmdRecommend(const FlagParser& flags) {
   return 0;
 }
 
+// Closed-loop broker load test: C client threads each fire their share of
+// N requests back-to-back and block on the future before submitting the
+// next one. With C > max_batch the broker sees sustained concurrency and
+// coalesces; the printed percentiles are exact (computed from the raw
+// sorted per-request latencies, not the trace histogram's bucket bounds).
+int CmdServeBench(const FlagParser& flags) {
+  const Dataset ds = LoadDataOrDie(flags);
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.modality = ParseModality(flags.GetString("modality", "both"));
+  PMMRecModel model(config, 1);
+  const Status st = model.LoadFromFile(flags.GetString("model"));
+  PMM_CHECK_MSG(st.ok(), st.ToString());
+  model.AttachDataset(&ds);
+
+  const int64_t requests = std::max<int64_t>(1, flags.GetInt("requests", 512));
+  const int64_t clients = std::max<int64_t>(1, flags.GetInt("clients", 8));
+  const int64_t topk = flags.GetInt("topk", 10);
+  const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+
+  serve::BrokerOptions options;
+  options.num_workers = flags.GetInt("workers", 2);
+  options.max_batch = flags.GetInt("max-batch", 32);
+  options.max_wait_us = flags.GetInt("max-wait-us", 200);
+  options.queue_capacity = flags.GetInt("queue-capacity", 1024);
+  serve::RequestBroker broker(&model, options);
+
+  std::vector<std::vector<uint64_t>> latencies(
+      static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  Stopwatch watch;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int64_t n =
+          requests / clients + (c < requests % clients ? 1 : 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t user = (c * 7919 + i * 104729) % ds.num_users();
+        serve::Request request;
+        request.prefix = ds.TestPrefix(user);
+        request.topk = topk;
+        if (deadline_ms > 0) {
+          request.deadline_ns = serve::DeadlineFromNow(deadline_ms * 1000);
+        }
+        const serve::Response response =
+            broker.Submit(std::move(request)).get();
+        if (response.status == serve::ServeStatus::kOk) {
+          latencies[static_cast<size_t>(c)].push_back(response.total_ns);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = watch.ElapsedMillis() / 1e3;
+
+  std::vector<uint64_t> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto pct = [&](double p) {
+    if (all.empty()) return 0.0;
+    const size_t idx = std::min(
+        all.size() - 1,
+        static_cast<size_t>(p / 100.0 * static_cast<double>(all.size())));
+    return static_cast<double>(all[idx]) / 1e3;
+  };
+  const serve::BrokerStats stats = broker.stats();
+  std::printf("serve-bench: %lld requests, %lld clients, %lld workers, "
+              "max_batch %lld, max_wait %lld us\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(clients),
+              static_cast<long long>(options.num_workers),
+              static_cast<long long>(options.max_batch),
+              static_cast<long long>(options.max_wait_us));
+  std::printf("  achieved %.1f req/s; latency us p50 %.0f p95 %.0f p99 %.0f\n",
+              static_cast<double>(all.size()) / seconds, pct(50), pct(95),
+              pct(99));
+  std::printf("  completed %llu, deadline_exceeded %llu, queue_full %llu; "
+              "%llu batches, mean batch %.2f, max batch %llu\n",
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.deadline_exceeded),
+              static_cast<unsigned long long>(stats.rejected_queue_full),
+              static_cast<unsigned long long>(stats.batches),
+              stats.batches == 0
+                  ? 0.0
+                  : static_cast<double>(stats.batched_requests) /
+                        static_cast<double>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pmmrec_cli <gen-data|stats|train|evaluate|transfer|"
-               "recommend> [--flags]\n(see the header of tools/pmmrec_cli.cc "
-               "for per-command flags)\n");
+               "recommend|serve-bench> [--flags]\n(see the header of "
+               "tools/pmmrec_cli.cc for per-command flags)\n");
   return 2;
 }
 
@@ -317,6 +441,7 @@ int main(int argc, char** argv) {
   else if (command == "evaluate") rc = CmdEvaluate(flags);
   else if (command == "transfer") rc = CmdTransfer(flags);
   else if (command == "recommend") rc = CmdRecommend(flags);
+  else if (command == "serve-bench") rc = CmdServeBench(flags);
   else return Usage();
 
   if (trace::Enabled(trace::Level::kEpoch)) {
