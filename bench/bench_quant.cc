@@ -1,0 +1,337 @@
+// Quantized-serving benchmark (core/serving.h "Quantized serving").
+// Three phases, one JSON artifact, and a hard exactness gate:
+//
+//   1. Compression — bytes/item of the cached fp32 item table vs its
+//      per-row int8 form (codes + scale + zero point + row sum).
+//   2. End-to-end exactness over the eval split — for every test user,
+//      top-K through the two-stage candidate/re-rank path must be
+//      bitwise identical (ids and score bits) to the fp32 full-table
+//      path, and the candidate stage's pre-re-rank recall@K is reported
+//      per window so the window safety margin is a measured number, not
+//      an assumption. Any bitwise divergence fails the bench (exit 1).
+//   3. Throughput at catalogue scale, two measurements on a synthetic
+//      [n_items, d] table (the user-encoder forward is identical on both
+//      paths, so it is excluded by construction):
+//        a. Candidate scan — scoring every item for a serving-sized
+//           micro-batch of users: fp32 GemmNT (exact scores) vs int8
+//           QGemmNT + zero-point correction (approximate scores). This
+//           is the stage the quantized table replaces, and where the 4x
+//           smaller table stream pays off.
+//        b. End-to-end two-stage — QuantCandidateTopK (scan + select +
+//           exact re-rank) vs fp32 GemmNT + TopKSelect, with the same
+//           bitwise top-K gate. Reported transparently: the two-stage
+//           path pays a per-user selection/re-rank tax on top of the
+//           scan, so its win shrinks as the batch grows and the
+//           catalogue stays small.
+//
+// Emits BENCH_quant.json. Usage: bench_quant [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS / PMMREC_QUANT
+// (the bench calls the quantized path explicitly, so the flag is not
+// required).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/serving.h"
+#include "tensor/gemm.h"
+#include "utils/check.h"
+#include "utils/parallel.h"
+#include "utils/rng.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+bool BitwiseEqual(const std::vector<ScoredId>& got,
+                  const std::vector<ScoredId>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id) return false;
+    uint32_t a, b;
+    std::memcpy(&a, &got[i].score, sizeof(a));
+    std::memcpy(&b, &want[i].score, sizeof(b));
+    if (a != b) return false;
+  }
+  return true;
+}
+
+struct WindowRow {
+  int64_t window = 0;
+  double candidate_recall = 0;  // fp32 top-K retained BEFORE re-rank.
+  bool bitwise_equal = true;    // served top-K AFTER re-rank.
+};
+
+int Run(const std::string& out_dir) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
+                                             bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+
+  constexpr int64_t kTopK = 10;
+  const int64_t n_items = ds.num_items();
+  const int64_t d = config.d_model;
+  bool all_bitwise = true;
+
+  // ---- Phase 1: compression. Quantize the real cached item table. ----
+  const std::vector<float>& table = model.ItemRepresentationTable();
+  QuantizedTable qt;
+  QuantizeTableRows(table.data(), n_items, d, &qt);
+  const double fp32_bytes_per_item = static_cast<double>(d) * sizeof(float);
+  const double int8_bytes_per_item =
+      static_cast<double>(qt.bytes()) / static_cast<double>(n_items);
+  const double compression = fp32_bytes_per_item / int8_bytes_per_item;
+
+  // ---- Phase 2: eval-split exactness + candidate recall per window. ----
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < ds.num_users(); ++u) {
+    prefixes.push_back(ds.TestPrefix(u));
+  }
+  std::vector<float> full(prefixes.size() * static_cast<size_t>(n_items));
+  model.ScoreUsersBatched(prefixes, full.data());
+  std::vector<std::vector<ScoredId>> want;
+  want.reserve(prefixes.size());
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    want.push_back(TopKSelect(full.data() + u * static_cast<size_t>(n_items),
+                              n_items, kTopK, prefixes[u]));
+  }
+
+  std::vector<WindowRow> windows;
+  for (int64_t window :
+       {std::min<int64_t>(64, n_items), std::min<int64_t>(256, n_items),
+        EffectiveRerankWindow(0, n_items)}) {
+    if (!windows.empty() && windows.back().window == window) continue;
+    WindowRow row;
+    row.window = window;
+    const std::vector<std::vector<ScoredId>> candidates =
+        model.ScoreUsersCandidates(prefixes, window);
+    int64_t retained = 0, total = 0;
+    for (size_t u = 0; u < prefixes.size(); ++u) {
+      // Candidate-stage recall: fraction of the fp32 top-K already inside
+      // the window before the exact re-rank rescues the ordering.
+      for (const ScoredId& w : want[u]) {
+        ++total;
+        for (const ScoredId& c : candidates[u]) {
+          if (c.id == w.id) {
+            ++retained;
+            break;
+          }
+        }
+      }
+      const std::vector<ScoredId> got =
+          TopKFromRanked(candidates[u], kTopK, prefixes[u]);
+      if (!BitwiseEqual(got, want[u])) row.bitwise_equal = false;
+    }
+    row.candidate_recall =
+        total == 0 ? 0.0
+                   : static_cast<double>(retained) / static_cast<double>(total);
+    windows.push_back(row);
+  }
+  // The exactness gate applies to the production window (auto), where the
+  // contract must hold; narrow windows report recall only.
+  const WindowRow& production = windows.back();
+  all_bitwise = all_bitwise && production.bitwise_equal;
+
+  // ---- Phase 3: throughput at catalogue scale. ----
+  // Synthetic catalogue: big enough that full-table scoring dominates.
+  const int64_t synth_items =
+      std::max<int64_t>(4096, static_cast<int64_t>(20000 *
+                                                   bench::EnvScale()));
+  constexpr int64_t kUsers = 64;
+  constexpr int64_t kReps = 5;
+  constexpr int64_t kScanUsers = 8;  // serving-sized micro-batch.
+  Rng rng(bench::EnvSeed() + 99);
+  std::vector<float> synth(static_cast<size_t>(synth_items * d));
+  std::vector<float> queries(static_cast<size_t>(kUsers * d));
+  for (float& v : synth) v = rng.NormalFloat();
+  for (float& v : queries) v = rng.NormalFloat();
+  QuantizedTable synth_qt;
+  QuantizeTableRows(synth.data(), synth_items, d, &synth_qt);
+  const int64_t synth_window = EffectiveRerankWindow(0, synth_items);
+
+  // -- 3a. Candidate scan: score every item for a micro-batch of users.
+  const int64_t scan_reps = std::max<int64_t>(20, kReps * 4);
+  std::vector<float> scan_scores(
+      static_cast<size_t>(kScanUsers * synth_items));
+  Stopwatch scan_fp32_watch;
+  for (int64_t rep = 0; rep < scan_reps; ++rep) {
+    std::memset(scan_scores.data(), 0, scan_scores.size() * sizeof(float));
+    gemm::GemmNT(queries.data(), synth.data(), scan_scores.data(), kScanUsers,
+                 d, synth_items, d, d, synth_items);
+  }
+  const double scan_fp32_users_per_sec =
+      static_cast<double>(kScanUsers * scan_reps) /
+      scan_fp32_watch.ElapsedSeconds();
+
+  std::vector<int8_t> scan_q(static_cast<size_t>(kScanUsers * d));
+  std::vector<float> scan_su(static_cast<size_t>(kScanUsers));
+  std::vector<int32_t> scan_qsum(static_cast<size_t>(kScanUsers));
+  std::vector<int32_t> scan_dots(
+      static_cast<size_t>(kScanUsers * synth_items));
+  Stopwatch scan_int8_watch;
+  for (int64_t rep = 0; rep < scan_reps; ++rep) {
+    QuantizeQueryRows(queries.data(), kScanUsers, d, scan_q.data(),
+                      scan_su.data(), scan_qsum.data());
+    std::memset(scan_dots.data(), 0, scan_dots.size() * sizeof(int32_t));
+    gemm::QGemmNT(scan_q.data(), synth_qt.q.data(), scan_dots.data(),
+                  kScanUsers, d, synth_items, d, d, synth_items);
+    for (int64_t u = 0; u < kScanUsers; ++u) {
+      const float su = scan_su[static_cast<size_t>(u)];
+      const int32_t us = scan_qsum[static_cast<size_t>(u)];
+      const int32_t* dr = scan_dots.data() + u * synth_items;
+      float* out = scan_scores.data() + u * synth_items;
+      for (int64_t i = 0; i < synth_items; ++i) {
+        const int32_t corrected =
+            dr[i] -
+            static_cast<int32_t>(synth_qt.zero_points[static_cast<size_t>(i)]) *
+                us;
+        out[i] = su * synth_qt.scales[static_cast<size_t>(i)] *
+                 static_cast<float>(corrected);
+      }
+    }
+  }
+  const double scan_int8_users_per_sec =
+      static_cast<double>(kScanUsers * scan_reps) /
+      scan_int8_watch.ElapsedSeconds();
+  const double scan_speedup = scan_fp32_users_per_sec > 0
+                                  ? scan_int8_users_per_sec /
+                                        scan_fp32_users_per_sec
+                                  : 0;
+
+  // -- 3b. End-to-end two-stage vs fp32 full scoring + selection.
+  // fp32 pass: full GemmNT + per-row TopKSelect.
+  std::vector<float> scores(static_cast<size_t>(kUsers * synth_items));
+  std::vector<std::vector<ScoredId>> fp32_top(kUsers);
+  Stopwatch fp32_watch;
+  for (int64_t rep = 0; rep < kReps; ++rep) {
+    std::memset(scores.data(), 0, scores.size() * sizeof(float));
+    gemm::GemmNT(queries.data(), synth.data(), scores.data(), kUsers, d,
+                 synth_items, d, d, synth_items);
+    for (int64_t u = 0; u < kUsers; ++u) {
+      fp32_top[static_cast<size_t>(u)] =
+          TopKSelect(scores.data() + u * synth_items, synth_items, kTopK);
+    }
+  }
+  const double fp32_users_per_sec =
+      static_cast<double>(kUsers * kReps) / fp32_watch.ElapsedSeconds();
+
+  // int8 pass: candidate QGemmNT + exact re-rank + top-K from the window.
+  std::vector<std::vector<ScoredId>> quant_top(kUsers);
+  Stopwatch quant_watch;
+  for (int64_t rep = 0; rep < kReps; ++rep) {
+    const std::vector<std::vector<ScoredId>> candidates = QuantCandidateTopK(
+        synth_qt, synth.data(), queries.data(), kUsers, synth_window);
+    for (int64_t u = 0; u < kUsers; ++u) {
+      quant_top[static_cast<size_t>(u)] =
+          TopKFromRanked(candidates[static_cast<size_t>(u)], kTopK);
+    }
+  }
+  const double quant_users_per_sec =
+      static_cast<double>(kUsers * kReps) / quant_watch.ElapsedSeconds();
+  const double e2e_speedup =
+      fp32_users_per_sec > 0 ? quant_users_per_sec / fp32_users_per_sec : 0;
+
+  bool synth_bitwise = true;
+  for (int64_t u = 0; u < kUsers; ++u) {
+    if (!BitwiseEqual(quant_top[static_cast<size_t>(u)],
+                      fp32_top[static_cast<size_t>(u)])) {
+      synth_bitwise = false;
+    }
+  }
+  all_bitwise = all_bitwise && synth_bitwise;
+
+  // ---- Report. ----
+  std::printf("quant bench: %lld items (eval), %lld items (synthetic), "
+              "d=%lld, %lld threads\n",
+              static_cast<long long>(n_items),
+              static_cast<long long>(synth_items), static_cast<long long>(d),
+              static_cast<long long>(GetNumThreads()));
+  std::printf("bytes/item        fp32 %6.1f  int8 %6.1f  (%.2fx smaller)\n",
+              fp32_bytes_per_item, int8_bytes_per_item, compression);
+  for (const WindowRow& row : windows) {
+    std::printf("window %5lld      candidate recall@%lld %.4f  served "
+                "top-K %s\n",
+                static_cast<long long>(row.window),
+                static_cast<long long>(kTopK), row.candidate_recall,
+                row.bitwise_equal ? "bitwise EQUAL" : "DIFFERENT");
+  }
+  std::printf("candidate scan    fp32 %9.1f users/s  int8 %9.1f users/s  "
+              "(%.2fx, batch %lld)\n",
+              scan_fp32_users_per_sec, scan_int8_users_per_sec, scan_speedup,
+              static_cast<long long>(kScanUsers));
+  std::printf("end-to-end        fp32 %9.1f users/s  int8+rerank %9.1f "
+              "users/s  (%.2fx, %s)\n",
+              fp32_users_per_sec, quant_users_per_sec, e2e_speedup,
+              synth_bitwise ? "bitwise EQUAL" : "DIFFERENT");
+
+  const std::string path = out_dir + "/BENCH_quant.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"quant\",\n  \"items\": %lld,\n"
+               "  \"d_model\": %lld,\n  \"threads\": %lld,\n"
+               "  \"topk\": %lld,\n",
+               static_cast<long long>(n_items), static_cast<long long>(d),
+               static_cast<long long>(GetNumThreads()),
+               static_cast<long long>(kTopK));
+  std::fprintf(f,
+               "  \"bytes_per_item\": {\"fp32\": %.1f, \"int8\": %.1f, "
+               "\"compression\": %.3f},\n",
+               fp32_bytes_per_item, int8_bytes_per_item, compression);
+  std::fprintf(f, "  \"windows\": [\n");
+  for (size_t i = 0; i < windows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"window\": %lld, \"candidate_recall\": %.4f, "
+                 "\"served_bitwise_equal\": %s}%s\n",
+                 static_cast<long long>(windows[i].window),
+                 windows[i].candidate_recall,
+                 windows[i].bitwise_equal ? "true" : "false",
+                 i + 1 < windows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"candidate_scan\": {\"synthetic_items\": %lld, "
+               "\"users\": %lld, \"fp32_users_per_sec\": %.1f, "
+               "\"int8_users_per_sec\": %.1f, \"speedup\": %.3f},\n",
+               static_cast<long long>(synth_items),
+               static_cast<long long>(kScanUsers), scan_fp32_users_per_sec,
+               scan_int8_users_per_sec, scan_speedup);
+  std::fprintf(f,
+               "  \"end_to_end\": {\"synthetic_items\": %lld, "
+               "\"users\": %lld, \"window\": %lld, "
+               "\"fp32_users_per_sec\": %.1f, "
+               "\"int8_users_per_sec\": %.1f, \"speedup\": %.3f, "
+               "\"bitwise_equal\": %s},\n",
+               static_cast<long long>(synth_items),
+               static_cast<long long>(kUsers),
+               static_cast<long long>(synth_window), fp32_users_per_sec,
+               quant_users_per_sec, e2e_speedup,
+               synth_bitwise ? "true" : "false");
+  std::fprintf(f, "  \"bitwise_equal\": %s\n}\n",
+               all_bitwise ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  if (!all_bitwise) {
+    std::printf("FAIL: quantized top-K diverged from the fp32 path\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  return pmmrec::Run(out_dir);
+}

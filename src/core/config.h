@@ -81,6 +81,14 @@ struct PMMRecConfig {
   // every value — see DESIGN.md "Threading model".
   int64_t num_threads = 0;
 
+  // Quantized serving (DESIGN.md "Quantized serving"): two-stage int8
+  // candidate pass + exact fp32 re-rank. Off by default — fp32 stays the
+  // serving baseline; PMMREC_QUANT=1 in the environment also enables it.
+  bool quantized_serving = false;
+  // Candidate window re-ranked exactly in fp32. 0 = auto
+  // (min(4096, n_items)); explicit values must lie in [1, n_items].
+  int64_t quant_rerank_window = 0;
+
   static PMMRecConfig FromDataset(const Dataset& ds) {
     PMMRecConfig config;
     config.text_vocab = ds.text_vocab_size;

@@ -133,11 +133,19 @@ Tensor PMMRecModel::TrainStepLoss(const SeqBatch& batch) {
   return loss;
 }
 
+bool PMMRecModel::QuantServingEnabled() const {
+  return config_.quantized_serving || QuantServingEnvEnabled();
+}
+
 void PMMRecModel::EnsureItemTable() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   // Scoring implies eval mode (deterministic dropout path); entering it
   // here keeps "score without an explicit PrepareForEval" working.
   if (training()) SetTraining(false);
+  // Sticky enable: once the quantized path has been requested, every
+  // rebuild also produces the int8 tables (cheap relative to encoding),
+  // so alternating fp32/quant scoring never thrashes rebuilds.
+  if (QuantServingEnabled()) item_cache_.EnableQuantization(true);
   item_cache_.Ensure(dataset_->num_items(),
                      [this](const std::vector<int32_t>& ids) {
                        return std::vector<Tensor>{EncodeItemReps(ids).final_};
@@ -209,16 +217,12 @@ void PMMRecModel::ScoreItemsBatch(
   ScoreUsersBatched(prefixes, out);
 }
 
-void PMMRecModel::ScoreUsersBatched(
-    std::span<const std::vector<int32_t>> prefixes, float* out) {
-  if (prefixes.empty()) return;
-  PMM_CHECK(out != nullptr);
-  EnsureItemTable();
-  PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
-  InferenceMode inference;
+void PMMRecModel::ForEachLengthGroup(
+    std::span<const std::vector<int32_t>> prefixes,
+    const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
+        fn) {
   const int64_t d = config_.d_model;
   const int64_t max_len = config_.max_seq_len;
-  const int64_t n_items = dataset_->num_items();
   const std::vector<float>& table = item_cache_.table_data(0);
 
   // Group users by effective sequence length (the most recent
@@ -256,17 +260,59 @@ void PMMRecModel::ScoreUsersBatched(
     Tensor last = Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
                                 /*length=*/1),
                           Shape{g, d});                  // [g, d]
+    fn(group, last);
+  }
+}
+
+void PMMRecModel::ScoreUsersBatched(
+    std::span<const std::vector<int32_t>> prefixes, float* out) {
+  if (prefixes.empty()) return;
+  PMM_CHECK(out != nullptr);
+  EnsureItemTable();
+  PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
+  InferenceMode inference;
+  const int64_t n_items = dataset_->num_items();
+
+  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
+                                   const Tensor& last) {
+    const int64_t g = static_cast<int64_t>(group.size());
     Tensor scores = MatMulNT(last, item_cache_.table(0));  // [g, n_items]
     PMM_TRACE_COUNT("infer.score_gemms", 1);
-
     for (int64_t r = 0; r < g; ++r) {
       std::memcpy(out + group[static_cast<size_t>(r)] * n_items,
                   scores.data() + r * n_items,
                   static_cast<size_t>(n_items) * sizeof(float));
     }
-  }
+  });
   PMM_TRACE_COUNT("infer.users_scored",
                   static_cast<int64_t>(prefixes.size()));
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidates(
+    std::span<const std::vector<int32_t>> prefixes, int64_t window) {
+  std::vector<std::vector<ScoredId>> results(prefixes.size());
+  if (prefixes.empty()) return results;
+  // The quantized tables ride along with the fp32 rebuild from here on.
+  item_cache_.EnableQuantization(true);
+  EnsureItemTable();
+  const int64_t n_items = dataset_->num_items();
+  const int64_t eff = EffectiveRerankWindow(
+      window > 0 ? window : config_.quant_rerank_window, n_items);
+  PMM_TRACE_SCOPE_AT("quant.score_batch", kOp, "quant.score_batch.ns");
+  InferenceMode inference;
+
+  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
+                                   const Tensor& last) {
+    std::vector<std::vector<ScoredId>> group_results = QuantCandidateTopK(
+        item_cache_.quantized(0), item_cache_.table_data(0).data(),
+        last.data(), static_cast<int64_t>(group.size()), eff);
+    for (size_t r = 0; r < group.size(); ++r) {
+      results[static_cast<size_t>(group[r])] = std::move(group_results[r]);
+    }
+  });
+  PMM_TRACE_COUNT("quant.users_scored",
+                  static_cast<int64_t>(prefixes.size()));
+  return results;
 }
 
 void PMMRecModel::TransferFrom(const PMMRecModel& source,

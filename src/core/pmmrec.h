@@ -66,6 +66,23 @@ class PMMRecModel : public Module, public TrainableRecommender {
   void ScoreUsersBatched(std::span<const std::vector<int32_t>> prefixes,
                          float* out);
 
+  // --- Quantized serving ----------------------------------------------------
+  // True when the two-stage int8 candidate / exact fp32 re-rank path is
+  // routed (config.quantized_serving or PMMREC_QUANT=1). The fp32 path
+  // stays the default and the exactness baseline.
+  bool QuantServingEnabled() const;
+  // Two-stage quantized scorer (usable regardless of QuantServingEnabled();
+  // the flag only routes the broker and CLI). For each prefix, returns the
+  // re-rank window's candidates with EXACT fp32 scores, fully ordered
+  // (score desc, id asc) — each score bitwise equal to the corresponding
+  // ScoreUsersBatched element. `window` 0 uses config.quant_rerank_window
+  // (itself 0 = auto = min(4096, n_items)); out-of-range windows are a
+  // checked error. Shares the length-group forward machinery with
+  // ScoreUsersBatched, so user representations are bitwise the fp32
+  // path's.
+  std::vector<std::vector<ScoredId>> ScoreUsersCandidates(
+      std::span<const std::vector<int32_t>> prefixes, int64_t window = 0);
+
   // --- Representation export -----------------------------------------------
   // Final-position user-encoder hidden state for a history ([d_model]).
   // Uses the cached item table; no gradients.
@@ -122,6 +139,15 @@ class PMMRecModel : public Module, public TrainableRecommender {
 
   // Rebuilds the serving cache if stale (dataset must be attached).
   void EnsureItemTable();
+
+  // Groups prefixes by effective length and invokes fn(group, last) per
+  // non-empty group, where `last` is the [g, d_model] final-position
+  // hidden state of the group's joint forward. Shared by the fp32 and
+  // quantized scoring paths so both see identical user representations.
+  void ForEachLengthGroup(
+      std::span<const std::vector<int32_t>> prefixes,
+      const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
+          fn);
 
   // Serving cache: fused representation table of the whole catalogue,
   // encoded once under InferenceMode (table 0: [num_items, d_model]).

@@ -6,8 +6,87 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "utils/topk.h"
 
 namespace pmmrec {
+
+// --- Quantized serving (DESIGN.md "Quantized serving") ----------------------
+//
+// Per-row affine int8 form of a cached fp32 table. Each row r stores codes
+// q[r*width .. r*width+width) with x ~= scales[r] * (q - zero_points[r]).
+// The quantized form exists only to *rank candidates*; served scores are
+// always re-computed exactly in fp32 over the candidate window, so the
+// quantization error never reaches a response.
+struct QuantizedTable {
+  int64_t num_rows = 0;
+  int64_t width = 0;
+  std::vector<int8_t> q;           // [num_rows * width], row-major codes
+  std::vector<float> scales;       // [num_rows]
+  std::vector<int8_t> zero_points; // [num_rows]
+  std::vector<int32_t> row_sums;   // [num_rows] sum of row codes
+  // ParamUpdateVersion() (nn/optimizer.h) recorded at build time; scoring
+  // against a stale table is a checked error.
+  uint64_t built_param_version = 0;
+
+  // Total payload (codes + per-row parameters); the compression headline.
+  size_t bytes() const {
+    return q.size() * sizeof(int8_t) + scales.size() * sizeof(float) +
+           zero_points.size() * sizeof(int8_t) +
+           row_sums.size() * sizeof(int32_t);
+  }
+};
+
+// Quantizes `rows` ([num_rows, width], row-major fp32) into per-row affine
+// int8. Per row: the value range is extended to include 0 (so the zero
+// point always fits int8 and a zero row round-trips exactly), the scale is
+// (max-min)/255 computed in double and floored at FLT_MIN (degenerate and
+// subnormal rows stay finite), and every element satisfies
+// |x - scale*(q - zp)| <= scale/2. Non-finite inputs are a checked error:
+// NaN/Inf must be rejected at quantization time, never served. Rows are
+// quantized independently (fixed-chunk ParallelFor), so the result is
+// bit-identical for every thread count.
+void QuantizeTableRows(const float* rows, int64_t num_rows, int64_t width,
+                       QuantizedTable* out);
+
+// Symmetric (zero-point-free) per-row int8 quantization of fp32 query
+// rows: scales[r] = max|x|/127 (floored at FLT_MIN), codes in [-127, 127],
+// sums[r] = sum of row codes (for the item-side zero-point correction).
+void QuantizeQueryRows(const float* queries, int64_t num_queries,
+                       int64_t width, int8_t* q, float* scales,
+                       int32_t* sums);
+
+// Two-stage candidate/re-rank scorer. For each query row (fp32,
+// [num_queries, qt.width]):
+//  1. candidate pass: int8 QGemmNT of the quantized query against every
+//     row of `qt`, approximate scores
+//       su * scale_i * (dot - zp_i * qsum_u),
+//     top `window` selected under the canonical (score desc, id asc) rule;
+//  2. re-rank: the candidates' fp32 rows (from `fp32_rows`, the exact
+//     table `qt` was built from) are gathered and re-scored with
+//     gemm::GemmNT. The GEMM determinism contract makes each re-ranked
+//     score bitwise equal to the full-table fp32 GEMM's element, so the
+//     returned ordering agrees exactly with the fp32 path whenever the
+//     true top results lie inside the window.
+// Returns, per query, the `window` candidates with exact fp32 scores in
+// presentation order. Checked errors: stale `qt`, window outside
+// [1, qt.num_rows], non-finite queries.
+std::vector<std::vector<ScoredId>> QuantCandidateTopK(
+    const QuantizedTable& qt, const float* fp32_rows, const float* queries,
+    int64_t num_queries, int64_t window);
+
+// Auto candidate window: large enough that the exact top-K (plus any
+// excluded history) virtually always survives the candidate stage, small
+// enough that the fp32 re-rank stays O(window) per user.
+inline constexpr int64_t kDefaultRerankWindow = 4096;
+
+// Resolves a configured window: 0 means auto (min(kDefaultRerankWindow,
+// num_items)); explicit values must lie in [1, num_items] (checked).
+int64_t EffectiveRerankWindow(int64_t configured, int64_t num_items);
+
+// True when PMMREC_QUANT is set to a non-empty value other than "0" —
+// the env-var side of the quantized-serving gate (config fields are the
+// other side; fp32 stays the default).
+bool QuantServingEnvEnabled();
 
 // Frozen-model serving cache: the representation table(s) of the whole
 // catalogue, encoded once under InferenceMode and ranked against by the
@@ -63,8 +142,23 @@ class ItemTableCache {
   // Lifetime rebuild count (tests, telemetry).
   uint64_t rebuilds() const { return rebuilds_; }
 
+  // --- Quantized tables -----------------------------------------------------
+  // When enabled, Ensure() additionally builds a QuantizedTable per fp32
+  // table inside the same rebuild (and thus under the broker's
+  // one-rebuild-per-param-update protocol). Enabling on a valid cache
+  // invalidates it so the quantized form appears on the next Ensure;
+  // disabling just stops serving it.
+  void EnableQuantization(bool enabled);
+  bool quantization_enabled() const { return quantize_; }
+  // Quantized form of table t. Checked errors: quantization not enabled,
+  // or the cache (and thus the quantized table's ParamUpdateVersion) is
+  // stale.
+  const QuantizedTable& quantized(int64_t t) const;
+
  private:
   std::vector<Tensor> tables_;
+  std::vector<QuantizedTable> qtables_;
+  bool quantize_ = false;
   int64_t num_items_ = 0;
   uint64_t built_param_version_ = 0;
   bool valid_ = false;

@@ -154,6 +154,23 @@ void RequestBroker::ScoreBatch(
   model_->ScoreUsersBatched(prefixes, scores);
 }
 
+std::vector<std::vector<ScoredId>> RequestBroker::ScoreBatchQuant(
+    const std::vector<std::vector<int32_t>>& prefixes) {
+  std::shared_lock<std::shared_mutex> read(model_mu_);
+  if (!model_->item_table_cache().valid()) {
+    read.unlock();
+    {
+      std::unique_lock<std::shared_mutex> write(model_mu_);
+      if (!model_->item_table_cache().valid()) {
+        PMM_TRACE_COUNT("serve.cache_rebuilds", 1);
+        model_->PrepareForEval();
+      }
+    }
+    read.lock();
+  }
+  return model_->ScoreUsersCandidates(prefixes);
+}
+
 void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
   const uint64_t dequeue_ns = trace::NowNs();
 
@@ -219,6 +236,43 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
   PMM_TRACE_COUNT("serve.batches", 1);
   PMM_TRACE_COUNT("serve.batched_requests", g);
   PMM_TRACE_OBSERVE("serve.batch_size", g);
+
+  // Quantized path: per-row re-ranked candidate windows instead of full
+  // score rows; the final per-request selection walks the ranked window.
+  // Responses are bitwise equal to the fp32 branch below whenever the
+  // eligible top-K sits inside the window (enforced by tests/bench_quant).
+  if (model_->QuantServingEnabled()) {
+    std::vector<std::vector<ScoredId>> candidates;
+    {
+      PMM_TRACE_SCOPE_AT("serve.batch", kEpoch, "serve.batch.ns");
+      candidates = ScoreBatchQuant(prefixes);
+    }
+    stats_.quant_batches.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.quant_batches", 1);
+    for (int64_t i = 0; i < g; ++i) {
+      const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
+      Response response;
+      response.status = ServeStatus::kOk;
+      {
+        PMM_TRACE_SCOPE_AT("serve.topk", kOp, "serve.topk.ns");
+        response.items = TopKFromRanked(
+            candidates[row], live[static_cast<size_t>(i)].request.topk,
+            options_.exclude_history
+                ? std::span<const int32_t>(prefixes[row])
+                : std::span<const int32_t>());
+      }
+      response.queue_ns =
+          dequeue_ns - live[static_cast<size_t>(i)].enqueue_ns;
+      response.total_ns =
+          trace::NowNs() - live[static_cast<size_t>(i)].enqueue_ns;
+      response.batch_size = g;
+      stats_.completed.fetch_add(1, std::memory_order_relaxed);
+      PMM_TRACE_OBSERVE("serve.latency_us", response.total_ns / 1000);
+      PMM_TRACE_OBSERVE("serve.queue_wait_us", response.queue_ns / 1000);
+      live[static_cast<size_t>(i)].promise.set_value(std::move(response));
+    }
+    return;
+  }
 
   std::vector<float> scores = BufferArena::Global().AcquireVec(
       static_cast<size_t>(rows) * static_cast<size_t>(n_items_));
@@ -320,6 +374,7 @@ BrokerStats RequestBroker::stats() const {
   out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
   out.merged_requests =
       stats_.merged_requests.load(std::memory_order_relaxed);
+  out.quant_batches = stats_.quant_batches.load(std::memory_order_relaxed);
   return out;
 }
 

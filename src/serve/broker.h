@@ -99,6 +99,7 @@ struct BrokerStats {
   uint64_t batched_requests = 0;     // Live requests across all batches.
   uint64_t max_batch = 0;            // Largest batch actually scored.
   uint64_t merged_requests = 0;      // Duplicates collapsed onto a shared row.
+  uint64_t quant_batches = 0;        // Batches scored via the quantized path.
 };
 
 class RequestBroker {
@@ -150,6 +151,12 @@ class RequestBroker {
   // stale) under the exclusive lock, scores under the shared lock.
   void ScoreBatch(const std::vector<std::vector<int32_t>>& prefixes,
                   float* scores);
+  // Quantized-path variant (model_->QuantServingEnabled()): same rebuild
+  // protocol, but returns each row's exactly re-ranked candidate window
+  // instead of the full score row. Responses stay bitwise identical to
+  // the fp32 path (see DESIGN.md "Quantized serving").
+  std::vector<std::vector<ScoredId>> ScoreBatchQuant(
+      const std::vector<std::vector<int32_t>>& prefixes);
 
   PMMRecModel* const model_;
   const BrokerOptions options_;
@@ -180,6 +187,7 @@ class RequestBroker {
     std::atomic<uint64_t> batched_requests{0};
     std::atomic<uint64_t> max_batch{0};
     std::atomic<uint64_t> merged_requests{0};
+    std::atomic<uint64_t> quant_batches{0};
   };
   AtomicStats stats_;
 };

@@ -42,4 +42,27 @@ std::vector<ScoredId> TopKSelect(const float* scores, int64_t n, int64_t k,
   return heap;
 }
 
+std::vector<ScoredId> TopKFromRanked(std::span<const ScoredId> ranked,
+                                     int64_t k,
+                                     std::span<const int32_t> exclude) {
+  PMM_CHECK_GE(k, 0);
+  std::vector<ScoredId> out;
+  if (k == 0 || ranked.empty()) return out;
+
+  std::vector<int32_t> skip(exclude.begin(), exclude.end());
+  std::sort(skip.begin(), skip.end());
+
+  out.reserve(static_cast<size_t>(
+      std::min<int64_t>(k, static_cast<int64_t>(ranked.size()))));
+  for (const ScoredId& candidate : ranked) {
+    if (static_cast<int64_t>(out.size()) >= k) break;
+    if (!skip.empty() &&
+        std::binary_search(skip.begin(), skip.end(), candidate.id)) {
+      continue;
+    }
+    out.push_back(candidate);
+  }
+  return out;
+}
+
 }  // namespace pmmrec

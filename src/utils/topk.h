@@ -44,6 +44,17 @@ inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
 std::vector<ScoredId> TopKSelect(const float* scores, int64_t n, int64_t k,
                                  std::span<const int32_t> exclude = {});
 
+// Top-k of an already fully-ordered candidate list (the quantized path's
+// re-ranked window): walks `ranked` in order, skips ids in `exclude`, and
+// returns the first k survivors. Produces exactly TopKSelect's output
+// whenever the eligible top-k of the full row is contained in `ranked` —
+// the quantized-serving exactness contract (DESIGN.md "Quantized
+// serving"); fewer than k items are returned only when the window is
+// exhausted.
+std::vector<ScoredId> TopKFromRanked(std::span<const ScoredId> ranked,
+                                     int64_t k,
+                                     std::span<const int32_t> exclude = {});
+
 }  // namespace pmmrec
 
 #endif  // PMMREC_UTILS_TOPK_H_

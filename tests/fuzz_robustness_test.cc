@@ -3,10 +3,13 @@
 // and loss computations must stay finite under randomized inputs.
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/losses.h"
+#include "core/serving.h"
 #include "data/generator.h"
 #include "data/serialization.h"
 #include "nn/layers.h"
@@ -125,6 +128,71 @@ TEST(FuzzRobustnessTest, LossesStayFiniteUnderExtremeActivations) {
       }
     }
   }
+}
+
+TEST(FuzzRobustnessTest, QuantizationRoundtripBoundHoldsOnRandomTables) {
+  // Randomized shapes, magnitudes and sparsity patterns: the documented
+  // per-element bound |x - scale*(q - zp)| <= scale/2 must hold for all
+  // of them (small relative slack for the double->float scale rounding).
+  Rng rng(901);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t rows = rng.UniformInt(1, 40);
+    const int64_t width = rng.UniformInt(1, 70);
+    std::vector<float> table(static_cast<size_t>(rows * width));
+    const float magnitude = std::pow(10.0f, rng.UniformFloat(-35.0f, 35.0f));
+    for (float& v : table) {
+      // Mix of zeros, constants and noise so degenerate rows appear.
+      const float u = rng.UniformFloat();
+      v = u < 0.2f ? 0.0f : rng.NormalFloat(0.0f, magnitude);
+    }
+    QuantizedTable qt;
+    QuantizeTableRows(table.data(), rows, width, &qt);
+    for (int64_t r = 0; r < rows; ++r) {
+      const double s = static_cast<double>(qt.scales[static_cast<size_t>(r)]);
+      ASSERT_TRUE(std::isfinite(s) && s > 0.0)
+          << "trial " << trial << " row " << r;
+      const double zp =
+          static_cast<double>(qt.zero_points[static_cast<size_t>(r)]);
+      for (int64_t j = 0; j < width; ++j) {
+        const double x =
+            static_cast<double>(table[static_cast<size_t>(r * width + j)]);
+        const double code = static_cast<double>(
+            qt.q[static_cast<size_t>(r * width + j)]);
+        ASSERT_LE(std::fabs(x - s * (code - zp)), 0.5 * s * (1.0 + 1e-5))
+            << "trial " << trial << " row " << r << " col " << j;
+      }
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, NonFiniteTableRowsAreRejectedAtQuantization) {
+  // NaN/Inf must die at the quantization boundary with the checked
+  // message — never be encoded and served. Fuzz the position and kind.
+  Rng rng(902);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int64_t rows = rng.UniformInt(1, 8);
+    const int64_t width = rng.UniformInt(1, 24);
+    std::vector<float> table(static_cast<size_t>(rows * width));
+    for (float& v : table) v = rng.NormalFloat();
+    const size_t poison = static_cast<size_t>(
+        rng.NextUint64(static_cast<uint64_t>(table.size())));
+    switch (trial % 3) {
+      case 0: table[poison] = std::numeric_limits<float>::quiet_NaN(); break;
+      case 1: table[poison] = std::numeric_limits<float>::infinity(); break;
+      default: table[poison] = -std::numeric_limits<float>::infinity();
+    }
+    QuantizedTable qt;
+    EXPECT_DEATH(QuantizeTableRows(table.data(), rows, width, &qt),
+                 "non-finite");
+  }
+  // Same boundary on the query side.
+  std::vector<float> query(4, 1.0f);
+  query[2] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<int8_t> q(4);
+  float scale = 0.0f;
+  int32_t sum = 0;
+  EXPECT_DEATH(QuantizeQueryRows(query.data(), 1, 4, q.data(), &scale, &sum),
+               "non-finite");
 }
 
 TEST(FuzzRobustnessTest, ZeroVectorsDoNotBreakNormalization) {

@@ -1,0 +1,319 @@
+// The quantized serving path through the request broker. The claims:
+//
+//  1. With quantized serving enabled, every broker response is bitwise
+//     identical to the fp32 serial reference (ScoreItems + TopKSelect),
+//     for every tested combination of worker count, intra-op thread
+//     count, and coalescing policy — the int8 candidate stage never
+//     shows in a response.
+//  2. Duplicate merging, history exclusion and the stats surface behave
+//     exactly as on the fp32 path, plus quant_batches advances.
+//  3. The one-rebuild-per-param-update protocol covers the quantized
+//     table: an optimizer step under concurrent client load triggers
+//     exactly one rebuild (fp32 + int8 together) and every response
+//     matches the post-update reference.
+//
+// Labelled `quant`; CI also runs this suite under PMMREC_SANITIZE=thread.
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "serve/broker.h"
+#include "utils/parallel.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+using serve::BrokerOptions;
+using serve::BrokerStats;
+using serve::Request;
+using serve::RequestBroker;
+using serve::Response;
+using serve::ServeStatus;
+
+class QuantServeTest : public ::testing::Test {
+ protected:
+  QuantServeTest()
+      : suite_(BuildBenchmarkSuite(0.2, 13)),
+        ds_(suite_.sources[0]),
+        config_([this] {
+          PMMRecConfig c = PMMRecConfig::FromDataset(ds_);
+          c.quantized_serving = true;  // Route the broker's quant branch.
+          return c;
+        }()),
+        model_(config_, 42) {
+    model_.AttachDataset(&ds_);
+  }
+
+  std::vector<std::vector<int32_t>> MixedPrefixes(int64_t n) {
+    std::vector<std::vector<int32_t>> prefixes;
+    for (int64_t u = 0; u < n; ++u) {
+      std::vector<int32_t> p = ds_.TestPrefix(u % ds_.num_users());
+      const size_t len = 1 + static_cast<size_t>(u) % p.size();
+      p.resize(len);
+      prefixes.push_back(std::move(p));
+    }
+    return prefixes;
+  }
+
+  // The fp32 serial reference the quantized broker must reproduce bitwise.
+  std::vector<ScoredId> SerialReference(const std::vector<int32_t>& prefix,
+                                        int64_t topk) {
+    const std::vector<float> scores = model_.ScoreItems(prefix);
+    return TopKSelect(scores.data(), static_cast<int64_t>(scores.size()),
+                      topk, prefix);
+  }
+
+  static void ExpectBitwise(const std::vector<ScoredId>& got,
+                            const std::vector<ScoredId>& want,
+                            const std::string& what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
+      EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+          << what << " position " << i;
+    }
+  }
+
+  BenchmarkSuite suite_;
+  const Dataset& ds_;
+  PMMRecConfig config_;
+  PMMRecModel model_;
+};
+
+TEST_F(QuantServeTest, ResponsesBitwiseEqualFp32AcrossWorkersAndPolicies) {
+  constexpr int64_t kTopK = 10;
+  ASSERT_TRUE(model_.QuantServingEnabled());
+  const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(24);
+  std::vector<std::vector<ScoredId>> want;
+  {
+    NumThreadsGuard guard(1);
+    for (const auto& prefix : prefixes) {
+      want.push_back(SerialReference(prefix, kTopK));
+    }
+  }
+
+  struct Policy {
+    int64_t max_batch;
+    int64_t max_wait_us;
+  };
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    for (const int64_t workers : {int64_t{1}, int64_t{4}}) {
+      for (const Policy policy : {Policy{1, 0}, Policy{16, 500}}) {
+        BrokerOptions options;
+        options.num_workers = workers;
+        options.max_batch = policy.max_batch;
+        options.max_wait_us = policy.max_wait_us;
+        options.queue_capacity = 64;
+        RequestBroker broker(&model_, options);
+
+        std::vector<std::future<Response>> futures;
+        for (const auto& prefix : prefixes) {
+          Request request;
+          request.prefix = prefix;
+          request.topk = kTopK;
+          futures.push_back(broker.Submit(std::move(request)));
+        }
+        for (size_t i = 0; i < futures.size(); ++i) {
+          const Response response = futures[i].get();
+          const std::string what =
+              "threads=" + std::to_string(threads) +
+              " workers=" + std::to_string(workers) +
+              " max_batch=" + std::to_string(policy.max_batch) +
+              " request=" + std::to_string(i);
+          ASSERT_EQ(response.status, ServeStatus::kOk) << what;
+          ExpectBitwise(response.items, want[i], what);
+        }
+        const BrokerStats stats = broker.stats();
+        EXPECT_GT(stats.quant_batches, 0u)
+            << "quant branch never taken despite quantized_serving=true";
+        EXPECT_EQ(stats.quant_batches, stats.batches)
+            << "some batches fell back to the fp32 branch";
+      }
+    }
+  }
+}
+
+TEST_F(QuantServeTest, DuplicateMergingStaysBitwiseExact) {
+  constexpr int64_t kTopK = 7;
+  const std::vector<int32_t> prefix = ds_.TestPrefix(3);
+  const std::vector<ScoredId> want = SerialReference(prefix, kTopK);
+
+  for (const bool merge : {true, false}) {
+    BrokerOptions options;
+    options.num_workers = 1;
+    options.max_batch = 8;
+    options.max_wait_us = 200;
+    options.merge_duplicates = merge;
+    RequestBroker broker(&model_, options);
+
+    broker.Pause();
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 6; ++i) {
+      Request request;
+      request.prefix = prefix;
+      request.topk = kTopK;
+      futures.push_back(broker.Submit(std::move(request)));
+    }
+    broker.Resume();
+    for (auto& future : futures) {
+      const Response response = future.get();
+      ASSERT_EQ(response.status, ServeStatus::kOk);
+      ExpectBitwise(response.items, want, merge ? "merge=on" : "merge=off");
+    }
+    const BrokerStats stats = broker.stats();
+    if (merge) {
+      EXPECT_GT(stats.merged_requests, 0u);
+    } else {
+      EXPECT_EQ(stats.merged_requests, 0u);
+    }
+  }
+}
+
+TEST_F(QuantServeTest, HistoryExclusionMatchesFp32Semantics) {
+  constexpr int64_t kTopK = 10;
+  const std::vector<int32_t> prefix = ds_.TestPrefix(5);
+
+  for (const bool exclude : {true, false}) {
+    BrokerOptions options;
+    options.num_workers = 1;
+    options.exclude_history = exclude;
+    RequestBroker broker(&model_, options);
+    const Response response = broker.Recommend(prefix, kTopK);
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+
+    const std::vector<float> scores = model_.ScoreItems(prefix);
+    const std::vector<ScoredId> want = TopKSelect(
+        scores.data(), static_cast<int64_t>(scores.size()), kTopK,
+        exclude ? std::span<const int32_t>(prefix)
+                : std::span<const int32_t>());
+    ExpectBitwise(response.items, want,
+                  exclude ? "exclude=on" : "exclude=off");
+    if (exclude) {
+      for (const ScoredId& item : response.items) {
+        for (const int32_t h : prefix) {
+          EXPECT_NE(item.id, h) << "history item served";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(QuantServeTest, ParamUpdateMidLoadRebuildsOnceAndStaysExact) {
+  constexpr int64_t kTopK = 10;
+  BrokerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 1;  // Every request is its own batch: maximal
+  options.max_wait_us = 0;  // concurrency against the rebuild protocol.
+  RequestBroker broker(&model_, options);
+
+  // Warm request against the fresh (quantized) table.
+  const Response before = broker.Recommend(ds_.TestPrefix(0), kTopK);
+  ASSERT_EQ(before.status, ServeStatus::kOk);
+  ASSERT_TRUE(model_.item_table_cache().quantization_enabled());
+  const uint64_t rebuilds_before = model_.item_table_cache().rebuilds();
+
+  // A real optimizer step mid-load: both tables are now stale.
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
+  const SeqBatch batch = MakeTrainBatch(ds_, users, config_.max_seq_len);
+  AdamW opt(model_.TrainableParameters(), 1e-3f);
+  Tensor loss = model_.TrainStepLoss(batch);
+  ASSERT_TRUE(loss.defined());
+  loss.Backward();
+  opt.Step();
+  ASSERT_FALSE(model_.item_table_cache().valid());
+
+  // Concurrent clients race both workers into the stale-cache path.
+  constexpr int64_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<Response> responses(kClients);
+  for (int64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      responses[static_cast<size_t>(c)] =
+          broker.Recommend(ds_.TestPrefix(c), kTopK);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Exactly one rebuild covers the fp32 AND the int8 tables.
+  EXPECT_EQ(model_.item_table_cache().rebuilds(), rebuilds_before + 1);
+  EXPECT_TRUE(model_.item_table_cache().valid());
+
+  // No torn read: every response matches the post-update fp32 reference.
+  for (int64_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[static_cast<size_t>(c)].status, ServeStatus::kOk);
+    ExpectBitwise(responses[static_cast<size_t>(c)].items,
+                  SerialReference(ds_.TestPrefix(c), kTopK),
+                  "post-update client " + std::to_string(c));
+  }
+}
+
+TEST_F(QuantServeTest, ConcurrentSubmittersAllGetExactResponses) {
+  constexpr int64_t kTopK = 10;
+  constexpr int64_t kSubmitters = 4;
+  constexpr int64_t kPerSubmitter = 25;
+
+  const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(16);
+  std::vector<std::vector<ScoredId>> want;
+  for (const auto& prefix : prefixes) {
+    want.push_back(SerialReference(prefix, kTopK));
+  }
+
+  BrokerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 8;
+  options.max_wait_us = 100;
+  options.queue_capacity = kSubmitters * kPerSubmitter;
+  RequestBroker broker(&model_, options);
+
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int64_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int64_t i = 0; i < kPerSubmitter; ++i) {
+        const size_t which =
+            static_cast<size_t>((s * kPerSubmitter + i) % prefixes.size());
+        Request request;
+        request.prefix = prefixes[which];
+        request.topk = kTopK;
+        const Response response = broker.Submit(std::move(request)).get();
+        if (response.status != ServeStatus::kOk ||
+            response.items.size() != want[which].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t j = 0; j < want[which].size(); ++j) {
+          if (response.items[j].id != want[which][j].id ||
+              std::memcmp(&response.items[j].score, &want[which][j].score,
+                          sizeof(float)) != 0) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.completed, kSubmitters * kPerSubmitter);
+  EXPECT_EQ(stats.quant_batches, stats.batches);
+}
+
+}  // namespace
+}  // namespace pmmrec

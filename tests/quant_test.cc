@@ -1,0 +1,595 @@
+// Quantized serving (core/serving.h + the int8 GEMM in tensor/gemm.cc).
+// The load-bearing claims pinned down here:
+//
+//  1. Quantization quality is a *property*, not a vibe: every element of
+//     every row round-trips within scale/2, including degenerate rows
+//     (all-zero, constant, +/-FLT_MAX, subnormal), and the quantized
+//     tables are bit-identical across thread counts and kernel dispatch
+//     paths.
+//  2. QGemmNT agrees exactly with the reference int32 triple loop at
+//     ragged shapes and non-trivial leading dimensions, and the int32
+//     accumulator provably cannot wrap at the documented k bound.
+//  3. End-to-end exactness: the two-stage candidate/re-rank path returns
+//     scores bitwise equal to the fp32 full-table path, and the top-K it
+//     induces has recall 1.0 against the fp32 top-K over the full eval
+//     split — for PMMRec and for a baseline.
+//
+// Labelled `quant`; CI also runs this suite under PMMREC_SANITIZE=thread.
+
+#include <cfloat>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/id_models.h"
+#include "core/pmmrec.h"
+#include "core/serving.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "tensor/gemm.h"
+#include "utils/parallel.h"
+#include "utils/rng.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+// Restores the fp32/int8 kernel dispatch on scope exit.
+class KernelGuard {
+ public:
+  KernelGuard() : saved_(gemm::ActiveKernel()) {}
+  ~KernelGuard() { gemm::SetKernel(saved_); }
+
+ private:
+  gemm::Kernel saved_;
+};
+
+// |x - scale*(q - zp)| <= scale/2 for every element. The codes are
+// computed against the double-precision scale and the stored scale is its
+// float rounding, so allow a relative 1e-5 on the bound — far below the
+// float/double gap that would indicate a real violation.
+void ExpectRoundtripWithinHalfScale(const float* rows,
+                                    const QuantizedTable& qt,
+                                    const std::string& what) {
+  for (int64_t r = 0; r < qt.num_rows; ++r) {
+    const double s = static_cast<double>(qt.scales[static_cast<size_t>(r)]);
+    ASSERT_TRUE(std::isfinite(s) && s > 0.0) << what << " row " << r;
+    const double zp =
+        static_cast<double>(qt.zero_points[static_cast<size_t>(r)]);
+    const double bound = 0.5 * s * (1.0 + 1e-5);
+    for (int64_t j = 0; j < qt.width; ++j) {
+      const double x = static_cast<double>(rows[r * qt.width + j]);
+      const double code =
+          static_cast<double>(qt.q[static_cast<size_t>(r * qt.width + j)]);
+      const double err = std::fabs(x - s * (code - zp));
+      ASSERT_LE(err, bound)
+          << what << " row " << r << " col " << j << " x=" << x
+          << " code=" << code << " scale=" << s << " zp=" << zp;
+    }
+  }
+}
+
+TEST(QuantizeTest, RoundtripErrorWithinHalfScaleAcrossMagnitudes) {
+  constexpr int64_t kRows = 64;
+  constexpr int64_t kWidth = 33;  // Not a multiple of any vector width.
+  Rng rng(11);
+  for (const float magnitude : {1e-6f, 1.0f, 1e3f, 1e30f}) {
+    std::vector<float> rows(static_cast<size_t>(kRows * kWidth));
+    for (float& v : rows) v = rng.NormalFloat(0.0f, magnitude);
+    QuantizedTable qt;
+    QuantizeTableRows(rows.data(), kRows, kWidth, &qt);
+    EXPECT_EQ(qt.num_rows, kRows);
+    EXPECT_EQ(qt.width, kWidth);
+    ExpectRoundtripWithinHalfScale(rows.data(), qt,
+                                   "magnitude " + std::to_string(magnitude));
+  }
+}
+
+TEST(QuantizeTest, DegenerateRowsStayExactOrBounded) {
+  constexpr int64_t kWidth = 17;
+  // Row 0: all zero — must round-trip exactly (code == zp everywhere).
+  // Row 1: positive constant. Row 2: negative constant.
+  // Row 3: the extreme float range. Row 4: subnormals only.
+  // Row 5: one subnormal spike in an otherwise zero row.
+  constexpr int64_t kRows = 6;
+  std::vector<float> rows(static_cast<size_t>(kRows * kWidth), 0.0f);
+  for (int64_t j = 0; j < kWidth; ++j) {
+    rows[static_cast<size_t>(1 * kWidth + j)] = 3.75f;
+    rows[static_cast<size_t>(2 * kWidth + j)] = -0.625f;
+    rows[static_cast<size_t>(3 * kWidth + j)] =
+        (j % 2 == 0) ? FLT_MAX : -FLT_MAX;
+    rows[static_cast<size_t>(4 * kWidth + j)] = 1e-41f;  // subnormal
+  }
+  rows[static_cast<size_t>(5 * kWidth + 3)] = -1e-40f;
+
+  QuantizedTable qt;
+  QuantizeTableRows(rows.data(), kRows, kWidth, &qt);
+  ExpectRoundtripWithinHalfScale(rows.data(), qt, "degenerate");
+
+  // The all-zero row is exact: every code equals the zero point.
+  for (int64_t j = 0; j < kWidth; ++j) {
+    EXPECT_EQ(qt.q[static_cast<size_t>(j)], qt.zero_points[0]);
+  }
+  // Scales never underflow to zero or subnormal (the error bound and the
+  // dequantization identity both divide by them).
+  for (int64_t r = 0; r < kRows; ++r) {
+    EXPECT_TRUE(std::isnormal(qt.scales[static_cast<size_t>(r)]))
+        << "row " << r;
+    EXPECT_GE(qt.scales[static_cast<size_t>(r)], FLT_MIN) << "row " << r;
+  }
+  // bytes() reports codes + per-row parameters.
+  EXPECT_EQ(qt.bytes(), static_cast<size_t>(kRows * kWidth) +
+                            static_cast<size_t>(kRows) * (4 + 1 + 4));
+}
+
+TEST(QuantizeTest, NonFiniteRowsAbortAtQuantization) {
+  std::vector<float> rows(8, 1.0f);
+  rows[3] = std::nanf("");
+  QuantizedTable qt;
+  EXPECT_DEATH(QuantizeTableRows(rows.data(), 1, 8, &qt), "non-finite");
+  rows[3] = std::numeric_limits<float>::infinity();
+  EXPECT_DEATH(QuantizeTableRows(rows.data(), 1, 8, &qt), "non-finite");
+}
+
+TEST(QuantizeTest, TablesBitIdenticalAcrossThreadCountsAndDispatch) {
+  constexpr int64_t kRows = 300;  // > ItemTableCache::kChunk several times.
+  constexpr int64_t kWidth = 32;
+  Rng rng(23);
+  std::vector<float> rows(static_cast<size_t>(kRows * kWidth));
+  for (float& v : rows) v = rng.NormalFloat();
+
+  QuantizedTable want;
+  {
+    NumThreadsGuard guard(1);
+    QuantizeTableRows(rows.data(), kRows, kWidth, &want);
+  }
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    for (const gemm::Kernel kernel :
+         {gemm::Kernel::kBlocked, gemm::Kernel::kReference}) {
+      KernelGuard restore;
+      gemm::SetKernel(kernel);
+      QuantizedTable got;
+      QuantizeTableRows(rows.data(), kRows, kWidth, &got);
+      const std::string what =
+          "threads=" + std::to_string(threads) + " kernel=" +
+          (kernel == gemm::Kernel::kReference ? "reference" : "blocked");
+      ASSERT_EQ(got.q.size(), want.q.size()) << what;
+      EXPECT_EQ(std::memcmp(got.q.data(), want.q.data(), got.q.size()), 0)
+          << what;
+      EXPECT_EQ(std::memcmp(got.scales.data(), want.scales.data(),
+                            got.scales.size() * sizeof(float)),
+                0)
+          << what;
+      EXPECT_EQ(std::memcmp(got.zero_points.data(), want.zero_points.data(),
+                            got.zero_points.size()),
+                0)
+          << what;
+      EXPECT_EQ(std::memcmp(got.row_sums.data(), want.row_sums.data(),
+                            got.row_sums.size() * sizeof(int32_t)),
+                0)
+          << what;
+    }
+  }
+}
+
+TEST(QuantizeTest, QueryQuantizationIsSymmetricWithConsistentSums) {
+  constexpr int64_t kQueries = 5;
+  constexpr int64_t kWidth = 19;
+  Rng rng(31);
+  std::vector<float> queries(static_cast<size_t>(kQueries * kWidth));
+  for (float& v : queries) v = rng.NormalFloat();
+  std::vector<int8_t> q(queries.size());
+  std::vector<float> scales(kQueries);
+  std::vector<int32_t> sums(kQueries);
+  QuantizeQueryRows(queries.data(), kQueries, kWidth, q.data(),
+                    scales.data(), sums.data());
+  for (int64_t r = 0; r < kQueries; ++r) {
+    int32_t sum = 0;
+    for (int64_t j = 0; j < kWidth; ++j) {
+      const int8_t code = q[static_cast<size_t>(r * kWidth + j)];
+      EXPECT_GE(code, -127);  // Symmetric: -128 is never produced.
+      sum += code;
+      const double s = static_cast<double>(scales[static_cast<size_t>(r)]);
+      const double x =
+          static_cast<double>(queries[static_cast<size_t>(r * kWidth + j)]);
+      EXPECT_LE(std::fabs(x - s * code), 0.5 * s * (1.0 + 1e-5))
+          << "row " << r << " col " << j;
+    }
+    EXPECT_EQ(sum, sums[static_cast<size_t>(r)]) << "row " << r;
+  }
+}
+
+// Naive local int32 loop, independent of the library's kernels.
+void NaiveQGemmNT(const int8_t* a, const int8_t* b, int32_t* c, int64_t m,
+                  int64_t k, int64_t n, int64_t lda, int64_t ldb,
+                  int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t dot = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        dot += static_cast<int32_t>(a[i * lda + p]) *
+               static_cast<int32_t>(b[j * ldb + p]);
+      }
+      c[i * ldc + j] += dot;
+    }
+  }
+}
+
+TEST(QGemmTest, MatchesReferenceLoopAtRaggedShapes) {
+  Rng rng(41);
+  const int64_t sizes[] = {1, 3, 17, 64, 129};
+  for (const int64_t m : sizes) {
+    for (const int64_t n : sizes) {
+      for (const int64_t k : sizes) {
+        std::vector<int8_t> a(static_cast<size_t>(m * k));
+        std::vector<int8_t> b(static_cast<size_t>(n * k));
+        for (int8_t& v : a) {
+          v = static_cast<int8_t>(rng.UniformInt(-128, 128));
+        }
+        for (int8_t& v : b) {
+          v = static_cast<int8_t>(rng.UniformInt(-128, 128));
+        }
+        // Accumulate semantics: start from a shared non-zero C.
+        std::vector<int32_t> base(static_cast<size_t>(m * n));
+        for (int32_t& v : base) {
+          v = static_cast<int32_t>(rng.UniformInt(-1000, 1000));
+        }
+        std::vector<int32_t> want = base;
+        NaiveQGemmNT(a.data(), b.data(), want.data(), m, k, n, k, k, n);
+
+        for (const gemm::Kernel kernel :
+             {gemm::Kernel::kBlocked, gemm::Kernel::kReference}) {
+          KernelGuard restore;
+          gemm::SetKernel(kernel);
+          std::vector<int32_t> got = base;
+          gemm::QGemmNT(a.data(), b.data(), got.data(), m, k, n, k, k, n);
+          ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                                got.size() * sizeof(int32_t)),
+                    0)
+              << "m=" << m << " n=" << n << " k=" << k << " kernel="
+              << (kernel == gemm::Kernel::kReference ? "reference"
+                                                     : "dispatched");
+        }
+      }
+    }
+  }
+}
+
+TEST(QGemmTest, HonorsLeadingDimensions) {
+  Rng rng(43);
+  constexpr int64_t m = 5, n = 23, k = 33;
+  constexpr int64_t lda = 40, ldb = 48, ldc = 30;
+  std::vector<int8_t> a(static_cast<size_t>(m * lda));
+  std::vector<int8_t> b(static_cast<size_t>(n * ldb));
+  for (int8_t& v : a) v = static_cast<int8_t>(rng.UniformInt(-128, 128));
+  for (int8_t& v : b) v = static_cast<int8_t>(rng.UniformInt(-128, 128));
+  std::vector<int32_t> want(static_cast<size_t>(m * ldc), 7);
+  std::vector<int32_t> got = want;
+  NaiveQGemmNT(a.data(), b.data(), want.data(), m, k, n, lda, ldb, ldc);
+  gemm::QGemmNT(a.data(), b.data(), got.data(), m, k, n, lda, ldb, ldc);
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(int32_t)),
+            0);
+  // Padding past n within the leading dimension is untouched.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = n; j < ldc; ++j) {
+      EXPECT_EQ(got[static_cast<size_t>(i * ldc + j)], 7)
+          << "wrote past n at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(QGemmTest, AccumulatorCannotWrapAtTheDocumentedBound) {
+  // Worst-case magnitude product is 127 * -128 = -16256; at the maximum
+  // legal reduction length the exact dot is 65536 * -16256 = -1065353216,
+  // well inside int32. The kernel must reproduce it exactly.
+  const int64_t k = gemm::kQMaxK;
+  std::vector<int8_t> a(static_cast<size_t>(k), int8_t{127});
+  std::vector<int8_t> b(static_cast<size_t>(k), int8_t{-128});
+  int32_t c = 0;
+  gemm::QGemmNT(a.data(), b.data(), &c, 1, k, 1, k, k, 1);
+  EXPECT_EQ(c, -1065353216);
+}
+
+TEST(QuantCandidateTest, RerankedScoresAreBitwiseTheFp32Scores) {
+  constexpr int64_t kItems = 500;
+  constexpr int64_t kWidth = 32;
+  constexpr int64_t kQueries = 7;
+  Rng rng(53);
+  std::vector<float> table(static_cast<size_t>(kItems * kWidth));
+  std::vector<float> queries(static_cast<size_t>(kQueries * kWidth));
+  for (float& v : table) v = rng.NormalFloat();
+  for (float& v : queries) v = rng.NormalFloat();
+
+  QuantizedTable qt;
+  QuantizeTableRows(table.data(), kItems, kWidth, &qt);
+
+  // fp32 reference rows via the same GEMM family the re-rank uses; the
+  // determinism contract makes per-element results comparable bitwise.
+  std::vector<float> full(static_cast<size_t>(kQueries * kItems), 0.0f);
+  gemm::GemmNT(queries.data(), table.data(), full.data(), kQueries, kWidth,
+               kItems, kWidth, kWidth, kItems);
+
+  for (const int64_t window : {int64_t{64}, kItems}) {
+    const std::vector<std::vector<ScoredId>> got = QuantCandidateTopK(
+        qt, table.data(), queries.data(), kQueries, window);
+    ASSERT_EQ(got.size(), static_cast<size_t>(kQueries));
+    for (int64_t r = 0; r < kQueries; ++r) {
+      const std::vector<ScoredId>& ranked = got[static_cast<size_t>(r)];
+      ASSERT_EQ(ranked.size(), static_cast<size_t>(window));
+      const float* row = full.data() + r * kItems;
+      for (size_t c = 0; c < ranked.size(); ++c) {
+        ASSERT_GE(ranked[c].id, 0);
+        ASSERT_LT(ranked[c].id, kItems);
+        ASSERT_EQ(std::memcmp(&ranked[c].score, &row[ranked[c].id],
+                              sizeof(float)),
+                  0)
+            << "window=" << window << " query=" << r << " pos=" << c
+            << ": re-ranked score is not the fp32 score";
+        if (c > 0) {
+          EXPECT_TRUE(!RanksBefore(ranked[c], ranked[c - 1]))
+              << "window=" << window << " query=" << r
+              << ": presentation order violated at " << c;
+        }
+      }
+    }
+  }
+
+  // Full-window candidates induce exactly the fp32 top-K.
+  const std::vector<std::vector<ScoredId>> all = QuantCandidateTopK(
+      qt, table.data(), queries.data(), kQueries, kItems);
+  for (int64_t r = 0; r < kQueries; ++r) {
+    const std::vector<ScoredId> want =
+        TopKSelect(full.data() + r * kItems, kItems, 10);
+    const std::vector<ScoredId> top =
+        TopKFromRanked(all[static_cast<size_t>(r)], 10);
+    ASSERT_EQ(top.size(), want.size());
+    for (size_t c = 0; c < want.size(); ++c) {
+      EXPECT_EQ(top[c].id, want[c].id) << "query " << r << " pos " << c;
+      EXPECT_EQ(std::memcmp(&top[c].score, &want[c].score, sizeof(float)), 0)
+          << "query " << r << " pos " << c;
+    }
+  }
+}
+
+TEST(QuantCandidateTest, ResultsBitIdenticalAcrossThreadsAndDispatch) {
+  constexpr int64_t kItems = 257;
+  constexpr int64_t kWidth = 24;
+  constexpr int64_t kQueries = 4;
+  constexpr int64_t kWindow = 50;
+  Rng rng(59);
+  std::vector<float> table(static_cast<size_t>(kItems * kWidth));
+  std::vector<float> queries(static_cast<size_t>(kQueries * kWidth));
+  for (float& v : table) v = rng.NormalFloat();
+  for (float& v : queries) v = rng.NormalFloat();
+  QuantizedTable qt;
+  QuantizeTableRows(table.data(), kItems, kWidth, &qt);
+
+  const std::vector<std::vector<ScoredId>> want = QuantCandidateTopK(
+      qt, table.data(), queries.data(), kQueries, kWindow);
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    for (const gemm::Kernel kernel :
+         {gemm::Kernel::kBlocked, gemm::Kernel::kReference}) {
+      KernelGuard restore;
+      gemm::SetKernel(kernel);
+      const std::vector<std::vector<ScoredId>> got = QuantCandidateTopK(
+          qt, table.data(), queries.data(), kQueries, kWindow);
+      for (size_t r = 0; r < want.size(); ++r) {
+        ASSERT_EQ(got[r].size(), want[r].size());
+        for (size_t c = 0; c < want[r].size(); ++c) {
+          ASSERT_EQ(got[r][c].id, want[r][c].id);
+          ASSERT_EQ(std::memcmp(&got[r][c].score, &want[r][c].score,
+                                sizeof(float)),
+                    0)
+              << "threads=" << threads << " query=" << r << " pos=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantConfigTest, EffectiveRerankWindowResolvesAutoAndValidates) {
+  EXPECT_EQ(EffectiveRerankWindow(0, 100), 100);
+  EXPECT_EQ(EffectiveRerankWindow(0, 100000), kDefaultRerankWindow);
+  EXPECT_EQ(EffectiveRerankWindow(64, 100), 64);
+  EXPECT_EQ(EffectiveRerankWindow(100, 100), 100);
+}
+
+TEST(QuantConfigTest, EnvVarGatesTheServingPath) {
+  // The suite never exports PMMREC_QUANT, so mutate-and-restore is safe.
+  unsetenv("PMMREC_QUANT");
+  EXPECT_FALSE(QuantServingEnvEnabled());
+  setenv("PMMREC_QUANT", "0", 1);
+  EXPECT_FALSE(QuantServingEnvEnabled());
+  setenv("PMMREC_QUANT", "1", 1);
+  EXPECT_TRUE(QuantServingEnvEnabled());
+  unsetenv("PMMREC_QUANT");
+  EXPECT_FALSE(QuantServingEnvEnabled());
+}
+
+// --- End-to-end exactness over a real model + dataset -----------------------
+
+class QuantE2ETest : public ::testing::Test {
+ protected:
+  QuantE2ETest()
+      : suite_(BuildBenchmarkSuite(0.2, 13)),
+        ds_(suite_.sources[0]),
+        config_(PMMRecConfig::FromDataset(ds_)),
+        model_(config_, 42) {
+    model_.AttachDataset(&ds_);
+  }
+
+  static void ExpectBitwise(const std::vector<ScoredId>& got,
+                            const std::vector<ScoredId>& want,
+                            const std::string& what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
+      EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+          << what << " position " << i;
+    }
+  }
+
+  BenchmarkSuite suite_;
+  const Dataset& ds_;
+  PMMRecConfig config_;
+  PMMRecModel model_;
+};
+
+TEST_F(QuantE2ETest, CandidateScoresBitwiseMatchScoreUsersBatched) {
+  const int64_t n_items = ds_.num_items();
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < std::min<int64_t>(24, ds_.num_users()); ++u) {
+    std::vector<int32_t> p = ds_.TestPrefix(u);
+    p.resize(1 + static_cast<size_t>(u) % p.size());
+    prefixes.push_back(std::move(p));
+  }
+  std::vector<float> full(prefixes.size() * static_cast<size_t>(n_items));
+  model_.ScoreUsersBatched(prefixes, full.data());
+
+  const std::vector<std::vector<ScoredId>> candidates =
+      model_.ScoreUsersCandidates(prefixes, /*window=*/0);
+  ASSERT_EQ(candidates.size(), prefixes.size());
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    const float* row = full.data() + u * static_cast<size_t>(n_items);
+    ASSERT_FALSE(candidates[u].empty()) << "user " << u;
+    for (const ScoredId& c : candidates[u]) {
+      ASSERT_EQ(std::memcmp(&c.score, &row[c.id], sizeof(float)), 0)
+          << "user " << u << " item " << c.id
+          << ": candidate score is not bitwise the fp32 score";
+    }
+  }
+}
+
+TEST_F(QuantE2ETest, RecallAtKIsOneOverTheFullEvalSplit) {
+  constexpr int64_t kTopK = 10;
+  // The production auto window (min(kDefaultRerankWindow, n_items)); at
+  // this dataset scale it covers the catalogue, so served top-K equality
+  // is guaranteed, not merely empirical.
+  const int64_t window =
+      std::min<int64_t>(ds_.num_items(), kDefaultRerankWindow);
+  const int64_t n_items = ds_.num_items();
+
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < ds_.num_users(); ++u) {
+    prefixes.push_back(ds_.TestPrefix(u));
+  }
+  std::vector<float> full(prefixes.size() * static_cast<size_t>(n_items));
+  model_.ScoreUsersBatched(prefixes, full.data());
+  const std::vector<std::vector<ScoredId>> candidates =
+      model_.ScoreUsersCandidates(prefixes, window);
+
+  int64_t hits = 0, total = 0;
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    const std::vector<ScoredId> want = TopKSelect(
+        full.data() + u * static_cast<size_t>(n_items), n_items, kTopK,
+        prefixes[u]);
+    const std::vector<ScoredId> got =
+        TopKFromRanked(candidates[u], kTopK, prefixes[u]);
+    ExpectBitwise(got, want, "user " + std::to_string(u));
+    total += static_cast<int64_t>(want.size());
+    for (size_t i = 0; i < std::min(got.size(), want.size()); ++i) {
+      if (got[i].id == want[i].id) ++hits;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_EQ(hits, total) << "recall@" << kTopK << " = "
+                         << static_cast<double>(hits) /
+                                static_cast<double>(total)
+                         << " != 1.0";
+}
+
+TEST_F(QuantE2ETest, BaselineCandidatesBitwiseMatchSerialScoring) {
+  SasRec sasrec(ds_.num_items(), config_.d_model, config_.max_seq_len, 7);
+  sasrec.AttachDataset(&ds_);
+  sasrec.SetQuantizedServing(true);
+  EXPECT_TRUE(sasrec.QuantServingEnabled());
+  constexpr int64_t kTopK = 10;
+  const int64_t n_items = ds_.num_items();
+
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < std::min<int64_t>(40, ds_.num_users()); ++u) {
+    prefixes.push_back(ds_.TestPrefix(u));
+  }
+  const std::vector<std::vector<ScoredId>> candidates =
+      sasrec.ScoreUsersCandidates(prefixes, /*window=*/n_items);
+  for (size_t u = 0; u < prefixes.size(); ++u) {
+    const std::vector<float> serial = sasrec.ScoreItems(prefixes[u]);
+    const std::vector<ScoredId> want =
+        TopKSelect(serial.data(), n_items, kTopK, prefixes[u]);
+    const std::vector<ScoredId> got =
+        TopKFromRanked(candidates[u], kTopK, prefixes[u]);
+    ExpectBitwise(got, want, "sasrec user " + std::to_string(u));
+  }
+}
+
+TEST_F(QuantE2ETest, CandidatesBitIdenticalAcrossThreadCounts) {
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < 16; ++u) {
+    prefixes.push_back(ds_.TestPrefix(u % ds_.num_users()));
+  }
+  std::vector<std::vector<ScoredId>> want;
+  {
+    NumThreadsGuard guard(1);
+    model_.SetTrainingMode(true);  // Force a 1-thread rebuild.
+    want = model_.ScoreUsersCandidates(prefixes, /*window=*/64);
+  }
+  {
+    NumThreadsGuard guard(4);
+    model_.SetTrainingMode(true);  // Force a 4-thread rebuild.
+    const std::vector<std::vector<ScoredId>> got =
+        model_.ScoreUsersCandidates(prefixes, /*window=*/64);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t u = 0; u < want.size(); ++u) {
+      ExpectBitwise(got[u], want[u], "user " + std::to_string(u));
+    }
+  }
+}
+
+TEST_F(QuantE2ETest, ParamUpdateInvalidatesAndRebuildsQuantizedTable) {
+  (void)model_.ScoreUsersCandidates(
+      std::vector<std::vector<int32_t>>{ds_.TestPrefix(0)}, 16);
+  const uint64_t rebuilds = model_.item_table_cache().rebuilds();
+  ASSERT_TRUE(model_.item_table_cache().valid());
+  ASSERT_TRUE(model_.item_table_cache().quantization_enabled());
+
+  BumpParamUpdateVersion();
+  EXPECT_FALSE(model_.item_table_cache().valid());
+
+  // Scoring re-ensures: exactly one more rebuild, then exact results again.
+  const std::vector<std::vector<int32_t>> prefixes{ds_.TestPrefix(1)};
+  const std::vector<std::vector<ScoredId>> candidates =
+      model_.ScoreUsersCandidates(prefixes, ds_.num_items());
+  EXPECT_EQ(model_.item_table_cache().rebuilds(), rebuilds + 1);
+
+  const std::vector<float> serial = model_.ScoreItems(ds_.TestPrefix(1));
+  EXPECT_EQ(model_.item_table_cache().rebuilds(), rebuilds + 1);
+  const std::vector<ScoredId> want =
+      TopKSelect(serial.data(), ds_.num_items(), 10);
+  ExpectBitwise(TopKFromRanked(candidates[0], 10), want, "post-update");
+}
+
+TEST_F(QuantE2ETest, ConfigAndEnvBothRouteTheQuantPath) {
+  EXPECT_FALSE(model_.QuantServingEnabled());
+  setenv("PMMREC_QUANT", "1", 1);
+  EXPECT_TRUE(model_.QuantServingEnabled());
+  setenv("PMMREC_QUANT", "0", 1);
+  EXPECT_FALSE(model_.QuantServingEnabled());
+  unsetenv("PMMREC_QUANT");
+
+  PMMRecConfig config = config_;
+  config.quantized_serving = true;
+  PMMRecModel flagged(config, 42);
+  flagged.AttachDataset(&ds_);
+  EXPECT_TRUE(flagged.QuantServingEnabled());
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -17,15 +17,19 @@
 //             Single-user mode: serial scoring path, prints the history
 //             and the top-K items.
 //   recommend --data FILE.pmds --model MODEL.ckpt --users U1,U2,... [--topk K]
-//             [--serve-workers N] [--max-batch B]
+//             [--serve-workers N] [--max-batch B] [--quant]
+//             [--rerank-window W]
 //             Batch mode (--users all scores every user): requests are
 //             routed through the serving broker (src/serve/broker.h), so
 //             peak score memory is O(max_batch * n_items) — not
 //             O(users * n_items) — and only top-K ids/scores are kept per
-//             user. Prints a users/sec line.
+//             user. Prints a users/sec line. --quant scores candidates on
+//             the int8 item table and re-ranks the top window exactly in
+//             fp32 — top-K answers are bitwise identical to the default
+//             path (see DESIGN.md "Quantized serving").
 //   serve-bench --data FILE.pmds --model MODEL.ckpt [--requests N]
 //             [--clients C] [--workers W] [--max-batch B] [--max-wait-us U]
-//             [--deadline-ms D] [--topk K]
+//             [--deadline-ms D] [--topk K] [--quant] [--rerank-window W]
 //             Closed-loop load test of the request broker: C client
 //             threads submit N requests, printing achieved QPS, latency
 //             percentiles, shed/reject counts, and the batch-size
@@ -42,6 +46,9 @@
 //                 and print a summary table at exit. Respects an explicit
 //                 PMMREC_TRACE_LEVEL; defaults to `op`. Tracing never
 //                 changes results — only wall-clock, slightly.
+//
+// The PMMREC_QUANT env var (any value but "0") enables the quantized
+// serving path globally, equivalent to passing --quant everywhere.
 //
 // Model checkpoints store parameters only; the architecture is derived
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
@@ -253,6 +260,8 @@ int CmdRecommend(const FlagParser& flags) {
   const Dataset ds = LoadDataOrDie(flags);
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
   config.modality = ParseModality(flags.GetString("modality", "both"));
+  config.quantized_serving = flags.GetBool("quant", false);
+  config.quant_rerank_window = flags.GetInt("rerank-window", 0);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
@@ -296,11 +305,12 @@ int CmdRecommend(const FlagParser& flags) {
     }
     const serve::BrokerStats stats = broker.stats();
     std::printf("scored %zu users in %.2f ms (%.1f users/s, %llu batches, "
-                "max batch %llu)\n",
+                "max batch %llu%s)\n",
                 users.size(), ms,
                 static_cast<double>(users.size()) / (ms / 1e3),
                 static_cast<unsigned long long>(stats.batches),
-                static_cast<unsigned long long>(stats.max_batch));
+                static_cast<unsigned long long>(stats.max_batch),
+                model.QuantServingEnabled() ? ", int8 candidate path" : "");
     return 0;
   }
 
@@ -325,6 +335,8 @@ int CmdServeBench(const FlagParser& flags) {
   const Dataset ds = LoadDataOrDie(flags);
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
   config.modality = ParseModality(flags.GetString("modality", "both"));
+  config.quantized_serving = flags.GetBool("quant", false);
+  config.quant_rerank_window = flags.GetInt("rerank-window", 0);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
