@@ -21,7 +21,11 @@
 // percentiles (from raw sorted latencies, not histogram bucket bounds),
 // the speedup, the batch-size distribution, and one row per sweep point.
 //
-// Usage: bench_serve [--out-dir DIR]
+// Usage: bench_serve [--out-dir DIR] [--items N]
+// --items N swaps the suite dataset for a generated synthetic catalogue
+// of N items (the model stays untrained — serving cost does not depend on
+// parameter values), so broker throughput can be measured at catalogue
+// scales the benchmark suite never reaches.
 // Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS.
 
 #include <algorithm>
@@ -90,10 +94,22 @@ struct SweepRow {
   uint64_t rejected_queue_full = 0;
 };
 
-int Run(const std::string& out_dir) {
-  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
-                                             bench::EnvSeed());
-  const Dataset& ds = suite.sources[0];
+int Run(const std::string& out_dir, int64_t synth_items) {
+  Dataset synth;
+  BenchmarkSuite suite;
+  if (synth_items > 0) {
+    SyntheticWorld world{WorldConfig{}};
+    PlatformConfig pc;
+    pc.name = "BenchServeSynthetic";
+    pc.platform = "Bili";
+    pc.clusters = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    pc.n_items = static_cast<int32_t>(synth_items);
+    pc.n_users = static_cast<int32_t>(std::min<int64_t>(synth_items, 1024));
+    synth = DatasetGenerator(&world).Generate(pc);
+  } else {
+    suite = BuildBenchmarkSuite(bench::EnvScale(), bench::EnvSeed());
+  }
+  const Dataset& ds = synth_items > 0 ? synth : suite.sources[0];
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
   PMMRecModel model(config, 42);
   model.AttachDataset(&ds);
@@ -359,10 +375,13 @@ int Run(const std::string& out_dir) {
 
 int main(int argc, char** argv) {
   std::string out_dir = ".";
+  int64_t items = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::string(argv[i]) == "--items" && i + 1 < argc) {
+      items = std::atoll(argv[++i]);
     }
   }
-  return pmmrec::Run(out_dir);
+  return pmmrec::Run(out_dir, items);
 }

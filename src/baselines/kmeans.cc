@@ -1,8 +1,10 @@
 #include "baselines/kmeans.h"
 
+#include <atomic>
 #include <limits>
 
 #include "utils/check.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 
@@ -32,6 +34,7 @@ std::vector<float> KMeans(const std::vector<float>& points, int64_t n,
   PMM_CHECK_EQ(static_cast<int64_t>(points.size()), n * dim);
   PMM_CHECK_GE(n, k);
   PMM_CHECK_GE(k, 1);
+  PMM_CHECK_GE(iterations, 1);
 
   std::vector<float> centroids(static_cast<size_t>(k * dim));
   const std::vector<int64_t> seeds = rng.SampleWithoutReplacement(n, k);
@@ -44,17 +47,35 @@ std::vector<float> KMeans(const std::vector<float>& points, int64_t n,
   std::vector<int64_t> assignment(static_cast<size_t>(n), 0);
   std::vector<int64_t> counts(static_cast<size_t>(k), 0);
   for (int64_t iter = 0; iter < iterations; ++iter) {
-    bool changed = false;
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t c =
-          NearestCentroid(points.data() + i * dim, centroids, k, dim);
-      if (c != assignment[static_cast<size_t>(i)]) {
-        assignment[static_cast<size_t>(i)] = c;
-        changed = true;
-      }
-    }
-    if (!changed && iter > 0) break;
+    // Assignment step — the O(n * k * dim) bulk of Lloyd's. Each
+    // assignment[i] is a pure function of (point i, centroids), so any
+    // ParallelFor partition produces the serial loop's exact result;
+    // `changed` is a commutative OR, identical for every chunk order.
+    std::atomic<bool> changed{false};
+    ParallelFor(0, n, GrainForCost(k * dim * 3),
+                [&](int64_t i0, int64_t i1) {
+                  bool local_changed = false;
+                  for (int64_t i = i0; i < i1; ++i) {
+                    const int64_t c = NearestCentroid(points.data() + i * dim,
+                                                      centroids, k, dim);
+                    if (c != assignment[static_cast<size_t>(i)]) {
+                      assignment[static_cast<size_t>(i)] = c;
+                      local_changed = true;
+                    }
+                  }
+                  if (local_changed) {
+                    changed.store(true, std::memory_order_relaxed);
+                  }
+                });
+    // Convergence early-exit: once no point moved, the update step below
+    // would reproduce the current centroids, so further iterations are
+    // no-ops. Iteration 0 never exits — the seeded centroids are raw
+    // points and must be replaced by cluster means at least once.
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
 
+    // Update step: serial accumulation in ascending point order, so the
+    // float summation chain (and thus the centroids) never depends on the
+    // thread count.
     std::fill(centroids.begin(), centroids.end(), 0.0f);
     std::fill(counts.begin(), counts.end(), 0);
     for (int64_t i = 0; i < n; ++i) {

@@ -9,8 +9,14 @@
 namespace pmmrec {
 
 // Lloyd's k-means over row-major points [n, dim]; returns centroids
-// [k, dim]. Used by VQRec's product quantizer. Initialization samples k
-// distinct points; empty clusters are re-seeded with a random point.
+// [k, dim]. Used by VQRec's product quantizer and as the IVF index's
+// coarse quantizer (core/ivf.h). Initialization samples k distinct
+// points; empty clusters are re-seeded with a random point; iteration
+// stops early once no assignment changes (after at least one centroid
+// update). The assignment step runs under ParallelFor; results are
+// bit-identical for every thread count (assignments are per-point
+// independent and the centroid accumulation stays serial).
+// Requires n >= k >= 1 and iterations >= 1 (checked).
 std::vector<float> KMeans(const std::vector<float>& points, int64_t n,
                           int64_t dim, int64_t k, int64_t iterations,
                           Rng& rng);

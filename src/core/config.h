@@ -89,6 +89,19 @@ struct PMMRecConfig {
   // (min(4096, n_items)); explicit values must lie in [1, n_items].
   int64_t quant_rerank_window = 0;
 
+  // ANN candidate retrieval (DESIGN.md "Candidate retrieval"): route
+  // serving through the IVF index instead of the exact full scan. Off by
+  // default — exact retrieval stays the serving baseline; PMMREC_ANN=1 in
+  // the environment also enables it. Composes with quantized_serving
+  // (IVF+int8 combined mode: int8 in-list scan + exact fp32 re-rank).
+  bool ann_serving = false;
+  // IVF coarse-quantizer geometry. 0 = auto (nlist ~= sqrt(n_items),
+  // nprobe = max(1, nlist / 8)); explicit values are range-checked at
+  // index build / probe time (nlist in [1, n_items], nprobe in
+  // [1, nlist]).
+  int64_t ann_nlist = 0;
+  int64_t ann_nprobe = 0;
+
   static PMMRecConfig FromDataset(const Dataset& ds) {
     PMMRecConfig config;
     config.text_vocab = ds.text_vocab_size;

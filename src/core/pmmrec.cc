@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/ivf.h"
 #include "utils/parallel.h"
 #include "utils/trace.h"
 
@@ -137,6 +138,10 @@ bool PMMRecModel::QuantServingEnabled() const {
   return config_.quantized_serving || QuantServingEnvEnabled();
 }
 
+bool PMMRecModel::AnnServingEnabled() const {
+  return config_.ann_serving || AnnServingEnvEnabled();
+}
+
 void PMMRecModel::EnsureItemTable() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   // Scoring implies eval mode (deterministic dropout path); entering it
@@ -146,6 +151,14 @@ void PMMRecModel::EnsureItemTable() {
   // rebuild also produces the int8 tables (cheap relative to encoding),
   // so alternating fp32/quant scoring never thrashes rebuilds.
   if (QuantServingEnabled()) item_cache_.EnableQuantization(true);
+  // Same sticky semantics for the IVF index; when quantization is also
+  // on, the index gathers the int8 rows (combined mode).
+  if (AnnServingEnabled()) {
+    IvfConfig ivf;
+    ivf.nlist = config_.ann_nlist;
+    ivf.nprobe = config_.ann_nprobe;
+    item_cache_.EnableAnn(ivf);
+  }
   item_cache_.Ensure(dataset_->num_items(),
                      [this](const std::vector<int32_t>& ids) {
                        return std::vector<Tensor>{EncodeItemReps(ids).final_};
@@ -215,6 +228,11 @@ int64_t PMMRecModel::ScoreWidth() const {
 void PMMRecModel::ScoreItemsBatch(
     std::span<const std::vector<int32_t>> prefixes, float* out) {
   ScoreUsersBatched(prefixes, out);
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::ScoreCandidatesBatch(
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  return RetrieveCandidates(prefixes, limit);
 }
 
 void PMMRecModel::ForEachLengthGroup(
@@ -298,6 +316,14 @@ std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidates(
   const int64_t n_items = dataset_->num_items();
   const int64_t eff = EffectiveRerankWindow(
       window > 0 ? window : config_.quant_rerank_window, n_items);
+  if (AnnServingEnabled()) {
+    // Combined IVF+int8 route: the index gathered the int8 rows at build
+    // time (quantization is sticky-on here), so retrieval runs the
+    // quantized in-list scan plus the exact fp32 re-rank, bounded by the
+    // same window the full-catalogue candidate pass would use.
+    IvfCandidateSource source(&item_cache_.ann(0));
+    return RetrieveWith(source, prefixes, eff);
+  }
   PMM_TRACE_SCOPE_AT("quant.score_batch", kOp, "quant.score_batch.ns");
   InferenceMode inference;
 
@@ -313,6 +339,50 @@ std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidates(
   PMM_TRACE_COUNT("quant.users_scored",
                   static_cast<int64_t>(prefixes.size()));
   return results;
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveWith(
+    const CandidateSource& source,
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  std::vector<std::vector<ScoredId>> results(prefixes.size());
+  if (prefixes.empty()) return results;
+  PMM_TRACE_SCOPE_AT("infer.retrieve", kOp, "infer.retrieve.ns");
+  InferenceMode inference;
+  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
+                                   const Tensor& last) {
+    std::vector<std::vector<ScoredId>> group_results = source.Retrieve(
+        last.data(), static_cast<int64_t>(group.size()), limit);
+    for (size_t r = 0; r < group.size(); ++r) {
+      results[static_cast<size_t>(group[r])] = std::move(group_results[r]);
+    }
+  });
+  PMM_TRACE_COUNT("infer.users_retrieved",
+                  static_cast<int64_t>(prefixes.size()));
+  return results;
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveCandidates(
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  if (prefixes.empty()) return {};
+  PMM_CHECK_GE(limit, 1);
+  EnsureItemTable();
+  if (AnnServingEnabled()) {
+    IvfCandidateSource source(&item_cache_.ann(0));
+    return RetrieveWith(source, prefixes, limit);
+  }
+  ExactCandidateSource source(item_cache_.table_data(0).data(),
+                              dataset_->num_items(), config_.d_model);
+  return RetrieveWith(source, prefixes, limit);
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveExactCandidates(
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  if (prefixes.empty()) return {};
+  PMM_CHECK_GE(limit, 1);
+  EnsureItemTable();
+  ExactCandidateSource source(item_cache_.table_data(0).data(),
+                              dataset_->num_items(), config_.d_model);
+  return RetrieveWith(source, prefixes, limit);
 }
 
 void PMMRecModel::TransferFrom(const PMMRecModel& source,

@@ -15,6 +15,8 @@
 
 namespace pmmrec {
 
+class CandidateSource;  // core/ivf.h
+
 // The Pure Multi-Modality Recommender (paper Sec. III).
 //
 // Architecture: text encoder + vision encoder -> merge-attention fusion ->
@@ -51,6 +53,13 @@ class PMMRecModel : public Module, public TrainableRecommender {
   int64_t ScoreWidth() const override;
   void ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
                        float* out) override;
+  // Candidate-path evaluation routes only when ANN serving is on — the
+  // evaluator then measures the IVF index the serving path actually uses.
+  // Quant-only and fp32 eval stay on the full-scan strategies, so their
+  // metrics are untouched by this interface.
+  bool SupportsCandidateEval() const override { return AnnServingEnabled(); }
+  std::vector<std::vector<ScoredId>> ScoreCandidatesBatch(
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit) override;
 
   // --- Frozen-model serving -------------------------------------------------
   // Scores every prefix against the full catalogue, writing
@@ -82,6 +91,28 @@ class PMMRecModel : public Module, public TrainableRecommender {
   // path's.
   std::vector<std::vector<ScoredId>> ScoreUsersCandidates(
       std::span<const std::vector<int32_t>> prefixes, int64_t window = 0);
+
+  // --- ANN candidate retrieval ----------------------------------------------
+  // True when serving routes through the IVF index (config.ann_serving or
+  // PMMREC_ANN=1). The exact full scan stays the default and the
+  // exactness baseline. Composes with QuantServingEnabled(): both on is
+  // the IVF+int8 combined mode.
+  bool AnnServingEnabled() const;
+  // Ranked candidates per prefix through the active CandidateSource: the
+  // IVF index when AnnServingEnabled(), else the exact full scan. Every
+  // returned score is the exact fp32 score (bitwise the corresponding
+  // ScoreUsersBatched element); each list is fully ordered (score desc,
+  // id asc) and holds up to `limit` entries (ANN may return fewer when a
+  // probe scans fewer rows).
+  std::vector<std::vector<ScoredId>> RetrieveCandidates(
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
+  // The exact full scan behind the CandidateSource interface regardless
+  // of AnnServingEnabled(): per prefix, the top-`limit` of the full score
+  // row in canonical order — bitwise TopKSelect over the corresponding
+  // ScoreUsersBatched row (the broker's fp32 route and the ANN tests'
+  // ground truth).
+  std::vector<std::vector<ScoredId>> RetrieveExactCandidates(
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
   // --- Representation export -----------------------------------------------
   // Final-position user-encoder hidden state for a history ([d_model]).
@@ -139,6 +170,12 @@ class PMMRecModel : public Module, public TrainableRecommender {
 
   // Rebuilds the serving cache if stale (dataset must be attached).
   void EnsureItemTable();
+
+  // Shared group-walk of the retrieval paths: one CandidateSource query
+  // batch per length group (assumes EnsureItemTable already ran).
+  std::vector<std::vector<ScoredId>> RetrieveWith(
+      const CandidateSource& source,
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
   // Groups prefixes by effective length and invokes fn(group, last) per
   // non-empty group, where `last` is the [g, d_model] final-position

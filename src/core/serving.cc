@@ -9,6 +9,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/ivf.h"
 #include "nn/optimizer.h"
 #include "tensor/gemm.h"
 #include "utils/arena.h"
@@ -18,7 +19,47 @@
 
 namespace pmmrec {
 
+namespace detail {
+
+// Radix threshold: below it a comparator sort wins on constant factors.
+void SortPairsByKeyDescending(
+    std::vector<std::pair<uint64_t, uint32_t>>* v,
+    std::vector<std::pair<uint64_t, uint32_t>>* scratch) {
+  const size_t sz = v->size();
+  if (sz < 1024) {
+    std::sort(v->begin(), v->end(),
+              [](const std::pair<uint64_t, uint32_t>& a,
+                 const std::pair<uint64_t, uint32_t>& b) {
+                return a.first > b.first;
+              });
+    return;
+  }
+  scratch->resize(sz);
+  std::pair<uint64_t, uint32_t>* src = v->data();
+  std::pair<uint64_t, uint32_t>* dst = scratch->data();
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    uint32_t offsets[257] = {0};
+    for (size_t i = 0; i < sz; ++i) {
+      ++offsets[((src[i].first >> shift) & 0xFF) + 1];
+    }
+    for (int b = 0; b < 256; ++b) offsets[b + 1] += offsets[b];
+    for (size_t i = 0; i < sz; ++i) {
+      dst[offsets[(src[i].first >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  // Eight passes land the ascending result back in v; flip to descending.
+  std::reverse(v->begin(), v->end());
+}
+
+}  // namespace detail
+
 namespace {
+
+using detail::OrderKey;
+using detail::OrderKeyId;
+using detail::SortPairsByKeyDescending;
 
 // Scale floor: keeps stored scales normal floats (a subnormal or zero
 // scale would break the error bound and the dequantization identity for
@@ -56,63 +97,6 @@ void QuantizeRowAffine(const float* x, int64_t width, int8_t* q,
   *scale = static_cast<float>(s);
   *zero_point = static_cast<int8_t>(zp);
   *row_sum = sum;
-}
-
-// (score, id) packed as one order key: descending uint64 order is exactly
-// the canonical (score desc, id asc) total order RanksBefore defines.
-// High 32 bits: the float's bits mapped through the standard
-// order-preserving transform (negatives complemented, positives get the
-// sign bit set), with -0 normalized to +0 first so float-equal scores get
-// bit-equal key prefixes. Low 32 bits: ~id, so equal scores rank smaller
-// ids first under a DESCENDING key sort. Finite scores only (guaranteed:
-// quantization rejects non-finite inputs).
-inline uint64_t OrderKey(float score, int32_t id) {
-  uint32_t u;
-  std::memcpy(&u, &score, sizeof(u));
-  if ((u & 0x7FFFFFFFu) == 0u) u = 0u;
-  u = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
-  return (static_cast<uint64_t>(u) << 32) |
-         static_cast<uint32_t>(~static_cast<uint32_t>(id));
-}
-
-inline int32_t OrderKeyId(uint64_t key) {
-  return static_cast<int32_t>(~static_cast<uint32_t>(key));
-}
-
-// Descending order-key sort of (key, payload) pairs. Above a small size
-// an LSD radix sort (eight 8-bit passes, then reverse) replaces the
-// comparator sort — ~5x faster at serving window sizes. Keys are unique
-// (they embed ~id), so every exact sort produces the same permutation
-// and the two strategies are interchangeable bit-for-bit.
-void SortPairsByKeyDescending(
-    std::vector<std::pair<uint64_t, uint32_t>>* v,
-    std::vector<std::pair<uint64_t, uint32_t>>* scratch) {
-  const size_t sz = v->size();
-  if (sz < 1024) {
-    std::sort(v->begin(), v->end(),
-              [](const std::pair<uint64_t, uint32_t>& a,
-                 const std::pair<uint64_t, uint32_t>& b) {
-                return a.first > b.first;
-              });
-    return;
-  }
-  scratch->resize(sz);
-  std::pair<uint64_t, uint32_t>* src = v->data();
-  std::pair<uint64_t, uint32_t>* dst = scratch->data();
-  for (int pass = 0; pass < 8; ++pass) {
-    const int shift = pass * 8;
-    uint32_t offsets[257] = {0};
-    for (size_t i = 0; i < sz; ++i) {
-      ++offsets[((src[i].first >> shift) & 0xFF) + 1];
-    }
-    for (int b = 0; b < 256; ++b) offsets[b + 1] += offsets[b];
-    for (size_t i = 0; i < sz; ++i) {
-      dst[offsets[(src[i].first >> shift) & 0xFF]++] = src[i];
-    }
-    std::swap(src, dst);
-  }
-  // Eight passes land the ascending result back in v; flip to descending.
-  std::reverse(v->begin(), v->end());
 }
 
 }  // namespace
@@ -187,6 +171,11 @@ int64_t EffectiveRerankWindow(int64_t configured, int64_t num_items) {
 
 bool QuantServingEnvEnabled() {
   const char* env = std::getenv("PMMREC_QUANT");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+bool AnnServingEnvEnabled() {
+  const char* env = std::getenv("PMMREC_ANN");
   return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
 }
 
@@ -338,6 +327,9 @@ std::vector<std::vector<ScoredId>> QuantCandidateTopK(
   return results;
 }
 
+ItemTableCache::ItemTableCache() = default;
+ItemTableCache::~ItemTableCache() = default;
+
 bool ItemTableCache::valid() const {
   return valid_ && built_param_version_ == ParamUpdateVersion();
 }
@@ -365,6 +357,35 @@ const QuantizedTable& ItemTableCache::quantized(int64_t t) const {
   PMM_CHECK_GE(t, 0);
   PMM_CHECK_LT(t, static_cast<int64_t>(qtables_.size()));
   return qtables_[static_cast<size_t>(t)];
+}
+
+void ItemTableCache::EnableAnn(const IvfConfig& config) {
+  // Invalidate when the index would differ from what a rebuild under
+  // `config` produces: first enable, or any parameter change. Re-enabling
+  // with the identical config keeps a valid cache (idempotent, so the
+  // model can call this on every serve entry point).
+  const bool same = ann_enabled_ && ann_config_.nlist == config.nlist &&
+                    ann_config_.nprobe == config.nprobe &&
+                    ann_config_.train_iterations == config.train_iterations &&
+                    ann_config_.train_sample == config.train_sample &&
+                    ann_config_.seed == config.seed;
+  if (!same) valid_ = false;  // Build on the next Ensure.
+  ann_enabled_ = true;
+  ann_config_ = config;
+}
+
+void ItemTableCache::DisableAnn() {
+  ann_indexes_.clear();
+  ann_enabled_ = false;
+}
+
+const IvfIndex& ItemTableCache::ann(int64_t t) const {
+  PMM_CHECK_MSG(ann_enabled_, "ANN not enabled on this cache");
+  PMM_CHECK_MSG(valid(),
+                "stale ANN index: rebuild via Ensure() before retrieval");
+  PMM_CHECK_GE(t, 0);
+  PMM_CHECK_LT(t, static_cast<int64_t>(ann_indexes_.size()));
+  return *ann_indexes_[static_cast<size_t>(t)];
 }
 
 bool ItemTableCache::Ensure(int64_t num_items,
@@ -454,6 +475,25 @@ bool ItemTableCache::Ensure(int64_t num_items,
       qtables_[static_cast<size_t>(t)].built_param_version = version;
     }
     PMM_TRACE_COUNT("quant.table.builds", 1);
+  }
+
+  // The IVF indexes are likewise part of the same rebuild (the broker's
+  // one-rebuild-per-param-update protocol): retrain the coarse quantizer
+  // and refill the inverted lists from the fresh tables, gathering the
+  // just-built int8 rows when quantization is also on.
+  ann_indexes_.clear();
+  if (ann_enabled_) {
+    ann_indexes_.resize(static_cast<size_t>(n_tables));
+    for (int64_t t = 0; t < n_tables; ++t) {
+      auto index = std::make_unique<IvfIndex>();
+      index->Build(tables_[static_cast<size_t>(t)].data(), num_items,
+                   tables_[static_cast<size_t>(t)].dim(1),
+                   quantize_ ? &qtables_[static_cast<size_t>(t)] : nullptr,
+                   ann_config_);
+      index->set_built_param_version(version);
+      ann_indexes_[static_cast<size_t>(t)] = std::move(index);
+    }
+    PMM_TRACE_COUNT("ann.index.builds", 1);
   }
 
   num_items_ = num_items;

@@ -2,13 +2,49 @@
 #define PMMREC_CORE_SERVING_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
 #include "utils/topk.h"
 
 namespace pmmrec {
+
+namespace detail {
+
+// (score, id) packed as one order key: descending uint64 order is exactly
+// the canonical (score desc, id asc) total order RanksBefore defines.
+// High 32 bits: the float's bits mapped through the standard
+// order-preserving transform (negatives complemented, positives get the
+// sign bit set), with -0 normalized to +0 first so float-equal scores get
+// bit-equal key prefixes. Low 32 bits: ~id, so equal scores rank smaller
+// ids first under a DESCENDING key sort. Finite scores only. Shared by
+// the quantized candidate pass (serving.cc) and the IVF probe (ivf.cc).
+inline uint64_t OrderKey(float score, int32_t id) {
+  uint32_t u;
+  std::memcpy(&u, &score, sizeof(u));
+  if ((u & 0x7FFFFFFFu) == 0u) u = 0u;
+  u = (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+  return (static_cast<uint64_t>(u) << 32) |
+         static_cast<uint32_t>(~static_cast<uint32_t>(id));
+}
+
+inline int32_t OrderKeyId(uint64_t key) {
+  return static_cast<int32_t>(~static_cast<uint32_t>(key));
+}
+
+// Descending order-key sort of (key, payload) pairs; above a small size an
+// LSD radix sort replaces the comparator sort (~5x at serving window
+// sizes). Keys are unique (they embed ~id), so the two strategies are
+// interchangeable bit-for-bit. `scratch` is caller-owned reusable storage.
+void SortPairsByKeyDescending(
+    std::vector<std::pair<uint64_t, uint32_t>>* v,
+    std::vector<std::pair<uint64_t, uint32_t>>* scratch);
+
+}  // namespace detail
 
 // --- Quantized serving (DESIGN.md "Quantized serving") ----------------------
 //
@@ -88,6 +124,31 @@ int64_t EffectiveRerankWindow(int64_t configured, int64_t num_items);
 // other side; fp32 stays the default).
 bool QuantServingEnvEnabled();
 
+// --- ANN candidate retrieval (DESIGN.md "Candidate retrieval") --------------
+
+// True when PMMREC_ANN is set to a non-empty value other than "0" — the
+// env-var side of the ANN serving gate (config.ann_serving is the other
+// side; the exact full scan stays the default).
+bool AnnServingEnvEnabled();
+
+// Coarse-quantizer parameters of the IVF index (core/ivf.h). All-zero
+// defaults mean "auto": nlist ~= sqrt(n_rows), nprobe = max(1, nlist/32),
+// train_sample = min(n_rows, max(64 * nlist, 4096)).
+struct IvfConfig {
+  int64_t nlist = 0;   // Coarse centroids. 0 = auto; else in [1, n_rows].
+  int64_t nprobe = 0;  // Lists probed per query. 0 = auto; else [1, nlist].
+  // Lloyd iterations for the coarse k-means (>= 1).
+  int64_t train_iterations = 10;
+  // Training points subsampled (deterministic stride) from the table;
+  // 0 = auto. Bounds the trainer at catalogue scale.
+  int64_t train_sample = 0;
+  // Seed of the k-means init/re-seed stream; fixed so index builds are
+  // reproducible independent of any model RNG state.
+  uint64_t seed = 0x1f1dULL;
+};
+
+class IvfIndex;  // core/ivf.h; forward-declared to keep layering acyclic.
+
 // Frozen-model serving cache: the representation table(s) of the whole
 // catalogue, encoded once under InferenceMode and ranked against by the
 // batched scoring paths (see DESIGN.md "Inference path").
@@ -113,6 +174,9 @@ bool QuantServingEnvEnabled();
 // are bit-identical for every PMMREC_NUM_THREADS setting.
 class ItemTableCache {
  public:
+  ItemTableCache();
+  ~ItemTableCache();  // Out-of-line: IvfIndex is incomplete here.
+
   // Fixed encode-chunk size (also the historical PrepareForEval chunking,
   // so cached tables are bitwise identical to the pre-cache precompute).
   static constexpr int64_t kChunk = 64;
@@ -155,10 +219,30 @@ class ItemTableCache {
   // stale.
   const QuantizedTable& quantized(int64_t t) const;
 
+  // --- ANN index ------------------------------------------------------------
+  // When enabled, Ensure() additionally trains/refills an IVF index per
+  // fp32 table inside the same rebuild — the index participates in the
+  // broker's one-rebuild-per-param-update protocol exactly like the
+  // quantized tables, so a fresh fp32 table never coexists with stale
+  // inverted lists. When quantization is also enabled, each index gathers
+  // the int8 rows into its lists (the IVF+int8 combined mode). Enabling
+  // on a valid cache (or changing the config) invalidates it so the index
+  // appears on the next Ensure; disabling just stops serving it.
+  void EnableAnn(const IvfConfig& config);
+  void DisableAnn();
+  bool ann_enabled() const { return ann_enabled_; }
+  const IvfConfig& ann_config() const { return ann_config_; }
+  // IVF index over table t. Checked errors: ANN not enabled, or the cache
+  // (and thus the index's ParamUpdateVersion) is stale.
+  const IvfIndex& ann(int64_t t) const;
+
  private:
   std::vector<Tensor> tables_;
   std::vector<QuantizedTable> qtables_;
+  std::vector<std::unique_ptr<IvfIndex>> ann_indexes_;
   bool quantize_ = false;
+  bool ann_enabled_ = false;
+  IvfConfig ann_config_;
   int64_t num_items_ = 0;
   uint64_t built_param_version_ = 0;
   bool valid_ = false;

@@ -25,6 +25,16 @@ void Scorer::ScoreItemsBatch(std::span<const std::vector<int32_t>> prefixes,
   }
 }
 
+std::vector<std::vector<ScoredId>> Scorer::ScoreCandidatesBatch(
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  (void)prefixes;
+  (void)limit;
+  PMM_CHECK_MSG(false,
+                "ScoreCandidatesBatch called on a scorer without candidate "
+                "eval support");
+  return {};
+}
+
 namespace {
 
 // Deterministic strided subsample of [0, n).
@@ -53,6 +63,44 @@ std::vector<int64_t> StridedSubset(int64_t n, int64_t max_count) {
 // scorer — are identical for every PMMREC_NUM_THREADS setting.
 constexpr int64_t kScoreBatch = 32;
 
+// Candidate depth of the candidate-eval strategy beyond the excluded
+// history: comfortably past the deepest metric cutoff (k=50), so any rank
+// that could score is computed exactly; deeper targets saturate to a miss.
+constexpr int64_t kCandidateEvalDepth = 256;
+
+// Rank of `target` from a ranked candidate list — the candidate-path
+// analogue of RankOfTarget with the same pessimistic-tie and
+// history-exclusion rules. The list's (score desc, id asc) order makes
+// "score >= target score" a prefix walk; candidate ids are unique, so
+// checking membership in `exclude` per entry dedupes implicitly. Exact
+// whenever every item scoring >= the target was retrieved (true for any
+// exact source, and for ANN whenever the probe recalled them); a missing
+// target returns `width`, a miss at every cutoff.
+int64_t RankFromCandidates(const std::vector<ScoredId>& ranked, int64_t width,
+                           int32_t target,
+                           const std::vector<int32_t>& exclude) {
+  float target_score = 0.0f;
+  bool found = false;
+  for (const ScoredId& c : ranked) {
+    if (c.id == target) {
+      target_score = c.score;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return width;
+  int64_t rank = 0;
+  for (const ScoredId& c : ranked) {
+    if (c.score < target_score) break;
+    if (c.id == target) continue;
+    if (std::find(exclude.begin(), exclude.end(), c.id) != exclude.end()) {
+      continue;
+    }
+    ++rank;
+  }
+  return rank;
+}
+
 // Ranks every case and averages the metrics. One driver, three scoring
 // strategies — all accumulating ranks in case order, so the resulting
 // metrics are bitwise identical across strategies and thread counts:
@@ -72,7 +120,40 @@ RankingMetrics RankCases(Scorer& model,
   std::vector<int64_t> ranks(static_cast<size_t>(count));
   const int64_t width = model.ScoreWidth();
 
-  if (width > 0) {
+  if (width > 0 && model.SupportsCandidateEval()) {
+    // Candidate-retrieval strategy: ranks come from ranked candidate
+    // lists, so the metrics measure the serving path's retrieval
+    // structure. The depth is a fixed function of the cases (never the
+    // thread count): history can consume up to max_prefix slots of a
+    // list before eligible items start.
+    int64_t max_prefix = 0;
+    for (const std::vector<int32_t>& p : prefixes) {
+      max_prefix = std::max<int64_t>(max_prefix,
+                                     static_cast<int64_t>(p.size()));
+    }
+    const int64_t limit =
+        std::min<int64_t>(width, kCandidateEvalDepth + max_prefix);
+    const int64_t n_batches = (count + kScoreBatch - 1) / kScoreBatch;
+    PMM_TRACE_COUNT("eval.batches", n_batches);
+    // Batches are fed serially (candidate scorers parallelise
+    // internally, like the batched strategy below).
+    for (int64_t b = 0; b < n_batches; ++b) {
+      PMM_TRACE_SCOPE("eval.batch");
+      const int64_t lo = b * kScoreBatch;
+      const int64_t hi = std::min<int64_t>(count, lo + kScoreBatch);
+      const std::vector<std::vector<ScoredId>> lists =
+          model.ScoreCandidatesBatch(
+              std::span<const std::vector<int32_t>>(prefixes).subspan(
+                  static_cast<size_t>(lo), static_cast<size_t>(hi - lo)),
+              limit);
+      for (int64_t i = lo; i < hi; ++i) {
+        ranks[static_cast<size_t>(i)] =
+            RankFromCandidates(lists[static_cast<size_t>(i - lo)], width,
+                               targets[static_cast<size_t>(i)],
+                               prefixes[static_cast<size_t>(i)]);
+      }
+    }
+  } else if (width > 0) {
     const int64_t n_batches = (count + kScoreBatch - 1) / kScoreBatch;
     PMM_TRACE_COUNT("eval.batches", n_batches);
     // Scores one contiguous batch of cases into `scores` (an arena-backed

@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "eval/metrics.h"
+#include "utils/topk.h"
 
 namespace pmmrec {
 
@@ -55,6 +56,22 @@ class Scorer {
   // order, so metrics are bit-identical to the serial path). Defaults to
   // false so stateful baselines stay on the serial path.
   virtual bool SupportsParallelEval() const { return false; }
+
+  // Opt-in: evaluation through the candidate-retrieval path. When true,
+  // the evaluator ranks each case from the ranked candidate lists of
+  // ScoreCandidatesBatch() instead of full score rows — so the metrics
+  // measure the retrieval structure (e.g. an ANN index) the serving path
+  // actually uses. A target missing from its candidate list saturates to
+  // rank ScoreWidth() (a miss at every cutoff); otherwise the rank is
+  // exact whenever every item scoring >= the target is retrieved.
+  virtual bool SupportsCandidateEval() const { return false; }
+
+  // Ranked candidates per prefix — up to `limit` entries in (score desc,
+  // id asc) order with exact scores, matching prefixes[i] at index i.
+  // Only called when SupportsCandidateEval() returns true; the default
+  // implementation aborts.
+  virtual std::vector<std::vector<ScoredId>> ScoreCandidatesBatch(
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 };
 
 enum class EvalSplit { kValidation, kTest };

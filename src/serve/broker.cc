@@ -4,7 +4,6 @@
 #include <chrono>
 #include <map>
 
-#include "utils/arena.h"
 #include "utils/check.h"
 #include "utils/trace.h"
 
@@ -133,14 +132,16 @@ std::vector<RequestBroker::Pending> RequestBroker::NextBatch() {
   }
 }
 
-void RequestBroker::ScoreBatch(
-    const std::vector<std::vector<int32_t>>& prefixes, float* scores) {
+std::vector<std::vector<ScoredId>> RequestBroker::ScoreBatchCandidates(
+    const std::vector<std::vector<int32_t>>& prefixes, int64_t limit) {
   std::shared_lock<std::shared_mutex> read(model_mu_);
   if (!model_->item_table_cache().valid()) {
     // Stale table (a parameter update landed between requests): rebuild
     // under the exclusive lock. Racing workers queue up here; whichever
     // wins rebuilds, the rest re-check validity and fall through, so a
-    // single invalidation costs exactly one rebuild.
+    // single invalidation costs exactly one rebuild — and the rebuild
+    // covers the fp32 table plus whatever rides along (int8 tables, IVF
+    // lists), so no route can see a stale derived structure.
     read.unlock();
     {
       std::unique_lock<std::shared_mutex> write(model_mu_);
@@ -151,24 +152,12 @@ void RequestBroker::ScoreBatch(
     }
     read.lock();
   }
-  model_->ScoreUsersBatched(prefixes, scores);
-}
-
-std::vector<std::vector<ScoredId>> RequestBroker::ScoreBatchQuant(
-    const std::vector<std::vector<int32_t>>& prefixes) {
-  std::shared_lock<std::shared_mutex> read(model_mu_);
-  if (!model_->item_table_cache().valid()) {
-    read.unlock();
-    {
-      std::unique_lock<std::shared_mutex> write(model_mu_);
-      if (!model_->item_table_cache().valid()) {
-        PMM_TRACE_COUNT("serve.cache_rebuilds", 1);
-        model_->PrepareForEval();
-      }
-    }
-    read.lock();
+  if (model_->QuantServingEnabled()) {
+    // Quantized two-stage pass at its auto window (itself IVF-routed when
+    // ANN is also on — the combined mode).
+    return model_->ScoreUsersCandidates(prefixes);
   }
-  return model_->ScoreUsersCandidates(prefixes);
+  return model_->RetrieveCandidates(prefixes, limit);
 }
 
 void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
@@ -224,7 +213,6 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
   }
 
   const int64_t g = static_cast<int64_t>(live.size());
-  const int64_t rows = static_cast<int64_t>(prefixes.size());
   stats_.batches.fetch_add(1, std::memory_order_relaxed);
   stats_.batched_requests.fetch_add(static_cast<uint64_t>(g),
                                     std::memory_order_relaxed);
@@ -237,48 +225,37 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
   PMM_TRACE_COUNT("serve.batched_requests", g);
   PMM_TRACE_OBSERVE("serve.batch_size", g);
 
-  // Quantized path: per-row re-ranked candidate windows instead of full
-  // score rows; the final per-request selection walks the ranked window.
-  // Responses are bitwise equal to the fp32 branch below whenever the
-  // eligible top-K sits inside the window (enforced by tests/bench_quant).
-  if (model_->QuantServingEnabled()) {
-    std::vector<std::vector<ScoredId>> candidates;
-    {
-      PMM_TRACE_SCOPE_AT("serve.batch", kEpoch, "serve.batch.ns");
-      candidates = ScoreBatchQuant(prefixes);
-    }
-    stats_.quant_batches.fetch_add(1, std::memory_order_relaxed);
-    PMM_TRACE_COUNT("serve.quant_batches", 1);
-    for (int64_t i = 0; i < g; ++i) {
-      const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
-      Response response;
-      response.status = ServeStatus::kOk;
-      {
-        PMM_TRACE_SCOPE_AT("serve.topk", kOp, "serve.topk.ns");
-        response.items = TopKFromRanked(
-            candidates[row], live[static_cast<size_t>(i)].request.topk,
-            options_.exclude_history
-                ? std::span<const int32_t>(prefixes[row])
-                : std::span<const int32_t>());
-      }
-      response.queue_ns =
-          dequeue_ns - live[static_cast<size_t>(i)].enqueue_ns;
-      response.total_ns =
-          trace::NowNs() - live[static_cast<size_t>(i)].enqueue_ns;
-      response.batch_size = g;
-      stats_.completed.fetch_add(1, std::memory_order_relaxed);
-      PMM_TRACE_OBSERVE("serve.latency_us", response.total_ns / 1000);
-      PMM_TRACE_OBSERVE("serve.queue_wait_us", response.queue_ns / 1000);
-      live[static_cast<size_t>(i)].promise.set_value(std::move(response));
-    }
-    return;
+  // Candidate limit for the exact route: large enough that every
+  // request's eligible top-K survives the candidate stage (limit >=
+  // topk + |exclude|, with the deduped exclusion set never larger than
+  // the raw prefix), clamped to the catalogue. This is what makes
+  // TopKFromRanked over the candidates bitwise TopKSelect over the full
+  // score row — the CandidateSource refactor changes no response bits in
+  // exact mode.
+  int64_t limit = 1;
+  for (int64_t i = 0; i < g; ++i) {
+    const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
+    const int64_t need =
+        live[static_cast<size_t>(i)].request.topk +
+        (options_.exclude_history
+             ? static_cast<int64_t>(prefixes[row].size())
+             : 0);
+    limit = std::max(limit, need);
   }
+  limit = std::min(limit, n_items_);
 
-  std::vector<float> scores = BufferArena::Global().AcquireVec(
-      static_cast<size_t>(rows) * static_cast<size_t>(n_items_));
+  std::vector<std::vector<ScoredId>> candidates;
   {
     PMM_TRACE_SCOPE_AT("serve.batch", kEpoch, "serve.batch.ns");
-    ScoreBatch(prefixes, scores.data());
+    candidates = ScoreBatchCandidates(prefixes, limit);
+  }
+  if (model_->QuantServingEnabled()) {
+    stats_.quant_batches.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.quant_batches", 1);
+  }
+  if (model_->AnnServingEnabled()) {
+    stats_.ann_batches.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.ann_batches", 1);
   }
   for (int64_t i = 0; i < g; ++i) {
     const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
@@ -286,9 +263,8 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
     response.status = ServeStatus::kOk;
     {
       PMM_TRACE_SCOPE_AT("serve.topk", kOp, "serve.topk.ns");
-      response.items = TopKSelect(
-          scores.data() + static_cast<int64_t>(row) * n_items_, n_items_,
-          live[static_cast<size_t>(i)].request.topk,
+      response.items = TopKFromRanked(
+          candidates[row], live[static_cast<size_t>(i)].request.topk,
           options_.exclude_history
               ? std::span<const int32_t>(prefixes[row])
               : std::span<const int32_t>());
@@ -303,7 +279,6 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
     PMM_TRACE_OBSERVE("serve.queue_wait_us", response.queue_ns / 1000);
     live[static_cast<size_t>(i)].promise.set_value(std::move(response));
   }
-  BufferArena::Global().Release(std::move(scores));
 }
 
 void RequestBroker::WorkerLoop() {
@@ -375,6 +350,7 @@ BrokerStats RequestBroker::stats() const {
   out.merged_requests =
       stats_.merged_requests.load(std::memory_order_relaxed);
   out.quant_batches = stats_.quant_batches.load(std::memory_order_relaxed);
+  out.ann_batches = stats_.ann_batches.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -23,17 +23,21 @@ namespace serve {
 // into dynamically formed micro-batches over the frozen-model inference
 // path: requests enter a bounded MPSC queue, worker threads drain the
 // queue under a coalescing policy (wait up to `max_wait_us` for up to
-// `max_batch` requests), score the whole batch with one
-// PMMRecModel::ScoreUsersBatched call — collapsing identical prefixes onto
-// one shared score row first — and answer each request with its partial
-// top-K (utils/topk.h): K ids and scores, never the full catalogue row.
+// `max_batch` requests), retrieve ranked candidates for the whole batch
+// through the model's active CandidateSource (core/ivf.h: the exact full
+// scan by default, the IVF index under PMMREC_ANN, the quantized
+// two-stage pass under PMMREC_QUANT) — collapsing identical prefixes onto
+// one shared candidate list first — and answer each request with its
+// partial top-K (utils/topk.h): K ids and scores, never the full
+// catalogue row.
 //
 // Determinism contract: a request's response depends only on the request
 // and the model parameters — never on which batch it coalesced into, the
 // coalescing policy, the worker count, or PMMREC_NUM_THREADS. This holds
-// because ScoreUsersBatched is bitwise identical per row to the serial
-// ScoreItems path for any batch composition, and TopKSelect is a pure
-// function of the row with a total ordering rule.
+// because the exact retrieval path is bitwise identical per row to the
+// serial ScoreItems + TopKSelect path for any batch composition and any
+// candidate limit >= topk + |exclude| (approximate sources trade this for
+// recall, deterministically — same request, same candidates).
 //
 // Backpressure and deadlines are checked, never blocking: a Submit against
 // a full queue resolves immediately with kQueueFull, and a request whose
@@ -100,6 +104,7 @@ struct BrokerStats {
   uint64_t max_batch = 0;            // Largest batch actually scored.
   uint64_t merged_requests = 0;      // Duplicates collapsed onto a shared row.
   uint64_t quant_batches = 0;        // Batches scored via the quantized path.
+  uint64_t ann_batches = 0;          // Batches retrieved via the IVF index.
 };
 
 class RequestBroker {
@@ -147,16 +152,15 @@ class RequestBroker {
   // max_batch requests. An empty result means "shutting down".
   std::vector<Pending> NextBatch();
   void ProcessBatch(std::vector<Pending> batch);
-  // Scores `prefixes` under the cache-rebuild protocol: rebuilds (if
-  // stale) under the exclusive lock, scores under the shared lock.
-  void ScoreBatch(const std::vector<std::vector<int32_t>>& prefixes,
-                  float* scores);
-  // Quantized-path variant (model_->QuantServingEnabled()): same rebuild
-  // protocol, but returns each row's exactly re-ranked candidate window
-  // instead of the full score row. Responses stay bitwise identical to
-  // the fp32 path (see DESIGN.md "Quantized serving").
-  std::vector<std::vector<ScoredId>> ScoreBatchQuant(
-      const std::vector<std::vector<int32_t>>& prefixes);
+  // Retrieves each row's ranked candidates under the cache-rebuild
+  // protocol: rebuilds (if stale) under the exclusive lock, retrieves
+  // under the shared lock. Routes by the model's serving mode — quantized
+  // two-stage pass (auto window), else the active CandidateSource (exact
+  // full scan or IVF index) bounded by `limit`. On the default exact
+  // route, limit >= topk + |exclude| makes the final TopKFromRanked
+  // bitwise TopKSelect over the full score row.
+  std::vector<std::vector<ScoredId>> ScoreBatchCandidates(
+      const std::vector<std::vector<int32_t>>& prefixes, int64_t limit);
 
   PMMRecModel* const model_;
   const BrokerOptions options_;
@@ -188,6 +192,7 @@ class RequestBroker {
     std::atomic<uint64_t> max_batch{0};
     std::atomic<uint64_t> merged_requests{0};
     std::atomic<uint64_t> quant_batches{0};
+    std::atomic<uint64_t> ann_batches{0};
   };
   AtomicStats stats_;
 };

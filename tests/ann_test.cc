@@ -1,0 +1,388 @@
+// The CandidateSource retrieval layer (core/ivf.h). The claims:
+//
+//  1. With the default config (no ANN, no quant), every broker response
+//     is bitwise identical to the pre-candidate serial reference
+//     (ScoreItems + TopKSelect) for every tested worker x thread
+//     combination — the CandidateSource refactor moves no response bits
+//     in exact mode.
+//  2. RetrieveExactCandidates is bitwise TopKSelect over the full score
+//     row, and IvfIndex at nprobe == nlist reproduces
+//     ExactCandidateSource bit-for-bit (every row scanned, same kernel,
+//     same order).
+//  3. Candidate recall@10 is monotone in nprobe (probed lists are nested
+//     as nprobe grows and in-list scores are exact).
+//  4. With ANN serving on, the one-rebuild-per-param-update protocol
+//     covers the IVF index: an optimizer step under concurrent client
+//     load costs exactly one rebuild, and every served score is still
+//     the exact fp32 score of its item.
+//  5. Config contract: out-of-range nlist/nprobe and bad Retrieve
+//     arguments die under PMM_CHECK.
+//
+// Labelled `ann`; CI also runs this suite under PMMREC_SANITIZE=thread.
+
+#include "core/ivf.h"
+
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "serve/broker.h"
+#include "utils/parallel.h"
+#include "utils/rng.h"
+#include "utils/topk.h"
+
+namespace pmmrec {
+namespace {
+
+using serve::BrokerOptions;
+using serve::BrokerStats;
+using serve::Request;
+using serve::RequestBroker;
+using serve::Response;
+using serve::ServeStatus;
+
+void ExpectBitwise(const std::vector<ScoredId>& got,
+                   const std::vector<ScoredId>& want,
+                   const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+        << what << " position " << i;
+  }
+}
+
+// Synthetic clustered table + queries (the geometry IVF exploits).
+struct SyntheticTable {
+  int64_t n = 0;
+  int64_t d = 0;
+  std::vector<float> rows;
+  std::vector<float> queries;  // [nq, d]
+  int64_t nq = 0;
+};
+
+SyntheticTable MakeClusteredTable(int64_t n, int64_t d, int64_t nq,
+                                  uint64_t seed) {
+  SyntheticTable t;
+  t.n = n;
+  t.d = d;
+  t.nq = nq;
+  const int64_t n_centers = 16;
+  Rng rng(seed);
+  std::vector<float> centers(static_cast<size_t>(n_centers * d));
+  for (float& c : centers) c = rng.NormalFloat();
+  t.rows.resize(static_cast<size_t>(n * d));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = i % n_centers;
+    for (int64_t j = 0; j < d; ++j) {
+      t.rows[static_cast<size_t>(i * d + j)] =
+          centers[static_cast<size_t>(c * d + j)] + 0.3f * rng.NormalFloat();
+    }
+  }
+  t.queries.resize(static_cast<size_t>(nq * d));
+  for (int64_t q = 0; q < nq; ++q) {
+    const int64_t c = rng.UniformInt(0, n_centers);
+    for (int64_t j = 0; j < d; ++j) {
+      t.queries[static_cast<size_t>(q * d + j)] =
+          centers[static_cast<size_t>(c * d + j)] + 0.3f * rng.NormalFloat();
+    }
+  }
+  return t;
+}
+
+// --- Claim 1: exact broker path is bitwise the pre-candidate scan. ----------
+
+class AnnServeTest : public ::testing::Test {
+ protected:
+  AnnServeTest()
+      : suite_(BuildBenchmarkSuite(0.2, 13)),
+        ds_(suite_.sources[0]),
+        config_(PMMRecConfig::FromDataset(ds_)) {}
+
+  std::vector<ScoredId> SerialReference(PMMRecModel& model,
+                                        const std::vector<int32_t>& prefix,
+                                        int64_t topk) {
+    const std::vector<float> scores = model.ScoreItems(prefix);
+    return TopKSelect(scores.data(), static_cast<int64_t>(scores.size()),
+                      topk, prefix);
+  }
+
+  BenchmarkSuite suite_;
+  const Dataset& ds_;
+  PMMRecConfig config_;
+};
+
+TEST_F(AnnServeTest, ExactBrokerBitwiseEqualAcrossWorkersAndThreads) {
+  constexpr int64_t kTopK = 10;
+  PMMRecModel model(config_, 42);
+  model.AttachDataset(&ds_);
+  ASSERT_FALSE(model.AnnServingEnabled());
+  ASSERT_FALSE(model.QuantServingEnabled());
+
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < 16; ++u) {
+    prefixes.push_back(ds_.TestPrefix(u % ds_.num_users()));
+  }
+  std::vector<std::vector<ScoredId>> want;
+  {
+    NumThreadsGuard guard(1);
+    for (const auto& prefix : prefixes) {
+      want.push_back(SerialReference(model, prefix, kTopK));
+    }
+  }
+
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    for (const int64_t workers : {int64_t{1}, int64_t{4}}) {
+      BrokerOptions options;
+      options.num_workers = workers;
+      options.max_batch = 8;
+      options.max_wait_us = 200;
+      options.queue_capacity = 64;
+      RequestBroker broker(&model, options);
+      std::vector<std::future<Response>> futures;
+      for (const auto& prefix : prefixes) {
+        Request request;
+        request.prefix = prefix;
+        request.topk = kTopK;
+        futures.push_back(broker.Submit(std::move(request)));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        const Response response = futures[i].get();
+        const std::string what = "threads=" + std::to_string(threads) +
+                                 " workers=" + std::to_string(workers) +
+                                 " request=" + std::to_string(i);
+        ASSERT_EQ(response.status, ServeStatus::kOk) << what;
+        ExpectBitwise(response.items, want[i], what);
+      }
+      EXPECT_EQ(broker.stats().ann_batches, 0u)
+          << "ANN branch taken without ann_serving";
+    }
+  }
+}
+
+TEST_F(AnnServeTest, RetrieveExactCandidatesIsBitwiseFullScan) {
+  constexpr int64_t kLimit = 25;
+  PMMRecModel model(config_, 42);
+  model.AttachDataset(&ds_);
+  model.PrepareForEval();
+  std::vector<std::vector<int32_t>> prefixes;
+  for (int64_t u = 0; u < 6; ++u) prefixes.push_back(ds_.TestPrefix(u));
+  const std::vector<std::vector<ScoredId>> got =
+      model.RetrieveExactCandidates(prefixes, kLimit);
+  ASSERT_EQ(got.size(), prefixes.size());
+  for (size_t i = 0; i < prefixes.size(); ++i) {
+    const std::vector<float> scores = model.ScoreItems(prefixes[i]);
+    const std::vector<ScoredId> want = TopKSelect(
+        scores.data(), static_cast<int64_t>(scores.size()), kLimit);
+    ExpectBitwise(got[i], want, "prefix " + std::to_string(i));
+  }
+}
+
+// --- Claim 4: rebuild-exactly-once with the IVF index riding along. ---------
+
+TEST_F(AnnServeTest, ParamUpdateMidLoadRebuildsOnceWithAnnEnabled) {
+  constexpr int64_t kTopK = 5;
+  PMMRecConfig config = config_;
+  config.ann_serving = true;
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds_);
+
+  BrokerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 1;  // Maximal concurrency against the rebuild.
+  options.max_wait_us = 0;
+  RequestBroker broker(&model, options);
+
+  const Response before = broker.Recommend(ds_.TestPrefix(0), kTopK);
+  ASSERT_EQ(before.status, ServeStatus::kOk);
+  ASSERT_TRUE(model.AnnServingEnabled());
+  ASSERT_TRUE(model.item_table_cache().ann_enabled());
+  const uint64_t rebuilds_before = model.item_table_cache().rebuilds();
+
+  // A real optimizer step: the fp32 table AND the IVF index go stale.
+  std::vector<int64_t> users;
+  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
+  const SeqBatch batch = MakeTrainBatch(ds_, users, config.max_seq_len);
+  AdamW opt(model.TrainableParameters(), 1e-3f);
+  Tensor loss = model.TrainStepLoss(batch);
+  ASSERT_TRUE(loss.defined());
+  loss.Backward();
+  opt.Step();
+  ASSERT_FALSE(model.item_table_cache().valid());
+
+  constexpr int64_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<Response> responses(kClients);
+  for (int64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      responses[static_cast<size_t>(c)] =
+          broker.Recommend(ds_.TestPrefix(c), kTopK);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(model.item_table_cache().rebuilds(), rebuilds_before + 1);
+  EXPECT_TRUE(model.item_table_cache().valid());
+  EXPECT_GT(broker.stats().ann_batches, 0u);
+
+  // ANN may narrow WHICH items are served, but every served score must
+  // be the exact post-update fp32 score of its item.
+  for (int64_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[static_cast<size_t>(c)].status, ServeStatus::kOk);
+    const std::vector<float> scores = model.ScoreItems(ds_.TestPrefix(c));
+    for (const ScoredId& item : responses[static_cast<size_t>(c)].items) {
+      EXPECT_EQ(std::memcmp(&item.score,
+                            &scores[static_cast<size_t>(item.id)],
+                            sizeof(float)),
+                0)
+          << "client " << c << " item " << item.id;
+    }
+  }
+}
+
+// --- Claim 2: nprobe == nlist reproduces the exact source bitwise. ----------
+
+TEST(IvfIndexTest, FullProbeBitwiseEqualsExactSource) {
+  const SyntheticTable t = MakeClusteredTable(600, 12, 24, 21);
+  constexpr int64_t kLimit = 15;
+  ExactCandidateSource exact(t.rows.data(), t.n, t.d);
+  const std::vector<std::vector<ScoredId>> want =
+      exact.Retrieve(t.queries.data(), t.nq, kLimit);
+
+  IvfConfig config;
+  config.nlist = 20;
+  config.nprobe = 20;
+  IvfIndex index;
+  index.Build(t.rows.data(), t.n, t.d, nullptr, config);
+  EXPECT_EQ(index.nlist(), 20);
+  EXPECT_EQ(index.nprobe(), 20);
+  const std::vector<std::vector<ScoredId>> got =
+      IvfCandidateSource(&index).Retrieve(t.queries.data(), t.nq, kLimit);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t q = 0; q < want.size(); ++q) {
+    ExpectBitwise(got[q], want[q], "query " + std::to_string(q));
+  }
+}
+
+TEST(IvfIndexTest, RetrieveDeterministicAcrossThreadCounts) {
+  const SyntheticTable t = MakeClusteredTable(400, 8, 16, 33);
+  IvfConfig config;
+  IvfIndex index;
+  index.Build(t.rows.data(), t.n, t.d, nullptr, config);
+  std::vector<std::vector<std::vector<ScoredId>>> runs;
+  for (const int64_t threads : {1, 4}) {
+    NumThreadsGuard guard(threads);
+    runs.push_back(
+        IvfCandidateSource(&index).Retrieve(t.queries.data(), t.nq, 10));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (size_t q = 0; q < runs[0].size(); ++q) {
+    ExpectBitwise(runs[1][q], runs[0][q], "query " + std::to_string(q));
+  }
+}
+
+// --- Claim 3: recall@10 is monotone in nprobe. ------------------------------
+
+TEST(IvfIndexTest, RecallMonotoneInNprobe) {
+  const SyntheticTable t = MakeClusteredTable(800, 12, 32, 5);
+  constexpr int64_t kTopK = 10;
+  ExactCandidateSource exact(t.rows.data(), t.n, t.d);
+  const std::vector<std::vector<ScoredId>> truth =
+      exact.Retrieve(t.queries.data(), t.nq, kTopK);
+
+  const int64_t nlist = 24;
+  double previous = -1.0;
+  for (const int64_t nprobe : {1, 2, 4, 8, 16, 24}) {
+    IvfConfig config;
+    config.nlist = nlist;
+    config.nprobe = nprobe;
+    IvfIndex index;
+    index.Build(t.rows.data(), t.n, t.d, nullptr, config);
+    const std::vector<std::vector<ScoredId>> got =
+        IvfCandidateSource(&index).Retrieve(t.queries.data(), t.nq, kTopK);
+    double recall = 0;
+    for (int64_t q = 0; q < t.nq; ++q) {
+      int64_t hit = 0;
+      for (const ScoredId& e : truth[static_cast<size_t>(q)]) {
+        for (const ScoredId& g : got[static_cast<size_t>(q)]) {
+          if (g.id == e.id) {
+            ++hit;
+            break;
+          }
+        }
+      }
+      recall += static_cast<double>(hit) /
+                static_cast<double>(truth[static_cast<size_t>(q)].size());
+    }
+    recall /= static_cast<double>(t.nq);
+    // Probed lists are nested as nprobe grows and in-list scores exact,
+    // so per-query recall can only grow.
+    EXPECT_GE(recall, previous) << "nprobe " << nprobe;
+    previous = recall;
+  }
+  EXPECT_EQ(previous, 1.0) << "full probe must recall everything";
+}
+
+// Quantized lists: approximation may narrow WHICH items return, but every
+// returned score is the exact fp32 score of its item.
+TEST(IvfIndexTest, QuantizedListsReturnExactScores) {
+  const SyntheticTable t = MakeClusteredTable(500, 16, 16, 77);
+  QuantizedTable qt;
+  QuantizeTableRows(t.rows.data(), t.n, t.d, &qt);
+  IvfConfig config;
+  config.nlist = 16;
+  config.nprobe = 16;
+  IvfIndex index;
+  index.Build(t.rows.data(), t.n, t.d, &qt, config);
+  ASSERT_TRUE(index.quantized_lists());
+  IvfCandidateSource source(&index);
+  EXPECT_STREQ(source.name(), "ivf+int8");
+  const std::vector<std::vector<ScoredId>> got =
+      source.Retrieve(t.queries.data(), t.nq, 10);
+  for (int64_t q = 0; q < t.nq; ++q) {
+    for (const ScoredId& item : got[static_cast<size_t>(q)]) {
+      float want = 0.0f;
+      for (int64_t j = 0; j < t.d; ++j) {
+        want += t.queries[static_cast<size_t>(q * t.d + j)] *
+                t.rows[static_cast<size_t>(item.id * t.d + j)];
+      }
+      EXPECT_EQ(std::memcmp(&item.score, &want, sizeof(float)), 0)
+          << "query " << q << " item " << item.id;
+    }
+  }
+}
+
+// --- Claim 5: contract death tests. -----------------------------------------
+
+TEST(IvfDeathTest, NlistOutOfRange) {
+  EXPECT_DEATH(IvfIndex::ResolveNlist(101, 100), "nlist");
+  EXPECT_DEATH(IvfIndex::ResolveNlist(-1, 100), "nlist");
+}
+
+TEST(IvfDeathTest, NprobeOutOfRange) {
+  EXPECT_DEATH(IvfIndex::ResolveNprobe(11, 10), "nprobe");
+  EXPECT_DEATH(IvfIndex::ResolveNprobe(-2, 10), "nprobe");
+}
+
+TEST(IvfDeathTest, BadRetrieveArguments) {
+  const SyntheticTable t = MakeClusteredTable(100, 4, 2, 3);
+  IvfIndex unbuilt;
+  EXPECT_DEATH(unbuilt.Retrieve(t.queries.data(), 1, 10), "PMM_CHECK");
+  IvfConfig config;
+  IvfIndex index;
+  index.Build(t.rows.data(), t.n, t.d, nullptr, config);
+  EXPECT_DEATH(index.Retrieve(t.queries.data(), 1, 0), "PMM_CHECK");
+  EXPECT_DEATH(index.Retrieve(nullptr, 1, 10), "PMM_CHECK");
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -1,0 +1,111 @@
+// Contract tests of the k-means coarse quantizer (baselines/kmeans.h):
+// thread-count and seed determinism (the IVF index's build determinism
+// rests on both), empty-cluster re-seeding, degenerate inputs, and the
+// checked preconditions.
+
+#include "baselines/kmeans.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "utils/parallel.h"
+#include "utils/rng.h"
+
+namespace pmmrec {
+namespace {
+
+std::vector<float> RandomPoints(int64_t n, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> points(static_cast<size_t>(n * dim));
+  for (float& p : points) p = rng.NormalFloat();
+  return points;
+}
+
+bool BitwiseEqual(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(KMeansTest, DeterministicAcrossThreadCounts) {
+  const std::vector<float> points = RandomPoints(257, 7, 11);
+  std::vector<std::vector<float>> results;
+  for (const int64_t threads : {1, 4}) {
+    NumThreadsGuard guard(threads);
+    Rng rng(5);
+    results.push_back(KMeans(points, 257, 7, 9, 10, rng));
+  }
+  EXPECT_TRUE(BitwiseEqual(results[0], results[1]))
+      << "parallel assignment changed the centroids";
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const std::vector<float> points = RandomPoints(120, 5, 3);
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const std::vector<float> a = KMeans(points, 120, 5, 6, 8, rng_a);
+  const std::vector<float> b = KMeans(points, 120, 5, 6, 8, rng_b);
+  EXPECT_TRUE(BitwiseEqual(a, b));
+}
+
+// All points identical: every init centroid is the same value, all points
+// land in one cluster and the rest go empty; re-seeding must keep the
+// result finite and equal to the unique point.
+TEST(KMeansTest, DuplicatePointsAndEmptyClusterReseed) {
+  const int64_t n = 16, dim = 3, k = 4;
+  std::vector<float> points(static_cast<size_t>(n * dim));
+  for (int64_t i = 0; i < n; ++i) {
+    points[static_cast<size_t>(i * dim + 0)] = 1.5f;
+    points[static_cast<size_t>(i * dim + 1)] = -2.0f;
+    points[static_cast<size_t>(i * dim + 2)] = 0.25f;
+  }
+  Rng rng(7);
+  const std::vector<float> centroids = KMeans(points, n, dim, k, 5, rng);
+  ASSERT_EQ(centroids.size(), static_cast<size_t>(k * dim));
+  for (int64_t c = 0; c < k; ++c) {
+    EXPECT_FLOAT_EQ(centroids[static_cast<size_t>(c * dim + 0)], 1.5f);
+    EXPECT_FLOAT_EQ(centroids[static_cast<size_t>(c * dim + 1)], -2.0f);
+    EXPECT_FLOAT_EQ(centroids[static_cast<size_t>(c * dim + 2)], 0.25f);
+  }
+}
+
+// Two well-separated blobs, k=2: each centroid converges to a blob mean
+// and NearestCentroid routes each blob to its own centroid. Exercises the
+// convergence early-exit (far fewer than `iterations` passes change an
+// assignment).
+TEST(KMeansTest, SeparatedBlobsConverge) {
+  const int64_t n = 64, dim = 2;
+  std::vector<float> points(static_cast<size_t>(n * dim));
+  Rng noise(9);
+  for (int64_t i = 0; i < n; ++i) {
+    const float cx = i < n / 2 ? -10.0f : 10.0f;
+    points[static_cast<size_t>(i * dim)] = cx + 0.1f * noise.NormalFloat();
+    points[static_cast<size_t>(i * dim + 1)] = 0.1f * noise.NormalFloat();
+  }
+  Rng rng(13);
+  const std::vector<float> centroids = KMeans(points, n, dim, 2, 100, rng);
+  const int64_t left = NearestCentroid(points.data(), centroids, 2, dim);
+  const int64_t right =
+      NearestCentroid(points.data() + (n - 1) * dim, centroids, 2, dim);
+  EXPECT_NE(left, right);
+  EXPECT_NEAR(std::abs(centroids[static_cast<size_t>(left * dim)]), 10.0,
+              0.5);
+  EXPECT_NEAR(std::abs(centroids[static_cast<size_t>(right * dim)]), 10.0,
+              0.5);
+}
+
+TEST(KMeansDeathTest, FewerPointsThanClusters) {
+  const std::vector<float> points = RandomPoints(2, 4, 1);
+  Rng rng(1);
+  EXPECT_DEATH(KMeans(points, 2, 4, 3, 5, rng), "PMM_CHECK");
+}
+
+TEST(KMeansDeathTest, ZeroIterations) {
+  const std::vector<float> points = RandomPoints(8, 2, 1);
+  Rng rng(1);
+  EXPECT_DEATH(KMeans(points, 8, 2, 2, 0, rng), "PMM_CHECK");
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -9,6 +9,11 @@
 //   train     --data FILE.pmds --out MODEL.ckpt [--epochs N] [--seed N]
 //             [--modality both|text|vision] [--pretrain-objectives]
 //   evaluate  --data FILE.pmds --model MODEL.ckpt [--split test|valid]
+//             [--ann] [--nlist N] [--nprobe P]
+//             With --ann the metrics are computed through the IVF
+//             candidate-retrieval path (the index the serving path uses),
+//             so recall loss from approximate retrieval shows up in the
+//             reported HR/NDCG directly.
 //   transfer  --data TARGET.pmds --source-model SRC.ckpt --out DST.ckpt
 //             [--setting full|item|user|text|vision] [--epochs N]
 //             Transfer components from a pre-trained checkpoint and
@@ -18,7 +23,7 @@
 //             and the top-K items.
 //   recommend --data FILE.pmds --model MODEL.ckpt --users U1,U2,... [--topk K]
 //             [--serve-workers N] [--max-batch B] [--quant]
-//             [--rerank-window W]
+//             [--rerank-window W] [--ann] [--nlist N] [--nprobe P]
 //             Batch mode (--users all scores every user): requests are
 //             routed through the serving broker (src/serve/broker.h), so
 //             peak score memory is O(max_batch * n_items) — not
@@ -26,15 +31,25 @@
 //             user. Prints a users/sec line. --quant scores candidates on
 //             the int8 item table and re-ranks the top window exactly in
 //             fp32 — top-K answers are bitwise identical to the default
-//             path (see DESIGN.md "Quantized serving").
+//             path (see DESIGN.md "Quantized serving"). --ann retrieves
+//             candidates from the IVF index (DESIGN.md "Candidate
+//             retrieval"): approximate recall, exact fp32 scores. --ann
+//             plus --quant probes the int8 inverted lists and re-ranks in
+//             fp32 — the combined mode. --nlist/--nprobe override the
+//             index defaults (sqrt(n) lists, nlist/32 probes).
 //   serve-bench --data FILE.pmds --model MODEL.ckpt [--requests N]
 //             [--clients C] [--workers W] [--max-batch B] [--max-wait-us U]
 //             [--deadline-ms D] [--topk K] [--quant] [--rerank-window W]
+//             [--ann] [--nlist N] [--nprobe P] [--items N]
 //             Closed-loop load test of the request broker: C client
 //             threads submit N requests, printing achieved QPS, latency
 //             percentiles, shed/reject counts, and the batch-size
-//             distribution. (bench/bench_serve is the full offered-QPS
-//             sweep writing BENCH_serving.json.)
+//             distribution. --items N swaps in a generated synthetic
+//             catalogue of N items (no --data/--model needed; the model
+//             stays untrained — serving cost is independent of parameter
+//             values), for load-testing retrieval at catalogue scales no
+//             checked-in dataset reaches. (bench/bench_serve is the full
+//             offered-QPS sweep writing BENCH_serving.json.)
 //
 // Global flags (any subcommand):
 //   --threads N   Intra-op threads for the tensor kernels and evaluation
@@ -48,7 +63,9 @@
 //                 changes results — only wall-clock, slightly.
 //
 // The PMMREC_QUANT env var (any value but "0") enables the quantized
-// serving path globally, equivalent to passing --quant everywhere.
+// serving path globally, equivalent to passing --quant everywhere; the
+// PMMREC_ANN env var does the same for --ann. Setting both serves from
+// the int8 inverted lists with exact fp32 re-ranking.
 //
 // Model checkpoints store parameters only; the architecture is derived
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
@@ -160,6 +177,9 @@ int CmdEvaluate(const FlagParser& flags) {
   const Dataset ds = LoadDataOrDie(flags);
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
   config.modality = ParseModality(flags.GetString("modality", "both"));
+  config.ann_serving = flags.GetBool("ann", false);
+  config.ann_nlist = flags.GetInt("nlist", 0);
+  config.ann_nprobe = flags.GetInt("nprobe", 0);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
@@ -262,6 +282,9 @@ int CmdRecommend(const FlagParser& flags) {
   config.modality = ParseModality(flags.GetString("modality", "both"));
   config.quantized_serving = flags.GetBool("quant", false);
   config.quant_rerank_window = flags.GetInt("rerank-window", 0);
+  config.ann_serving = flags.GetBool("ann", false);
+  config.ann_nlist = flags.GetInt("nlist", 0);
+  config.ann_nprobe = flags.GetInt("nprobe", 0);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
@@ -304,13 +327,19 @@ int CmdRecommend(const FlagParser& flags) {
       PrintTopKEntries(users[i], responses[i].items, topk);
     }
     const serve::BrokerStats stats = broker.stats();
+    const char* path_note = "";
+    if (model.AnnServingEnabled()) {
+      path_note = model.QuantServingEnabled() ? ", ivf+int8 candidate path"
+                                              : ", ivf candidate path";
+    } else if (model.QuantServingEnabled()) {
+      path_note = ", int8 candidate path";
+    }
     std::printf("scored %zu users in %.2f ms (%.1f users/s, %llu batches, "
                 "max batch %llu%s)\n",
                 users.size(), ms,
                 static_cast<double>(users.size()) / (ms / 1e3),
                 static_cast<unsigned long long>(stats.batches),
-                static_cast<unsigned long long>(stats.max_batch),
-                model.QuantServingEnabled() ? ", int8 candidate path" : "");
+                static_cast<unsigned long long>(stats.max_batch), path_note);
     return 0;
   }
 
@@ -332,14 +361,37 @@ int CmdRecommend(const FlagParser& flags) {
 // coalesces; the printed percentiles are exact (computed from the raw
 // sorted per-request latencies, not the trace histogram's bucket bounds).
 int CmdServeBench(const FlagParser& flags) {
-  const Dataset ds = LoadDataOrDie(flags);
+  // --items N swaps the on-disk dataset for a generated synthetic
+  // catalogue of N items and skips the checkpoint load: serving cost does
+  // not depend on parameter values, so an untrained model load-tests the
+  // broker and the retrieval path at catalogue scales no checked-in
+  // dataset reaches.
+  const int64_t synth_items = flags.GetInt("items", 0);
+  Dataset ds;
+  if (synth_items > 0) {
+    SyntheticWorld world{WorldConfig{}};
+    PlatformConfig pc;
+    pc.name = "ServeBenchSynthetic";
+    pc.platform = "Bili";
+    pc.clusters = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    pc.n_items = static_cast<int32_t>(synth_items);
+    pc.n_users = static_cast<int32_t>(std::min<int64_t>(synth_items, 2048));
+    ds = DatasetGenerator(&world).Generate(pc);
+  } else {
+    ds = LoadDataOrDie(flags);
+  }
   PMMRecConfig config = PMMRecConfig::FromDataset(ds);
   config.modality = ParseModality(flags.GetString("modality", "both"));
   config.quantized_serving = flags.GetBool("quant", false);
   config.quant_rerank_window = flags.GetInt("rerank-window", 0);
+  config.ann_serving = flags.GetBool("ann", false);
+  config.ann_nlist = flags.GetInt("nlist", 0);
+  config.ann_nprobe = flags.GetInt("nprobe", 0);
   PMMRecModel model(config, 1);
-  const Status st = model.LoadFromFile(flags.GetString("model"));
-  PMM_CHECK_MSG(st.ok(), st.ToString());
+  if (synth_items <= 0) {
+    const Status st = model.LoadFromFile(flags.GetString("model"));
+    PMM_CHECK_MSG(st.ok(), st.ToString());
+  }
   model.AttachDataset(&ds);
 
   const int64_t requests = std::max<int64_t>(1, flags.GetInt("requests", 512));
@@ -395,13 +447,20 @@ int CmdServeBench(const FlagParser& flags) {
     return static_cast<double>(all[idx]) / 1e3;
   };
   const serve::BrokerStats stats = broker.stats();
+  const char* path_note = "exact";
+  if (model.AnnServingEnabled()) {
+    path_note = model.QuantServingEnabled() ? "ivf+int8" : "ivf";
+  } else if (model.QuantServingEnabled()) {
+    path_note = "int8";
+  }
   std::printf("serve-bench: %lld requests, %lld clients, %lld workers, "
-              "max_batch %lld, max_wait %lld us\n",
+              "max_batch %lld, max_wait %lld us, %lld items, %s path\n",
               static_cast<long long>(requests),
               static_cast<long long>(clients),
               static_cast<long long>(options.num_workers),
               static_cast<long long>(options.max_batch),
-              static_cast<long long>(options.max_wait_us));
+              static_cast<long long>(options.max_wait_us),
+              static_cast<long long>(ds.num_items()), path_note);
   std::printf("  achieved %.1f req/s; latency us p50 %.0f p95 %.0f p99 %.0f\n",
               static_cast<double>(all.size()) / seconds, pct(50), pct(95),
               pct(99));
