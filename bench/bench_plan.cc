@@ -1,0 +1,198 @@
+// Recorded-plan serving benchmark (src/core/plan.h). Small-batch scoring
+// is where eager dispatch overhead dominates — per-op Op-graph
+// allocation, shape checks and dispatcher hops are paid per forward, not
+// per row — so that is where plan replay must earn its keep:
+//
+//   1. Eager pass: ScoreUsersBatched with planned inference off, batch
+//      sizes 1/2/4/8, users/sec per batch size.
+//   2. Planned pass: the identical request stream with planned inference
+//      on. Plans record on the warmup iterations; the timed window
+//      measures steady-state replay.
+//   3. Equality gate: for every batch size the planned scores are
+//      compared bitwise (memcmp of the full score rows) against the
+//      eager scores on identical inputs. Any divergence fails the bench
+//      (exit 1) — a fast wrong answer is worthless.
+//
+// Emits BENCH_plan.json: per-batch users/sec for both modes, the
+// speedup, plan-cache statistics, and the bitwise verdict.
+//
+// Usage: bench_plan [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "utils/parallel.h"
+#include "utils/stopwatch.h"
+
+namespace pmmrec {
+namespace {
+
+struct Row {
+  int64_t batch = 0;
+  double eager_users_per_s = 0;
+  double planned_users_per_s = 0;
+  double speedup = 0;
+};
+
+int Run(const std::string& out_dir) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
+                                             bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  // Headroom over the (variant, len, batch) key space so the measurement
+  // never thrashes the cache: lengths x batch sizes stay well under 256.
+  config.plan_cache_capacity = 256;
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+  const int64_t n_items = ds.num_items();
+
+  constexpr int64_t kBatches[] = {1, 2, 4, 8};
+  constexpr int64_t kUsersPerSize = 3200;  // ~timed window per rep
+  constexpr int64_t kWarmup = 4;
+  constexpr int64_t kReps = 5;
+
+  std::vector<Row> rows;
+  bool bitwise_equal = true;
+  for (const int64_t batch : kBatches) {
+    const int64_t iters = std::max<int64_t>(1, kUsersPerSize / batch);
+    // Pre-built request stream, identical for both modes: rotating user
+    // window so group shapes vary the way real traffic does.
+    std::vector<std::vector<std::vector<int32_t>>> stream;
+    stream.reserve(static_cast<size_t>(iters));
+    for (int64_t it = 0; it < iters; ++it) {
+      std::vector<std::vector<int32_t>> b;
+      for (int64_t r = 0; r < batch; ++r) {
+        b.push_back(ds.TestPrefix((it * batch + r) % ds.num_users()));
+      }
+      stream.push_back(std::move(b));
+    }
+    std::vector<float> out(static_cast<size_t>(batch * n_items));
+
+    // Interleaved eager/planned pairs: background load on a shared
+    // machine drifts over seconds, so timing the two modes back-to-back
+    // inside each repetition and taking the median pair keeps the ratio
+    // honest — both halves of a pair see the same conditions.
+    const auto timed_pass = [&](bool planned) {
+      model.SetPlannedInference(planned);
+      for (int64_t w = 0; w < kWarmup; ++w) {  // records plans when on
+        model.ScoreUsersBatched(stream[static_cast<size_t>(w % iters)],
+                                out.data());
+      }
+      Stopwatch watch;
+      for (const auto& b : stream) model.ScoreUsersBatched(b, out.data());
+      const double seconds = watch.ElapsedMillis() / 1e3;
+      return static_cast<double>(iters * batch) / seconds;
+    };
+
+    struct Pair {
+      double eager = 0, planned = 0;
+      double ratio() const { return eager > 0 ? planned / eager : 0.0; }
+    };
+    std::vector<Pair> pairs(static_cast<size_t>(kReps));
+    for (Pair& pair : pairs) {
+      pair.eager = timed_pass(false);
+      pair.planned = timed_pass(true);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) {
+                return a.ratio() < b.ratio();
+              });
+    const Pair median = pairs[pairs.size() / 2];
+
+    Row row;
+    row.batch = batch;
+    row.eager_users_per_s = median.eager;
+    row.planned_users_per_s = median.planned;
+    row.speedup = median.ratio();
+    rows.push_back(row);
+
+    // Equality gate on the identical inputs, replayed vs eager.
+    std::vector<float> want(out.size());
+    for (int64_t it = 0; it < std::min<int64_t>(iters, 32); ++it) {
+      const auto& b = stream[static_cast<size_t>(it)];
+      model.SetPlannedInference(true);
+      model.ScoreUsersBatched(b, out.data());
+      model.SetPlannedInference(false);
+      model.ScoreUsersBatched(b, want.data());
+      if (std::memcmp(out.data(), want.data(),
+                      out.size() * sizeof(float)) != 0) {
+        bitwise_equal = false;
+        std::printf("BITWISE DIVERGENCE at batch=%lld iter=%lld\n",
+                    static_cast<long long>(batch),
+                    static_cast<long long>(it));
+      }
+    }
+  }
+  const PlanCache::Stats stats = model.plan_cache().stats();
+
+  double min_speedup = rows.front().speedup;
+  for (const Row& row : rows) min_speedup = std::min(min_speedup, row.speedup);
+
+  std::printf("plan bench: %lld items, %lld threads\n",
+              static_cast<long long>(n_items),
+              static_cast<long long>(GetNumThreads()));
+  std::printf("%8s %16s %16s %9s\n", "batch", "eager users/s",
+              "planned users/s", "speedup");
+  for (const Row& row : rows) {
+    std::printf("%8lld %16.1f %16.1f %8.2fx\n",
+                static_cast<long long>(row.batch), row.eager_users_per_s,
+                row.planned_users_per_s, row.speedup);
+  }
+  std::printf("plan cache: %llu records, %llu hits, %llu record failures\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.record_failures));
+  std::printf("planned scores bitwise %s vs eager dispatch\n",
+              bitwise_equal ? "EQUAL" : "DIFFERENT");
+
+  const std::string path = out_dir + "/BENCH_plan.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"plan\",\n  \"items\": %lld,\n"
+               "  \"threads\": %lld,\n  \"rows\": [\n",
+               static_cast<long long>(n_items),
+               static_cast<long long>(GetNumThreads()));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(f,
+                 "    {\"batch\": %lld, \"eager_users_per_s\": %.1f, "
+                 "\"planned_users_per_s\": %.1f, \"speedup\": %.3f}%s\n",
+                 static_cast<long long>(row.batch), row.eager_users_per_s,
+                 row.planned_users_per_s, row.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"min_speedup\": %.3f,\n"
+               "  \"plan_cache\": {\"records\": %llu, \"hits\": %llu, "
+               "\"record_failures\": %llu, \"evictions\": %llu},\n"
+               "  \"bitwise_equal\": %s\n}\n",
+               min_speedup,
+               static_cast<unsigned long long>(stats.records),
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.record_failures),
+               static_cast<unsigned long long>(stats.evictions),
+               bitwise_equal ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return bitwise_equal ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  return pmmrec::Run(out_dir);
+}

@@ -102,6 +102,17 @@ struct PMMRecConfig {
   int64_t ann_nlist = 0;
   int64_t ann_nprobe = 0;
 
+  // Recorded-plan serving (DESIGN.md "Recorded execution plans"): record
+  // the inference forward once per (variant, seq_len, batch) key and
+  // replay it without per-op dispatch, bitwise-equal to eager. Off by
+  // default — eager dispatch stays the serving baseline; PMMREC_PLAN=1 in
+  // the environment also enables it. Composes with quantized_serving and
+  // ann_serving (plans produce the user representations those paths
+  // consume).
+  bool planned_inference = false;
+  // Max cached plans before LRU eviction. 0 = auto (64).
+  int64_t plan_cache_capacity = 0;
+
   static PMMRecConfig FromDataset(const Dataset& ds) {
     PMMRecConfig config;
     config.text_vocab = ds.text_vocab_size;

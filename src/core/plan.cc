@@ -1,0 +1,523 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "nn/optimizer.h"
+#include "utils/check.h"
+#include "utils/trace.h"
+
+namespace pmmrec {
+
+bool PlannedInferenceEnvEnabled() {
+  const char* env = std::getenv("PMMREC_PLAN");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// --- ExecutionPlan ----------------------------------------------------------
+
+std::shared_ptr<ExecutionPlan> ExecutionPlan::Record(
+    const Tensor& input, const std::function<Tensor(const Tensor&)>& forward,
+    Tensor* eager_out) {
+  PMM_CHECK(input.defined());
+  PMM_CHECK(eager_out != nullptr);
+  // A gradient-building forward would record autograd bookkeeping into the
+  // plan's buffers; plans are an inference-only construct.
+  PMM_CHECK_MSG(InferenceMode::enabled(),
+                "plan recording requires InferenceMode (no autograd)");
+  // Captured before the forward: if a parameter update lands mid-record,
+  // the version check at replay time sees stored != current and refuses.
+  const uint64_t version = ParamUpdateVersion();
+
+  kernels::PlanRecorder recorder;
+  recorder.RegisterInput(input);
+  Tensor result;
+  {
+    kernels::PlanRecorderScope scope(&recorder);
+    result = forward(input);
+  }
+  PMM_CHECK(result.defined());
+  *eager_out = result;
+
+  if (recorder.poisoned() || !recorder.IsStepOutput(result.data())) {
+    // An unhooked op fed a recorded step, or produced the output itself:
+    // replay would serve stale data. The eager result still serves.
+    PMM_TRACE_COUNT("plan.record.poisoned", 1);
+    return nullptr;
+  }
+
+  auto plan = std::shared_ptr<ExecutionPlan>(new ExecutionPlan());
+  plan->steps_ = recorder.TakeSteps();
+  plan->buffers_ = recorder.TakeBuffers();
+  plan->input_ = input;
+  plan->output_ = result;
+  plan->param_version_ = version;
+  plan->Fuse();
+  plan->PruneDeadRows();
+  PMM_TRACE_COUNT("plan.recorded", 1);
+  PMM_TRACE_COUNT("plan.steps", plan->num_steps());
+  PMM_TRACE_COUNT("plan.fused_steps", plan->num_fused_steps());
+  PMM_TRACE_COUNT("plan.pruned_steps", plan->num_pruned_steps());
+  return plan;
+}
+
+void ExecutionPlan::Fuse() {
+  using kernels::Step;
+  using kernels::StepKind;
+
+  // Use counts over the recorded (pre-fusion) steps: a producer/consumer
+  // pair may only collapse when the intermediate has exactly one reader
+  // and is not the plan output. (Pointer-level counts; the rewrites below
+  // never touch the pointers they test, so one up-front pass suffices.)
+  std::unordered_map<const float*, int> uses;
+  for (const Step& s : steps_) {
+    for (const float* p : s.in) {
+      if (p != nullptr) ++uses[p];
+    }
+    for (const float* p : s.srcs) ++uses[p];
+  }
+  const float* out_ptr = output_.data();
+
+  // Rewrite 1 — bias + GELU: kAddBroadcast(x, bias[cols]) -> kGelu becomes
+  // one kBiasGelu pass. out[r,c] = GeluScalar(x[r,c] + bias[c]) is the
+  // identical two-operation chain per element, so the fold is bitwise
+  // neutral.
+  std::vector<Step> rewritten;
+  rewritten.reserve(steps_.size());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i + 1 < steps_.size()) {
+      const Step& add = steps_[i];
+      const Step& gelu = steps_[i + 1];
+      if (add.kind == StepKind::kAddBroadcast &&
+          gelu.kind == StepKind::kGelu && gelu.in[0] == add.out &&
+          uses[add.out] == 1 && add.out != out_ptr &&
+          add.sh_b.rank() == 1 && add.sh_a == add.sh_out &&
+          add.sh_out.dim(-1) == add.sh_b.dim(0)) {
+        Step s;
+        s.kind = StepKind::kBiasGelu;
+        s.fn = kernels::StepFnFor(s.kind);
+        s.in[0] = add.in[0];
+        s.in[1] = add.in[1];
+        s.out = gelu.out;
+        s.d[1] = add.sh_b.dim(0);                // cols
+        s.d[0] = add.sh_out.numel() / s.d[1];    // rows
+        rewritten.push_back(std::move(s));
+        ++num_fused_;
+        ++i;  // consumed the kGelu as well
+        continue;
+      }
+    }
+    rewritten.push_back(std::move(steps_[i]));
+  }
+  steps_ = std::move(rewritten);
+
+  // Rewrite 2 — last-row LayerNorm [+ MatMulNT epilogue]: the serving
+  // forward ends with LayerNorm over [g*len, d] followed by a Slice of the
+  // final position (length-1 slice of the mid dim). Only g of the g*len
+  // normalized rows survive, and LayerNorm rows are independent, so
+  // normalizing just the last rows is bitwise identical. When the sliced
+  // [g, d] rows feed a broadcast MatMulNT against the item table (the
+  // full-score plan), the GEMM folds in behind a plan-owned scratch.
+  rewritten.clear();
+  rewritten.reserve(steps_.size());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i + 1 < steps_.size()) {
+      const Step& ln = steps_[i];
+      const Step& sl = steps_[i + 1];
+      if (ln.kind == StepKind::kLayerNorm && sl.kind == StepKind::kSlice &&
+          sl.in[0] == ln.out && uses[ln.out] == 1 && ln.out != out_ptr &&
+          sl.d[4] == 1 && sl.d[3] == sl.d[1] - 1 &&
+          ln.d[0] == sl.d[0] * sl.d[1] && ln.d[1] == sl.d[2]) {
+        const int64_t g = sl.d[0];
+        const int64_t len = sl.d[1];
+        const int64_t d = sl.d[2];
+        if (i + 2 < steps_.size()) {
+          const Step& mm = steps_[i + 2];
+          if (mm.kind == StepKind::kMatMulNT && mm.in[0] == sl.out &&
+              uses[sl.out] == 1 && sl.out != out_ptr && mm.d[0] == 1 &&
+              mm.d[1] == g && mm.d[2] == d && mm.d[4] == 1) {
+            Step s;
+            s.kind = StepKind::kLastRowLayerNormMatMulNT;
+            s.fn = kernels::StepFnFor(s.kind);
+            s.in[0] = ln.in[0];  // hidden [g, len, d]
+            s.in[1] = ln.in[1];  // gamma
+            s.in[2] = ln.in[2];  // beta
+            s.in[3] = mm.in[1];  // item table [n_items, d]
+            s.out = mm.out;
+            auto scratch = std::make_shared<std::vector<float>>(
+                static_cast<size_t>(g * d));
+            s.aux = scratch->data();
+            scratch_.push_back(std::move(scratch));
+            s.d[0] = g;
+            s.d[1] = len;
+            s.d[2] = d;
+            s.d[3] = mm.d[3];  // n_items
+            s.f0 = ln.f0;      // eps
+            rewritten.push_back(std::move(s));
+            num_fused_ += 2;
+            i += 2;
+            continue;
+          }
+        }
+        Step s;
+        s.kind = StepKind::kLastRowLayerNorm;
+        s.fn = kernels::StepFnFor(s.kind);
+        s.in[0] = ln.in[0];
+        s.in[1] = ln.in[1];
+        s.in[2] = ln.in[2];
+        s.out = sl.out;  // may be the plan output — the fused step owns it
+        s.d[0] = g;
+        s.d[1] = len;
+        s.d[2] = d;
+        s.f0 = ln.f0;
+        rewritten.push_back(std::move(s));
+        ++num_fused_;
+        ++i;
+        continue;
+      }
+    }
+    rewritten.push_back(std::move(steps_[i]));
+  }
+  steps_ = std::move(rewritten);
+}
+
+void ExecutionPlan::PruneDeadRows() {
+  using kernels::Step;
+  using kernels::StepKind;
+  if (steps_.empty()) return;
+  if ((steps_.back().kind != StepKind::kLastRowLayerNorm &&
+       steps_.back().kind != StepKind::kLastRowLayerNormMatMulNT) ||
+      steps_.back().d[1] <= 1) {
+    return;
+  }
+  const int64_t g = steps_.back().d[0];
+  const int64_t len = steps_.back().d[1];
+
+  // Pointer use counts and producer indices over the fused step list.
+  // Recorded plans are single-assignment (every step output is a fresh
+  // MakeNode buffer), so out -> producing step is a map, not a multimap.
+  std::unordered_map<const float*, int> uses;
+  std::unordered_map<const float*, size_t> producer;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    for (const float* p : s.in) {
+      if (p != nullptr) ++uses[p];
+    }
+    for (const float* p : s.srcs) ++uses[p];
+    producer[s.out] = i;
+  }
+  const float* out_ptr = output_.data();
+
+  std::vector<Step> chain;  // narrowed clones + gathers, execution order
+  std::unordered_map<const float*, const float*> memo;
+  int64_t cloned = 0;
+  size_t scratch_mark = scratch_.size();
+
+  auto alloc = [&](int64_t n) {
+    auto buf = std::make_shared<std::vector<float>>(static_cast<size_t>(n));
+    float* p = buf->data();
+    scratch_.push_back(std::move(buf));
+    return p;
+  };
+
+  // Returns a [g, w] buffer whose rows bitwise equal the final position of
+  // each length-len sequence in `buf` ([g*len, w]). Row-wise producers
+  // with a single reader are cloned to g-row form (every kernel involved
+  // computes each row from exactly that row, so dropping the other rows
+  // changes no surviving bit); everything else — cross-row steps, shared
+  // intermediates, plan inputs/constants — is gathered once from the
+  // still-live full buffer and the recursion stops there.
+  std::function<const float*(const float*, int64_t)> last_rows =
+      [&](const float* buf, int64_t w) -> const float* {
+    auto mit = memo.find(buf);
+    if (mit != memo.end()) return mit->second;
+
+    const float* result = nullptr;
+    const auto pit = producer.find(buf);
+    if (pit != producer.end() && uses[buf] == 1 && buf != out_ptr) {
+      const Step& p = steps_[pit->second];
+      switch (p.kind) {
+        case StepKind::kAddSame:
+          if (p.d[0] == g * len * w) {
+            Step s = p;
+            s.in[0] = last_rows(p.in[0], w);
+            s.in[1] = last_rows(p.in[1], w);
+            s.out = alloc(g * w);
+            s.d[0] = g * w;
+            result = s.out;
+            chain.push_back(std::move(s));
+            ++cloned;
+          }
+          break;
+        case StepKind::kMulScalar:
+        case StepKind::kGelu:
+          if (p.d[0] == g * len * w) {
+            Step s = p;
+            s.in[0] = last_rows(p.in[0], w);
+            s.out = alloc(g * w);
+            s.d[0] = g * w;
+            result = s.out;
+            chain.push_back(std::move(s));
+            ++cloned;
+          }
+          break;
+        case StepKind::kAddBroadcast:
+          // Only the rank-1 bias pattern: per-element broadcast over
+          // [rows, w] + [w] stays per-row under the reshape to [g, w].
+          if (p.sh_b.rank() == 1 && p.sh_a == p.sh_out &&
+              p.sh_out.dim(-1) == w && p.sh_b.dim(0) == w &&
+              p.sh_out.numel() == g * len * w) {
+            Step s = p;
+            s.in[0] = last_rows(p.in[0], w);
+            s.out = alloc(g * w);
+            s.sh_out = Shape({g, w});
+            s.sh_a = s.sh_out;
+            result = s.out;
+            chain.push_back(std::move(s));
+            ++cloned;
+          }
+          break;
+        case StepKind::kBiasGelu:
+        case StepKind::kLayerNorm:
+          if (p.d[0] == g * len && p.d[1] == w) {
+            Step s = p;
+            s.in[0] = last_rows(p.in[0], w);
+            s.out = alloc(g * w);
+            s.d[0] = g;
+            result = s.out;
+            chain.push_back(std::move(s));
+            ++cloned;
+          }
+          break;
+        case StepKind::kMatMulNN:
+          // Broadcast single-batch GEMM over [g*len, k]: each output row
+          // depends on its input row only, so the GEMM shrinks to g rows.
+          if (p.d[0] == 1 && p.d[4] == 1 && p.d[1] == g * len &&
+              p.d[3] == w) {
+            Step s = p;
+            s.in[0] = last_rows(p.in[0], p.d[2]);
+            s.out = alloc(g * w);
+            s.d[1] = g;
+            result = s.out;
+            chain.push_back(std::move(s));
+            ++cloned;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    if (result == nullptr) {
+      Step s;
+      s.kind = StepKind::kGatherLastRows;
+      s.fn = kernels::StepFnFor(s.kind);
+      s.in[0] = buf;
+      s.out = alloc(g * w);
+      s.d[0] = g;
+      s.d[1] = len;
+      s.d[2] = w;
+      result = s.out;
+      chain.push_back(std::move(s));
+    }
+    memo.emplace(buf, result);
+    return result;
+  };
+
+  const float* pruned = last_rows(steps_.back().in[0], steps_.back().d[2]);
+  if (cloned == 0) {
+    // Nothing upstream was narrowable: a lone gather in front of an
+    // already row-strided tail would only add a copy. Leave the fused
+    // plan untouched.
+    chain.clear();
+    scratch_.resize(scratch_mark);
+    return;
+  }
+
+  // Point the tail at the narrowed [g, 1, w] buffer and splice the chain
+  // in front of it.
+  Step tail = std::move(steps_.back());
+  steps_.pop_back();
+  tail.in[0] = pruned;
+  tail.d[1] = 1;
+  for (Step& s : chain) steps_.push_back(std::move(s));
+  steps_.push_back(std::move(tail));
+
+  // Reverse liveness sweep: full-row steps whose outputs no longer reach
+  // the plan output are dropped (their single reader now reads a clone).
+  std::unordered_set<const float*> needed;
+  needed.insert(out_ptr);
+  std::vector<Step> live;
+  live.reserve(steps_.size());
+  for (size_t i = steps_.size(); i-- > 0;) {
+    Step& s = steps_[i];
+    if (needed.count(s.out) == 0) {
+      ++num_pruned_;
+      continue;
+    }
+    for (const float* p : s.in) {
+      if (p != nullptr) needed.insert(p);
+    }
+    for (const float* p : s.srcs) needed.insert(p);
+    live.push_back(std::move(s));
+  }
+  std::reverse(live.begin(), live.end());
+  steps_ = std::move(live);
+}
+
+void ExecutionPlan::Replay() {
+  PMM_CHECK_MSG(
+      param_version_ == ParamUpdateVersion(),
+      "stale execution plan: parameters updated since recording — "
+      "plans must be re-validated through PlanCache::Acquire");
+  for (const kernels::Step& s : steps_) s.fn(s);
+}
+
+void ExecutionPlan::Replay(const float* in, int64_t n) {
+  PMM_CHECK(in != nullptr);
+  PMM_CHECK_EQ(n, input_.numel());
+  std::memcpy(input_.data(), in,
+              static_cast<size_t>(n) * sizeof(float));
+  Replay();
+}
+
+// --- PlanCache --------------------------------------------------------------
+
+PlanCache::Lease::Lease(Lease&& o) noexcept
+    : cache_(o.cache_),
+      state_(std::move(o.state_)),
+      key_(o.key_),
+      mode_(o.mode_),
+      committed_(o.committed_) {
+  o.cache_ = nullptr;
+  o.state_ = nullptr;
+  o.mode_ = Mode::kBypass;
+}
+
+PlanCache::Lease::~Lease() {
+  if (cache_ == nullptr || state_ == nullptr) return;
+  if (mode_ == Mode::kReplay) {
+    state_->replay_mu.unlock();
+  } else if (mode_ == Mode::kRecord && !committed_) {
+    // The builder abandoned the claim; drop the entry so a later request
+    // can record the key.
+    cache_->AbortRecord(key_, state_);
+  }
+}
+
+void PlanCache::Lease::Commit(std::shared_ptr<ExecutionPlan> plan) {
+  PMM_CHECK(mode_ == Mode::kRecord);
+  PMM_CHECK(!committed_);
+  cache_->CommitRecord(state_, std::move(plan));
+  committed_ = true;
+}
+
+PlanCache::Lease PlanCache::Acquire(const PlanKey& key,
+                                    const void* table_ptr) {
+  const uint64_t version = ParamUpdateVersion();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirty_ || version != built_version_ || table_ptr != table_ptr_) {
+    if (!entries_.empty()) {
+      ++stats_.invalidation_flushes;
+      PMM_TRACE_COUNT("plan.cache.invalidation_flushes", 1);
+      entries_.clear();  // outstanding leases keep their state alive
+    }
+    dirty_ = false;
+    built_version_ = version;
+    table_ptr_ = table_ptr;
+  }
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    const std::shared_ptr<EntryState>& state = it->second;
+    state->last_used = ++tick_;
+    if (state->building || state->plan == nullptr ||
+        !state->replay_mu.try_lock()) {
+      // Recording in progress, a failed (eager-only) recording, or another
+      // thread is replaying this plan right now: serve eager instead of
+      // blocking.
+      ++stats_.bypasses;
+      PMM_TRACE_COUNT("plan.cache.bypass", 1);
+      return Lease(this, Mode::kBypass, nullptr, key);
+    }
+    ++stats_.hits;
+    PMM_TRACE_COUNT("plan.cache.hit", 1);
+    return Lease(this, Mode::kReplay, state, key);
+  }
+
+  if (static_cast<int64_t>(entries_.size()) >= capacity_) {
+    // Evict the least-recently-used completed entry; when everything is
+    // mid-recording, serve eager instead of growing past capacity.
+    auto victim = entries_.end();
+    for (auto jt = entries_.begin(); jt != entries_.end(); ++jt) {
+      if (jt->second->building) continue;
+      if (victim == entries_.end() ||
+          jt->second->last_used < victim->second->last_used) {
+        victim = jt;
+      }
+    }
+    if (victim == entries_.end()) {
+      ++stats_.bypasses;
+      PMM_TRACE_COUNT("plan.cache.bypass", 1);
+      return Lease(this, Mode::kBypass, nullptr, key);
+    }
+    entries_.erase(victim);  // an active replay lease keeps its state alive
+    ++stats_.evictions;
+    PMM_TRACE_COUNT("plan.cache.evictions", 1);
+  }
+
+  auto state = std::make_shared<EntryState>();
+  state->building = true;
+  state->last_used = ++tick_;
+  entries_.emplace(key, state);
+  ++stats_.misses;
+  PMM_TRACE_COUNT("plan.cache.miss", 1);
+  return Lease(this, Mode::kRecord, std::move(state), key);
+}
+
+void PlanCache::CommitRecord(const std::shared_ptr<EntryState>& state,
+                             std::shared_ptr<ExecutionPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state->plan = std::move(plan);
+  state->building = false;
+  if (state->plan != nullptr) {
+    ++stats_.records;
+    PMM_TRACE_COUNT("plan.cache.records", 1);
+  } else {
+    ++stats_.record_failures;
+    PMM_TRACE_COUNT("plan.cache.record_failures", 1);
+  }
+}
+
+void PlanCache::AbortRecord(const PlanKey& key,
+                            const std::shared_ptr<EntryState>& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second == state) entries_.erase(it);
+}
+
+void PlanCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = true;
+}
+
+void PlanCache::set_capacity(int64_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : kDefaultCapacity;
+}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pmmrec

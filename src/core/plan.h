@@ -1,0 +1,231 @@
+#ifndef PMMREC_CORE_PLAN_H_
+#define PMMREC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+
+// Recorded inference plans: plan-once / replay execution.
+//
+// The grad-free serving path re-dispatches every op per batch — shape
+// checks, shared_ptr churn, arena lookups, dispatcher branches. A recorded
+// ExecutionPlan captures one symbolic forward per (variant, seq_len, batch)
+// key into a flat vector of steps with preallocated buffers and direct
+// kernel function pointers, then replays it with none of that overhead.
+// Keyed plan caching follows the design of PyTorch JIT's graph executor
+// (plans keyed on input specs).
+//
+// Bitwise contract: a replayed step runs literally the same kernel entry
+// point (tensor/kernels.h) the eager op's forward ran on identical buffers,
+// and the two fusion rewrites (bias+GELU, last-row LayerNorm [+MatMulNT
+// epilogue]) compute per-element arithmetic identical to the step pairs
+// they replace — so replayed scores are bitwise equal to eager dispatch at
+// every batch shape, sequence length and thread count.
+//
+// Invalidation: a plan bakes parameter and item-table buffers by pointer.
+// The cache flushes all plans whenever the process-wide ParamUpdateVersion
+// moves or the item table is rebuilt (its data pointer changes), and a
+// plan refuses to replay (aborts) if the version moved after it was leased.
+
+// True when PMMREC_PLAN is set non-empty and not "0" (mirrors PMMREC_QUANT
+// and PMMREC_ANN).
+bool PlannedInferenceEnvEnabled();
+
+enum class PlanVariant : uint8_t {
+  kFullScore,  // seq [g, len, d] -> full-catalogue scores [g, n_items]
+  kUserRep,    // seq [g, len, d] -> last-position hidden [g, d]
+};
+
+struct PlanKey {
+  PlanVariant variant;
+  int64_t len;    // effective sequence length (the group key)
+  int64_t batch;  // group size g
+  bool operator==(const PlanKey& o) const {
+    return variant == o.variant && len == o.len && batch == o.batch;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.variant);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(k.len);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(k.batch);
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+// One recorded forward: flat steps, owned buffers, fixed input/output.
+// Replay overwrites the input buffer, runs every step through its direct
+// function pointer, and leaves the result in the (plan-owned) output
+// buffer — the caller must consume it before the next replay.
+class ExecutionPlan {
+ public:
+  // Records `forward(input)` by running it eagerly once under a
+  // PlanRecorder (must be called under InferenceMode — recording a
+  // gradient-building forward is a checked error). The eager result is
+  // always returned via `eager_out`, so the caller serves it whether or
+  // not the recording succeeded. Returns nullptr when the recording was
+  // poisoned (an unhooked op fed a recorded step, or the output was not
+  // produced by a recorded step); otherwise the finished plan with the
+  // fusion rewrites applied.
+  static std::shared_ptr<ExecutionPlan> Record(
+      const Tensor& input, const std::function<Tensor(const Tensor&)>& forward,
+      Tensor* eager_out);
+
+  // The plan's input buffer ([batch, len, d], overwritten per replay).
+  float* input_data() { return input_.data(); }
+  int64_t input_numel() const { return input_.numel(); }
+
+  // Runs every step. Aborts if the process-wide ParamUpdateVersion moved
+  // since recording — a stale plan must never serve.
+  void Replay();
+  // Copies `n` floats into the input buffer, then Replay(). `n` must match
+  // the recorded input size exactly (checked).
+  void Replay(const float* in, int64_t n);
+
+  // The recorded forward's result tensor (shares the plan's output
+  // buffer; valid until the next Replay()).
+  const Tensor& output() const { return output_; }
+
+  int64_t num_steps() const { return static_cast<int64_t>(steps_.size()); }
+  int64_t num_fused_steps() const { return num_fused_; }
+  int64_t num_pruned_steps() const { return num_pruned_; }
+  uint64_t param_version() const { return param_version_; }
+  // Read-only view of the rewritten step list (tests, telemetry).
+  const std::vector<kernels::Step>& steps() const { return steps_; }
+
+ private:
+  ExecutionPlan() = default;
+  // Applies the two rewrites: bias-broadcast Add + Gelu -> kBiasGelu, and
+  // final LayerNorm + last-row Slice [+ broadcast MatMulNT] ->
+  // kLastRowLayerNorm[MatMulNT].
+  void Fuse();
+  // Dead-row elimination: when the plan's tail consumes only the last row
+  // of each sequence, the row-wise steps feeding it are narrowed from
+  // g*len rows to g rows (bitwise neutral — every affected kernel treats
+  // rows independently). Steps whose full-row outputs become unused are
+  // dropped by a liveness sweep.
+  void PruneDeadRows();
+
+  std::vector<kernels::Step> steps_;
+  // Keep-alives for every buffer a step touches (inputs, intermediates,
+  // constants): the arena cannot recycle them while the plan lives, so the
+  // baked pointers stay valid and unambiguous.
+  std::vector<std::shared_ptr<std::vector<float>>> buffers_;
+  std::vector<std::shared_ptr<std::vector<float>>> scratch_;  // fused aux
+  Tensor input_;
+  Tensor output_;
+  uint64_t param_version_ = 0;
+  int64_t num_fused_ = 0;
+  int64_t num_pruned_ = 0;
+};
+
+// Thread-safe keyed plan store with exactly-once recording, LRU eviction
+// and whole-cache invalidation on parameter/table changes.
+//
+// Concurrency protocol: Acquire returns a Lease in one of three modes.
+//  - kReplay: the lease holds the plan's replay lock; the caller owns the
+//    plan's buffers until the lease dies. A second thread acquiring the
+//    same key meanwhile gets kBypass (serve eager) instead of blocking.
+//  - kRecord: the caller claimed the (missing) entry; it must Commit() the
+//    recorded plan (nullptr marks the key permanently eager-only, so a
+//    poisoned recording is not retried per request). Concurrent acquires
+//    of a building key get kBypass — a key is recorded exactly once.
+//  - kBypass: serve the eager path.
+class PlanCache {
+ private:
+  struct EntryState {
+    std::shared_ptr<ExecutionPlan> plan;  // nullptr while building / failed
+    bool building = true;
+    uint64_t last_used = 0;
+    std::mutex replay_mu;
+  };
+
+ public:
+  static constexpr int64_t kDefaultCapacity = 64;
+
+  enum class Mode { kReplay, kRecord, kBypass };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;     // == record claims handed out
+    int64_t bypasses = 0;
+    int64_t records = 0;    // successful Commit(plan != nullptr)
+    int64_t record_failures = 0;
+    int64_t evictions = 0;
+    int64_t invalidation_flushes = 0;
+  };
+
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept;
+    Lease& operator=(const Lease&) = delete;
+    Lease(const Lease&) = delete;
+    ~Lease();
+
+    Mode mode() const { return mode_; }
+    // kReplay only: the leased plan.
+    ExecutionPlan* plan() const {
+      return state_ != nullptr ? state_->plan.get() : nullptr;
+    }
+    // kRecord only: publishes the recording (nullptr = eager-only marker).
+    void Commit(std::shared_ptr<ExecutionPlan> plan);
+
+   private:
+    friend class PlanCache;
+    Lease(PlanCache* cache, Mode mode, std::shared_ptr<EntryState> state,
+          const PlanKey& key)
+        : cache_(cache), state_(std::move(state)), key_(key), mode_(mode) {}
+
+    PlanCache* cache_ = nullptr;
+    std::shared_ptr<EntryState> state_;
+    PlanKey key_{};
+    Mode mode_ = Mode::kBypass;
+    bool committed_ = false;
+  };
+
+  explicit PlanCache(int64_t capacity = 0)
+      : capacity_(capacity > 0 ? capacity : kDefaultCapacity) {}
+
+  // Looks up (variant, len, batch) after validating the cache against the
+  // current ParamUpdateVersion and the serving table's data pointer —
+  // either changing flushes every plan (the table can be rebuilt at the
+  // same param version, e.g. when quantization or ANN is enabled later).
+  Lease Acquire(const PlanKey& key, const void* table_ptr);
+
+  // Drops every plan at the next Acquire (model/dataset swaps).
+  void InvalidateAll();
+
+  void set_capacity(int64_t capacity);
+  int64_t size() const;
+  Stats stats() const;
+
+ private:
+  void CommitRecord(const std::shared_ptr<EntryState>& state,
+                    std::shared_ptr<ExecutionPlan> plan);
+  void AbortRecord(const PlanKey& key,
+                   const std::shared_ptr<EntryState>& state);
+
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, std::shared_ptr<EntryState>, PlanKeyHash>
+      entries_;
+  uint64_t built_version_ = 0;
+  const void* table_ptr_ = nullptr;
+  bool dirty_ = true;
+  uint64_t tick_ = 0;
+  int64_t capacity_;
+  Stats stats_;
+};
+
+}  // namespace pmmrec
+
+#endif  // PMMREC_CORE_PLAN_H_

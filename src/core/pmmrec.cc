@@ -16,7 +16,8 @@ PMMRecModel::PMMRecModel(const PMMRecConfig& config, uint64_t seed)
       vision_encoder_(config, &rng_),
       fusion_(config, &rng_),
       user_encoder_(config, &rng_),
-      nid_head_(config.d_model, 3, rng_) {
+      nid_head_(config.d_model, 3, rng_),
+      plan_cache_(config.plan_cache_capacity) {
   // 0 leaves the process-wide setting (PMMREC_NUM_THREADS / SetNumThreads)
   // untouched.
   if (config.num_threads > 0) SetNumThreads(config.num_threads);
@@ -35,11 +36,15 @@ void PMMRecModel::AttachDataset(const Dataset* ds) {
   PMM_CHECK_EQ(ds->patch_dim, static_cast<int32_t>(config_.patch_dim));
   dataset_ = ds;
   item_cache_.Invalidate();
+  plan_cache_.InvalidateAll();
 }
 
 void PMMRecModel::SetTrainingMode(bool training) {
   SetTraining(training);
-  if (training) item_cache_.Invalidate();
+  if (training) {
+    item_cache_.Invalidate();
+    plan_cache_.InvalidateAll();
+  }
 }
 
 PMMRecModel::ItemReps PMMRecModel::EncodeItemReps(
@@ -142,6 +147,10 @@ bool PMMRecModel::AnnServingEnabled() const {
   return config_.ann_serving || AnnServingEnvEnabled();
 }
 
+bool PMMRecModel::PlannedInferenceEnabled() const {
+  return config_.planned_inference || PlannedInferenceEnvEnabled();
+}
+
 void PMMRecModel::EnsureItemTable() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   // Scoring implies eval mode (deterministic dropout path); entering it
@@ -235,14 +244,10 @@ std::vector<std::vector<ScoredId>> PMMRecModel::ScoreCandidatesBatch(
   return RetrieveCandidates(prefixes, limit);
 }
 
-void PMMRecModel::ForEachLengthGroup(
+void PMMRecModel::ForEachGroup(
     std::span<const std::vector<int32_t>> prefixes,
-    const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
-        fn) {
-  const int64_t d = config_.d_model;
+    const std::function<void(int64_t, const std::vector<int64_t>&)>& fn) {
   const int64_t max_len = config_.max_seq_len;
-  const std::vector<float>& table = item_cache_.table_data(0);
-
   // Group users by effective sequence length (the most recent
   // min(len, max_seq_len) interactions). Same-length users share one joint
   // forward; per-batch-row independence of every op keeps each row bitwise
@@ -255,31 +260,109 @@ void PMMRecModel::ForEachLengthGroup(
         std::min<int64_t>(static_cast<int64_t>(prefixes[u].size()), max_len);
     groups[static_cast<size_t>(len)].push_back(static_cast<int64_t>(u));
   }
-
   for (int64_t len = 1; len <= max_len; ++len) {
     const std::vector<int64_t>& group = groups[static_cast<size_t>(len)];
-    if (group.empty()) continue;
-    const int64_t g = static_cast<int64_t>(group.size());
-
-    Tensor seq = Tensor::Zeros(Shape{g, len, d});
-    for (int64_t r = 0; r < g; ++r) {
-      const std::vector<int32_t>& prefix =
-          prefixes[static_cast<size_t>(group[static_cast<size_t>(r)])];
-      const int64_t start = static_cast<int64_t>(prefix.size()) - len;
-      for (int64_t l = 0; l < len; ++l) {
-        const int32_t item = prefix[static_cast<size_t>(start + l)];
-        std::memcpy(seq.data() + (r * len + l) * d,
-                    table.data() + static_cast<int64_t>(item) * d,
-                    static_cast<size_t>(d) * sizeof(float));
-      }
-    }
-
-    Tensor hidden = user_encoder_.Forward(seq);          // [g, len, d]
-    Tensor last = Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
-                                /*length=*/1),
-                          Shape{g, d});                  // [g, d]
-    fn(group, last);
+    if (!group.empty()) fn(len, group);
   }
+}
+
+void PMMRecModel::BuildGroupRows(
+    std::span<const std::vector<int32_t>> prefixes,
+    const std::vector<int64_t>& group, int64_t len, float* dst) {
+  const int64_t d = config_.d_model;
+  const std::vector<float>& table = item_cache_.table_data(0);
+  for (size_t r = 0; r < group.size(); ++r) {
+    const std::vector<int32_t>& prefix =
+        prefixes[static_cast<size_t>(group[r])];
+    const int64_t start = static_cast<int64_t>(prefix.size()) - len;
+    for (int64_t l = 0; l < len; ++l) {
+      const int32_t item = prefix[static_cast<size_t>(start + l)];
+      std::memcpy(dst + (static_cast<int64_t>(r) * len + l) * d,
+                  table.data() + static_cast<int64_t>(item) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+  }
+}
+
+Tensor PMMRecModel::EagerGroupLast(
+    std::span<const std::vector<int32_t>> prefixes,
+    const std::vector<int64_t>& group, int64_t len) {
+  const int64_t d = config_.d_model;
+  const int64_t g = static_cast<int64_t>(group.size());
+  Tensor seq = Tensor::Zeros(Shape{g, len, d});
+  BuildGroupRows(prefixes, group, len, seq.data());
+  Tensor hidden = user_encoder_.Forward(seq);          // [g, len, d]
+  return Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1, /*length=*/1),
+                 Shape{g, d});                         // [g, d]
+}
+
+bool PMMRecModel::PlannedGroup(
+    PlanVariant variant, int64_t len,
+    std::span<const std::vector<int32_t>> prefixes,
+    const std::vector<int64_t>& group,
+    const std::function<void(const Tensor&)>& consume) {
+  const int64_t d = config_.d_model;
+  const int64_t g = static_cast<int64_t>(group.size());
+  const PlanKey key{variant, len, g};
+  // The table pointer is part of the cache validity check: a rebuild at
+  // the same param version (e.g. quantization enabled later) must flush
+  // plans that baked the old table.
+  PlanCache::Lease lease =
+      plan_cache_.Acquire(key, item_cache_.table_data(0).data());
+  switch (lease.mode()) {
+    case PlanCache::Mode::kBypass:
+      return false;
+    case PlanCache::Mode::kReplay: {
+      PMM_TRACE_SCOPE_AT("plan.replay", kOp, "plan.replay.ns");
+      ExecutionPlan* plan = lease.plan();
+      BuildGroupRows(prefixes, group, len, plan->input_data());
+      plan->Replay();
+      // The lease keeps the plan's buffers exclusive while the consumer
+      // reads the output.
+      consume(plan->output());
+      return true;
+    }
+    case PlanCache::Mode::kRecord: {
+      PMM_TRACE_SCOPE_AT("plan.record", kOp, "plan.record.ns");
+      Tensor seq = Tensor::Zeros(Shape{g, len, d});
+      BuildGroupRows(prefixes, group, len, seq.data());
+      Tensor eager_out;
+      std::shared_ptr<ExecutionPlan> plan = ExecutionPlan::Record(
+          seq,
+          [&](const Tensor& s) {
+            Tensor hidden = user_encoder_.Forward(s);
+            Tensor last =
+                Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
+                              /*length=*/1),
+                        Shape{g, d});
+            if (variant == PlanVariant::kFullScore) {
+              return MatMulNT(last, item_cache_.table(0));
+            }
+            return last;
+          },
+          &eager_out);
+      lease.Commit(std::move(plan));
+      // This request is served by the recording's own eager execution.
+      consume(eager_out);
+      return true;
+    }
+  }
+  return false;
+}
+
+void PMMRecModel::ForEachLengthGroup(
+    std::span<const std::vector<int32_t>> prefixes,
+    const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
+        fn) {
+  const bool planned = PlannedInferenceEnabled();
+  ForEachGroup(prefixes, [&](int64_t len, const std::vector<int64_t>& group) {
+    if (planned &&
+        PlannedGroup(PlanVariant::kUserRep, len, prefixes, group,
+                     [&](const Tensor& last) { fn(group, last); })) {
+      return;
+    }
+    fn(group, EagerGroupLast(prefixes, group, len));
+  });
 }
 
 void PMMRecModel::ScoreUsersBatched(
@@ -290,17 +373,25 @@ void PMMRecModel::ScoreUsersBatched(
   PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
   InferenceMode inference;
   const int64_t n_items = dataset_->num_items();
+  const bool planned = PlannedInferenceEnabled();
 
-  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
-                                   const Tensor& last) {
+  ForEachGroup(prefixes, [&](int64_t len, const std::vector<int64_t>& group) {
     const int64_t g = static_cast<int64_t>(group.size());
-    Tensor scores = MatMulNT(last, item_cache_.table(0));  // [g, n_items]
-    PMM_TRACE_COUNT("infer.score_gemms", 1);
-    for (int64_t r = 0; r < g; ++r) {
-      std::memcpy(out + group[static_cast<size_t>(r)] * n_items,
-                  scores.data() + r * n_items,
-                  static_cast<size_t>(n_items) * sizeof(float));
+    auto scatter = [&](const Tensor& scores) {  // [g, n_items]
+      PMM_TRACE_COUNT("infer.score_gemms", 1);
+      for (int64_t r = 0; r < g; ++r) {
+        std::memcpy(out + group[static_cast<size_t>(r)] * n_items,
+                    scores.data() + r * n_items,
+                    static_cast<size_t>(n_items) * sizeof(float));
+      }
+    };
+    if (planned &&
+        PlannedGroup(PlanVariant::kFullScore, len, prefixes, group,
+                     scatter)) {
+      return;
     }
+    Tensor last = EagerGroupLast(prefixes, group, len);
+    scatter(MatMulNT(last, item_cache_.table(0)));
   });
   PMM_TRACE_COUNT("infer.users_scored",
                   static_cast<int64_t>(prefixes.size()));
@@ -412,6 +503,7 @@ void PMMRecModel::TransferFrom(const PMMRecModel& source,
       break;
   }
   item_cache_.Invalidate();
+  plan_cache_.InvalidateAll();
 }
 
 void PMMRecModel::InitEncodersFrom(const TextEncoder& text,
@@ -419,6 +511,7 @@ void PMMRecModel::InitEncodersFrom(const TextEncoder& text,
   text_encoder_.CopyParametersFrom(text);
   vision_encoder_.CopyParametersFrom(vision);
   item_cache_.Invalidate();
+  plan_cache_.InvalidateAll();
 }
 
 }  // namespace pmmrec

@@ -8,6 +8,7 @@
 #include "core/fusion.h"
 #include "core/item_encoders.h"
 #include "core/losses.h"
+#include "core/plan.h"
 #include "core/serving.h"
 #include "core/trainer.h"
 #include "core/transfer.h"
@@ -114,6 +115,21 @@ class PMMRecModel : public Module, public TrainableRecommender {
   std::vector<std::vector<ScoredId>> RetrieveExactCandidates(
       std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
+  // --- Recorded-plan serving ------------------------------------------------
+  // True when serving replays recorded execution plans
+  // (config.planned_inference or PMMREC_PLAN=1). Eager dispatch stays the
+  // default and the exactness baseline; replayed scores are bitwise equal
+  // to it (see core/plan.h). Composes with the quant and ANN modes: the
+  // same plans produce the user representations every candidate path
+  // consumes.
+  bool PlannedInferenceEnabled() const;
+  void SetPlannedInference(bool enabled) {
+    config_.planned_inference = enabled;
+  }
+  // The plan store (tests, telemetry). Plans are invalidated on any
+  // parameter update (ParamUpdateVersion) or item-table rebuild.
+  PlanCache& plan_cache() { return plan_cache_; }
+
   // --- Representation export -----------------------------------------------
   // Final-position user-encoder hidden state for a history ([d_model]).
   // Uses the cached item table; no gradients.
@@ -177,10 +193,41 @@ class PMMRecModel : public Module, public TrainableRecommender {
       const CandidateSource& source,
       std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
+  // Groups prefixes by effective length (the most recent
+  // min(len, max_seq_len) interactions) and invokes fn(len, group) per
+  // non-empty group in ascending length order.
+  void ForEachGroup(
+      std::span<const std::vector<int32_t>> prefixes,
+      const std::function<void(int64_t, const std::vector<int64_t>&)>& fn);
+
+  // Writes the group's [g, len, d_model] sequence rows (gathered from the
+  // cached item table) into dst. Shared by the eager, record and replay
+  // paths so every mode feeds identical inputs.
+  void BuildGroupRows(std::span<const std::vector<int32_t>> prefixes,
+                      const std::vector<int64_t>& group, int64_t len,
+                      float* dst);
+
+  // Eager path: one joint forward for the group, returning the
+  // [g, d_model] final-position hidden state.
+  Tensor EagerGroupLast(std::span<const std::vector<int32_t>> prefixes,
+                        const std::vector<int64_t>& group, int64_t len);
+
+  // Planned path: acquires (variant, len, g) from the plan cache and
+  // replays (or records) it, invoking `consume` with the plan's output —
+  // [g, n_items] scores for kFullScore, [g, d_model] reps for kUserRep —
+  // while the replay lease is held. Returns false when the cache said
+  // bypass (caller runs eager).
+  bool PlannedGroup(PlanVariant variant, int64_t len,
+                    std::span<const std::vector<int32_t>> prefixes,
+                    const std::vector<int64_t>& group,
+                    const std::function<void(const Tensor&)>& consume);
+
   // Groups prefixes by effective length and invokes fn(group, last) per
   // non-empty group, where `last` is the [g, d_model] final-position
-  // hidden state of the group's joint forward. Shared by the fp32 and
-  // quantized scoring paths so both see identical user representations.
+  // hidden state of the group's joint forward (planned when enabled,
+  // eager otherwise — bitwise identical either way). Shared by the fp32
+  // and quantized scoring paths so both see identical user
+  // representations.
   void ForEachLengthGroup(
       std::span<const std::vector<int32_t>> prefixes,
       const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
@@ -189,6 +236,11 @@ class PMMRecModel : public Module, public TrainableRecommender {
   // Serving cache: fused representation table of the whole catalogue,
   // encoded once under InferenceMode (table 0: [num_items, d_model]).
   ItemTableCache item_cache_;
+
+  // Recorded execution plans keyed on (variant, seq_len, batch);
+  // invalidated via ParamUpdateVersion / item-table pointer checks at
+  // Acquire time plus explicit InvalidateAll on model/dataset swaps.
+  PlanCache plan_cache_;
 
   LossParts last_parts_;
 };

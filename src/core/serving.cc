@@ -345,8 +345,17 @@ const std::vector<float>& ItemTableCache::table_data(int64_t t) const {
 }
 
 void ItemTableCache::EnableQuantization(bool enabled) {
-  if (enabled && !quantize_) valid_ = false;  // Build on the next Ensure.
-  if (!enabled) qtables_.clear();
+  // Idempotent no-op when already in the requested state: serving threads
+  // re-assert the sticky enable on every batch while holding only the
+  // broker's shared lock, so the steady state must not write. A real
+  // transition only happens under the exclusive-lock rebuild
+  // (PrepareForEval) or single-threaded setup.
+  if (enabled == quantize_) return;
+  if (enabled) {
+    valid_ = false;  // Build on the next Ensure.
+  } else {
+    qtables_.clear();
+  }
   quantize_ = enabled;
 }
 
@@ -369,7 +378,10 @@ void ItemTableCache::EnableAnn(const IvfConfig& config) {
                     ann_config_.train_iterations == config.train_iterations &&
                     ann_config_.train_sample == config.train_sample &&
                     ann_config_.seed == config.seed;
-  if (!same) valid_ = false;  // Build on the next Ensure.
+  // Same no-write steady state as EnableQuantization: concurrent serving
+  // threads re-assert an identical config under the shared lock.
+  if (same) return;
+  valid_ = false;  // Build on the next Ensure.
   ann_enabled_ = true;
   ann_config_ = config;
 }

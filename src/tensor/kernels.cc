@@ -1,0 +1,376 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/gemm.h"
+#include "utils/check.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace kernels {
+
+void AddSame(const float* a, const float* b, float* out, int64_t n) {
+  ParallelFor(0, n, GrainForCost(1), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = a[i] + b[i];
+  });
+}
+
+void AddBroadcast(const float* a, const float* b, float* out,
+                  const Shape& out_shape, const Shape& a_shape,
+                  const Shape& b_shape) {
+  ParallelFor(0, out_shape.numel(), GrainForCost(2),
+              [&](int64_t lo, int64_t hi) {
+                ForEachBroadcastPairRange(
+                    out_shape, a_shape, b_shape, lo, hi,
+                    [&](int64_t lin, int64_t ao, int64_t bo) {
+                      out[lin] = a[ao] + b[bo];
+                    });
+              });
+}
+
+void MulScalarN(const float* a, float s, float* out, int64_t n) {
+  ParallelFor(0, n, GrainForCost(1), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = a[i] * s;
+  });
+}
+
+void GeluN(const float* a, float* out, int64_t n) {
+  ParallelFor(0, n, GrainForCost(1), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = GeluScalar(a[i]);
+  });
+}
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t cols) {
+  ParallelFor(0, rows, GrainForCost(cols * 4), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = y + r * cols;
+      float max_v = xr[0];
+      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
+      float sum = 0.0f;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = std::exp(xr[c] - max_v);
+        sum += yr[c];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
+    }
+  });
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float* y, float* xhat, float* inv_std, int64_t rows,
+                   int64_t d, float eps) {
+  ParallelFor(0, rows, GrainForCost(d * 5), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * d;
+      float mean = 0.0f;
+      for (int64_t c = 0; c < d; ++c) mean += xr[c];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t c = 0; c < d; ++c) {
+        const float diff = xr[c] - mean;
+        var += diff * diff;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      if (inv_std != nullptr) inv_std[r] = istd;
+      // One loop body for both modes: the xhat store is a side effect only,
+      // so training-time and replay-time compute the same expressions.
+      float* xh_row = xhat != nullptr ? xhat + r * d : nullptr;
+      float* yr = y + r * d;
+      for (int64_t c = 0; c < d; ++c) {
+        const float xh = (xr[c] - mean) * istd;
+        if (xh_row != nullptr) xh_row[c] = xh;
+        yr[c] = gamma[c] * xh + beta[c];
+      }
+    }
+  });
+}
+
+void CopySlice(const float* a, float* out, int64_t outer, int64_t mid,
+               int64_t inner, int64_t start, int64_t length) {
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(a + (o * mid + start) * inner,
+              a + (o * mid + start + length) * inner,
+              out + o * length * inner);
+  }
+}
+
+void CopyConcat(const float* const* srcs, const int64_t* mids,
+                int64_t n_srcs, float* out, int64_t outer, int64_t inner,
+                int64_t total_mid) {
+  int64_t mid_offset = 0;
+  for (int64_t t = 0; t < n_srcs; ++t) {
+    const float* src = srcs[t];
+    const int64_t mid = mids[t];
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(src + o * mid * inner, src + (o + 1) * mid * inner,
+                out + (o * total_mid + mid_offset) * inner);
+    }
+    mid_offset += mid;
+  }
+}
+
+namespace {
+
+// Invokes fn(bi, r, rows) for the maximal row runs inside one batch entry
+// covering [begin, end) of the flattened batch*m row space (mirrors the
+// eager ops' ForEachBatchRun).
+template <typename Fn>
+void ForEachBatchRun(int64_t m, int64_t begin, int64_t end, Fn&& fn) {
+  int64_t r = begin;
+  while (r < end) {
+    const int64_t bi = r / m;
+    const int64_t hi = std::min(end, (bi + 1) * m);
+    fn(bi, r, hi - r);
+    r = hi;
+  }
+}
+
+}  // namespace
+
+void MatMulNNForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast) {
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    std::fill(out + r0 * n, out + r1 * n, 0.0f);
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmNN(a + r * k, b_broadcast ? b : b + bi * k * n, out + r * n,
+                   rows, k, n, k, n, n);
+    });
+  });
+}
+
+void MatMulNTForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast) {
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    std::fill(out + r0 * n, out + r1 * n, 0.0f);
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmNT(a + r * k, b_broadcast ? b : b + bi * n * k, out + r * n,
+                   rows, k, n, k, k, n);
+    });
+  });
+}
+
+void MatMulTNForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast) {
+  // Output row r is column (r - bi*m) of A_bi, selected via the column
+  // offset with lda = m.
+  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
+    std::fill(out + r0 * n, out + r1 * n, 0.0f);
+    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
+      gemm::GemmTN(a + bi * k * m + (r - bi * m),
+                   b_broadcast ? b : b + bi * k * n, out + r * n, rows, k, n,
+                   m, n, n);
+    });
+  });
+}
+
+void BiasGeluRows(const float* x, const float* bias, float* out,
+                  int64_t rows, int64_t cols) {
+  ParallelFor(0, rows, GrainForCost(cols * 2), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* yr = out + r * cols;
+      for (int64_t c = 0; c < cols; ++c) {
+        yr[c] = GeluScalar(xr[c] + bias[c]);
+      }
+    }
+  });
+}
+
+void LastRowLayerNorm(const float* x, const float* gamma, const float* beta,
+                      float* out, int64_t g, int64_t len, int64_t d,
+                      float eps) {
+  ParallelFor(0, g, GrainForCost(d * 5), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      LayerNormRows(x + (r * len + len - 1) * d, gamma, beta, out + r * d,
+                    nullptr, nullptr, /*rows=*/1, d, eps);
+    }
+  });
+}
+
+void GatherLastRows(const float* x, float* out, int64_t g, int64_t len,
+                    int64_t w) {
+  // A tiny strided copy (g rows of w floats); serial is both cheapest and
+  // trivially deterministic.
+  for (int64_t u = 0; u < g; ++u) {
+    std::memcpy(out + u * w, x + ((u + 1) * len - 1) * w,
+                static_cast<size_t>(w) * sizeof(float));
+  }
+}
+
+// --- Step dispatch ----------------------------------------------------------
+
+namespace {
+
+void StepAddSame(const Step& s) { AddSame(s.in[0], s.in[1], s.out, s.d[0]); }
+
+void StepAddBroadcast(const Step& s) {
+  AddBroadcast(s.in[0], s.in[1], s.out, s.sh_out, s.sh_a, s.sh_b);
+}
+
+void StepMulScalar(const Step& s) { MulScalarN(s.in[0], s.f0, s.out, s.d[0]); }
+
+void StepGelu(const Step& s) { GeluN(s.in[0], s.out, s.d[0]); }
+
+void StepSoftmax(const Step& s) {
+  SoftmaxRows(s.in[0], s.out, s.d[0], s.d[1]);
+}
+
+void StepLayerNorm(const Step& s) {
+  LayerNormRows(s.in[0], s.in[1], s.in[2], s.out, nullptr, nullptr, s.d[0],
+                s.d[1], s.f0);
+}
+
+void StepSlice(const Step& s) {
+  CopySlice(s.in[0], s.out, s.d[0], s.d[1], s.d[2], s.d[3], s.d[4]);
+}
+
+void StepConcat(const Step& s) {
+  CopyConcat(s.srcs.data(), s.mids.data(),
+             static_cast<int64_t>(s.srcs.size()), s.out, s.d[0], s.d[1],
+             s.d[2]);
+}
+
+void StepMatMulNN(const Step& s) {
+  MatMulNNForward(s.in[0], s.in[1], s.out, s.d[0], s.d[1], s.d[2], s.d[3],
+                  s.d[4] != 0);
+}
+
+void StepMatMulNT(const Step& s) {
+  MatMulNTForward(s.in[0], s.in[1], s.out, s.d[0], s.d[1], s.d[2], s.d[3],
+                  s.d[4] != 0);
+}
+
+void StepMatMulTN(const Step& s) {
+  MatMulTNForward(s.in[0], s.in[1], s.out, s.d[0], s.d[1], s.d[2], s.d[3],
+                  s.d[4] != 0);
+}
+
+void StepBiasGelu(const Step& s) {
+  BiasGeluRows(s.in[0], s.in[1], s.out, s.d[0], s.d[1]);
+}
+
+void StepLastRowLayerNorm(const Step& s) {
+  LastRowLayerNorm(s.in[0], s.in[1], s.in[2], s.out, s.d[0], s.d[1], s.d[2],
+                   s.f0);
+}
+
+void StepLastRowLayerNormMatMulNT(const Step& s) {
+  // d = {g, len, d, n_items}; in = {x, gamma, beta, table}; aux = [g, d]
+  // scratch. The epilogue GEMM is the same MatMulNTForward call the eager
+  // path runs on the sliced [g, d] rows, so the fold is bitwise-neutral.
+  LastRowLayerNorm(s.in[0], s.in[1], s.in[2], s.aux, s.d[0], s.d[1], s.d[2],
+                   s.f0);
+  MatMulNTForward(s.aux, s.in[3], s.out, /*batch=*/1, s.d[0], s.d[2], s.d[3],
+                  /*b_broadcast=*/true);
+}
+
+void StepGatherLastRows(const Step& s) {
+  GatherLastRows(s.in[0], s.out, s.d[0], s.d[1], s.d[2]);
+}
+
+}  // namespace
+
+void (*StepFnFor(StepKind kind))(const Step&) {
+  switch (kind) {
+    case StepKind::kAddSame: return &StepAddSame;
+    case StepKind::kAddBroadcast: return &StepAddBroadcast;
+    case StepKind::kMulScalar: return &StepMulScalar;
+    case StepKind::kGelu: return &StepGelu;
+    case StepKind::kSoftmax: return &StepSoftmax;
+    case StepKind::kLayerNorm: return &StepLayerNorm;
+    case StepKind::kSlice: return &StepSlice;
+    case StepKind::kConcat: return &StepConcat;
+    case StepKind::kMatMulNN: return &StepMatMulNN;
+    case StepKind::kMatMulNT: return &StepMatMulNT;
+    case StepKind::kMatMulTN: return &StepMatMulTN;
+    case StepKind::kBiasGelu: return &StepBiasGelu;
+    case StepKind::kLastRowLayerNorm: return &StepLastRowLayerNorm;
+    case StepKind::kLastRowLayerNormMatMulNT:
+      return &StepLastRowLayerNormMatMulNT;
+    case StepKind::kGatherLastRows: return &StepGatherLastRows;
+  }
+  PMM_CHECK_MSG(false, "unknown StepKind");
+  return nullptr;
+}
+
+// --- Recorder ---------------------------------------------------------------
+
+namespace {
+thread_local PlanRecorder* g_recorder = nullptr;
+}  // namespace
+
+PlanRecorder* ActivePlanRecorder() { return g_recorder; }
+
+PlanRecorderScope::PlanRecorderScope(PlanRecorder* recorder) {
+  PMM_CHECK_MSG(g_recorder == nullptr,
+                "nested plan recordings on one thread");
+  g_recorder = recorder;
+}
+
+PlanRecorderScope::~PlanRecorderScope() { g_recorder = nullptr; }
+
+void PlanRecorder::Keep(const std::shared_ptr<std::vector<float>>& buf) {
+  if (buf == nullptr) return;
+  if (kept_.insert(buf->data()).second) buffers_.push_back(buf);
+}
+
+void PlanRecorder::RegisterInput(const Tensor& t) {
+  PMM_CHECK(t.defined());
+  known_.insert(t.data());
+  Keep(t.impl()->data);
+}
+
+void PlanRecorder::AddConstant(const Tensor& t) {
+  if (poisoned_ || !t.defined()) return;
+  known_.insert(t.data());
+  Keep(t.impl()->data);
+  ++num_constants_;
+}
+
+void PlanRecorder::NoteAlloc(const float* p) {
+  if (poisoned_) return;
+  dynamic_.insert(p);
+}
+
+void PlanRecorder::Poison(const std::string& reason) {
+  if (poisoned_) return;
+  poisoned_ = true;
+  reason_ = reason;
+}
+
+void PlanRecorder::AddStep(Step step, const std::vector<Tensor>& inputs,
+                           const Tensor& out) {
+  if (poisoned_) return;
+  for (const Tensor& t : inputs) {
+    if (!t.defined()) continue;
+    const float* p = t.data();
+    if (known_.count(p) > 0) continue;
+    if (dynamic_.count(p) > 0) {
+      // Produced by an op the recorder has no step for: replay would read
+      // a stale buffer. Refuse the plan; the caller falls back to eager.
+      Poison("step consumes an unrecorded intermediate");
+      return;
+    }
+    // Born outside MakeNode during (or before) the recording — a mask or
+    // parameter-derived buffer. Bake it as a constant; a param update
+    // invalidates the whole plan, so staleness cannot be served.
+    known_.insert(p);
+    Keep(t.impl()->data);
+    ++num_constants_;
+  }
+  step.fn = StepFnFor(step.kind);
+  known_.insert(out.data());
+  step_outputs_.insert(out.data());
+  Keep(out.impl()->data);
+  steps_.push_back(std::move(step));
+}
+
+}  // namespace kernels
+}  // namespace pmmrec

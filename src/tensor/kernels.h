@@ -1,0 +1,266 @@
+#ifndef PMMREC_TENSOR_KERNELS_H_
+#define PMMREC_TENSOR_KERNELS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace pmmrec {
+namespace kernels {
+
+// Raw forward kernels, callable without Op wrappers — no autograd nodes,
+// no shape checks, no shared_ptr churn. Each is the single source of truth
+// for its op's forward arithmetic: the eager ops (tensor/ops.cc,
+// tensor/ops_nn.cc) call these on validated inputs, and recorded execution
+// plans (core/plan.h) replay them through direct function pointers. Running
+// literally the same code on both paths is what makes plan replay bitwise
+// equal to eager dispatch.
+//
+// Determinism: elementwise and per-row kernels touch each output element
+// from exactly one loop iteration; the GEMM wrappers partition over owner
+// rows and inherit the gemm.h determinism contract — so every kernel is
+// bit-identical across thread counts.
+
+// Walks the broadcast output elements with linear index in
+// [lin_begin, lin_end), calling f(out_linear, a_offset, b_offset).
+// Strides of size-1 broadcast dims are zero; restartable at any linear
+// index so ParallelFor chunks each walk their own sub-range.
+template <typename F>
+void ForEachBroadcastPairRange(const Shape& out, const Shape& a,
+                               const Shape& b, int64_t lin_begin,
+                               int64_t lin_end, F&& f) {
+  const int64_t rank = out.rank();
+  if (rank == 0) {
+    if (lin_begin <= 0 && lin_end > 0) f(0, 0, 0);
+    return;
+  }
+  auto pad_strides = [&](const Shape& s) {
+    std::vector<int64_t> st(static_cast<size_t>(rank), 0);
+    const auto ss = s.Strides();
+    for (int64_t i = 0; i < s.rank(); ++i) {
+      const int64_t out_i = rank - s.rank() + i;
+      st[static_cast<size_t>(out_i)] =
+          (s.dim(i) == 1 && out.dim(out_i) != 1) ? 0
+                                                 : ss[static_cast<size_t>(i)];
+    }
+    return st;
+  };
+  const auto sa = pad_strides(a);
+  const auto sb = pad_strides(b);
+  // Seed the multi-index and operand offsets at lin_begin.
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  int64_t rest = lin_begin;
+  for (int64_t d = rank - 1; d >= 0; --d) {
+    const size_t du = static_cast<size_t>(d);
+    idx[du] = rest % out.dim(d);
+    rest /= out.dim(d);
+    a_off += idx[du] * sa[du];
+    b_off += idx[du] * sb[du];
+  }
+  for (int64_t lin = lin_begin; lin < lin_end; ++lin) {
+    f(lin, a_off, b_off);
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++idx[du];
+      a_off += sa[du];
+      b_off += sb[du];
+      if (idx[du] < out.dim(d)) break;
+      a_off -= sa[du] * out.dim(d);
+      b_off -= sb[du] * out.dim(d);
+      idx[du] = 0;
+    }
+  }
+}
+
+// GELU scalar (tanh approximation) shared by the eager op, the raw kernel
+// and the fused bias+GELU kernel, so all three agree bit-for-bit.
+inline float GeluScalar(float x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  const float inner = kC * (x + kA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+// out[i] = a[i] + b[i] (identical shapes).
+void AddSame(const float* a, const float* b, float* out, int64_t n);
+// Broadcast add following NumPy semantics over the given shapes.
+void AddBroadcast(const float* a, const float* b, float* out,
+                  const Shape& out_shape, const Shape& a_shape,
+                  const Shape& b_shape);
+// out[i] = a[i] * s.
+void MulScalarN(const float* a, float s, float* out, int64_t n);
+// out[i] = GeluScalar(a[i]).
+void GeluN(const float* a, float* out, int64_t n);
+// Numerically-stabilized softmax over each row of [rows, cols].
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t cols);
+// LayerNorm over each row of [rows, d] with affine gamma/beta. When
+// `xhat`/`inv_std` are non-null the normalized activations and inverse
+// stddevs are saved for the backward pass; replay passes nullptr and the
+// per-element arithmetic is unchanged.
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float* y, float* xhat, float* inv_std, int64_t rows,
+                   int64_t d, float eps);
+// Narrow copy: out = a[.., start:start+length, ..] where a decomposes as
+// [outer, mid, inner] around the sliced dim.
+void CopySlice(const float* a, float* out, int64_t outer, int64_t mid,
+               int64_t inner, int64_t start, int64_t length);
+// Concat copy along a dim decomposed as [outer, mids[i], inner].
+void CopyConcat(const float* const* srcs, const int64_t* mids,
+                int64_t n_srcs, float* out, int64_t outer, int64_t inner,
+                int64_t total_mid);
+// Batched GEMM forwards (out is fully overwritten: each owner-row range is
+// zeroed before the accumulating gemm.h kernel runs — bitwise identical to
+// accumulating into fresh zero-filled storage).
+// C[b,m,n] = A[b,m,k] * B[b|1,k,n]
+void MatMulNNForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast);
+// C[b,m,n] = A[b,m,k] * B[b|1,n,k]^T
+void MatMulNTForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast);
+// C[b,m,n] = A[b,k,m]^T * B[b|1,k,n]
+void MatMulTNForward(const float* a, const float* b, float* out,
+                     int64_t batch, int64_t m, int64_t k, int64_t n,
+                     bool b_broadcast);
+// Fused kernels (plan-only rewrites; see core/plan.cc):
+// out[r,c] = GeluScalar(x[r,c] + bias[c]) — the bias-broadcast Add followed
+// by Gelu, one pass, identical per-element arithmetic.
+void BiasGeluRows(const float* x, const float* bias, float* out,
+                  int64_t rows, int64_t cols);
+// LayerNorm applied only to the final position of each sequence:
+// out[r, :] = LayerNorm(x[r, len-1, :]) for x [g, len, d]. Per-row
+// independence of LayerNormRows makes each output row bitwise equal to the
+// full LayerNorm + Slice(len-1) composition it replaces.
+void LastRowLayerNorm(const float* x, const float* gamma, const float* beta,
+                      float* out, int64_t g, int64_t len, int64_t d,
+                      float eps);
+// out[u, :] = x[u*len + len-1, :] for x [g*len, w] — the final position of
+// each sequence, materialised once so the dead-row pruning rewrite can run
+// the downstream row-wise steps on g rows instead of g*len. A pure copy,
+// bitwise neutral by construction.
+void GatherLastRows(const float* x, float* out, int64_t g, int64_t len,
+                    int64_t w);
+
+// --- Plan recording --------------------------------------------------------
+
+// One replayable unit of a recorded plan: a direct kernel function pointer
+// plus raw buffer pointers and precomputed dims. No Op objects, no autograd
+// checks, no dispatcher branches on replay.
+enum class StepKind : uint8_t {
+  kAddSame,
+  kAddBroadcast,
+  kMulScalar,
+  kGelu,
+  kSoftmax,
+  kLayerNorm,
+  kSlice,
+  kConcat,
+  kMatMulNN,
+  kMatMulNT,
+  kMatMulTN,
+  kBiasGelu,
+  kLastRowLayerNorm,
+  kLastRowLayerNormMatMulNT,
+  kGatherLastRows,
+};
+
+struct Step {
+  StepKind kind;
+  void (*fn)(const Step&) = nullptr;
+  const float* in[4] = {nullptr, nullptr, nullptr, nullptr};
+  float* out = nullptr;
+  float* aux = nullptr;   // scratch of fused kernels (plan-owned)
+  int64_t d[6] = {0, 0, 0, 0, 0, 0};
+  float f0 = 0.0f;        // scalar attr (scale / eps)
+  Shape sh_out, sh_a, sh_b;            // kAddBroadcast only
+  std::vector<const float*> srcs;      // kConcat only
+  std::vector<int64_t> mids;           // kConcat only
+};
+
+// Kernel dispatcher for `kind`; recorded once into Step::fn so replay is a
+// direct indirect call per step.
+void (*StepFnFor(StepKind kind))(const Step&);
+
+// Thread-local trace recorder the eager ops report to while a plan is
+// being captured (core/plan.cc drives it). The recorder tracks buffer
+// provenance so a plan is only produced when every step input is the plan
+// input, a prior step's output, or a registered constant:
+//  - MakeNode outputs are "dynamic"; consuming one that no recorded step
+//    produced poisons the recording (an unhooked op computed it, so replay
+//    would serve a stale buffer);
+//  - buffers born outside MakeNode (Tensor::Zeros masks, embedding rows)
+//    are captured as constants and kept alive by the plan — valid because
+//    any parameter update invalidates the plan wholesale.
+// All captured buffers (inputs, intermediates, constants) are kept alive
+// via their shared_ptr storage, which also guarantees pointer identity is
+// unambiguous for the whole recording (the arena cannot recycle them).
+class PlanRecorder {
+ public:
+  PlanRecorder() = default;
+  PlanRecorder(const PlanRecorder&) = delete;
+  PlanRecorder& operator=(const PlanRecorder&) = delete;
+
+  // Declares a buffer the replayer will overwrite before each run.
+  void RegisterInput(const Tensor& t);
+  // Records one replayable step; `inputs` are the tensors the step reads.
+  void AddStep(Step step, const std::vector<Tensor>& inputs,
+               const Tensor& out);
+  // Bakes a tensor computed during recording as a plan constant.
+  void AddConstant(const Tensor& t);
+  // Called by internal::MakeNode for every op output while recording.
+  void NoteAlloc(const float* p);
+  // Marks the recording unusable (unhooked-op input, unexpected topology).
+  void Poison(const std::string& reason);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& poison_reason() const { return reason_; }
+  bool IsStepOutput(const float* p) const {
+    return step_outputs_.count(p) > 0;
+  }
+  int64_t num_constants() const { return num_constants_; }
+
+  std::vector<Step> TakeSteps() { return std::move(steps_); }
+  std::vector<std::shared_ptr<std::vector<float>>> TakeBuffers() {
+    return std::move(buffers_);
+  }
+
+ private:
+  void Keep(const std::shared_ptr<std::vector<float>>& buf);
+
+  std::vector<Step> steps_;
+  std::vector<std::shared_ptr<std::vector<float>>> buffers_;
+  std::unordered_set<const float*> known_;         // inputs+outputs+constants
+  std::unordered_set<const float*> step_outputs_;
+  std::unordered_set<const float*> dynamic_;       // MakeNode outputs
+  std::unordered_set<const float*> kept_;
+  int64_t num_constants_ = 0;
+  bool poisoned_ = false;
+  std::string reason_;
+};
+
+// The recorder active on this thread, or nullptr. Ops consult this on
+// every forward; the pointer is thread-local so concurrent eager serving
+// on other threads records nothing.
+PlanRecorder* ActivePlanRecorder();
+
+// RAII installer (one recorder per thread at a time — checked).
+class PlanRecorderScope {
+ public:
+  explicit PlanRecorderScope(PlanRecorder* recorder);
+  ~PlanRecorderScope();
+  PlanRecorderScope(const PlanRecorderScope&) = delete;
+  PlanRecorderScope& operator=(const PlanRecorderScope&) = delete;
+};
+
+}  // namespace kernels
+}  // namespace pmmrec
+
+#endif  // PMMREC_TENSOR_KERNELS_H_

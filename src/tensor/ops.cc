@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "utils/parallel.h"
 
 namespace pmmrec {
@@ -36,58 +37,10 @@ void BlockedTranspose(const float* src, float* dst, int64_t m, int64_t n) {
   }
 }
 
-// Calls f(out_linear, a_offset, b_offset) for every element of the
-// broadcast output with linear index in [lin_begin, lin_end). Strides of
-// size-1 broadcast dims are zero. Restartable at any linear index so
-// ParallelFor chunks can each walk their own sub-range.
-template <typename F>
-void ForEachBroadcastPairRange(const Shape& out, const Shape& a,
-                               const Shape& b, int64_t lin_begin,
-                               int64_t lin_end, F&& f) {
-  const int64_t rank = out.rank();
-  if (rank == 0) {
-    if (lin_begin <= 0 && lin_end > 0) f(0, 0, 0);
-    return;
-  }
-  auto pad_strides = [&](const Shape& s) {
-    std::vector<int64_t> st(static_cast<size_t>(rank), 0);
-    const auto ss = s.Strides();
-    for (int64_t i = 0; i < s.rank(); ++i) {
-      const int64_t out_i = rank - s.rank() + i;
-      st[static_cast<size_t>(out_i)] =
-          (s.dim(i) == 1 && out.dim(out_i) != 1) ? 0
-                                                 : ss[static_cast<size_t>(i)];
-    }
-    return st;
-  };
-  const auto sa = pad_strides(a);
-  const auto sb = pad_strides(b);
-  // Seed the multi-index and operand offsets at lin_begin.
-  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
-  int64_t a_off = 0;
-  int64_t b_off = 0;
-  int64_t rest = lin_begin;
-  for (int64_t d = rank - 1; d >= 0; --d) {
-    const size_t du = static_cast<size_t>(d);
-    idx[du] = rest % out.dim(d);
-    rest /= out.dim(d);
-    a_off += idx[du] * sa[du];
-    b_off += idx[du] * sb[du];
-  }
-  for (int64_t lin = lin_begin; lin < lin_end; ++lin) {
-    f(lin, a_off, b_off);
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      const size_t du = static_cast<size_t>(d);
-      ++idx[du];
-      a_off += sa[du];
-      b_off += sb[du];
-      if (idx[du] < out.dim(d)) break;
-      a_off -= sa[du] * out.dim(d);
-      b_off -= sb[du] * out.dim(d);
-      idx[du] = 0;
-    }
-  }
-}
+// The restartable broadcast walker lives in tensor/kernels.h now (shared
+// with the raw kernels); this wrapper keeps the serial full-range form the
+// backward passes use.
+using kernels::ForEachBroadcastPairRange;
 
 template <typename F>
 void ForEachBroadcastPair(const Shape& out, const Shape& a, const Shape& b,
@@ -206,9 +159,68 @@ void SplitAtDim(const Shape& shape, int64_t dim, int64_t* outer, int64_t* mid,
 // --- Elementwise -----------------------------------------------------------
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryBroadcastOp(
-      a, b, [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+  // Standalone (not BinaryBroadcastOp): Add is on the recorded serving
+  // path, so its forward must run the exact raw kernels a replayed plan
+  // calls — the same machine code, not a re-derivation of it.
+  PMM_CHECK(a.defined());
+  PMM_CHECK(b.defined());
+  const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  Tensor out = internal::MakeNode(
+      out_shape, {a, b}, [a_impl, b_impl](TensorImpl& self) {
+        const float* gout = self.grad.data();
+        const bool need_a = NeedsGrad(*a_impl);
+        const bool need_b = NeedsGrad(*b_impl);
+        if (need_a) a_impl->EnsureGrad();
+        if (need_b) b_impl->EnsureGrad();
+        float* ga = need_a ? a_impl->grad.data() : nullptr;
+        float* gb = need_b ? b_impl->grad.data() : nullptr;
+        if (a_impl->shape == b_impl->shape) {
+          const int64_t n = self.shape.numel();
+          ParallelFor(0, n, GrainForCost(2), [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              const float g = gout[i];
+              if (ga) ga[i] += g;
+              if (gb) gb[i] += g;
+            }
+          });
+        } else {
+          // Broadcast scatter-adds alias; stay serial (see
+          // BinaryBroadcastOp).
+          ForEachBroadcastPair(self.shape, a_impl->shape, b_impl->shape,
+                               [&](int64_t lin, int64_t ao, int64_t bo) {
+                                 const float g = gout[lin];
+                                 if (ga) ga[ao] += g;
+                                 if (gb) gb[bo] += g;
+                               });
+        }
+      });
+
+  const bool same = a.shape() == b.shape();
+  if (same) {
+    kernels::AddSame(a.data(), b.data(), out.data(), out.numel());
+  } else {
+    kernels::AddBroadcast(a.data(), b.data(), out.data(), out_shape,
+                          a.shape(), b.shape());
+  }
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step s;
+    s.out = out.data();
+    s.in[0] = a.data();
+    s.in[1] = b.data();
+    if (same) {
+      s.kind = kernels::StepKind::kAddSame;
+      s.d[0] = out.numel();
+    } else {
+      s.kind = kernels::StepKind::kAddBroadcast;
+      s.sh_out = out_shape;
+      s.sh_a = a.shape();
+      s.sh_b = b.shape();
+    }
+    rec->AddStep(std::move(s), {a, b}, out);
+  }
+  return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -236,8 +248,31 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; }, [s](float, float) { return s; });
+  // Standalone: on the recorded serving path (attention scaling).
+  PMM_CHECK(a.defined());
+  auto a_impl = a.impl();
+  Tensor out = internal::MakeNode(
+      a.shape(), {a}, [a_impl, s](TensorImpl& self) {
+        if (!NeedsGrad(*a_impl)) return;
+        a_impl->EnsureGrad();
+        const float* gout = self.grad.data();
+        float* ga = a_impl->grad.data();
+        const int64_t n = self.shape.numel();
+        ParallelFor(0, n, GrainForCost(2), [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) ga[i] += gout[i] * s;
+        });
+      });
+  kernels::MulScalarN(a.data(), s, out.data(), a.numel());
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kMulScalar;
+    step.in[0] = a.data();
+    step.out = out.data();
+    step.d[0] = a.numel();
+    step.f0 = s;
+    rec->AddStep(std::move(step), {a}, out);
+  }
+  return out;
 }
 
 Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
@@ -379,16 +414,22 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
         }
       });
 
-  float* ov = out.data();
-  int64_t mid_offset = 0;
-  for (size_t t = 0; t < tensors.size(); ++t) {
-    const float* src = tensors[t].data();
-    const int64_t mid = mids[t];
-    for (int64_t o = 0; o < outer; ++o) {
-      std::copy(src + o * mid * inner, src + (o + 1) * mid * inner,
-                ov + (o * total_mid + mid_offset) * inner);
-    }
-    mid_offset += mid;
+  std::vector<const float*> srcs;
+  srcs.reserve(tensors.size());
+  for (const Tensor& t : tensors) srcs.push_back(t.data());
+  kernels::CopyConcat(srcs.data(), mids.data(),
+                      static_cast<int64_t>(srcs.size()), out.data(), outer,
+                      inner, total_mid);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kConcat;
+    step.out = out.data();
+    step.d[0] = outer;
+    step.d[1] = inner;
+    step.d[2] = total_mid;
+    step.srcs = std::move(srcs);
+    step.mids = mids;
+    rec->AddStep(std::move(step), tensors, out);
   }
   return out;
 }
@@ -421,12 +462,18 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
         }
       });
 
-  const float* av = a.data();
-  float* ov = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::copy(av + (o * mid + start) * inner,
-              av + (o * mid + start + length) * inner,
-              ov + o * length * inner);
+  kernels::CopySlice(a.data(), out.data(), outer, mid, inner, start, length);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kSlice;
+    step.in[0] = a.data();
+    step.out = out.data();
+    step.d[0] = outer;
+    step.d[1] = mid;
+    step.d[2] = inner;
+    step.d[3] = start;
+    step.d[4] = length;
+    rec->AddStep(std::move(step), {a}, out);
   }
   return out;
 }
@@ -484,20 +531,40 @@ Tensor Relu(const Tensor& a) {
 
 Tensor Gelu(const Tensor& a) {
   // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  constexpr float kA = 0.044715f;
-  return UnaryOp(
-      a,
-      [](float x) {
-        const float inner = kC * (x + kA * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
-      [](float x, float) {
-        const float inner = kC * (x + kA * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = kC * (1.0f + 3.0f * kA * x * x);
-        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+  // Forward goes through kernels::GeluN (recorded serving path).
+  PMM_CHECK(a.defined());
+  auto a_impl = a.impl();
+  Tensor out = internal::MakeNode(
+      a.shape(), {a}, [a_impl](TensorImpl& self) {
+        if (!NeedsGrad(*a_impl)) return;
+        a_impl->EnsureGrad();
+        constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+        constexpr float kA = 0.044715f;
+        const float* x = a_impl->const_data();
+        const float* gout = self.grad.data();
+        float* ga = a_impl->grad.data();
+        const int64_t n = self.shape.numel();
+        ParallelFor(0, n, GrainForCost(2), [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            const float xi = x[i];
+            const float inner = kC * (xi + kA * xi * xi * xi);
+            const float t = std::tanh(inner);
+            const float dinner = kC * (1.0f + 3.0f * kA * xi * xi);
+            ga[i] += gout[i] * (0.5f * (1.0f + t) +
+                                0.5f * xi * (1.0f - t * t) * dinner);
+          }
+        });
       });
+  kernels::GeluN(a.data(), out.data(), a.numel());
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kGelu;
+    step.in[0] = a.data();
+    step.out = out.data();
+    step.d[0] = a.numel();
+    rec->AddStep(std::move(step), {a}, out);
+  }
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -543,23 +610,16 @@ Tensor Softmax(const Tensor& a) {
                     });
       });
 
-  const float* x = a.data();
-  float* y = out.data();
-  ParallelFor(0, rows, GrainForCost(cols * 4), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = x + r * cols;
-      float* yr = y + r * cols;
-      float max_v = xr[0];
-      for (int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, xr[c]);
-      float sum = 0.0f;
-      for (int64_t c = 0; c < cols; ++c) {
-        yr[c] = std::exp(xr[c] - max_v);
-        sum += yr[c];
-      }
-      const float inv = 1.0f / sum;
-      for (int64_t c = 0; c < cols; ++c) yr[c] *= inv;
-    }
-  });
+  kernels::SoftmaxRows(a.data(), out.data(), rows, cols);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kSoftmax;
+    step.in[0] = a.data();
+    step.out = out.data();
+    step.d[0] = rows;
+    step.d[1] = cols;
+    rec->AddStep(std::move(step), {a}, out);
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "utils/parallel.h"
 #include "utils/trace.h"
@@ -129,18 +130,22 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         }
       });
 
-  const float* av = a.data();
-  const float* bv = b.data();
-  float* ov = out.data();
-  // Partition over the batch*m output rows; each C row is written by
-  // exactly one chunk and its accumulation chain is row-local.
   PMM_TRACE_SCOPE("MatMul");
-  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
-    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
-      gemm::GemmNN(av + r * k, b_broadcast ? bv : bv + bi * k * n, ov + r * n,
-                   rows, k, n, k, n, n);
-    });
-  });
+  kernels::MatMulNNForward(a.data(), b.data(), out.data(), batch, m, k, n,
+                           b_broadcast);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kMatMulNN;
+    step.in[0] = a.data();
+    step.in[1] = b.data();
+    step.out = out.data();
+    step.d[0] = batch;
+    step.d[1] = m;
+    step.d[2] = k;
+    step.d[3] = n;
+    step.d[4] = b_broadcast ? 1 : 0;
+    rec->AddStep(std::move(step), {a, b}, out);
+  }
   return out;
 }
 
@@ -203,16 +208,22 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
         }
       });
 
-  const float* av = a.data();
-  const float* bv = b.data();
-  float* ov = out.data();
   PMM_TRACE_SCOPE("MatMulNT");
-  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
-    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
-      gemm::GemmNT(av + r * k, b_broadcast ? bv : bv + bi * n * k, ov + r * n,
-                   rows, k, n, k, k, n);
-    });
-  });
+  kernels::MatMulNTForward(a.data(), b.data(), out.data(), batch, m, k, n,
+                           b_broadcast);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kMatMulNT;
+    step.in[0] = a.data();
+    step.in[1] = b.data();
+    step.out = out.data();
+    step.d[0] = batch;
+    step.d[1] = m;
+    step.d[2] = k;
+    step.d[3] = n;
+    step.d[4] = b_broadcast ? 1 : 0;
+    rec->AddStep(std::move(step), {a, b}, out);
+  }
   return out;
 }
 
@@ -283,19 +294,22 @@ Tensor MatMulTN(const Tensor& a, const Tensor& b) {
         }
       });
 
-  const float* av = a.data();
-  const float* bv = b.data();
-  float* ov = out.data();
-  // Output row r is column (r - bi*m) of A_bi: select it via the column
-  // offset, lda = m.
   PMM_TRACE_SCOPE("MatMulTN");
-  ParallelFor(0, batch * m, GrainForCost(k * n), [&](int64_t r0, int64_t r1) {
-    ForEachBatchRun(m, r0, r1, [&](int64_t bi, int64_t r, int64_t rows) {
-      gemm::GemmTN(av + bi * k * m + (r - bi * m),
-                   b_broadcast ? bv : bv + bi * k * n, ov + r * n, rows, k, n,
-                   m, n, n);
-    });
-  });
+  kernels::MatMulTNForward(a.data(), b.data(), out.data(), batch, m, k, n,
+                           b_broadcast);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kMatMulTN;
+    step.in[0] = a.data();
+    step.in[1] = b.data();
+    step.out = out.data();
+    step.d[0] = batch;
+    step.d[1] = m;
+    step.d[2] = k;
+    step.d[3] = n;
+    step.d[4] = b_broadcast ? 1 : 0;
+    rec->AddStep(std::move(step), {a, b}, out);
+  }
   return out;
 }
 
@@ -332,6 +346,12 @@ Tensor EmbeddingLookup(const Tensor& weight,
     std::copy(wv + static_cast<int64_t>(indices[static_cast<size_t>(i)]) * d,
               wv + (static_cast<int64_t>(indices[static_cast<size_t>(i)]) + 1) * d,
               ov + i * d);
+  }
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    // The gathered rows depend only on the index list, which is a pure
+    // function of the plan key (positions 0..len-1); bake them as a plan
+    // constant. Weight updates invalidate the plan wholesale.
+    rec->AddConstant(out);
   }
   return out;
 }
@@ -415,32 +435,20 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         }
       });
 
-  const float* xv = x.data();
-  const float* gam = gamma.data();
-  const float* bet = beta.data();
-  float* ov = out.data();
-  ParallelFor(0, rows, GrainForCost(d * 5), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float* xr = xv + r * d;
-      float mean = 0.0f;
-      for (int64_t c = 0; c < d; ++c) mean += xr[c];
-      mean /= static_cast<float>(d);
-      float var = 0.0f;
-      for (int64_t c = 0; c < d; ++c) {
-        const float diff = xr[c] - mean;
-        var += diff * diff;
-      }
-      var /= static_cast<float>(d);
-      const float istd = 1.0f / std::sqrt(var + eps);
-      (*inv_std)[static_cast<size_t>(r)] = istd;
-      float* xh = xhat->data() + r * d;
-      float* yr = ov + r * d;
-      for (int64_t c = 0; c < d; ++c) {
-        xh[c] = (xr[c] - mean) * istd;
-        yr[c] = gam[c] * xh[c] + bet[c];
-      }
-    }
-  });
+  kernels::LayerNormRows(x.data(), gamma.data(), beta.data(), out.data(),
+                         xhat->data(), inv_std->data(), rows, d, eps);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    kernels::Step step;
+    step.kind = kernels::StepKind::kLayerNorm;
+    step.in[0] = x.data();
+    step.in[1] = gamma.data();
+    step.in[2] = beta.data();
+    step.out = out.data();
+    step.d[0] = rows;
+    step.d[1] = d;
+    step.f0 = eps;
+    rec->AddStep(std::move(step), {x, gamma, beta}, out);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "tensor/kernels.h"
 #include "utils/arena.h"
 
 namespace pmmrec {
@@ -273,6 +274,12 @@ Tensor MakeNode(const Shape& shape, std::vector<Tensor> parents,
   impl->data =
       BufferArena::Global().AcquireShared(static_cast<size_t>(shape.numel()));
   g_tensor_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+  if (auto* rec = kernels::ActivePlanRecorder()) {
+    // Tag every op output as dynamic: if an op with no recording hook
+    // consumes one downstream, the recorder poisons the plan instead of
+    // baking a stale intermediate.
+    rec->NoteAlloc(impl->data->data());
+  }
   bool needs_grad = false;
   if (GradMode::enabled() && !InferenceMode::enabled()) {
     for (const Tensor& p : parents) {

@@ -35,6 +35,7 @@
 #include "data/generator.h"
 #include "nn/optimizer.h"
 #include "serve/broker.h"
+#include "tests/test_util.h"
 #include "utils/parallel.h"
 #include "utils/rng.h"
 #include "utils/topk.h"
@@ -48,17 +49,7 @@ using serve::Request;
 using serve::RequestBroker;
 using serve::Response;
 using serve::ServeStatus;
-
-void ExpectBitwise(const std::vector<ScoredId>& got,
-                   const std::vector<ScoredId>& want,
-                   const std::string& what) {
-  ASSERT_EQ(got.size(), want.size()) << what;
-  for (size_t i = 0; i < got.size(); ++i) {
-    EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
-    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
-        << what << " position " << i;
-  }
-}
+using test::ExpectBitwise;
 
 // Synthetic clustered table + queries (the geometry IVF exploits).
 struct SyntheticTable {
@@ -100,25 +91,9 @@ SyntheticTable MakeClusteredTable(int64_t n, int64_t d, int64_t nq,
 
 // --- Claim 1: exact broker path is bitwise the pre-candidate scan. ----------
 
-class AnnServeTest : public ::testing::Test {
- protected:
-  AnnServeTest()
-      : suite_(BuildBenchmarkSuite(0.2, 13)),
-        ds_(suite_.sources[0]),
-        config_(PMMRecConfig::FromDataset(ds_)) {}
-
-  std::vector<ScoredId> SerialReference(PMMRecModel& model,
-                                        const std::vector<int32_t>& prefix,
-                                        int64_t topk) {
-    const std::vector<float> scores = model.ScoreItems(prefix);
-    return TopKSelect(scores.data(), static_cast<int64_t>(scores.size()),
-                      topk, prefix);
-  }
-
-  BenchmarkSuite suite_;
-  const Dataset& ds_;
-  PMMRecConfig config_;
-};
+// Constructs models per test (default vs ann_serving configs), so only
+// the dataset/config half of the fixture is shared.
+using AnnServeTest = test::SuiteDatasetTest;
 
 TEST_F(AnnServeTest, ExactBrokerBitwiseEqualAcrossWorkersAndThreads) {
   constexpr int64_t kTopK = 10;
@@ -135,7 +110,7 @@ TEST_F(AnnServeTest, ExactBrokerBitwiseEqualAcrossWorkersAndThreads) {
   {
     NumThreadsGuard guard(1);
     for (const auto& prefix : prefixes) {
-      want.push_back(SerialReference(model, prefix, kTopK));
+      want.push_back(test::SerialTopK(model, prefix, kTopK));
     }
   }
 
@@ -209,14 +184,7 @@ TEST_F(AnnServeTest, ParamUpdateMidLoadRebuildsOnceWithAnnEnabled) {
   const uint64_t rebuilds_before = model.item_table_cache().rebuilds();
 
   // A real optimizer step: the fp32 table AND the IVF index go stale.
-  std::vector<int64_t> users;
-  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
-  const SeqBatch batch = MakeTrainBatch(ds_, users, config.max_seq_len);
-  AdamW opt(model.TrainableParameters(), 1e-3f);
-  Tensor loss = model.TrainStepLoss(batch);
-  ASSERT_TRUE(loss.defined());
-  loss.Backward();
-  opt.Step();
+  test::TrainOneStep(model, ds_, config.max_seq_len);
   ASSERT_FALSE(model.item_table_cache().valid());
 
   constexpr int64_t kClients = 4;

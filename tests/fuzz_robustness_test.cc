@@ -1,18 +1,27 @@
 // Fuzz-style robustness tests: deserializers must reject arbitrary
 // corruption with a Status (never crash, never hang, never over-allocate),
-// and loss computations must stay finite under randomized inputs.
+// loss computations must stay finite under randomized inputs, and the
+// plan cache must stay bitwise-exact under randomized churn (shape
+// changes, param updates, capacity changes, serving-path mixes).
 
 #include <cmath>
+#include <cstring>
+#include <future>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/losses.h"
+#include "core/pmmrec.h"
 #include "core/serving.h"
 #include "data/generator.h"
 #include "data/serialization.h"
 #include "nn/layers.h"
+#include "serve/broker.h"
+#include "tests/test_util.h"
+#include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
@@ -193,6 +202,130 @@ TEST(FuzzRobustnessTest, NonFiniteTableRowsAreRejectedAtQuantization) {
   int32_t sum = 0;
   EXPECT_DEATH(QuantizeQueryRows(query.data(), 1, 4, q.data(), &scale, &sum),
                "non-finite");
+}
+
+TEST(FuzzRobustnessTest, PlanCacheChurnStaysBitwiseExact) {
+  // Randomized interleaving of everything that stresses the plan cache:
+  // batch-shape changes (new keys), parameter updates (invalidation),
+  // capacity shrinks (eviction), planned-inference toggles, thread-count
+  // changes, and all four serving entry points including broker load.
+  // After every single step the planned twin must be bitwise equal to the
+  // eager twin — a plan that survives churn it should not survive shows
+  // up immediately as a score mismatch.
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.2, 13);
+  const Dataset& ds = suite.sources[0];
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.quantized_serving = true;  // Exercise the int8 and IVF consumers
+  config.ann_serving = true;        // of the planned user representations.
+  PMMRecConfig planned_config = config;
+  planned_config.planned_inference = true;
+
+  PMMRecModel eager(config, 42);
+  eager.AttachDataset(&ds);
+  PMMRecModel planned(planned_config, 42);
+  planned.AttachDataset(&ds);
+
+  Rng rng(1009);
+  const auto random_prefixes = [&] {
+    const int64_t n = rng.UniformInt(1, 7);
+    std::vector<std::vector<int32_t>> out;
+    for (int64_t i = 0; i < n; ++i) {
+      std::vector<int32_t> p = ds.TestPrefix(rng.UniformInt(0, ds.num_users()));
+      p.resize(static_cast<size_t>(
+          1 + rng.UniformInt(0, static_cast<int64_t>(p.size()))));
+      out.push_back(std::move(p));
+    }
+    return out;
+  };
+  const auto expect_rows_bitwise = [](
+      const std::vector<std::vector<ScoredId>>& got,
+      const std::vector<std::vector<ScoredId>>& want, const std::string& what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+      test::ExpectBitwise(got[i], want[i], what + " row " + std::to_string(i));
+    }
+  };
+
+  for (int step = 0; step < 60; ++step) {
+    NumThreadsGuard guard(rng.UniformInt(1, 5));
+    const std::string what = "step " + std::to_string(step);
+    switch (rng.UniformInt(0, 6)) {
+      case 0: {  // Full-catalogue batched scoring, random shapes.
+        const auto prefixes = random_prefixes();
+        const size_t n =
+            prefixes.size() * static_cast<size_t>(ds.num_items());
+        std::vector<float> got(n), want(n);
+        planned.ScoreUsersBatched(prefixes, got.data());
+        eager.ScoreUsersBatched(prefixes, want.data());
+        ASSERT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+            << what;
+        break;
+      }
+      case 1: {  // Quantized two-stage candidates.
+        const auto prefixes = random_prefixes();
+        expect_rows_bitwise(planned.ScoreUsersCandidates(prefixes),
+                            eager.ScoreUsersCandidates(prefixes),
+                            what + " quant");
+        break;
+      }
+      case 2: {  // IVF retrieval (both models route ANN here).
+        const auto prefixes = random_prefixes();
+        const int64_t limit = rng.UniformInt(5, 21);
+        expect_rows_bitwise(planned.RetrieveCandidates(prefixes, limit),
+                            eager.RetrieveCandidates(prefixes, limit),
+                            what + " ivf");
+        break;
+      }
+      case 3: {  // Broker load (ivf+int8 route, multi-worker).
+        const auto prefixes = random_prefixes();
+        serve::BrokerOptions options;
+        options.num_workers = rng.UniformInt(1, 3);
+        options.max_batch = rng.UniformInt(1, 9);
+        options.max_wait_us = 100;
+        serve::RequestBroker planned_broker(&planned, options);
+        serve::RequestBroker eager_broker(&eager, options);
+        for (const auto& prefix : prefixes) {
+          const serve::Response got = planned_broker.Recommend(prefix, 10);
+          const serve::Response want = eager_broker.Recommend(prefix, 10);
+          ASSERT_EQ(got.status, serve::ServeStatus::kOk) << what;
+          ASSERT_EQ(want.status, serve::ServeStatus::kOk) << what;
+          test::ExpectBitwise(got.items, want.items, what + " broker");
+        }
+        break;
+      }
+      case 4: {  // Identical parameter update on both twins: every
+                 // recorded plan and serving table goes stale at once.
+        test::TrainOneStep(planned, ds, config.max_seq_len);
+        test::TrainOneStep(eager, ds, config.max_seq_len);
+        break;
+      }
+      default: {  // Cache-shape churn: shrink/grow capacity (forces
+                  // evictions) and occasionally disable planning for a
+                  // step so stale entries sit idle before revalidation.
+        planned.plan_cache().set_capacity(rng.UniformInt(1, 6));
+        if (rng.UniformInt(0, 2) == 0) {
+          planned.SetPlannedInference(false);
+          const auto prefixes = random_prefixes();
+          const size_t n =
+              prefixes.size() * static_cast<size_t>(ds.num_items());
+          std::vector<float> got(n), want(n);
+          planned.ScoreUsersBatched(prefixes, got.data());
+          eager.ScoreUsersBatched(prefixes, want.data());
+          ASSERT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)),
+                    0)
+              << what << " (planning disabled)";
+          planned.SetPlannedInference(true);
+        }
+        break;
+      }
+    }
+  }
+
+  const PlanCache::Stats stats = planned.plan_cache().stats();
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_EQ(stats.record_failures, 0u)
+      << "churn drove a group shape into a poisoned recording";
 }
 
 TEST(FuzzRobustnessTest, ZeroVectorsDoNotBreakNormalization) {

@@ -1,0 +1,176 @@
+// Golden-trajectory regression harness. A fixed seed, a fixed synthetic
+// dataset and a fixed optimisation schedule make the whole train-then-eval
+// trajectory deterministic, so its numbers are checked into the repo
+// (tests/golden/trajectory.txt) and any drift — a kernel change, an op
+// reordering, an accidental nondeterminism — fails this suite.
+//
+// The claims:
+//  1. The recorded trajectory (per-step training losses + final
+//     full-ranking metrics) matches the checked-in golden values exactly
+//     (values are stored with %.17g, which round-trips doubles).
+//  2. The final metrics are identical — as doubles, not approximately —
+//     across eager vs planned inference and 1 vs 4 intra-op threads:
+//     recorded plans and thread count change how scoring executes, never
+//     what it computes.
+//
+// Regenerate after an *intentional* numeric change with:
+//   PMMREC_GOLDEN_REGEN=1 ./tests/golden_test
+// and commit the updated fixture together with the change that moved it.
+//
+// Labelled `golden`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "data/batcher.h"
+#include "data/generator.h"
+#include "eval/evaluator.h"
+#include "nn/optimizer.h"
+#include "tests/test_util.h"
+#include "utils/parallel.h"
+
+#ifndef PMMREC_GOLDEN_DIR
+#error "PMMREC_GOLDEN_DIR must point at the checked-in tests/golden directory"
+#endif
+
+namespace pmmrec {
+namespace {
+
+constexpr int64_t kTrainSteps = 4;
+constexpr int64_t kBatchUsers = 8;
+
+std::string GoldenPath() {
+  return std::string(PMMREC_GOLDEN_DIR) + "/trajectory.txt";
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("PMMREC_GOLDEN_REGEN");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// The trajectory is an ordered list of (name, value) pairs; names make a
+// drift report readable and guard against silent reordering.
+using Trajectory = std::vector<std::pair<std::string, double>>;
+
+Trajectory LoadGolden(const std::string& path) {
+  Trajectory out;
+  std::ifstream in(path);
+  if (!in) return out;
+  std::string name;
+  double value;
+  while (in >> name >> value) out.emplace_back(name, value);
+  return out;
+}
+
+void SaveGolden(const std::string& path, const Trajectory& trajectory) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write golden fixture: " << path;
+  for (const auto& [name, value] : trajectory) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << name << ' ' << buf << '\n';
+  }
+}
+
+void AppendMetrics(Trajectory* t, const std::string& tag,
+                   const RankingMetrics& m) {
+  t->emplace_back(tag + ".hr10", m.hr10);
+  t->emplace_back(tag + ".hr20", m.hr20);
+  t->emplace_back(tag + ".hr50", m.hr50);
+  t->emplace_back(tag + ".ndcg10", m.ndcg10);
+  t->emplace_back(tag + ".ndcg20", m.ndcg20);
+  t->emplace_back(tag + ".ndcg50", m.ndcg50);
+  t->emplace_back(tag + ".mean_rank", m.mean_rank);
+  t->emplace_back(tag + ".count", static_cast<double>(m.count));
+}
+
+TEST(GoldenTrajectoryTest, TrainEvalTrajectoryMatchesCheckedInFixture) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.2, 13);
+  const Dataset& ds = suite.sources[0];
+  const PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+
+  // Fixed schedule: kTrainSteps AdamW steps over a rotating user window,
+  // all at one intra-op thread (the trajectory is the single-threaded
+  // truth; thread-count invariance is asserted on the eval side below).
+  Trajectory got;
+  {
+    NumThreadsGuard guard(1);
+    AdamW opt(model.TrainableParameters(), 1e-3f);
+    for (int64_t step = 0; step < kTrainSteps; ++step) {
+      std::vector<int64_t> users;
+      for (int64_t u = 0; u < kBatchUsers; ++u) {
+        users.push_back((step * kBatchUsers + u) % ds.num_users());
+      }
+      const SeqBatch batch = MakeTrainBatch(ds, users, config.max_seq_len);
+      Tensor loss = model.TrainStepLoss(batch);
+      ASSERT_TRUE(loss.defined());
+      loss.Backward();
+      opt.Step();
+      got.emplace_back("loss.step" + std::to_string(step),
+                       static_cast<double>(loss.data()[0]));
+    }
+  }
+
+  // Final metrics across eager/planned x {1, 4} threads. All four runs
+  // must agree exactly — the golden file stores one copy.
+  RankingMetrics reference;
+  bool have_reference = false;
+  for (const bool planned : {false, true}) {
+    model.SetPlannedInference(planned);
+    for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+      NumThreadsGuard guard(threads);
+      const RankingMetrics m =
+          EvaluateRanking(model, ds, EvalSplit::kTest);
+      const std::string what = std::string(planned ? "planned" : "eager") +
+                               " threads=" + std::to_string(threads);
+      if (!have_reference) {
+        reference = m;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_EQ(m.hr10, reference.hr10) << what;
+      EXPECT_EQ(m.hr20, reference.hr20) << what;
+      EXPECT_EQ(m.hr50, reference.hr50) << what;
+      EXPECT_EQ(m.ndcg10, reference.ndcg10) << what;
+      EXPECT_EQ(m.ndcg20, reference.ndcg20) << what;
+      EXPECT_EQ(m.ndcg50, reference.ndcg50) << what;
+      EXPECT_EQ(m.mean_rank, reference.mean_rank) << what;
+      EXPECT_EQ(m.count, reference.count) << what;
+    }
+  }
+  model.SetPlannedInference(false);
+  ASSERT_TRUE(have_reference);
+  AppendMetrics(&got, "test", reference);
+
+  const std::string path = GoldenPath();
+  if (RegenRequested()) {
+    SaveGolden(path, got);
+    GTEST_SKIP() << "golden fixture regenerated: " << path;
+  }
+
+  const Trajectory want = LoadGolden(path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden fixture " << path
+      << " — run PMMREC_GOLDEN_REGEN=1 ./tests/golden_test and commit it";
+  ASSERT_EQ(got.size(), want.size())
+      << "trajectory shape changed; regenerate the fixture if intentional";
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first) << "entry " << i << " renamed";
+    EXPECT_EQ(got[i].second, want[i].second)
+        << got[i].first << " drifted from the checked-in golden value "
+        << "(regenerate with PMMREC_GOLDEN_REGEN=1 if this is intentional)";
+  }
+}
+
+}  // namespace
+}  // namespace pmmrec

@@ -25,21 +25,14 @@
 #include "data/batcher.h"
 #include "data/generator.h"
 #include "nn/optimizer.h"
+#include "tests/test_util.h"
 #include "utils/parallel.h"
 
 namespace pmmrec {
 namespace {
 
-class InferenceTest : public ::testing::Test {
+class InferenceTest : public test::SmallModelTest {
  protected:
-  InferenceTest()
-      : suite_(BuildBenchmarkSuite(0.2, 13)),
-        ds_(suite_.sources[0]),
-        config_(PMMRecConfig::FromDataset(ds_)),
-        model_(config_, 42) {
-    model_.AttachDataset(&ds_);
-  }
-
   // Sequence tensor for a prefix built from the cached item table, the
   // same way every scoring path builds it.
   Tensor SeqFromTable(const std::vector<int32_t>& prefix) {
@@ -57,25 +50,6 @@ class InferenceTest : public ::testing::Test {
     }
     return seq;
   }
-
-  // A spread of mixed-length prefixes so the batched path exercises every
-  // length group.
-  std::vector<std::vector<int32_t>> MixedPrefixes(int64_t n) {
-    std::vector<std::vector<int32_t>> prefixes;
-    for (int64_t u = 0; u < n; ++u) {
-      std::vector<int32_t> p = ds_.TestPrefix(u % ds_.num_users());
-      // Truncate to varying lengths, including > max_seq_len tails.
-      const size_t len = 1 + static_cast<size_t>(u) % p.size();
-      p.resize(len);
-      prefixes.push_back(std::move(p));
-    }
-    return prefixes;
-  }
-
-  BenchmarkSuite suite_;
-  const Dataset& ds_;
-  PMMRecConfig config_;
-  PMMRecModel model_;
 };
 
 TEST_F(InferenceTest, InferenceForwardBitwiseEqualsGradRecordingForward) {
@@ -274,14 +248,7 @@ TEST_F(InferenceTest, ItemTableCacheRebuildsExactlyWhenStale) {
 
   // An optimizer step — with no explicit invalidation anywhere — makes the
   // cache stale via the process-wide param-update version.
-  std::vector<int64_t> users;
-  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
-  const SeqBatch batch = MakeTrainBatch(ds_, users, config_.max_seq_len);
-  AdamW opt(model_.TrainableParameters(), 1e-3f);
-  Tensor loss = model_.TrainStepLoss(batch);
-  ASSERT_TRUE(loss.defined());
-  loss.Backward();
-  opt.Step();
+  test::TrainOneStep(model_, ds_, config_.max_seq_len);
   EXPECT_FALSE(cache.valid()) << "optimizer step left the cache valid";
   (void)model_.ScoreItems(prefix);
   EXPECT_EQ(cache.rebuilds(), 2u);

@@ -1,0 +1,437 @@
+// Recorded execution plans (core/plan.h). The load-bearing claims:
+//
+//  1. A replayed plan is bitwise identical to eager dispatch: the direct
+//     record/replay round-trip — including the bias+GELU and last-row
+//     LayerNorm(+MatMulNT) fusion rewrites — reproduces the eager forward
+//     bit-for-bit on fresh inputs.
+//  2. Planned full-catalogue scoring (ScoreUsersBatched) equals the eager
+//     twin bitwise across {1, 4} threads, on both the recording pass and
+//     the replay pass, with zero record failures (no group shape silently
+//     falls back to eager).
+//  3. Through the broker, planned responses are bitwise the eager model's
+//     responses for every {exact, int8, ivf, ivf+int8} serving mode x
+//     {1, 4} workers x {1, 4} threads combination — plans only change how
+//     the forward executes, never its bits.
+//  4. Invalidation: a parameter update under concurrent load flushes the
+//     cache exactly once and re-records each hot key exactly once, and
+//     every post-update response matches the eager post-update reference.
+//     A stale plan refuses to replay (death test), as does recording
+//     outside InferenceMode or replaying a mismatched input shape.
+//  5. PlanCache contract: LRU eviction at capacity keeps surviving plans
+//     replayable; Acquire flushes on both a ParamUpdateVersion bump and
+//     an item-table pointer swap; an abandoned record claim is dropped so
+//     the key can be recorded later.
+//
+// Labelled `plan`; CI also runs this suite under PMMREC_SANITIZE=thread.
+
+#include "core/plan.h"
+
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pmmrec.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "serve/broker.h"
+#include "tests/test_util.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+using serve::BrokerOptions;
+using serve::Request;
+using serve::RequestBroker;
+using serve::Response;
+using serve::ServeStatus;
+using test::ExpectBitwise;
+
+using PlanTest = test::SuiteDatasetTest;
+
+// All responses for `prefixes` through a broker over `model`.
+std::vector<std::vector<ScoredId>> BrokerResponses(
+    PMMRecModel* model, const std::vector<std::vector<int32_t>>& prefixes,
+    int64_t topk, int64_t workers) {
+  BrokerOptions options;
+  options.num_workers = workers;
+  options.max_batch = 8;
+  options.max_wait_us = 200;
+  options.queue_capacity = 64;
+  RequestBroker broker(model, options);
+  std::vector<std::future<Response>> futures;
+  for (const auto& prefix : prefixes) {
+    Request request;
+    request.prefix = prefix;
+    request.topk = topk;
+    futures.push_back(broker.Submit(std::move(request)));
+  }
+  std::vector<std::vector<ScoredId>> out;
+  for (auto& future : futures) {
+    Response response = future.get();
+    EXPECT_EQ(response.status, ServeStatus::kOk);
+    out.push_back(std::move(response.items));
+  }
+  return out;
+}
+
+// --- Claim 1: direct record/replay round-trip with fusion. ------------------
+
+TEST_F(PlanTest, DirectRecordReplayBitwiseEqualWithFusedSteps) {
+  PMMRecModel model(config_, 42);
+  model.AttachDataset(&ds_);
+  model.PrepareForEval();
+  const std::vector<float>& table = model.ItemRepresentationTable();
+  const int64_t d = config_.d_model;
+  constexpr int64_t kG = 2;
+  constexpr int64_t kLen = 3;
+
+  const auto fill = [&](Tensor& seq, const std::vector<int32_t>& items) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      std::memcpy(seq.data() + static_cast<int64_t>(i) * d,
+                  table.data() + static_cast<int64_t>(items[i]) * d,
+                  static_cast<size_t>(d) * sizeof(float));
+    }
+  };
+
+  InferenceMode inference;
+  const auto forward = [&](const Tensor& s) {
+    Tensor hidden = model.user_encoder().Forward(s);
+    Tensor last = Reshape(Slice(hidden, /*dim=*/1, /*start=*/kLen - 1,
+                                /*length=*/1),
+                          Shape{kG, d});
+    return MatMulNT(last, model.item_table_cache().table(0));
+  };
+
+  Tensor seq = Tensor::Zeros(Shape{kG, kLen, d});
+  fill(seq, {0, 1, 2, 3, 4, 5});
+  Tensor recorded_eager;
+  std::shared_ptr<ExecutionPlan> plan =
+      ExecutionPlan::Record(seq, forward, &recorded_eager);
+  ASSERT_NE(plan, nullptr) << "recording was poisoned";
+  // Both rewrites must fire on this forward: one bias+GELU fold per user
+  // block, plus the last-row LayerNorm + MatMulNT tail.
+  EXPECT_GE(plan->num_fused_steps(), 3);
+  EXPECT_GT(plan->num_steps(), 0);
+
+  // Replay on a fresh input; the reference is the plain eager forward.
+  Tensor seq2 = Tensor::Zeros(Shape{kG, kLen, d});
+  fill(seq2, {6, 7, 8, 9, 10, 11});
+  Tensor want = forward(seq2);
+  plan->Replay(seq2.data(), seq2.numel());
+  const Tensor& got = plan->output();
+  ASSERT_EQ(got.numel(), want.numel());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        static_cast<size_t>(want.numel()) * sizeof(float)),
+            0)
+      << "replayed scores diverge from eager dispatch";
+
+  // And replaying the original input reproduces the recording's result.
+  plan->Replay(seq.data(), seq.numel());
+  EXPECT_EQ(std::memcmp(plan->output().data(), recorded_eager.data(),
+                        static_cast<size_t>(recorded_eager.numel()) *
+                            sizeof(float)),
+            0);
+}
+
+// --- Claim 2: planned ScoreUsersBatched equals the eager twin. --------------
+
+TEST_F(PlanTest, BatchedScoresBitwiseEqualEagerAcrossThreadsAndPasses) {
+  PMMRecModel eager(config_, 42);
+  eager.AttachDataset(&ds_);
+  PMMRecConfig planned_config = config_;
+  planned_config.planned_inference = true;
+  PMMRecModel planned(planned_config, 42);
+  planned.AttachDataset(&ds_);
+
+  const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(40);
+  const int64_t n_items = ds_.num_items();
+  std::vector<float> want(prefixes.size() * static_cast<size_t>(n_items));
+  {
+    NumThreadsGuard guard(1);
+    eager.ScoreUsersBatched(prefixes, want.data());
+  }
+
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    NumThreadsGuard guard(threads);
+    // Pass 0 records every length group's plan, pass 1 replays it — both
+    // must be bitwise the eager scores.
+    for (const int pass : {0, 1}) {
+      std::vector<float> got(want.size());
+      planned.ScoreUsersBatched(prefixes, got.data());
+      EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << "threads=" << threads << " pass=" << pass;
+    }
+  }
+
+  const PlanCache::Stats stats = planned.plan_cache().stats();
+  EXPECT_GT(stats.records, 0) << "no plan was ever recorded";
+  EXPECT_GT(stats.hits, 0) << "no plan was ever replayed";
+  EXPECT_EQ(stats.record_failures, 0)
+      << "some group shape poisoned its recording and fell back to eager";
+}
+
+// --- Claim 3: broker matrix across serving modes, workers, threads. ---------
+
+TEST_F(PlanTest, BrokerResponsesBitwiseEqualEagerAcrossModes) {
+  constexpr int64_t kTopK = 10;
+  struct ModeCase {
+    const char* name;
+    bool quant;
+    bool ann;
+  };
+  const ModeCase kModes[] = {{"exact", false, false},
+                             {"int8", true, false},
+                             {"ivf", false, true},
+                             {"ivf+int8", true, true}};
+
+  for (const ModeCase& mode : kModes) {
+    PMMRecConfig eager_config = config_;
+    eager_config.quantized_serving = mode.quant;
+    eager_config.ann_serving = mode.ann;
+    PMMRecConfig planned_config = eager_config;
+    planned_config.planned_inference = true;
+
+    PMMRecModel eager(eager_config, 42);
+    eager.AttachDataset(&ds_);
+    PMMRecModel planned(planned_config, 42);
+    planned.AttachDataset(&ds_);
+    ASSERT_TRUE(planned.PlannedInferenceEnabled());
+
+    const std::vector<std::vector<int32_t>> prefixes = MixedPrefixes(16);
+    std::vector<std::vector<ScoredId>> want;
+    {
+      NumThreadsGuard guard(1);
+      want = BrokerResponses(&eager, prefixes, kTopK, /*workers=*/1);
+    }
+
+    for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+      NumThreadsGuard guard(threads);
+      for (const int64_t workers : {int64_t{1}, int64_t{4}}) {
+        const std::vector<std::vector<ScoredId>> got =
+            BrokerResponses(&planned, prefixes, kTopK, workers);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          ExpectBitwise(got[i], want[i],
+                        std::string(mode.name) +
+                            " threads=" + std::to_string(threads) +
+                            " workers=" + std::to_string(workers) +
+                            " request=" + std::to_string(i));
+        }
+      }
+    }
+
+    const PlanCache::Stats stats = planned.plan_cache().stats();
+    EXPECT_GT(stats.records, 0) << mode.name;
+    EXPECT_GT(stats.hits, 0) << mode.name;
+    EXPECT_EQ(stats.record_failures, 0) << mode.name;
+  }
+}
+
+// --- Claim 4: invalidation under concurrent load. ---------------------------
+
+TEST_F(PlanTest, ParamUpdateMidLoadRevalidatesPlansExactlyOnce) {
+  constexpr int64_t kTopK = 10;
+  PMMRecConfig planned_config = config_;
+  planned_config.planned_inference = true;
+  PMMRecModel model(planned_config, 42);
+  model.AttachDataset(&ds_);
+
+  BrokerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 1;  // Every request is its own batch: maximal
+  options.max_wait_us = 0;  // concurrency against the re-record protocol.
+  RequestBroker broker(&model, options);
+
+  // Warm request: records the plan for this prefix's (len, 1) key.
+  const std::vector<int32_t> prefix = ds_.TestPrefix(0);
+  const Response warm = broker.Recommend(prefix, kTopK);
+  ASSERT_EQ(warm.status, ServeStatus::kOk);
+  const PlanCache::Stats before = model.plan_cache().stats();
+  const uint64_t rebuilds_before = model.item_table_cache().rebuilds();
+
+  // A real optimizer step: item table AND every recorded plan go stale.
+  test::TrainOneStep(model, ds_, config_.max_seq_len);
+
+  // Concurrent clients all hit the same stale key.
+  constexpr int64_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<Response> responses(kClients);
+  for (int64_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      responses[static_cast<size_t>(c)] = broker.Recommend(prefix, kTopK);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // One table rebuild, one cache flush, one re-record — no matter how many
+  // clients raced the stale state.
+  EXPECT_EQ(model.item_table_cache().rebuilds(), rebuilds_before + 1);
+  const PlanCache::Stats after = model.plan_cache().stats();
+  EXPECT_EQ(after.invalidation_flushes - before.invalidation_flushes, 1);
+  EXPECT_EQ(after.misses - before.misses, 1)
+      << "the stale key was claimed for recording more than once";
+  EXPECT_EQ(after.records - before.records, 1)
+      << "the stale key was re-recorded more than once";
+  EXPECT_EQ(after.record_failures, before.record_failures);
+
+  // No stale plan served: every response is bitwise the post-update eager
+  // reference.
+  model.SetPlannedInference(false);
+  const std::vector<ScoredId> want = test::SerialTopK(model, prefix, kTopK);
+  model.SetPlannedInference(true);
+  for (int64_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[static_cast<size_t>(c)].status, ServeStatus::kOk);
+    ExpectBitwise(responses[static_cast<size_t>(c)].items, want,
+                  "post-update client " + std::to_string(c));
+  }
+}
+
+// --- Claim 5: PlanCache contract. -------------------------------------------
+
+// A tiny real plan (elementwise GELU) for cache-mechanics tests.
+std::shared_ptr<ExecutionPlan> RecordGeluPlan(int64_t n) {
+  Tensor in = Tensor::Zeros(Shape{n});
+  for (int64_t i = 0; i < n; ++i) {
+    in.data()[i] = 0.25f * static_cast<float>(i) - 1.0f;
+  }
+  Tensor out;
+  return ExecutionPlan::Record(
+      in, [](const Tensor& t) { return Gelu(t); }, &out);
+}
+
+TEST(PlanCacheTest, LruEvictionKeepsSurvivingPlansReplayable) {
+  InferenceMode inference;
+  PlanCache cache(2);
+  float table = 0.0f;  // identity token only
+
+  const auto record = [&](int64_t len) {
+    PlanCache::Lease lease =
+        cache.Acquire(PlanKey{PlanVariant::kUserRep, len, 1}, &table);
+    ASSERT_EQ(lease.mode(), PlanCache::Mode::kRecord);
+    std::shared_ptr<ExecutionPlan> plan = RecordGeluPlan(4);
+    ASSERT_NE(plan, nullptr);
+    lease.Commit(std::move(plan));
+  };
+
+  record(1);
+  record(2);
+  EXPECT_EQ(cache.size(), 2);
+
+  // Touch key 1 so key 2 is the LRU victim.
+  {
+    PlanCache::Lease lease =
+        cache.Acquire(PlanKey{PlanVariant::kUserRep, 1, 1}, &table);
+    EXPECT_EQ(lease.mode(), PlanCache::Mode::kReplay);
+  }
+  record(3);  // at capacity: evicts key 2
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // The survivor replays correctly: bitwise the eager op on fresh input.
+  // (Checked before probing key 2 below — a miss at capacity inserts a
+  // building entry and evicts the LRU, which would be key 1.)
+  {
+    PlanCache::Lease lease =
+        cache.Acquire(PlanKey{PlanVariant::kUserRep, 1, 1}, &table);
+    ASSERT_EQ(lease.mode(), PlanCache::Mode::kReplay);
+    Tensor fresh = Tensor::Zeros(Shape{4});
+    for (int64_t i = 0; i < 4; ++i) {
+      fresh.data()[i] = 0.5f * static_cast<float>(i) - 0.7f;
+    }
+    const Tensor want = Gelu(fresh);
+    lease.plan()->Replay(fresh.data(), 4);
+    EXPECT_EQ(std::memcmp(lease.plan()->output().data(), want.data(),
+                          4 * sizeof(float)),
+              0);
+  }
+
+  {
+    PlanCache::Lease lease =
+        cache.Acquire(PlanKey{PlanVariant::kUserRep, 2, 1}, &table);
+    EXPECT_EQ(lease.mode(), PlanCache::Mode::kRecord)
+        << "evicted key still resident";
+    // Abandoning the claim (no Commit) must drop the entry...
+  }
+  {
+    PlanCache::Lease lease =
+        cache.Acquire(PlanKey{PlanVariant::kUserRep, 2, 1}, &table);
+    EXPECT_EQ(lease.mode(), PlanCache::Mode::kRecord)
+        << "abandoned record claim was not dropped";
+  }
+}
+
+TEST(PlanCacheTest, AcquireFlushesOnVersionBumpAndTableSwap) {
+  InferenceMode inference;
+  PlanCache cache(4);
+  float table_a = 0.0f, table_b = 0.0f;
+  const PlanKey key{PlanVariant::kFullScore, 5, 2};
+
+  const auto record = [&](const void* table) {
+    PlanCache::Lease lease = cache.Acquire(key, table);
+    ASSERT_EQ(lease.mode(), PlanCache::Mode::kRecord);
+    std::shared_ptr<ExecutionPlan> plan = RecordGeluPlan(4);
+    ASSERT_NE(plan, nullptr);
+    lease.Commit(std::move(plan));
+  };
+
+  record(&table_a);
+  {
+    PlanCache::Lease lease = cache.Acquire(key, &table_a);
+    EXPECT_EQ(lease.mode(), PlanCache::Mode::kReplay);
+  }
+  EXPECT_EQ(cache.stats().invalidation_flushes, 0);
+
+  // A parameter update flushes everything at the next Acquire.
+  BumpParamUpdateVersion();
+  record(&table_a);
+  EXPECT_EQ(cache.stats().invalidation_flushes, 1);
+
+  // So does an item-table rebuild at the same param version (the pointer
+  // moves even though the version did not).
+  {
+    PlanCache::Lease lease = cache.Acquire(key, &table_b);
+    EXPECT_EQ(lease.mode(), PlanCache::Mode::kRecord);
+  }
+  EXPECT_EQ(cache.stats().invalidation_flushes, 2);
+}
+
+// --- Claim 4 (contract death tests). ----------------------------------------
+
+TEST(PlanDeathTest, RecordingWithoutInferenceModeDies) {
+  Tensor in = Tensor::Zeros(Shape{4});
+  Tensor out;
+  EXPECT_DEATH(ExecutionPlan::Record(
+                   in, [](const Tensor& t) { return Gelu(t); }, &out),
+               "InferenceMode");
+}
+
+TEST(PlanDeathTest, StalePlanReplayDies) {
+  InferenceMode inference;
+  std::shared_ptr<ExecutionPlan> plan = RecordGeluPlan(4);
+  ASSERT_NE(plan, nullptr);
+  plan->Replay();  // current version: fine
+  EXPECT_DEATH(
+      {
+        BumpParamUpdateVersion();
+        plan->Replay();
+      },
+      "stale execution plan");
+}
+
+TEST(PlanDeathTest, MismatchedReplayShapeDies) {
+  InferenceMode inference;
+  std::shared_ptr<ExecutionPlan> plan = RecordGeluPlan(4);
+  ASSERT_NE(plan, nullptr);
+  std::vector<float> wrong(8, 0.0f);
+  EXPECT_DEATH(plan->Replay(wrong.data(), 8), "PMM_CHECK");
+}
+
+}  // namespace
+}  // namespace pmmrec

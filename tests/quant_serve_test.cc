@@ -29,6 +29,7 @@
 #include "data/generator.h"
 #include "nn/optimizer.h"
 #include "serve/broker.h"
+#include "tests/test_util.h"
 #include "utils/parallel.h"
 #include "utils/topk.h"
 
@@ -41,55 +42,14 @@ using serve::Request;
 using serve::RequestBroker;
 using serve::Response;
 using serve::ServeStatus;
+using test::ExpectBitwise;
 
-class QuantServeTest : public ::testing::Test {
+class QuantServeTest : public test::SmallModelTest {
  protected:
   QuantServeTest()
-      : suite_(BuildBenchmarkSuite(0.2, 13)),
-        ds_(suite_.sources[0]),
-        config_([this] {
-          PMMRecConfig c = PMMRecConfig::FromDataset(ds_);
+      : SmallModelTest([](PMMRecConfig& c) {
           c.quantized_serving = true;  // Route the broker's quant branch.
-          return c;
-        }()),
-        model_(config_, 42) {
-    model_.AttachDataset(&ds_);
-  }
-
-  std::vector<std::vector<int32_t>> MixedPrefixes(int64_t n) {
-    std::vector<std::vector<int32_t>> prefixes;
-    for (int64_t u = 0; u < n; ++u) {
-      std::vector<int32_t> p = ds_.TestPrefix(u % ds_.num_users());
-      const size_t len = 1 + static_cast<size_t>(u) % p.size();
-      p.resize(len);
-      prefixes.push_back(std::move(p));
-    }
-    return prefixes;
-  }
-
-  // The fp32 serial reference the quantized broker must reproduce bitwise.
-  std::vector<ScoredId> SerialReference(const std::vector<int32_t>& prefix,
-                                        int64_t topk) {
-    const std::vector<float> scores = model_.ScoreItems(prefix);
-    return TopKSelect(scores.data(), static_cast<int64_t>(scores.size()),
-                      topk, prefix);
-  }
-
-  static void ExpectBitwise(const std::vector<ScoredId>& got,
-                            const std::vector<ScoredId>& want,
-                            const std::string& what) {
-    ASSERT_EQ(got.size(), want.size()) << what;
-    for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].id, want[i].id) << what << " position " << i;
-      EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
-          << what << " position " << i;
-    }
-  }
-
-  BenchmarkSuite suite_;
-  const Dataset& ds_;
-  PMMRecConfig config_;
-  PMMRecModel model_;
+        }) {}
 };
 
 TEST_F(QuantServeTest, ResponsesBitwiseEqualFp32AcrossWorkersAndPolicies) {
@@ -226,14 +186,7 @@ TEST_F(QuantServeTest, ParamUpdateMidLoadRebuildsOnceAndStaysExact) {
   const uint64_t rebuilds_before = model_.item_table_cache().rebuilds();
 
   // A real optimizer step mid-load: both tables are now stale.
-  std::vector<int64_t> users;
-  for (int64_t u = 0; u < 8; ++u) users.push_back(u);
-  const SeqBatch batch = MakeTrainBatch(ds_, users, config_.max_seq_len);
-  AdamW opt(model_.TrainableParameters(), 1e-3f);
-  Tensor loss = model_.TrainStepLoss(batch);
-  ASSERT_TRUE(loss.defined());
-  loss.Backward();
-  opt.Step();
+  test::TrainOneStep(model_, ds_, config_.max_seq_len);
   ASSERT_FALSE(model_.item_table_cache().valid());
 
   // Concurrent clients race both workers into the stale-cache path.

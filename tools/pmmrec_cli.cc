@@ -9,11 +9,13 @@
 //   train     --data FILE.pmds --out MODEL.ckpt [--epochs N] [--seed N]
 //             [--modality both|text|vision] [--pretrain-objectives]
 //   evaluate  --data FILE.pmds --model MODEL.ckpt [--split test|valid]
-//             [--ann] [--nlist N] [--nprobe P]
+//             [--ann] [--nlist N] [--nprobe P] [--plan]
 //             With --ann the metrics are computed through the IVF
 //             candidate-retrieval path (the index the serving path uses),
 //             so recall loss from approximate retrieval shows up in the
-//             reported HR/NDCG directly.
+//             reported HR/NDCG directly. --plan serves from recorded
+//             execution plans (bitwise-identical metrics — see DESIGN.md
+//             "Recorded execution plans").
 //   transfer  --data TARGET.pmds --source-model SRC.ckpt --out DST.ckpt
 //             [--setting full|item|user|text|vision] [--epochs N]
 //             Transfer components from a pre-trained checkpoint and
@@ -23,7 +25,7 @@
 //             and the top-K items.
 //   recommend --data FILE.pmds --model MODEL.ckpt --users U1,U2,... [--topk K]
 //             [--serve-workers N] [--max-batch B] [--quant]
-//             [--rerank-window W] [--ann] [--nlist N] [--nprobe P]
+//             [--rerank-window W] [--ann] [--nlist N] [--nprobe P] [--plan]
 //             Batch mode (--users all scores every user): requests are
 //             routed through the serving broker (src/serve/broker.h), so
 //             peak score memory is O(max_batch * n_items) — not
@@ -36,11 +38,14 @@
 //             retrieval"): approximate recall, exact fp32 scores. --ann
 //             plus --quant probes the int8 inverted lists and re-ranks in
 //             fp32 — the combined mode. --nlist/--nprobe override the
-//             index defaults (sqrt(n) lists, nlist/32 probes).
+//             index defaults (sqrt(n) lists, nlist/32 probes). --plan
+//             replays recorded execution plans for the user-encoder
+//             forwards (bitwise-identical answers, lower dispatch
+//             overhead at small batches).
 //   serve-bench --data FILE.pmds --model MODEL.ckpt [--requests N]
 //             [--clients C] [--workers W] [--max-batch B] [--max-wait-us U]
 //             [--deadline-ms D] [--topk K] [--quant] [--rerank-window W]
-//             [--ann] [--nlist N] [--nprobe P] [--items N]
+//             [--ann] [--nlist N] [--nprobe P] [--plan] [--items N]
 //             Closed-loop load test of the request broker: C client
 //             threads submit N requests, printing achieved QPS, latency
 //             percentiles, shed/reject counts, and the batch-size
@@ -64,8 +69,10 @@
 //
 // The PMMREC_QUANT env var (any value but "0") enables the quantized
 // serving path globally, equivalent to passing --quant everywhere; the
-// PMMREC_ANN env var does the same for --ann. Setting both serves from
-// the int8 inverted lists with exact fp32 re-ranking.
+// PMMREC_ANN env var does the same for --ann, and PMMREC_PLAN for
+// --plan. Setting quant+ann serves from the int8 inverted lists with
+// exact fp32 re-ranking; --plan composes with every mode (it only
+// changes how the user-encoder forward executes, never its bits).
 //
 // Model checkpoints store parameters only; the architecture is derived
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
@@ -180,6 +187,7 @@ int CmdEvaluate(const FlagParser& flags) {
   config.ann_serving = flags.GetBool("ann", false);
   config.ann_nlist = flags.GetInt("nlist", 0);
   config.ann_nprobe = flags.GetInt("nprobe", 0);
+  config.planned_inference = flags.GetBool("plan", false);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
@@ -285,6 +293,7 @@ int CmdRecommend(const FlagParser& flags) {
   config.ann_serving = flags.GetBool("ann", false);
   config.ann_nlist = flags.GetInt("nlist", 0);
   config.ann_nprobe = flags.GetInt("nprobe", 0);
+  config.planned_inference = flags.GetBool("plan", false);
   PMMRecModel model(config, 1);
   const Status st = model.LoadFromFile(flags.GetString("model"));
   PMM_CHECK_MSG(st.ok(), st.ToString());
@@ -334,12 +343,15 @@ int CmdRecommend(const FlagParser& flags) {
     } else if (model.QuantServingEnabled()) {
       path_note = ", int8 candidate path";
     }
+    const char* plan_note =
+        model.PlannedInferenceEnabled() ? ", planned" : "";
     std::printf("scored %zu users in %.2f ms (%.1f users/s, %llu batches, "
-                "max batch %llu%s)\n",
+                "max batch %llu%s%s)\n",
                 users.size(), ms,
                 static_cast<double>(users.size()) / (ms / 1e3),
                 static_cast<unsigned long long>(stats.batches),
-                static_cast<unsigned long long>(stats.max_batch), path_note);
+                static_cast<unsigned long long>(stats.max_batch), path_note,
+                plan_note);
     return 0;
   }
 
@@ -387,6 +399,7 @@ int CmdServeBench(const FlagParser& flags) {
   config.ann_serving = flags.GetBool("ann", false);
   config.ann_nlist = flags.GetInt("nlist", 0);
   config.ann_nprobe = flags.GetInt("nprobe", 0);
+  config.planned_inference = flags.GetBool("plan", false);
   PMMRecModel model(config, 1);
   if (synth_items <= 0) {
     const Status st = model.LoadFromFile(flags.GetString("model"));
@@ -454,13 +467,14 @@ int CmdServeBench(const FlagParser& flags) {
     path_note = "int8";
   }
   std::printf("serve-bench: %lld requests, %lld clients, %lld workers, "
-              "max_batch %lld, max_wait %lld us, %lld items, %s path\n",
+              "max_batch %lld, max_wait %lld us, %lld items, %s path%s\n",
               static_cast<long long>(requests),
               static_cast<long long>(clients),
               static_cast<long long>(options.num_workers),
               static_cast<long long>(options.max_batch),
               static_cast<long long>(options.max_wait_us),
-              static_cast<long long>(ds.num_items()), path_note);
+              static_cast<long long>(ds.num_items()), path_note,
+              model.PlannedInferenceEnabled() ? " (planned)" : "");
   std::printf("  achieved %.1f req/s; latency us p50 %.0f p95 %.0f p99 %.0f\n",
               static_cast<double>(all.size()) / seconds, pct(50), pct(95),
               pct(99));
