@@ -59,10 +59,11 @@ void SequentialRecBase::PrepareForEval() {
 }
 
 Tensor SequentialRecBase::EncodeQueries(
+    const ServingSnapshot& snap,
     std::span<const std::vector<int32_t>> prefixes,
     std::span<const int64_t> group, int64_t len) {
-  const std::vector<float>& raw = item_cache_.table_data(kRawTable);
-  const int64_t rep_dim = item_cache_.width(kRawTable);
+  const std::vector<float>& raw = snap.table_data(kRawTable);
+  const int64_t rep_dim = snap.width(kRawTable);
   const int64_t g = static_cast<int64_t>(group.size());
 
   Tensor seq = Tensor::Zeros(Shape{g, len, rep_dim});
@@ -80,29 +81,30 @@ Tensor SequentialRecBase::EncodeQueries(
   Tensor hidden = UserHidden(seq);  // [g, len, d]
   Tensor query = TransformQuery(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
                                       /*length=*/1));  // [g, 1, score_dim]
-  return Reshape(query, Shape{g, item_cache_.width(kKeyTable)});
+  return Reshape(query, Shape{g, snap.width(kKeyTable)});
 }
 
 std::vector<float> SequentialRecBase::ScoreItems(
     const std::vector<int32_t>& prefix) {
   PMM_CHECK(!prefix.empty());
   EnsureTables();
+  const std::shared_ptr<const ServingSnapshot> snap = item_cache_.Pin();
   InferenceMode inference;
 
   const int64_t len =
       std::min<int64_t>(static_cast<int64_t>(prefix.size()), max_seq_len_);
   const int64_t solo[1] = {0};
   Tensor query = EncodeQueries(
-      std::span<const std::vector<int32_t>>(&prefix, 1),
+      *snap, std::span<const std::vector<int32_t>>(&prefix, 1),
       std::span<const int64_t>(solo, 1), len);  // [1, score_dim]
   const float* q = query.data();
 
   // Serial reference path: hand-rolled ascending-j dot loop, kept
   // independent of the batched GEMM path so the two can be checked
   // bitwise against each other.
-  const std::vector<float>& keys = item_cache_.table_data(kKeyTable);
-  const int64_t score_dim = item_cache_.width(kKeyTable);
-  const int64_t n_items = dataset_->num_items();
+  const std::vector<float>& keys = snap->table_data(kKeyTable);
+  const int64_t score_dim = snap->width(kKeyTable);
+  const int64_t n_items = snap->num_items;
   std::vector<float> scores(static_cast<size_t>(n_items));
   for (int64_t i = 0; i < n_items; ++i) {
     const float* k = keys.data() + i * score_dim;
@@ -122,9 +124,10 @@ void SequentialRecBase::ScoreItemsBatch(
   if (prefixes.empty()) return;
   PMM_CHECK(out != nullptr);
   EnsureTables();
+  const std::shared_ptr<const ServingSnapshot> snap = item_cache_.Pin();
   PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
   InferenceMode inference;
-  const int64_t n_items = dataset_->num_items();
+  const int64_t n_items = snap->num_items;
 
   // Group users by effective sequence length; same-length users share one
   // joint forward (see PMMRecModel::ScoreUsersBatched for why this is
@@ -143,9 +146,10 @@ void SequentialRecBase::ScoreItemsBatch(
     if (group.empty()) continue;
     const int64_t g = static_cast<int64_t>(group.size());
 
-    Tensor queries = EncodeQueries(prefixes, group, len);  // [g, score_dim]
+    Tensor queries =
+        EncodeQueries(*snap, prefixes, group, len);  // [g, score_dim]
     Tensor scores =
-        MatMulNT(queries, item_cache_.table(kKeyTable));  // [g, n_items]
+        MatMulNT(queries, snap->table(kKeyTable));  // [g, n_items]
     PMM_TRACE_COUNT("infer.score_gemms", 1);
 
     for (int64_t r = 0; r < g; ++r) {
@@ -164,7 +168,9 @@ std::vector<std::vector<ScoredId>> SequentialRecBase::ScoreUsersCandidates(
   if (prefixes.empty()) return results;
   item_cache_.EnableQuantization(true);
   EnsureTables();
-  const int64_t n_items = dataset_->num_items();
+  const std::shared_ptr<const ServingSnapshot> snap = item_cache_.Pin();
+  PMM_CHECK_MSG(snap->quantized, "snapshot was built without quantized tables");
+  const int64_t n_items = snap->num_items;
   const int64_t eff = EffectiveRerankWindow(window, n_items);
   PMM_TRACE_SCOPE_AT("quant.score_batch", kOp, "quant.score_batch.ns");
   InferenceMode inference;
@@ -185,10 +191,11 @@ std::vector<std::vector<ScoredId>> SequentialRecBase::ScoreUsersCandidates(
     if (group.empty()) continue;
     const int64_t g = static_cast<int64_t>(group.size());
 
-    Tensor queries = EncodeQueries(prefixes, group, len);  // [g, score_dim]
+    Tensor queries =
+        EncodeQueries(*snap, prefixes, group, len);  // [g, score_dim]
     std::vector<std::vector<ScoredId>> group_results = QuantCandidateTopK(
-        item_cache_.quantized(kKeyTable),
-        item_cache_.table_data(kKeyTable).data(), queries.data(), g, eff);
+        snap->quantized_table(kKeyTable),
+        snap->table_data(kKeyTable).data(), queries.data(), g, eff);
     for (int64_t r = 0; r < g; ++r) {
       results[static_cast<size_t>(group[static_cast<size_t>(r)])] =
           std::move(group_results[static_cast<size_t>(r)]);

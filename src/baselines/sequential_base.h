@@ -74,12 +74,15 @@ class SequentialRecBase : public Module, public TrainableRecommender {
   Rng& rng() { return rng_; }
 
  private:
-  // Rebuilds the serving cache if stale (dataset must be attached).
+  // Rebuilds the serving snapshot if stale (dataset must be attached).
   void EnsureTables();
-  // Builds [g, len, rep_dim] from the cached raw table for the given
+  // Builds [g, len, rep_dim] from the snapshot's raw table for the given
   // same-length group of prefixes, then encodes and projects the final
-  // position to scoring queries [g, score_dim].
-  Tensor EncodeQueries(std::span<const std::vector<int32_t>> prefixes,
+  // position to scoring queries [g, score_dim]. Every entry point pins
+  // one snapshot up front and reads it throughout, so a batch is answered
+  // from a single consistent table version.
+  Tensor EncodeQueries(const ServingSnapshot& snap,
+                       std::span<const std::vector<int32_t>> prefixes,
                        std::span<const int64_t> group, int64_t len);
 
   static constexpr int64_t kRawTable = 0;

@@ -196,7 +196,8 @@ std::vector<std::vector<ScoredId>> IvfIndex::Retrieve(
   PMM_CHECK(queries != nullptr);
   PMM_CHECK_GT(num_queries, 0);
   PMM_CHECK_GE(limit, 1);
-  PMM_CHECK_MSG(built_param_version_ == ParamUpdateVersion(),
+  PMM_CHECK_MSG(!version_check_enabled_ ||
+                    built_param_version_ == ParamUpdateVersion(),
                 "stale ANN index: ParamUpdateVersion advanced since the "
                 "index was built");
   PMM_TRACE_SCOPE_AT("ann.probe", kOp, "ann.probe.ns");

@@ -125,6 +125,13 @@ class IvfIndex {
   uint64_t built_param_version() const { return built_param_version_; }
   void set_built_param_version(uint64_t v) { built_param_version_ = v; }
 
+  // An index pinned into a live ServingSnapshot turns the global version
+  // check off: the snapshot's immutability carries consistency while a
+  // trainer thread legitimately advances ParamUpdateVersion (see
+  // core/serving.h). Defaults on — direct builds keep the stale check.
+  void set_version_check(bool enabled) { version_check_enabled_ = enabled; }
+  bool version_check_enabled() const { return version_check_enabled_; }
+
  private:
   int64_t n_ = 0;
   int64_t d_ = 0;
@@ -132,6 +139,7 @@ class IvfIndex {
   int64_t nprobe_ = 0;
   bool quantized_ = false;
   uint64_t built_param_version_ = 0;
+  bool version_check_enabled_ = true;
 
   std::vector<float> centroids_;  // [nlist, d]
   std::vector<int64_t> offsets_;  // [nlist + 1] slot ranges per list

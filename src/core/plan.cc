@@ -370,8 +370,11 @@ void ExecutionPlan::PruneDeadRows() {
 }
 
 void ExecutionPlan::Replay() {
+  // Snapshot-pinned plans skip the global check: their buffers belong to
+  // a frozen encoder clone, so a live trainer's version bumps are not
+  // theirs (core/serving.h).
   PMM_CHECK_MSG(
-      param_version_ == ParamUpdateVersion(),
+      !version_check_enabled_ || param_version_ == ParamUpdateVersion(),
       "stale execution plan: parameters updated since recording — "
       "plans must be re-validated through PlanCache::Acquire");
   for (const kernels::Step& s : steps_) s.fn(s);
@@ -420,7 +423,10 @@ PlanCache::Lease PlanCache::Acquire(const PlanKey& key,
                                     const void* table_ptr) {
   const uint64_t version = ParamUpdateVersion();
   std::lock_guard<std::mutex> lock(mu_);
-  if (dirty_ || version != built_version_ || table_ptr != table_ptr_) {
+  // A pinned (per-snapshot) cache only flushes on explicit InvalidateAll:
+  // its parameters and table pointer are frozen with the snapshot.
+  if (dirty_ ||
+      (!pinned_ && (version != built_version_ || table_ptr != table_ptr_))) {
     if (!entries_.empty()) {
       ++stats_.invalidation_flushes;
       PMM_TRACE_COUNT("plan.cache.invalidation_flushes", 1);
@@ -484,6 +490,9 @@ void PlanCache::CommitRecord(const std::shared_ptr<EntryState>& state,
   std::lock_guard<std::mutex> lock(mu_);
   state->plan = std::move(plan);
   state->building = false;
+  if (state->plan != nullptr && pinned_) {
+    state->plan->set_version_check(false);
+  }
   if (state->plan != nullptr) {
     ++stats_.records;
     PMM_TRACE_COUNT("plan.cache.records", 1);
@@ -503,6 +512,11 @@ void PlanCache::AbortRecord(const PlanKey& key,
 void PlanCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   dirty_ = true;
+}
+
+void PlanCache::SetPinned(bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ = pinned;
 }
 
 void PlanCache::set_capacity(int64_t capacity) {

@@ -100,6 +100,12 @@ class ExecutionPlan {
   int64_t num_fused_steps() const { return num_fused_; }
   int64_t num_pruned_steps() const { return num_pruned_; }
   uint64_t param_version() const { return param_version_; }
+  // A plan recorded against a live ServingSnapshot's frozen encoder clone
+  // turns the global Replay() version check off: the clone's parameters
+  // never move, so the check would spuriously fire when the *live*
+  // parameters are stepped (see core/serving.h). Defaults on.
+  void set_version_check(bool enabled) { version_check_enabled_ = enabled; }
+  bool version_check_enabled() const { return version_check_enabled_; }
   // Read-only view of the rewritten step list (tests, telemetry).
   const std::vector<kernels::Step>& steps() const { return steps_; }
 
@@ -125,6 +131,7 @@ class ExecutionPlan {
   Tensor input_;
   Tensor output_;
   uint64_t param_version_ = 0;
+  bool version_check_enabled_ = true;
   int64_t num_fused_ = 0;
   int64_t num_pruned_ = 0;
 };
@@ -205,6 +212,13 @@ class PlanCache {
   // Drops every plan at the next Acquire (model/dataset swaps).
   void InvalidateAll();
 
+  // Pins the cache to one immutable ServingSnapshot: Acquire stops
+  // comparing ParamUpdateVersion / the table pointer (both are fixed for
+  // the snapshot's lifetime by construction), and committed plans replay
+  // without the global version check. InvalidateAll still flushes.
+  // Default off — the model-owned cache keeps the global-flush semantics.
+  void SetPinned(bool pinned);
+
   void set_capacity(int64_t capacity);
   int64_t size() const;
   Stats stats() const;
@@ -221,6 +235,7 @@ class PlanCache {
   uint64_t built_version_ = 0;
   const void* table_ptr_ = nullptr;
   bool dirty_ = true;
+  bool pinned_ = false;
   uint64_t tick_ = 0;
   int64_t capacity_;
   Stats stats_;

@@ -151,7 +151,7 @@ bool PMMRecModel::PlannedInferenceEnabled() const {
   return config_.planned_inference || PlannedInferenceEnvEnabled();
 }
 
-void PMMRecModel::EnsureItemTable() {
+bool PMMRecModel::EnsureItemTable() {
   PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
   // Scoring implies eval mode (deterministic dropout path); entering it
   // here keeps "score without an explicit PrepareForEval" working.
@@ -168,10 +168,56 @@ void PMMRecModel::EnsureItemTable() {
     ivf.nprobe = config_.ann_nprobe;
     item_cache_.EnableAnn(ivf);
   }
-  item_cache_.Ensure(dataset_->num_items(),
-                     [this](const std::vector<int32_t>& ids) {
-                       return std::vector<Tensor>{EncodeItemReps(ids).final_};
-                     });
+  return item_cache_.Ensure(
+      dataset_->num_items(), [this](const std::vector<int32_t>& ids) {
+        return std::vector<Tensor>{EncodeItemReps(ids).final_};
+      });
+}
+
+std::shared_ptr<const ServingSnapshot> PMMRecModel::PinForServing(
+    bool* rebuilt) {
+  const bool did_build = EnsureItemTable();
+  if (rebuilt != nullptr) *rebuilt = did_build;
+  return item_cache_.Pin();
+}
+
+std::shared_ptr<const ServingSnapshot> PMMRecModel::PublishServingSnapshot() {
+  PMM_CHECK_MSG(dataset_ != nullptr, "AttachDataset must be called first");
+  if (training()) SetTraining(false);
+  if (QuantServingEnabled()) item_cache_.EnableQuantization(true);
+  if (AnnServingEnabled()) {
+    IvfConfig ivf;
+    ivf.nlist = config_.ann_nlist;
+    ivf.nprobe = config_.ann_nprobe;
+    item_cache_.EnableAnn(ivf);
+  }
+  return item_cache_.Publish(
+      dataset_->num_items(),
+      [this](const std::vector<int32_t>& ids) {
+        return std::vector<Tensor>{EncodeItemReps(ids).final_};
+      },
+      [this](ServingSnapshot* snap) {
+        // Freeze the user encoder into the snapshot: the clone serves
+        // exactly the weights the tables were encoded from, even while
+        // the live encoder keeps training. The copy must not bump
+        // ParamUpdateVersion — nothing went stale.
+        snap->encoder_rng = std::make_unique<Rng>(0x5eedULL);
+        snap->user_encoder =
+            std::make_unique<UserEncoder>(config_, snap->encoder_rng.get());
+        snap->user_encoder->CopyParametersFrom(user_encoder_,
+                                               /*bump_version=*/false);
+        snap->user_encoder->SetTraining(false);
+        // Per-snapshot plans record against the clone's frozen buffers,
+        // so they neither flush on live updates nor replay stale weights.
+        snap->plans = std::make_unique<PlanCache>(config_.plan_cache_capacity);
+        snap->plans->SetPinned(true);
+        // Quant/IVF consistency is the snapshot's immutability; the global
+        // version counter keeps moving underneath and must not fire.
+        for (QuantizedTable& qt : snap->qtables) qt.pinned = true;
+        for (std::unique_ptr<IvfIndex>& index : snap->ann_indexes) {
+          index->set_version_check(false);
+        }
+      });
 }
 
 void PMMRecModel::PrepareForEval() {
@@ -267,10 +313,11 @@ void PMMRecModel::ForEachGroup(
 }
 
 void PMMRecModel::BuildGroupRows(
+    const ServingSnapshot& snap,
     std::span<const std::vector<int32_t>> prefixes,
     const std::vector<int64_t>& group, int64_t len, float* dst) {
   const int64_t d = config_.d_model;
-  const std::vector<float>& table = item_cache_.table_data(0);
+  const std::vector<float>& table = snap.table_data(0);
   for (size_t r = 0; r < group.size(); ++r) {
     const std::vector<int32_t>& prefix =
         prefixes[static_cast<size_t>(group[r])];
@@ -285,37 +332,43 @@ void PMMRecModel::BuildGroupRows(
 }
 
 Tensor PMMRecModel::EagerGroupLast(
+    const ServingSnapshot& snap,
     std::span<const std::vector<int32_t>> prefixes,
     const std::vector<int64_t>& group, int64_t len) {
   const int64_t d = config_.d_model;
   const int64_t g = static_cast<int64_t>(group.size());
   Tensor seq = Tensor::Zeros(Shape{g, len, d});
-  BuildGroupRows(prefixes, group, len, seq.data());
-  Tensor hidden = user_encoder_.Forward(seq);          // [g, len, d]
+  BuildGroupRows(snap, prefixes, group, len, seq.data());
+  UserEncoder& encoder =
+      snap.user_encoder != nullptr ? *snap.user_encoder : user_encoder_;
+  Tensor hidden = encoder.Forward(seq);                // [g, len, d]
   return Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1, /*length=*/1),
                  Shape{g, d});                         // [g, d]
 }
 
 bool PMMRecModel::PlannedGroup(
-    PlanVariant variant, int64_t len,
+    const ServingSnapshot& snap, PlanVariant variant, int64_t len,
     std::span<const std::vector<int32_t>> prefixes,
     const std::vector<int64_t>& group,
     const std::function<void(const Tensor&)>& consume) {
   const int64_t d = config_.d_model;
   const int64_t g = static_cast<int64_t>(group.size());
   const PlanKey key{variant, len, g};
+  // Strict snapshots use the model-owned cache with the global
+  // version/table-pointer flush; live snapshots carry their own pinned
+  // cache whose plans bake the snapshot's frozen buffers.
+  PlanCache& cache = snap.plans != nullptr ? *snap.plans : plan_cache_;
   // The table pointer is part of the cache validity check: a rebuild at
   // the same param version (e.g. quantization enabled later) must flush
   // plans that baked the old table.
-  PlanCache::Lease lease =
-      plan_cache_.Acquire(key, item_cache_.table_data(0).data());
+  PlanCache::Lease lease = cache.Acquire(key, snap.table_data(0).data());
   switch (lease.mode()) {
     case PlanCache::Mode::kBypass:
       return false;
     case PlanCache::Mode::kReplay: {
       PMM_TRACE_SCOPE_AT("plan.replay", kOp, "plan.replay.ns");
       ExecutionPlan* plan = lease.plan();
-      BuildGroupRows(prefixes, group, len, plan->input_data());
+      BuildGroupRows(snap, prefixes, group, len, plan->input_data());
       plan->Replay();
       // The lease keeps the plan's buffers exclusive while the consumer
       // reads the output.
@@ -325,18 +378,20 @@ bool PMMRecModel::PlannedGroup(
     case PlanCache::Mode::kRecord: {
       PMM_TRACE_SCOPE_AT("plan.record", kOp, "plan.record.ns");
       Tensor seq = Tensor::Zeros(Shape{g, len, d});
-      BuildGroupRows(prefixes, group, len, seq.data());
+      BuildGroupRows(snap, prefixes, group, len, seq.data());
+      UserEncoder& encoder =
+          snap.user_encoder != nullptr ? *snap.user_encoder : user_encoder_;
       Tensor eager_out;
       std::shared_ptr<ExecutionPlan> plan = ExecutionPlan::Record(
           seq,
           [&](const Tensor& s) {
-            Tensor hidden = user_encoder_.Forward(s);
+            Tensor hidden = encoder.Forward(s);
             Tensor last =
                 Reshape(Slice(hidden, /*dim=*/1, /*start=*/len - 1,
                               /*length=*/1),
                         Shape{g, d});
             if (variant == PlanVariant::kFullScore) {
-              return MatMulNT(last, item_cache_.table(0));
+              return MatMulNT(last, snap.table(0));
             }
             return last;
           },
@@ -351,28 +406,37 @@ bool PMMRecModel::PlannedGroup(
 }
 
 void PMMRecModel::ForEachLengthGroup(
+    const ServingSnapshot& snap,
     std::span<const std::vector<int32_t>> prefixes,
     const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
         fn) {
   const bool planned = PlannedInferenceEnabled();
   ForEachGroup(prefixes, [&](int64_t len, const std::vector<int64_t>& group) {
     if (planned &&
-        PlannedGroup(PlanVariant::kUserRep, len, prefixes, group,
+        PlannedGroup(snap, PlanVariant::kUserRep, len, prefixes, group,
                      [&](const Tensor& last) { fn(group, last); })) {
       return;
     }
-    fn(group, EagerGroupLast(prefixes, group, len));
+    fn(group, EagerGroupLast(snap, prefixes, group, len));
   });
 }
 
 void PMMRecModel::ScoreUsersBatched(
     std::span<const std::vector<int32_t>> prefixes, float* out) {
   if (prefixes.empty()) return;
-  PMM_CHECK(out != nullptr);
   EnsureItemTable();
+  ScoreUsersBatchedOn(item_cache_.Pin(), prefixes, out);
+}
+
+void PMMRecModel::ScoreUsersBatchedOn(
+    const std::shared_ptr<const ServingSnapshot>& snap,
+    std::span<const std::vector<int32_t>> prefixes, float* out) {
+  if (prefixes.empty()) return;
+  PMM_CHECK(out != nullptr);
+  PMM_CHECK(snap != nullptr);
   PMM_TRACE_SCOPE_AT("infer.score_batch", kOp, "infer.score_batch.ns");
   InferenceMode inference;
-  const int64_t n_items = dataset_->num_items();
+  const int64_t n_items = snap->num_items;
   const bool planned = PlannedInferenceEnabled();
 
   ForEachGroup(prefixes, [&](int64_t len, const std::vector<int64_t>& group) {
@@ -386,12 +450,12 @@ void PMMRecModel::ScoreUsersBatched(
       }
     };
     if (planned &&
-        PlannedGroup(PlanVariant::kFullScore, len, prefixes, group,
+        PlannedGroup(*snap, PlanVariant::kFullScore, len, prefixes, group,
                      scatter)) {
       return;
     }
-    Tensor last = EagerGroupLast(prefixes, group, len);
-    scatter(MatMulNT(last, item_cache_.table(0)));
+    Tensor last = EagerGroupLast(*snap, prefixes, group, len);
+    scatter(MatMulNT(last, snap->table(0)));
   });
   PMM_TRACE_COUNT("infer.users_scored",
                   static_cast<int64_t>(prefixes.size()));
@@ -399,30 +463,42 @@ void PMMRecModel::ScoreUsersBatched(
 
 std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidates(
     std::span<const std::vector<int32_t>> prefixes, int64_t window) {
-  std::vector<std::vector<ScoredId>> results(prefixes.size());
-  if (prefixes.empty()) return results;
+  if (prefixes.empty()) {
+    return std::vector<std::vector<ScoredId>>(prefixes.size());
+  }
   // The quantized tables ride along with the fp32 rebuild from here on.
   item_cache_.EnableQuantization(true);
   EnsureItemTable();
-  const int64_t n_items = dataset_->num_items();
+  return ScoreUsersCandidatesOn(item_cache_.Pin(), prefixes, window);
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidatesOn(
+    const std::shared_ptr<const ServingSnapshot>& snap,
+    std::span<const std::vector<int32_t>> prefixes, int64_t window) {
+  std::vector<std::vector<ScoredId>> results(prefixes.size());
+  if (prefixes.empty()) return results;
+  PMM_CHECK(snap != nullptr);
+  PMM_CHECK_MSG(snap->quantized,
+                "snapshot was built without quantized tables");
+  const int64_t n_items = snap->num_items;
   const int64_t eff = EffectiveRerankWindow(
       window > 0 ? window : config_.quant_rerank_window, n_items);
-  if (AnnServingEnabled()) {
+  if (AnnServingEnabled() && snap->ann) {
     // Combined IVF+int8 route: the index gathered the int8 rows at build
     // time (quantization is sticky-on here), so retrieval runs the
     // quantized in-list scan plus the exact fp32 re-rank, bounded by the
     // same window the full-catalogue candidate pass would use.
-    IvfCandidateSource source(&item_cache_.ann(0));
-    return RetrieveWith(source, prefixes, eff);
+    IvfCandidateSource source(&snap->ann_index(0));
+    return RetrieveWith(*snap, source, prefixes, eff);
   }
   PMM_TRACE_SCOPE_AT("quant.score_batch", kOp, "quant.score_batch.ns");
   InferenceMode inference;
 
-  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
-                                   const Tensor& last) {
+  ForEachLengthGroup(*snap, prefixes, [&](const std::vector<int64_t>& group,
+                                          const Tensor& last) {
     std::vector<std::vector<ScoredId>> group_results = QuantCandidateTopK(
-        item_cache_.quantized(0), item_cache_.table_data(0).data(),
-        last.data(), static_cast<int64_t>(group.size()), eff);
+        snap->quantized_table(0), snap->table_data(0).data(), last.data(),
+        static_cast<int64_t>(group.size()), eff);
     for (size_t r = 0; r < group.size(); ++r) {
       results[static_cast<size_t>(group[r])] = std::move(group_results[r]);
     }
@@ -433,14 +509,14 @@ std::vector<std::vector<ScoredId>> PMMRecModel::ScoreUsersCandidates(
 }
 
 std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveWith(
-    const CandidateSource& source,
+    const ServingSnapshot& snap, const CandidateSource& source,
     std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
   std::vector<std::vector<ScoredId>> results(prefixes.size());
   if (prefixes.empty()) return results;
   PMM_TRACE_SCOPE_AT("infer.retrieve", kOp, "infer.retrieve.ns");
   InferenceMode inference;
-  ForEachLengthGroup(prefixes, [&](const std::vector<int64_t>& group,
-                                   const Tensor& last) {
+  ForEachLengthGroup(snap, prefixes, [&](const std::vector<int64_t>& group,
+                                         const Tensor& last) {
     std::vector<std::vector<ScoredId>> group_results = source.Retrieve(
         last.data(), static_cast<int64_t>(group.size()), limit);
     for (size_t r = 0; r < group.size(); ++r) {
@@ -457,13 +533,22 @@ std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveCandidates(
   if (prefixes.empty()) return {};
   PMM_CHECK_GE(limit, 1);
   EnsureItemTable();
-  if (AnnServingEnabled()) {
-    IvfCandidateSource source(&item_cache_.ann(0));
-    return RetrieveWith(source, prefixes, limit);
+  return RetrieveCandidatesOn(item_cache_.Pin(), prefixes, limit);
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveCandidatesOn(
+    const std::shared_ptr<const ServingSnapshot>& snap,
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  if (prefixes.empty()) return {};
+  PMM_CHECK(snap != nullptr);
+  PMM_CHECK_GE(limit, 1);
+  if (AnnServingEnabled() && snap->ann) {
+    IvfCandidateSource source(&snap->ann_index(0));
+    return RetrieveWith(*snap, source, prefixes, limit);
   }
-  ExactCandidateSource source(item_cache_.table_data(0).data(),
-                              dataset_->num_items(), config_.d_model);
-  return RetrieveWith(source, prefixes, limit);
+  ExactCandidateSource source(snap->table_data(0).data(), snap->num_items,
+                              config_.d_model);
+  return RetrieveWith(*snap, source, prefixes, limit);
 }
 
 std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveExactCandidates(
@@ -471,9 +556,18 @@ std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveExactCandidates(
   if (prefixes.empty()) return {};
   PMM_CHECK_GE(limit, 1);
   EnsureItemTable();
-  ExactCandidateSource source(item_cache_.table_data(0).data(),
-                              dataset_->num_items(), config_.d_model);
-  return RetrieveWith(source, prefixes, limit);
+  return RetrieveExactCandidatesOn(item_cache_.Pin(), prefixes, limit);
+}
+
+std::vector<std::vector<ScoredId>> PMMRecModel::RetrieveExactCandidatesOn(
+    const std::shared_ptr<const ServingSnapshot>& snap,
+    std::span<const std::vector<int32_t>> prefixes, int64_t limit) {
+  if (prefixes.empty()) return {};
+  PMM_CHECK(snap != nullptr);
+  PMM_CHECK_GE(limit, 1);
+  ExactCandidateSource source(snap->table_data(0).data(), snap->num_items,
+                              config_.d_model);
+  return RetrieveWith(*snap, source, prefixes, limit);
 }
 
 void PMMRecModel::TransferFrom(const PMMRecModel& source,

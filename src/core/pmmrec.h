@@ -1,6 +1,7 @@
 #ifndef PMMREC_CORE_PMMREC_H_
 #define PMMREC_CORE_PMMREC_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -115,6 +116,53 @@ class PMMRecModel : public Module, public TrainableRecommender {
   std::vector<std::vector<ScoredId>> RetrieveExactCandidates(
       std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
+  // --- Versioned serving snapshots ------------------------------------------
+  // Strict-mode pin: rebuilds the snapshot when stale (blocking the
+  // caller — the historical stall-on-rebuild protocol, exactly-once under
+  // concurrency) and pins the current snapshot. `rebuilt`, when non-null,
+  // reports whether this call performed the build (the broker's
+  // serve.cache_rebuilds accounting).
+  std::shared_ptr<const ServingSnapshot> PinForServing(
+      bool* rebuilt = nullptr);
+
+  // Live-mode publish: builds vN+1 off the serving hot path — fp32
+  // table(s), int8 tables (pinned), IVF indexes (version-check off), a
+  // frozen clone of the user encoder and a per-snapshot pinned PlanCache
+  // — then swaps it in atomically. Workers keep answering from vN until
+  // the swap; a request admitted under vN is answered entirely from vN.
+  // When the catalogue only grew since the current snapshot (hot-add at
+  // an unchanged param version), only the new rows are encoded. Call from
+  // one updater thread (builds are serialized internally).
+  std::shared_ptr<const ServingSnapshot> PublishServingSnapshot();
+
+  // Snapshot-scoped scoring: identical semantics (and bitwise identical
+  // results at a fixed param version) to the legacy entry points below,
+  // but every read — tables, int8 forms, IVF lists, user-encoder
+  // parameters, recorded plans — comes from `snap`. For strict snapshots
+  // (no encoder clone) the live encoder/plan cache are used, which is
+  // only sound when no training runs concurrently; live snapshots are
+  // fully self-contained.
+  void ScoreUsersBatchedOn(const std::shared_ptr<const ServingSnapshot>& snap,
+                           std::span<const std::vector<int32_t>> prefixes,
+                           float* out);
+  std::vector<std::vector<ScoredId>> ScoreUsersCandidatesOn(
+      const std::shared_ptr<const ServingSnapshot>& snap,
+      std::span<const std::vector<int32_t>> prefixes, int64_t window = 0);
+  std::vector<std::vector<ScoredId>> RetrieveCandidatesOn(
+      const std::shared_ptr<const ServingSnapshot>& snap,
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
+  std::vector<std::vector<ScoredId>> RetrieveExactCandidatesOn(
+      const std::shared_ptr<const ServingSnapshot>& snap,
+      std::span<const std::vector<int32_t>> prefixes, int64_t limit);
+
+  // Marks the current snapshot stale without touching parameters: the
+  // next Ensure/PinForServing rebuilds in full (no hot-add row reuse).
+  // This is the serving-side cost a parameter update imposes on the
+  // strict path, isolated — benches use it to measure the
+  // stall-on-rebuild baseline without racing real optimizer writes
+  // against in-flight strict forwards.
+  void InvalidateServingSnapshot() { item_cache_.Invalidate(); }
+
   // --- Recorded-plan serving ------------------------------------------------
   // True when serving replays recorded execution plans
   // (config.planned_inference or PMMREC_PLAN=1). Eager dispatch stays the
@@ -184,13 +232,14 @@ class PMMRecModel : public Module, public TrainableRecommender {
   bool pretraining_objectives_ = false;
   const Dataset* dataset_ = nullptr;
 
-  // Rebuilds the serving cache if stale (dataset must be attached).
-  void EnsureItemTable();
+  // Rebuilds the serving snapshot if stale (dataset must be attached);
+  // returns true iff this call performed the build.
+  bool EnsureItemTable();
 
   // Shared group-walk of the retrieval paths: one CandidateSource query
-  // batch per length group (assumes EnsureItemTable already ran).
+  // batch per length group, user representations from `snap`.
   std::vector<std::vector<ScoredId>> RetrieveWith(
-      const CandidateSource& source,
+      const ServingSnapshot& snap, const CandidateSource& source,
       std::span<const std::vector<int32_t>> prefixes, int64_t limit);
 
   // Groups prefixes by effective length (the most recent
@@ -201,23 +250,28 @@ class PMMRecModel : public Module, public TrainableRecommender {
       const std::function<void(int64_t, const std::vector<int64_t>&)>& fn);
 
   // Writes the group's [g, len, d_model] sequence rows (gathered from the
-  // cached item table) into dst. Shared by the eager, record and replay
-  // paths so every mode feeds identical inputs.
-  void BuildGroupRows(std::span<const std::vector<int32_t>> prefixes,
+  // snapshot's item table) into dst. Shared by the eager, record and
+  // replay paths so every mode feeds identical inputs.
+  void BuildGroupRows(const ServingSnapshot& snap,
+                      std::span<const std::vector<int32_t>> prefixes,
                       const std::vector<int64_t>& group, int64_t len,
                       float* dst);
 
-  // Eager path: one joint forward for the group, returning the
+  // Eager path: one joint forward for the group (through the snapshot's
+  // encoder clone when present, else the live encoder), returning the
   // [g, d_model] final-position hidden state.
-  Tensor EagerGroupLast(std::span<const std::vector<int32_t>> prefixes,
+  Tensor EagerGroupLast(const ServingSnapshot& snap,
+                        std::span<const std::vector<int32_t>> prefixes,
                         const std::vector<int64_t>& group, int64_t len);
 
-  // Planned path: acquires (variant, len, g) from the plan cache and
-  // replays (or records) it, invoking `consume` with the plan's output —
-  // [g, n_items] scores for kFullScore, [g, d_model] reps for kUserRep —
-  // while the replay lease is held. Returns false when the cache said
-  // bypass (caller runs eager).
-  bool PlannedGroup(PlanVariant variant, int64_t len,
+  // Planned path: acquires (variant, len, g) from the snapshot's plan
+  // cache (the model-owned cache for strict snapshots) and replays (or
+  // records) it, invoking `consume` with the plan's output — [g, n_items]
+  // scores for kFullScore, [g, d_model] reps for kUserRep — while the
+  // replay lease is held. Returns false when the cache said bypass
+  // (caller runs eager).
+  bool PlannedGroup(const ServingSnapshot& snap, PlanVariant variant,
+                    int64_t len,
                     std::span<const std::vector<int32_t>> prefixes,
                     const std::vector<int64_t>& group,
                     const std::function<void(const Tensor&)>& consume);
@@ -229,6 +283,7 @@ class PMMRecModel : public Module, public TrainableRecommender {
   // and quantized scoring paths so both see identical user
   // representations.
   void ForEachLengthGroup(
+      const ServingSnapshot& snap,
       std::span<const std::vector<int32_t>> prefixes,
       const std::function<void(const std::vector<int64_t>&, const Tensor&)>&
           fn);

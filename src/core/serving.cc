@@ -7,10 +7,15 @@
 #include <cstring>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "core/ivf.h"
+#include "core/plan.h"
+#include "core/user_encoder.h"
 #include "nn/optimizer.h"
+#include "utils/rng.h"
 #include "tensor/gemm.h"
 #include "utils/arena.h"
 #include "utils/check.h"
@@ -188,7 +193,10 @@ std::vector<std::vector<ScoredId>> QuantCandidateTopK(
   const int64_t d = qt.width;
   PMM_CHECK_GT(n, 0);
   PMM_CHECK_GT(num_queries, 0);
-  PMM_CHECK_MSG(qt.built_param_version == ParamUpdateVersion(),
+  // A table pinned into a live ServingSnapshot is consistent by
+  // construction (immutable bundle at one version), so only unpinned
+  // tables answer to the global counter.
+  PMM_CHECK_MSG(qt.pinned || qt.built_param_version == ParamUpdateVersion(),
                 "stale quantized table: ParamUpdateVersion advanced since "
                 "the table was built");
   PMM_CHECK_MSG(window >= 1 && window <= n,
@@ -327,17 +335,60 @@ std::vector<std::vector<ScoredId>> QuantCandidateTopK(
   return results;
 }
 
+// --- ServingSnapshot --------------------------------------------------------
+
+ServingSnapshot::ServingSnapshot() = default;
+
+ServingSnapshot::~ServingSnapshot() {
+  // publish_ns != 0 marks a snapshot that actually served (was swapped
+  // in); builder-abandoned snapshots don't count as retirements.
+  if (publish_ns != 0) PMM_TRACE_COUNT("serve.snapshot.retired", 1);
+}
+
+const std::vector<float>& ServingSnapshot::table_data(int64_t t) const {
+  return *table(t).impl()->data;
+}
+
+const QuantizedTable& ServingSnapshot::quantized_table(int64_t t) const {
+  PMM_CHECK_GE(t, 0);
+  PMM_CHECK_LT(t, static_cast<int64_t>(qtables.size()));
+  return qtables[static_cast<size_t>(t)];
+}
+
+const IvfIndex& ServingSnapshot::ann_index(int64_t t) const {
+  PMM_CHECK_GE(t, 0);
+  PMM_CHECK_LT(t, static_cast<int64_t>(ann_indexes.size()));
+  return *ann_indexes[static_cast<size_t>(t)];
+}
+
+// --- ItemTableCache ---------------------------------------------------------
+
 ItemTableCache::ItemTableCache() = default;
 ItemTableCache::~ItemTableCache() = default;
 
 bool ItemTableCache::valid() const {
-  return valid_ && built_param_version_ == ParamUpdateVersion();
+  return valid_.load(std::memory_order_acquire) &&
+         built_param_version_.load(std::memory_order_acquire) ==
+             ParamUpdateVersion();
+}
+
+std::shared_ptr<const ServingSnapshot> ItemTableCache::Pin() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  if (current_ != nullptr) PMM_TRACE_COUNT("serve.snapshot.pinned", 1);
+  return current_;
+}
+
+int64_t ItemTableCache::num_tables() const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return current_ != nullptr ? current_->num_tables() : 0;
 }
 
 const Tensor& ItemTableCache::table(int64_t t) const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  PMM_CHECK_MSG(current_ != nullptr, "no serving snapshot built yet");
   PMM_CHECK_GE(t, 0);
-  PMM_CHECK_LT(t, num_tables());
-  return tables_[static_cast<size_t>(t)];
+  PMM_CHECK_LT(t, current_->num_tables());
+  return current_->table(t);
 }
 
 const std::vector<float>& ItemTableCache::table_data(int64_t t) const {
@@ -345,77 +396,139 @@ const std::vector<float>& ItemTableCache::table_data(int64_t t) const {
 }
 
 void ItemTableCache::EnableQuantization(bool enabled) {
-  // Idempotent no-op when already in the requested state: serving threads
-  // re-assert the sticky enable on every batch while holding only the
-  // broker's shared lock, so the steady state must not write. A real
-  // transition only happens under the exclusive-lock rebuild
-  // (PrepareForEval) or single-threaded setup.
-  if (enabled == quantize_) return;
-  if (enabled) {
-    valid_ = false;  // Build on the next Ensure.
-  } else {
-    qtables_.clear();
-  }
-  quantize_ = enabled;
+  // Steady-state no-op without the lock: serving threads re-assert the
+  // sticky enable on every batch, so the common path must be one acquire
+  // load and no writes. Real transitions happen under enable_mu_.
+  if (enabled == quantize_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(enable_mu_);
+  if (enabled == quantize_.load(std::memory_order_relaxed)) return;
+  // Enabling: build the quantized form on the next snapshot. Disabling
+  // just stops serving it (the current snapshot is immutable; its int8
+  // tables ride along unused until the next publish drops them).
+  if (enabled) valid_.store(false, std::memory_order_release);
+  quantize_.store(enabled, std::memory_order_release);
 }
 
 const QuantizedTable& ItemTableCache::quantized(int64_t t) const {
-  PMM_CHECK_MSG(quantize_, "quantization not enabled on this cache");
+  PMM_CHECK_MSG(quantization_enabled(),
+                "quantization not enabled on this cache");
   PMM_CHECK_MSG(valid(),
                 "stale quantized table: rebuild via Ensure() before scoring");
-  PMM_CHECK_GE(t, 0);
-  PMM_CHECK_LT(t, static_cast<int64_t>(qtables_.size()));
-  return qtables_[static_cast<size_t>(t)];
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  PMM_CHECK(current_ != nullptr);
+  return current_->quantized_table(t);
 }
 
 void ItemTableCache::EnableAnn(const IvfConfig& config) {
-  // Invalidate when the index would differ from what a rebuild under
+  // Invalidate when the index would differ from what a build under
   // `config` produces: first enable, or any parameter change. Re-enabling
   // with the identical config keeps a valid cache (idempotent, so the
   // model can call this on every serve entry point).
-  const bool same = ann_enabled_ && ann_config_.nlist == config.nlist &&
+  std::lock_guard<std::mutex> lock(enable_mu_);
+  const bool same = ann_enabled_.load(std::memory_order_relaxed) &&
+                    ann_config_.nlist == config.nlist &&
                     ann_config_.nprobe == config.nprobe &&
                     ann_config_.train_iterations == config.train_iterations &&
                     ann_config_.train_sample == config.train_sample &&
                     ann_config_.seed == config.seed;
-  // Same no-write steady state as EnableQuantization: concurrent serving
-  // threads re-assert an identical config under the shared lock.
   if (same) return;
-  valid_ = false;  // Build on the next Ensure.
-  ann_enabled_ = true;
+  valid_.store(false, std::memory_order_release);  // Build on next snapshot.
   ann_config_ = config;
+  ann_enabled_.store(true, std::memory_order_release);
 }
 
 void ItemTableCache::DisableAnn() {
-  ann_indexes_.clear();
-  ann_enabled_ = false;
+  std::lock_guard<std::mutex> lock(enable_mu_);
+  ann_enabled_.store(false, std::memory_order_release);
 }
 
 const IvfIndex& ItemTableCache::ann(int64_t t) const {
-  PMM_CHECK_MSG(ann_enabled_, "ANN not enabled on this cache");
+  PMM_CHECK_MSG(ann_enabled(), "ANN not enabled on this cache");
   PMM_CHECK_MSG(valid(),
                 "stale ANN index: rebuild via Ensure() before retrieval");
-  PMM_CHECK_GE(t, 0);
-  PMM_CHECK_LT(t, static_cast<int64_t>(ann_indexes_.size()));
-  return *ann_indexes_[static_cast<size_t>(t)];
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  PMM_CHECK(current_ != nullptr);
+  return current_->ann_index(t);
 }
 
 bool ItemTableCache::Ensure(int64_t num_items,
                             const ChunkEncoder& encode_chunk) {
   PMM_CHECK_GT(num_items, 0);
-  if (valid() && num_items_ == num_items) {
+  if (valid() &&
+      num_items_.load(std::memory_order_acquire) == num_items) {
     PMM_TRACE_COUNT("infer.item_table.hits", 1);
     return false;
   }
-  PMM_TRACE_SCOPE_AT("infer.item_table.build", kEpoch,
-                     "infer.item_table.build.ns");
+  // Exactly-once build per staleness event: racers block here; the losers
+  // re-check and find the winner's snapshot already published. (In strict
+  // serving this wait IS the stall-on-rebuild the live mode eliminates.)
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  if (valid() &&
+      num_items_.load(std::memory_order_acquire) == num_items) {
+    PMM_TRACE_COUNT("infer.item_table.hits", 1);
+    return false;
+  }
+  std::shared_ptr<const ServingSnapshot> base;
+  if (valid_.load(std::memory_order_acquire)) {
+    // Explicitly-invalidated caches never reuse rows; a fresh same-version
+    // base enables the hot-add incremental encode inside BuildSnapshot.
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    base = current_;
+  }
+  PublishSnapshot(BuildSnapshot(num_items, encode_chunk, base));
+  return true;
+}
+
+std::shared_ptr<const ServingSnapshot> ItemTableCache::Publish(
+    int64_t num_items, const ChunkEncoder& encode_chunk,
+    const SnapshotFinisher& finish) {
+  PMM_CHECK_GT(num_items, 0);
+  std::lock_guard<std::mutex> build_lock(build_mu_);
+  std::shared_ptr<const ServingSnapshot> base;
+  if (valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    base = current_;
+  }
+  std::shared_ptr<ServingSnapshot> snap =
+      BuildSnapshot(num_items, encode_chunk, base);
+  if (finish) finish(snap.get());
+  std::shared_ptr<const ServingSnapshot> published = snap;
+  PublishSnapshot(std::move(snap));
+  return published;
+}
+
+std::shared_ptr<ServingSnapshot> ItemTableCache::BuildSnapshot(
+    int64_t num_items, const ChunkEncoder& encode_chunk,
+    const std::shared_ptr<const ServingSnapshot>& base) {
+  PMM_TRACE_SCOPE_AT("serve.snapshot.build", kEpoch,
+                     "serve.snapshot.build_ns");
+  PMM_TRACE_COUNT("serve.snapshot.builds", 1);
+  // Historical names kept live: the rebuild tests and dashboards count
+  // snapshot builds under the item-table counters.
   PMM_TRACE_COUNT("infer.item_table.rebuilds", 1);
   PMM_TRACE_COUNT("infer.item_table.rows", num_items);
 
   // Record the version before encoding: a concurrent param update during
-  // the build (unsupported, but cheap to be safe against) leaves the cache
-  // stale rather than silently current.
+  // the build leaves the snapshot stale (strict mode) rather than
+  // silently current; live mode pins it regardless.
   const uint64_t version = ParamUpdateVersion();
+
+  bool quantize = false;
+  bool ann = false;
+  IvfConfig ann_config;
+  {
+    std::lock_guard<std::mutex> lock(enable_mu_);
+    quantize = quantize_.load(std::memory_order_relaxed);
+    ann = ann_enabled_.load(std::memory_order_relaxed);
+    ann_config = ann_config_;
+  }
+
+  auto snap = std::make_shared<ServingSnapshot>();
+  snap->built_param_version = version;
+  snap->num_items = num_items;
+  snap->quantized = quantize;
+  snap->ann = ann;
+  snap->ann_config = ann_config;
 
   const auto ids_for_chunk = [num_items](int64_t chunk) {
     const int64_t start = chunk * kChunk;
@@ -427,31 +540,63 @@ bool ItemTableCache::Ensure(int64_t num_items,
     return ids;
   };
 
-  // Chunk 0 runs serially: it determines how many tables the encoder
-  // produces and their widths, so storage can be allocated before the
-  // parallel sweep over the remaining chunks.
-  std::vector<Tensor> first;
-  {
-    InferenceMode inference;
-    first = encode_chunk(ids_for_chunk(0));
-  }
-  PMM_CHECK_MSG(!first.empty(), "ChunkEncoder returned no tables");
-  const int64_t n_tables = static_cast<int64_t>(first.size());
-  tables_.assign(first.size(), Tensor());
-  const int64_t first_count = std::min<int64_t>(kChunk, num_items);
-  for (int64_t t = 0; t < n_tables; ++t) {
-    const Tensor& chunk = first[static_cast<size_t>(t)];
-    PMM_CHECK_EQ(chunk.rank(), 2);
-    PMM_CHECK_EQ(chunk.dim(0), first_count);
-    const int64_t d = chunk.dim(1);
-    Tensor table = Tensor::Zeros(Shape{num_items, d});
-    std::memcpy(table.data(), chunk.data(),
-                static_cast<size_t>(first_count * d) * sizeof(float));
-    tables_[static_cast<size_t>(t)] = std::move(table);
+  // Catalogue hot-add reuse: when the base snapshot is at the same param
+  // version (no step since it was built, not explicitly invalidated) and
+  // the catalogue only grew, its fully-covered chunks are copied verbatim
+  // and only the boundary chunk + the new tail are encoded. The chunk
+  // grid is anchored at id 0 and the encoder is row-independent, so the
+  // re-encoded boundary rows are bitwise the base's rows and the whole
+  // table is bitwise a full re-encode.
+  const bool hot_add = base != nullptr &&
+                       base->built_param_version == version &&
+                       num_items > base->num_items && base->num_tables() > 0;
+
+  int64_t n_tables = 0;
+  int64_t encode_from = 0;  // first chunk the parallel sweep must encode
+  if (hot_add) {
+    n_tables = base->num_tables();
+    encode_from = base->num_items / kChunk;
+    const int64_t copied_rows = encode_from * kChunk;
+    snap->tables.assign(static_cast<size_t>(n_tables), Tensor());
+    for (int64_t t = 0; t < n_tables; ++t) {
+      const int64_t d = base->table(t).dim(1);
+      Tensor table = Tensor::Zeros(Shape{num_items, d});
+      std::memcpy(table.data(), base->table(t).data(),
+                  static_cast<size_t>(copied_rows * d) * sizeof(float));
+      snap->tables[static_cast<size_t>(t)] = std::move(table);
+    }
+    PMM_TRACE_COUNT("serve.snapshot.hot_add_rows",
+                    num_items - base->num_items);
+  } else {
+    // Chunk 0 runs serially: it determines how many tables the encoder
+    // produces and their widths, so storage can be allocated before the
+    // parallel sweep over the remaining chunks.
+    std::vector<Tensor> first;
+    {
+      InferenceMode inference;
+      first = encode_chunk(ids_for_chunk(0));
+    }
+    PMM_CHECK_MSG(!first.empty(), "ChunkEncoder returned no tables");
+    n_tables = static_cast<int64_t>(first.size());
+    encode_from = 1;
+    snap->tables.assign(first.size(), Tensor());
+    const int64_t first_count = std::min<int64_t>(kChunk, num_items);
+    for (int64_t t = 0; t < n_tables; ++t) {
+      const Tensor& chunk = first[static_cast<size_t>(t)];
+      PMM_CHECK_EQ(chunk.rank(), 2);
+      PMM_CHECK_EQ(chunk.dim(0), first_count);
+      const int64_t d = chunk.dim(1);
+      Tensor table = Tensor::Zeros(Shape{num_items, d});
+      std::memcpy(table.data(), chunk.data(),
+                  static_cast<size_t>(first_count * d) * sizeof(float));
+      snap->tables[static_cast<size_t>(t)] = std::move(table);
+    }
   }
 
+  std::vector<Tensor>& tables = snap->tables;
   const int64_t n_chunks = (num_items + kChunk - 1) / kChunk;
-  ParallelFor(1, n_chunks, /*grain=*/1, [&](int64_t c0, int64_t c1) {
+  ParallelFor(encode_from, n_chunks, /*grain=*/1,
+              [&](int64_t c0, int64_t c1) {
     // Pool workers start grad-enabled; encoding must build no graphs and
     // allocate no grad storage.
     InferenceMode inference;
@@ -462,57 +607,80 @@ bool ItemTableCache::Ensure(int64_t num_items,
       PMM_CHECK_EQ(static_cast<int64_t>(reps.size()), n_tables);
       for (int64_t t = 0; t < n_tables; ++t) {
         const Tensor& chunk = reps[static_cast<size_t>(t)];
-        const int64_t d = tables_[static_cast<size_t>(t)].dim(1);
+        const int64_t d = tables[static_cast<size_t>(t)].dim(1);
         PMM_CHECK_EQ(chunk.dim(0), count);
         PMM_CHECK_EQ(chunk.dim(1), d);
-        std::memcpy(tables_[static_cast<size_t>(t)].data() + start * d,
+        std::memcpy(tables[static_cast<size_t>(t)].data() + start * d,
                     chunk.data(),
                     static_cast<size_t>(count * d) * sizeof(float));
       }
     }
   });
 
-  // Quantized forms are part of the same rebuild: whoever holds the
-  // broker's exclusive rebuild lock pays for both tables, and a fresh
-  // fp32 table never coexists with a stale quantized one.
-  qtables_.clear();
-  if (quantize_) {
-    qtables_.resize(static_cast<size_t>(n_tables));
+  // Quantized forms are part of the same snapshot: a fresh fp32 table
+  // never coexists with a stale quantized one. (Rows quantize
+  // independently, so re-quantizing after a hot-add reproduces the old
+  // rows' codes bitwise.)
+  if (quantize) {
+    snap->qtables.resize(static_cast<size_t>(n_tables));
     for (int64_t t = 0; t < n_tables; ++t) {
-      QuantizeTableRows(tables_[static_cast<size_t>(t)].data(), num_items,
-                        tables_[static_cast<size_t>(t)].dim(1),
-                        &qtables_[static_cast<size_t>(t)]);
+      QuantizeTableRows(tables[static_cast<size_t>(t)].data(), num_items,
+                        tables[static_cast<size_t>(t)].dim(1),
+                        &snap->qtables[static_cast<size_t>(t)]);
       // Stamp the conservative pre-encode version (matches the fp32
       // staleness rule above).
-      qtables_[static_cast<size_t>(t)].built_param_version = version;
+      snap->qtables[static_cast<size_t>(t)].built_param_version = version;
     }
     PMM_TRACE_COUNT("quant.table.builds", 1);
   }
 
-  // The IVF indexes are likewise part of the same rebuild (the broker's
-  // one-rebuild-per-param-update protocol): retrain the coarse quantizer
-  // and refill the inverted lists from the fresh tables, gathering the
-  // just-built int8 rows when quantization is also on.
-  ann_indexes_.clear();
-  if (ann_enabled_) {
-    ann_indexes_.resize(static_cast<size_t>(n_tables));
+  // The IVF indexes likewise: retrain the coarse quantizer and refill the
+  // inverted lists from the fresh tables, gathering the just-built int8
+  // rows when quantization is also on.
+  if (ann) {
+    snap->ann_indexes.resize(static_cast<size_t>(n_tables));
     for (int64_t t = 0; t < n_tables; ++t) {
       auto index = std::make_unique<IvfIndex>();
-      index->Build(tables_[static_cast<size_t>(t)].data(), num_items,
-                   tables_[static_cast<size_t>(t)].dim(1),
-                   quantize_ ? &qtables_[static_cast<size_t>(t)] : nullptr,
-                   ann_config_);
+      index->Build(tables[static_cast<size_t>(t)].data(), num_items,
+                   tables[static_cast<size_t>(t)].dim(1),
+                   quantize ? &snap->qtables[static_cast<size_t>(t)] : nullptr,
+                   ann_config);
       index->set_built_param_version(version);
-      ann_indexes_[static_cast<size_t>(t)] = std::move(index);
+      snap->ann_indexes[static_cast<size_t>(t)] = std::move(index);
     }
     PMM_TRACE_COUNT("ann.index.builds", 1);
   }
 
-  num_items_ = num_items;
-  built_param_version_ = version;
-  valid_ = true;
-  ++rebuilds_;
-  return true;
+  return snap;
+}
+
+void ItemTableCache::PublishSnapshot(std::shared_ptr<ServingSnapshot> snap) {
+  PMM_CHECK(snap != nullptr);
+  const int64_t num_items = snap->num_items;
+  const uint64_t version = snap->built_param_version;
+  snap->version = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t now = trace::NowNs();
+  snap->publish_ns = now;
+  std::shared_ptr<const ServingSnapshot> retired;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    retired = std::move(current_);
+    current_ = std::move(snap);
+  }
+  if (retired != nullptr && now >= retired->publish_ns) {
+    PMM_TRACE_OBSERVE("serve.snapshot.age_us",
+                      (now - retired->publish_ns) / 1000);
+  }
+  PMM_TRACE_COUNT("serve.snapshot.swaps", 1);
+  // Atomic mirrors are released *after* the pointer swap: a reader that
+  // observes valid_ == true then takes snap_mu_ and necessarily sees the
+  // snapshot that made it true (or a newer one).
+  num_items_.store(num_items, std::memory_order_release);
+  built_param_version_.store(version, std::memory_order_release);
+  valid_.store(true, std::memory_order_release);
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  // `retired` drops here; the snapshot itself is freed when the last
+  // in-flight pin releases it (shared_ptr refcount is the grace period).
 }
 
 }  // namespace pmmrec

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "core/pmmrec.h"
 #include "nn/optimizer.h"
 #include "utils/arena.h"
 #include "utils/logging.h"
@@ -160,6 +161,56 @@ FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
   model.SetTrainingMode(false);
   result.seconds = watch.ElapsedSeconds();
   return result;
+}
+
+LiveUpdater::LiveUpdater(PMMRecModel* model, const Dataset* ds,
+                         const Options& options)
+    : model_(model),
+      ds_(ds),
+      options_(options),
+      batcher_(ds, options.batch_size, options.max_seq_len),
+      rng_(options.seed) {
+  PMM_CHECK(model_ != nullptr);
+  PMM_CHECK(ds_ != nullptr);
+  PMM_CHECK_MSG(model_->dataset() == ds_,
+                "LiveUpdater requires the model's attached dataset");
+  optimizer_ = std::make_unique<AdamW>(model_->TrainableParameters(),
+                                       options_.lr, 0.9f, 0.999f, 1e-8f,
+                                       options_.weight_decay);
+}
+
+LiveUpdater::~LiveUpdater() = default;
+
+std::vector<int64_t> LiveUpdater::NextGroup() {
+  if (next_group_ >= groups_.size()) {
+    groups_ = batcher_.EpochUserGroups(rng_);
+    next_group_ = 0;
+    PMM_CHECK_MSG(!groups_.empty(),
+                  "LiveUpdater needs >= 2 users to form a training batch");
+  }
+  return groups_[next_group_++];
+}
+
+std::shared_ptr<const ServingSnapshot> LiveUpdater::Step() {
+  PMM_TRACE_SCOPE_AT("serve.live_update", kEpoch, "serve.live_update.ns");
+  const SeqBatch batch =
+      MakeTrainBatch(*ds_, NextGroup(), options_.max_seq_len);
+  model_->SetTrainingMode(true);
+  Tensor loss = model_->TrainStepLoss(batch);
+  if (loss.defined()) {
+    std::vector<Tensor*> params = model_->TrainableParameters();
+    model_->ZeroGrad();
+    loss.Backward();
+    if (options_.clip_norm > 0.0f) ClipGradNorm(params, options_.clip_norm);
+    optimizer_->Step();
+    ++steps_;
+    PMM_TRACE_COUNT("serve.live_update.steps", 1);
+  }
+  return Publish();
+}
+
+std::shared_ptr<const ServingSnapshot> LiveUpdater::Publish() {
+  return model_->PublishServingSnapshot();
 }
 
 }  // namespace pmmrec

@@ -1,14 +1,20 @@
 #ifndef PMMREC_CORE_TRAINER_H_
 #define PMMREC_CORE_TRAINER_H_
 
+#include <memory>
 #include <vector>
 
 #include "data/batcher.h"
 #include "data/dataset.h"
 #include "eval/evaluator.h"
 #include "tensor/tensor.h"
+#include "utils/rng.h"
 
 namespace pmmrec {
+
+class AdamW;
+class PMMRecModel;
+struct ServingSnapshot;
 
 // Interface shared by PMMRec and every baseline so a single training loop
 // (FitModel) drives them all.
@@ -67,6 +73,63 @@ struct FitResult {
 // on validation HR@10, and best-parameter restoration.
 FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
                    const FitOptions& options);
+
+// Train-while-serve driver (see DESIGN.md "Versioned serving snapshots").
+//
+// Owns an AdamW optimizer and a shuffled batch stream over the dataset;
+// each Step() applies one optimizer update to the live model, then
+// publishes a fresh self-contained ServingSnapshot (frozen encoder clone,
+// pinned plan cache, int8/IVF structures as enabled). A RequestBroker in
+// live_updates mode picks the new version up on its next pin with no
+// stall and no lock shared with the training thread — in-flight batches
+// finish on the version they pinned.
+//
+// Single-threaded by design: one LiveUpdater is the only writer to the
+// model's parameters (and, for catalogue hot-add, the only mutator of the
+// dataset). Serving workers read only published snapshots.
+class LiveUpdater {
+ public:
+  struct Options {
+    int64_t batch_size = 8;
+    int64_t max_seq_len = 10;
+    float lr = 1e-3f;
+    float weight_decay = 0.01f;
+    float clip_norm = 5.0f;
+    uint64_t seed = 17;
+  };
+
+  // The model must already have `ds` attached. Neither is owned.
+  LiveUpdater(PMMRecModel* model, const Dataset* ds, const Options& options);
+  ~LiveUpdater();
+
+  LiveUpdater(const LiveUpdater&) = delete;
+  LiveUpdater& operator=(const LiveUpdater&) = delete;
+
+  // One update cycle: one training step (forward, backward, clipped AdamW
+  // step) on the next user group, then publish. Returns the published
+  // snapshot. Degenerate groups (< 2 unique items) skip the optimizer
+  // step but still publish.
+  std::shared_ptr<const ServingSnapshot> Step();
+
+  // Publish without training — e.g. right after hot-adding catalogue
+  // items, to make them recommendable from the next pinned snapshot.
+  std::shared_ptr<const ServingSnapshot> Publish();
+
+  int64_t steps() const { return steps_; }
+
+ private:
+  std::vector<int64_t> NextGroup();
+
+  PMMRecModel* const model_;
+  const Dataset* const ds_;
+  const Options options_;
+  std::unique_ptr<AdamW> optimizer_;
+  SequenceBatcher batcher_;
+  Rng rng_;
+  std::vector<std::vector<int64_t>> groups_;
+  size_t next_group_ = 0;
+  int64_t steps_ = 0;
+};
 
 }  // namespace pmmrec
 

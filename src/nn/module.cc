@@ -133,7 +133,7 @@ Status Module::LoadFromFile(const std::string& path) {
   return LoadState(&reader);
 }
 
-void Module::CopyParametersFrom(const Module& other) {
+void Module::CopyParametersFrom(const Module& other, bool bump_version) {
   const auto mine = NamedParameters();
   const auto theirs = other.NamedParameters();
   PMM_CHECK_EQ(mine.size(), theirs.size());
@@ -144,7 +144,7 @@ void Module::CopyParametersFrom(const Module& other) {
     PMM_CHECK(mine[i].second->shape() == theirs[i].second->shape());
     mine[i].second->CopyDataFrom(*theirs[i].second);
   }
-  BumpParamUpdateVersion();
+  if (bump_version) BumpParamUpdateVersion();
 }
 
 Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {

@@ -48,8 +48,13 @@ class Module {
   Status LoadFromFile(const std::string& path);
 
   // Copies all parameter values from another module with an identical
-  // parameter tree (names and shapes must match).
-  void CopyParametersFrom(const Module& other);
+  // parameter tree (names and shapes must match). By default the copy
+  // bumps the process-wide ParamUpdateVersion (the *destination* now
+  // serves different weights). Pass bump_version = false when cloning
+  // parameters *into* a frozen serving replica (a live ServingSnapshot's
+  // encoder clone): the weights being copied are exactly the ones every
+  // current cache was built from, so nothing went stale.
+  void CopyParametersFrom(const Module& other, bool bump_version = true);
 
  protected:
   // Registers a parameter member. The pointer must outlive the module

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <utility>
 
 #include "utils/check.h"
-#include "utils/trace.h"
 
 namespace pmmrec {
 namespace serve {
@@ -27,7 +27,12 @@ uint64_t DeadlineFromNow(int64_t budget_us) {
 }
 
 RequestBroker::RequestBroker(PMMRecModel* model, const BrokerOptions& options)
-    : model_(model), options_([&options] {
+    : RequestBroker(std::vector<DomainSpec>{DomainSpec{"default", model}},
+                    options) {}
+
+RequestBroker::RequestBroker(const std::vector<DomainSpec>& domains,
+                             const BrokerOptions& options)
+    : options_([&options] {
         BrokerOptions o = options;
         o.num_workers = std::max<int64_t>(1, o.num_workers);
         o.max_batch = std::max<int64_t>(1, o.max_batch);
@@ -35,13 +40,29 @@ RequestBroker::RequestBroker(PMMRecModel* model, const BrokerOptions& options)
         o.queue_capacity = std::max<int64_t>(1, o.queue_capacity);
         return o;
       }()) {
-  PMM_CHECK(model_ != nullptr);
-  PMM_CHECK_MSG(model_->dataset() != nullptr,
-                "RequestBroker requires an attached dataset");
-  n_items_ = model_->dataset()->num_items();
-  // Build the item table before any worker exists: no request pays the
-  // first-build latency and the workers start against a valid cache.
-  model_->PrepareForEval();
+  PMM_CHECK_MSG(!domains.empty(), "RequestBroker requires >= 1 domain");
+  domains_.reserve(domains.size());
+  for (const DomainSpec& spec : domains) {
+    PMM_CHECK(spec.model != nullptr);
+    PMM_CHECK_MSG(spec.model->dataset() != nullptr,
+                  "RequestBroker requires an attached dataset");
+    Domain domain;
+    domain.name = spec.name;
+    domain.model = spec.model;
+    domain.latency_us =
+        &trace::Histogram::Get("serve.latency_us[domain=" + spec.name + "]");
+    // Build the initial snapshot before any worker exists: no request pays
+    // the first-build latency and the workers start against a published
+    // version. Live mode publishes a self-contained snapshot (frozen
+    // encoder clone + pinned plan cache) so updates can land while
+    // workers keep pinning the previous one.
+    if (options_.live_updates) {
+      spec.model->PublishServingSnapshot();
+    } else {
+      spec.model->PrepareForEval();
+    }
+    domains_.push_back(std::move(domain));
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int64_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -62,7 +83,8 @@ std::future<Response> RequestBroker::Submit(Request request) {
     return std::move(future);
   };
 
-  if (request.prefix.empty() || request.topk <= 0) {
+  if (request.prefix.empty() || request.topk <= 0 || request.domain < 0 ||
+      request.domain >= static_cast<int64_t>(domains_.size())) {
     stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
     PMM_TRACE_COUNT("serve.rejected_invalid", 1);
     return reject(ServeStatus::kInvalidRequest);
@@ -132,32 +154,43 @@ std::vector<RequestBroker::Pending> RequestBroker::NextBatch() {
   }
 }
 
-std::vector<std::vector<ScoredId>> RequestBroker::ScoreBatchCandidates(
-    const std::vector<std::vector<int32_t>>& prefixes, int64_t limit) {
-  std::shared_lock<std::shared_mutex> read(model_mu_);
-  if (!model_->item_table_cache().valid()) {
-    // Stale table (a parameter update landed between requests): rebuild
-    // under the exclusive lock. Racing workers queue up here; whichever
-    // wins rebuilds, the rest re-check validity and fall through, so a
-    // single invalidation costs exactly one rebuild — and the rebuild
-    // covers the fp32 table plus whatever rides along (int8 tables, IVF
-    // lists), so no route can see a stale derived structure.
-    read.unlock();
-    {
-      std::unique_lock<std::shared_mutex> write(model_mu_);
-      if (!model_->item_table_cache().valid()) {
-        PMM_TRACE_COUNT("serve.cache_rebuilds", 1);
-        model_->PrepareForEval();
-      }
-    }
-    read.lock();
+std::shared_ptr<const ServingSnapshot> RequestBroker::PinSnapshot(
+    Domain& domain) {
+  if (options_.live_updates) {
+    // Workers never build in live mode — the updater owns publishing.
+    // A pin therefore always lands on a complete, self-contained version.
+    std::shared_ptr<const ServingSnapshot> snap =
+        domain.model->item_table_cache().Pin();
+    PMM_CHECK_MSG(snap != nullptr && snap->user_encoder != nullptr,
+                  "live_updates requires snapshots published via "
+                  "PublishServingSnapshot()");
+    return snap;
   }
-  if (model_->QuantServingEnabled()) {
+  // Strict mode: a stale snapshot (a parameter update landed between
+  // batches) is rebuilt on first pin. Racing workers serialize on the
+  // cache's build mutex; whichever wins rebuilds, the rest re-check and
+  // fall through, so a single invalidation costs exactly one rebuild —
+  // and the rebuild covers the fp32 table plus whatever rides along
+  // (int8 tables, IVF lists), so no route can see a stale structure.
+  bool rebuilt = false;
+  std::shared_ptr<const ServingSnapshot> snap =
+      domain.model->PinForServing(&rebuilt);
+  if (rebuilt) {
+    stats_.snapshot_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    PMM_TRACE_COUNT("serve.cache_rebuilds", 1);
+  }
+  return snap;
+}
+
+std::vector<std::vector<ScoredId>> RequestBroker::ScoreBatchCandidates(
+    Domain& domain, const std::shared_ptr<const ServingSnapshot>& snap,
+    const std::vector<std::vector<int32_t>>& prefixes, int64_t limit) {
+  if (domain.model->QuantServingEnabled()) {
     // Quantized two-stage pass at its auto window (itself IVF-routed when
     // ANN is also on — the combined mode).
-    return model_->ScoreUsersCandidates(prefixes);
+    return domain.model->ScoreUsersCandidatesOn(snap, prefixes);
   }
-  return model_->RetrieveCandidates(prefixes, limit);
+  return domain.model->RetrieveCandidatesOn(snap, prefixes, limit);
 }
 
 void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
@@ -182,8 +215,32 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
     live.push_back(std::move(pending));
   }
   if (live.empty()) return;
+  const int64_t coalesced = static_cast<int64_t>(live.size());
 
-  // Request collapsing: identical prefixes in this batch map onto one
+  // Split the coalesced batch by domain: coalescing amortized the queue
+  // wakeups across domains; scoring stays single-model. The single-domain
+  // case takes this loop once with the whole batch.
+  if (domains_.size() == 1) {
+    ProcessDomainBatch(domains_[0], std::move(live), dequeue_ns, coalesced);
+    return;
+  }
+  std::vector<std::vector<Pending>> per_domain(domains_.size());
+  for (Pending& pending : live) {
+    per_domain[static_cast<size_t>(pending.request.domain)].push_back(
+        std::move(pending));
+  }
+  for (size_t d = 0; d < per_domain.size(); ++d) {
+    if (per_domain[d].empty()) continue;
+    ProcessDomainBatch(domains_[d], std::move(per_domain[d]), dequeue_ns,
+                       coalesced);
+  }
+}
+
+void RequestBroker::ProcessDomainBatch(Domain& domain,
+                                       std::vector<Pending> live,
+                                       uint64_t dequeue_ns,
+                                       int64_t coalesced_size) {
+  // Request collapsing: identical prefixes in this slice map onto one
   // scored row. `prefixes` keeps the unique rows (these go to the scoring
   // call and to top-K exclusion); row_of[i] is live request i's row.
   std::vector<std::vector<int32_t>> prefixes;
@@ -225,13 +282,19 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
   PMM_TRACE_COUNT("serve.batched_requests", g);
   PMM_TRACE_OBSERVE("serve.batch_size", g);
 
+  // Pin the version this whole slice is answered from; everything below —
+  // candidate limit, retrieval, re-rank — reads only the snapshot, so a
+  // publish landing mid-batch cannot mix versions into these responses.
+  std::shared_ptr<const ServingSnapshot> snap = PinSnapshot(domain);
+
   // Candidate limit for the exact route: large enough that every
   // request's eligible top-K survives the candidate stage (limit >=
   // topk + |exclude|, with the deduped exclusion set never larger than
-  // the raw prefix), clamped to the catalogue. This is what makes
-  // TopKFromRanked over the candidates bitwise TopKSelect over the full
-  // score row — the CandidateSource refactor changes no response bits in
-  // exact mode.
+  // the raw prefix), clamped to the snapshot's catalogue — hot-added
+  // items become reachable the moment their snapshot is pinned. This is
+  // what makes TopKFromRanked over the candidates bitwise TopKSelect over
+  // the full score row — the CandidateSource refactor changes no response
+  // bits in exact mode.
   int64_t limit = 1;
   for (int64_t i = 0; i < g; ++i) {
     const size_t row = static_cast<size_t>(row_of[static_cast<size_t>(i)]);
@@ -242,18 +305,18 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
              : 0);
     limit = std::max(limit, need);
   }
-  limit = std::min(limit, n_items_);
+  limit = std::min(limit, snap->num_items);
 
   std::vector<std::vector<ScoredId>> candidates;
   {
     PMM_TRACE_SCOPE_AT("serve.batch", kEpoch, "serve.batch.ns");
-    candidates = ScoreBatchCandidates(prefixes, limit);
+    candidates = ScoreBatchCandidates(domain, snap, prefixes, limit);
   }
-  if (model_->QuantServingEnabled()) {
+  if (domain.model->QuantServingEnabled()) {
     stats_.quant_batches.fetch_add(1, std::memory_order_relaxed);
     PMM_TRACE_COUNT("serve.quant_batches", 1);
   }
-  if (model_->AnnServingEnabled()) {
+  if (domain.model->AnnServingEnabled()) {
     stats_.ann_batches.fetch_add(1, std::memory_order_relaxed);
     PMM_TRACE_COUNT("serve.ann_batches", 1);
   }
@@ -273,9 +336,12 @@ void RequestBroker::ProcessBatch(std::vector<Pending> batch) {
         dequeue_ns - live[static_cast<size_t>(i)].enqueue_ns;
     response.total_ns =
         trace::NowNs() - live[static_cast<size_t>(i)].enqueue_ns;
-    response.batch_size = g;
+    response.batch_size = coalesced_size;
+    response.snapshot_version = snap->version;
+    response.domain = live[static_cast<size_t>(i)].request.domain;
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     PMM_TRACE_OBSERVE("serve.latency_us", response.total_ns / 1000);
+    domain.latency_us->Observe(response.total_ns / 1000);
     PMM_TRACE_OBSERVE("serve.queue_wait_us", response.queue_ns / 1000);
     live[static_cast<size_t>(i)].promise.set_value(std::move(response));
   }
@@ -351,6 +417,8 @@ BrokerStats RequestBroker::stats() const {
       stats_.merged_requests.load(std::memory_order_relaxed);
   out.quant_batches = stats_.quant_batches.load(std::memory_order_relaxed);
   out.ann_batches = stats_.ann_batches.load(std::memory_order_relaxed);
+  out.snapshot_rebuilds =
+      stats_.snapshot_rebuilds.load(std::memory_order_relaxed);
   return out;
 }
 

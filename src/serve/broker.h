@@ -6,18 +6,21 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/pmmrec.h"
 #include "utils/topk.h"
+#include "utils/trace.h"
 
 namespace pmmrec {
 namespace serve {
 
-// Online serving subsystem (see DESIGN.md "Serving subsystem").
+// Online serving subsystem (see DESIGN.md "Serving subsystem" and
+// "Versioned serving snapshots").
 //
 // The RequestBroker turns independent single-user recommendation requests
 // into dynamically formed micro-batches over the frozen-model inference
@@ -31,13 +34,36 @@ namespace serve {
 // partial top-K (utils/topk.h): K ids and scores, never the full
 // catalogue row.
 //
+// Snapshot protocol: every batch pins one immutable ServingSnapshot per
+// domain (ItemTableCache::Pin) and answers entirely from it — tables,
+// quantized tables, IVF lists, and (in live mode) the frozen encoder and
+// plan cache all travel inside the snapshot, so a request admitted under
+// version N is answered from version N even if N+1 publishes mid-batch.
+// In the default strict mode a stale snapshot (a parameter update landed
+// between batches) is rebuilt on first pin; racing workers serialize on
+// the cache's build mutex and exactly one rebuild happens. In live mode
+// (BrokerOptions.live_updates) workers never build: an external updater
+// publishes snapshots (PMMRecModel::PublishServingSnapshot) while workers
+// keep serving the pinned previous version — no stall, no lock shared
+// with training.
+//
+// Multi-domain serving: one broker (one queue, one worker pool, one
+// coalescing policy) can serve several models. Each domain is a
+// {name, model} pair registered at construction; requests carry a domain
+// id and batches are split per domain before scoring, so coalescing
+// amortizes queue/wakeup costs across domains while each scoring call
+// stays single-model. Latency is exported per domain via
+// "serve.latency_us[domain=<name>]" histograms on top of the aggregate
+// "serve.latency_us".
+//
 // Determinism contract: a request's response depends only on the request
-// and the model parameters — never on which batch it coalesced into, the
-// coalescing policy, the worker count, or PMMREC_NUM_THREADS. This holds
-// because the exact retrieval path is bitwise identical per row to the
-// serial ScoreItems + TopKSelect path for any batch composition and any
-// candidate limit >= topk + |exclude| (approximate sources trade this for
-// recall, deterministically — same request, same candidates).
+// and the pinned snapshot's parameters — never on which batch it
+// coalesced into, the coalescing policy, the worker count, or
+// PMMREC_NUM_THREADS. This holds because the exact retrieval path is
+// bitwise identical per row to the serial ScoreItems + TopKSelect path
+// for any batch composition and any candidate limit >= topk + |exclude|
+// (approximate sources trade this for recall, deterministically — same
+// request, same snapshot, same candidates).
 //
 // Backpressure and deadlines are checked, never blocking: a Submit against
 // a full queue resolves immediately with kQueueFull, and a request whose
@@ -49,7 +75,7 @@ enum class ServeStatus {
   kDeadlineExceeded,  // Shed at dequeue: the deadline passed while queued.
   kQueueFull,         // Rejected at submit: queue at capacity.
   kShutdown,          // Rejected at submit or flushed during Shutdown().
-  kInvalidRequest,    // Empty prefix or non-positive topk.
+  kInvalidRequest,    // Empty prefix, non-positive topk, or unknown domain.
 };
 
 const char* ToString(ServeStatus status);
@@ -60,6 +86,8 @@ struct Request {
   // Absolute deadline on the trace::NowNs() clock; 0 means none.
   // DeadlineFromNow() converts a relative budget.
   uint64_t deadline_ns = 0;
+  // Target domain (registration order at construction; 0 = first/only).
+  int64_t domain = 0;
 };
 
 // Relative-budget helper: now + budget_us on the broker's clock.
@@ -73,6 +101,10 @@ struct Response {
   uint64_t queue_ns = 0;   // Submit -> dequeue.
   uint64_t total_ns = 0;   // Submit -> response.
   int64_t batch_size = 0;  // Live requests in the coalesced batch (kOk only).
+  // Version of the ServingSnapshot this response was answered from, and
+  // the domain it was served by (kOk only).
+  uint64_t snapshot_version = 0;
+  int64_t domain = 0;
 };
 
 struct BrokerOptions {
@@ -87,8 +119,27 @@ struct BrokerOptions {
   // same prefix stay independent. Only batching makes this possible —
   // one-request-per-call dispatch never sees two requests at once.
   // Responses are unchanged bitwise: the shared row IS the row each
-  // duplicate would have produced alone.
+  // duplicate would have produced alone. Merging is per domain: two
+  // identical prefixes aimed at different domains stay separate rows.
   bool merge_duplicates = true;
+  // Live-update mode: the broker publishes an initial self-contained
+  // snapshot per domain (frozen encoder clone + pinned plan cache) and
+  // workers only ever Pin() — they never rebuild. An external updater
+  // (core/trainer.h LiveUpdater, or any caller of
+  // PMMRecModel::PublishServingSnapshot) swaps in new versions while
+  // requests keep flowing against the previous one. In the default
+  // strict mode workers rebuild stale tables on first pin, which stalls
+  // racing batches behind the build — correct, but with a rebuild-sized
+  // latency spike after every parameter update.
+  bool live_updates = false;
+};
+
+// One served model. Registered at construction; the broker does not own
+// the model. `name` tags the per-domain latency histogram
+// ("serve.latency_us[domain=<name>]").
+struct DomainSpec {
+  std::string name;
+  PMMRecModel* model = nullptr;
 };
 
 // Monotonic lifetime totals (relaxed-atomic snapshot; tests, telemetry).
@@ -105,14 +156,20 @@ struct BrokerStats {
   uint64_t merged_requests = 0;      // Duplicates collapsed onto a shared row.
   uint64_t quant_batches = 0;        // Batches scored via the quantized path.
   uint64_t ann_batches = 0;          // Batches retrieved via the IVF index.
+  uint64_t snapshot_rebuilds = 0;    // Strict-mode stale-pin rebuilds.
 };
 
 class RequestBroker {
  public:
-  // The model must have a dataset attached; the item-table cache is built
-  // up front (so no request pays the first-build latency) and the model
-  // is left in eval mode. The broker does not own the model.
+  // Single-domain broker (domain 0, named "default"). The model must have
+  // a dataset attached; an initial snapshot is built up front (so no
+  // request pays the first-build latency) and the model is left in eval
+  // mode. The broker does not own the model.
   RequestBroker(PMMRecModel* model, const BrokerOptions& options);
+  // Multi-domain broker: one queue and worker pool serving every listed
+  // model; requests route by Request::domain (index into `domains`).
+  RequestBroker(const std::vector<DomainSpec>& domains,
+                const BrokerOptions& options);
   ~RequestBroker();  // Implies Shutdown().
 
   RequestBroker(const RequestBroker&) = delete;
@@ -139,6 +196,10 @@ class RequestBroker {
 
   BrokerStats stats() const;
   const BrokerOptions& options() const { return options_; }
+  int64_t num_domains() const { return static_cast<int64_t>(domains_.size()); }
+  const std::string& domain_name(int64_t domain) const {
+    return domains_[static_cast<size_t>(domain)].name;
+  }
 
  private:
   struct Pending {
@@ -147,24 +208,39 @@ class RequestBroker {
     uint64_t enqueue_ns = 0;
   };
 
+  // Registry entry: model plus the interned per-domain latency histogram
+  // (cached once; Histogram::Get interns by name).
+  struct Domain {
+    std::string name;
+    PMMRecModel* model = nullptr;
+    trace::Histogram* latency_us = nullptr;
+  };
+
   void WorkerLoop();
   // Blocks for work, applies the coalescing policy, and pops up to
   // max_batch requests. An empty result means "shutting down".
   std::vector<Pending> NextBatch();
   void ProcessBatch(std::vector<Pending> batch);
-  // Retrieves each row's ranked candidates under the cache-rebuild
-  // protocol: rebuilds (if stale) under the exclusive lock, retrieves
-  // under the shared lock. Routes by the model's serving mode — quantized
-  // two-stage pass (auto window), else the active CandidateSource (exact
-  // full scan or IVF index) bounded by `limit`. On the default exact
-  // route, limit >= topk + |exclude| makes the final TopKFromRanked
-  // bitwise TopKSelect over the full score row.
+  // Scores one domain's slice of a batch and resolves its promises.
+  void ProcessDomainBatch(Domain& domain, std::vector<Pending> live,
+                          uint64_t dequeue_ns, int64_t coalesced_size);
+  // Pins the snapshot a batch will be answered from. Strict mode: builds
+  // first if stale (racing workers serialize on the cache's build mutex;
+  // exactly one rebuild per invalidation). Live mode: pin only — the
+  // updater owns building.
+  std::shared_ptr<const ServingSnapshot> PinSnapshot(Domain& domain);
+  // Retrieves each row's ranked candidates from the pinned snapshot.
+  // Routes by the model's serving mode — quantized two-stage pass (auto
+  // window, itself IVF-routed when ANN is also on), else the snapshot's
+  // CandidateSource (exact full scan or IVF index) bounded by `limit`.
+  // On the default exact route, limit >= topk + |exclude| makes the final
+  // TopKFromRanked bitwise TopKSelect over the full score row.
   std::vector<std::vector<ScoredId>> ScoreBatchCandidates(
+      Domain& domain, const std::shared_ptr<const ServingSnapshot>& snap,
       const std::vector<std::vector<int32_t>>& prefixes, int64_t limit);
 
-  PMMRecModel* const model_;
   const BrokerOptions options_;
-  int64_t n_items_ = 0;
+  std::vector<Domain> domains_;
 
   // Queue state.
   mutable std::mutex mu_;
@@ -173,12 +249,6 @@ class RequestBroker {
   bool stop_ = false;
   bool paused_ = false;
   std::vector<std::thread> workers_;
-
-  // Cache-rebuild protocol: workers score under a shared lock; a stale
-  // item table is rebuilt under the exclusive lock, so concurrent batches
-  // after a parameter update trigger exactly one rebuild and no worker
-  // ever reads a table mid-rebuild.
-  std::shared_mutex model_mu_;
 
   struct AtomicStats {
     std::atomic<uint64_t> submitted{0};
@@ -193,6 +263,7 @@ class RequestBroker {
     std::atomic<uint64_t> merged_requests{0};
     std::atomic<uint64_t> quant_batches{0};
     std::atomic<uint64_t> ann_batches{0};
+    std::atomic<uint64_t> snapshot_rebuilds{0};
   };
   AtomicStats stats_;
 };

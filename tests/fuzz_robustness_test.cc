@@ -8,7 +8,11 @@
 #include <cstring>
 #include <future>
 #include <limits>
+#include <map>
+#include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +20,7 @@
 #include "core/losses.h"
 #include "core/pmmrec.h"
 #include "core/serving.h"
+#include "core/trainer.h"
 #include "data/generator.h"
 #include "data/serialization.h"
 #include "nn/layers.h"
@@ -326,6 +331,123 @@ TEST(FuzzRobustnessTest, PlanCacheChurnStaysBitwiseExact) {
   EXPECT_GT(stats.hits, 0u);
   EXPECT_EQ(stats.record_failures, 0u)
       << "churn drove a group shape into a poisoned recording";
+}
+
+TEST(FuzzRobustnessTest, SnapshotChurnUnderBrokerLoadStaysBitwiseExact) {
+  // Randomized interleaving of everything that stresses the versioned
+  // snapshot protocol: live train-and-publish cycles, catalogue hot-adds,
+  // plan-cache churn on the live model, and broker load submitted both
+  // synchronously and in async bursts left in flight across publishes.
+  // Every response is checked bitwise against a reference recomputed from
+  // the exact snapshot version it was answered from — a batch that mixes
+  // versions, reads a retired table, or observes a half-published
+  // snapshot shows up immediately as a score mismatch.
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.2, 13);
+  Dataset ds = suite.sources[0];  // Mutable copy: the hot-add target.
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  config.quantized_serving = true;  // Combined ivf+int8 serving route,
+  config.ann_serving = true;        // with per-snapshot recorded plans.
+  config.planned_inference = true;
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+
+  serve::BrokerOptions options;
+  options.num_workers = 2;
+  options.max_batch = 4;
+  options.max_wait_us = 100;
+  options.live_updates = true;
+  serve::RequestBroker broker(&model, options);
+
+  LiveUpdater::Options uopts;
+  uopts.max_seq_len = config.max_seq_len;
+  LiveUpdater updater(&model, &ds, uopts);
+
+  // Every published version stays pinned here so any response can be
+  // verified against the snapshot it was served from, long after that
+  // version retired from the cache.
+  std::map<uint64_t, std::shared_ptr<const ServingSnapshot>> published;
+  const auto remember = [&](std::shared_ptr<const ServingSnapshot> snap) {
+    ASSERT_NE(snap, nullptr);
+    published[snap->version] = std::move(snap);
+  };
+  remember(model.item_table_cache().Pin());  // The broker's initial publish.
+
+  std::vector<std::vector<int32_t>> sent_prefixes;
+  std::vector<int64_t> sent_topk;
+  std::vector<std::future<serve::Response>> futures;
+  size_t verified = 0;
+  // Settles every outstanding response and replays it on its pinned
+  // version. Publishes only happen on this thread, which blocks in get()
+  // here, so every version a worker can have pinned is already in
+  // `published` when its response is verified.
+  const auto drain_and_verify = [&] {
+    for (; verified < futures.size(); ++verified) {
+      const serve::Response response = futures[verified].get();
+      ASSERT_EQ(response.status, serve::ServeStatus::kOk)
+          << "request " << verified;
+      const auto it = published.find(response.snapshot_version);
+      ASSERT_NE(it, published.end())
+          << "request " << verified << " served from unknown version "
+          << response.snapshot_version;
+      // The broker's quantized route at its auto window, replayed on the
+      // pinned version; self-contained snapshots make this bitwise
+      // reproducible no matter how far the live parameters moved since.
+      const auto ranked = model.ScoreUsersCandidatesOn(
+          it->second, std::span<const std::vector<int32_t>>(
+                          &sent_prefixes[verified], 1));
+      ASSERT_EQ(ranked.size(), 1u);
+      test::ExpectBitwise(
+          response.items,
+          TopKFromRanked(ranked[0], sent_topk[verified],
+                         sent_prefixes[verified]),
+          "request " + std::to_string(verified) + " at v" +
+              std::to_string(response.snapshot_version));
+    }
+  };
+  const auto submit_one = [&](Rng& rng) {
+    serve::Request request;
+    request.prefix = ds.TestPrefix(rng.UniformInt(0, ds.num_users()));
+    request.topk = rng.UniformInt(1, 12);
+    sent_prefixes.push_back(request.prefix);
+    sent_topk.push_back(request.topk);
+    futures.push_back(broker.Submit(std::move(request)));
+  };
+
+  Rng rng(2027);
+  for (int step = 0; step < 36; ++step) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0:  // Live update: one optimizer step, publish vN+1 while any
+               // in-flight batch keeps answering from vN.
+        remember(updater.Step());
+        break;
+      case 1: {  // Catalogue hot-add: clone a random item, publish. Only
+                 // this thread mutates the dataset; workers read only
+                 // snapshot tables.
+        ds.items.push_back(
+            ds.items[static_cast<size_t>(rng.UniformInt(0, ds.num_items()))]);
+        remember(updater.Publish());
+        break;
+      }
+      case 2:  // Plan churn on the live model. Harmless to live serving
+               // by construction: snapshots carry their own pinned plan
+               // caches, so evicting or shrinking the model's cache must
+               // not change one served bit.
+        model.plan_cache().set_capacity(rng.UniformInt(1, 6));
+        break;
+      case 3:  // Async burst left in flight across subsequent publishes.
+        for (int64_t i = rng.UniformInt(1, 5); i > 0; --i) submit_one(rng);
+        break;
+      default:  // Synchronous probe: submit, wait, and settle the backlog
+                // so a failure localizes to a recent step.
+        submit_one(rng);
+        futures.back().wait();
+        drain_and_verify();
+        break;
+    }
+  }
+  drain_and_verify();
+  ASSERT_GT(futures.size(), 0u);
+  EXPECT_GE(published.size(), 2u) << "churn never published a new version";
 }
 
 TEST(FuzzRobustnessTest, ZeroVectorsDoNotBreakNormalization) {

@@ -55,6 +55,19 @@
 //             values), for load-testing retrieval at catalogue scales no
 //             checked-in dataset reaches. (bench/bench_serve is the full
 //             offered-QPS sweep writing BENCH_serving.json.)
+//             --update-every N switches to the train-while-serve
+//             benchmark: three phases (no updates; live snapshot
+//             publishes every N completed requests; strict
+//             stall-on-rebuild every N requests) under identical load,
+//             writing qps + p50/p99/p99.9 per phase to
+//             BENCH_liveupdate.json (override with --json PATH). Every
+//             4th request is a probe checked bitwise against a reference
+//             computed at that response's pinned snapshot version; any
+//             divergence exits nonzero. --hot-add M additionally inserts
+//             M catalogue items mid-load in chunks; each chunk rides a
+//             publish-only update (incremental row encode) and the bench
+//             verifies the newest item is retrievable from the fresh
+//             snapshot.
 //
 // Global flags (any subcommand):
 //   --threads N   Intra-op threads for the tensor kernels and evaluation
@@ -78,13 +91,26 @@
 // from the dataset schema plus PMMRecConfig defaults, so a checkpoint must
 // be loaded with the same --modality it was trained with.
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <future>
+#include <map>
+#include <memory>
 #include <numeric>
 #include <thread>
 
 #include "core/pmmrec.h"
+#include "core/trainer.h"
 #include "data/generator.h"
 #include "data/serialization.h"
 #include "serve/broker.h"
@@ -367,6 +393,427 @@ int CmdRecommend(const FlagParser& flags) {
   return 0;
 }
 
+// --- Live-update serve-bench ----------------------------------------------
+
+uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+bool TopKBitwiseEqual(const std::vector<ScoredId>& got,
+                      const std::vector<ScoredId>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id ||
+        FloatBits(got[i].score) != FloatBits(want[i].score)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Per-snapshot-version reference answers for the probe prefixes. The
+// updater inserts a version's answers right after publishing it; a probe
+// client that races ahead of the insert waits on the condition variable
+// (the publish always precedes the pin that produced the response, so the
+// reference always arrives).
+class ReferenceBook {
+ public:
+  void Insert(uint64_t version, std::vector<std::vector<ScoredId>> refs) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      by_version_[version] = std::move(refs);
+    }
+    cv_.notify_all();
+  }
+  std::vector<ScoredId> Lookup(uint64_t version, size_t probe) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return by_version_.count(version) != 0; });
+    return by_version_[version][probe];
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, std::vector<std::vector<ScoredId>>> by_version_;
+};
+
+// Single-threaded reference answers for the probe prefixes against one
+// pinned snapshot, through the same route the broker takes (quantized
+// two-stage at its auto window, else the snapshot's CandidateSource) and
+// the same TopKFromRanked cut. The candidate limit only needs
+// topk + |exclude| per row for the final top-K to be limit-invariant, so
+// using the probes' own maximum matches any batch the broker forms.
+std::vector<std::vector<ScoredId>> ComputeProbeReference(
+    PMMRecModel& model, const std::shared_ptr<const ServingSnapshot>& snap,
+    const std::vector<std::vector<int32_t>>& probes, int64_t topk) {
+  int64_t limit = 1;
+  for (const std::vector<int32_t>& p : probes) {
+    limit = std::max<int64_t>(limit, topk + static_cast<int64_t>(p.size()));
+  }
+  limit = std::min(limit, snap->num_items);
+  std::vector<std::vector<ScoredId>> ranked =
+      model.QuantServingEnabled()
+          ? model.ScoreUsersCandidatesOn(snap, probes)
+          : model.RetrieveCandidatesOn(snap, probes, limit);
+  std::vector<std::vector<ScoredId>> out(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    out[i] = TopKFromRanked(ranked[i], topk,
+                            std::span<const int32_t>(probes[i]));
+  }
+  return out;
+}
+
+struct LoadStats {
+  std::vector<uint64_t> latencies_ns;  // kOk responses only.
+  uint64_t mismatches = 0;             // Probe responses != reference bits.
+  uint64_t not_ok = 0;
+  double seconds = 0;
+  double qps() const {
+    return seconds > 0
+               ? static_cast<double>(latencies_ns.size()) / seconds
+               : 0.0;
+  }
+};
+
+struct LivePct {
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+};
+
+LivePct ExactLivePct(std::vector<uint64_t> ns) {
+  LivePct out;
+  if (ns.empty()) return out;
+  std::sort(ns.begin(), ns.end());
+  const auto pick = [&](double p) {
+    const size_t idx = std::min(
+        ns.size() - 1,
+        static_cast<size_t>(p / 100.0 * static_cast<double>(ns.size())));
+    return static_cast<double>(ns[idx]) / 1e3;
+  };
+  out.p50_us = pick(50);
+  out.p99_us = pick(99);
+  out.p999_us = pick(99.9);
+  return out;
+}
+
+// Closed-loop load with embedded probes: every 4th request per client is
+// one of the fixed probe prefixes, and its response is checked bitwise
+// (ids + score bits) against `reference` at the response's pinned
+// snapshot version.
+LoadStats RunLoad(
+    serve::RequestBroker& broker, const Dataset& ds, int64_t requests,
+    int64_t clients, int64_t topk,
+    const std::vector<std::vector<int32_t>>& probes,
+    const std::function<std::vector<ScoredId>(uint64_t, size_t)>& reference,
+    std::atomic<uint64_t>* completed) {
+  std::vector<std::vector<uint64_t>> lat(static_cast<size_t>(clients));
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> not_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  Stopwatch watch;
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int64_t n =
+          requests / clients + (c < requests % clients ? 1 : 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const bool is_probe = !probes.empty() && i % 4 == 3;
+        const size_t probe_idx =
+            probes.empty()
+                ? 0
+                : static_cast<size_t>(c + i) % probes.size();
+        serve::Request request;
+        if (is_probe) {
+          request.prefix = probes[probe_idx];
+        } else {
+          const int64_t user = (c * 7919 + i * 104729) % ds.num_users();
+          request.prefix = ds.TestPrefix(user);
+        }
+        request.topk = topk;
+        const serve::Response response =
+            broker.Submit(std::move(request)).get();
+        if (completed != nullptr) {
+          completed->fetch_add(1, std::memory_order_relaxed);
+        }
+        if (response.status != serve::ServeStatus::kOk) {
+          not_ok.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        lat[static_cast<size_t>(c)].push_back(response.total_ns);
+        if (is_probe &&
+            !TopKBitwiseEqual(response.items,
+                              reference(response.snapshot_version,
+                                        probe_idx))) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LoadStats out;
+  out.seconds = watch.ElapsedMillis() / 1e3;
+  for (const auto& per_client : lat) {
+    out.latencies_ns.insert(out.latencies_ns.end(), per_client.begin(),
+                            per_client.end());
+  }
+  out.mismatches = mismatches.load();
+  out.not_ok = not_ok.load();
+  return out;
+}
+
+// Train-while-serve benchmark (--update-every / --hot-add): three phases
+// on one model, writing BENCH_liveupdate.json.
+//
+//   1. no_update      — live-mode broker, steady load, no publishes: the
+//                       baseline latency profile.
+//   2. live_update    — the same broker under the same load while an
+//                       updater thread runs one optimizer step + publish
+//                       every N completed requests (and hot-adds --hot-add
+//                       items in chunks on publish-only updates, which
+//                       take the incremental encode path). Workers keep
+//                       pinning; nothing stalls.
+//   3. strict_rebuild — a strict-mode broker on the same model while the
+//                       updater invalidates the snapshot every N
+//                       completed requests: every invalidation stalls the
+//                       next pin behind a full rebuild (the historical
+//                       protocol's cost).
+//
+// Every 4th request is a probe whose response is checked bitwise against
+// a single-threaded reference computed from that response's pinned
+// snapshot version; any divergence (or an unreachable hot-added item)
+// exits nonzero.
+int RunServeBenchLive(PMMRecModel& model, Dataset& ds,
+                      const FlagParser& flags) {
+  const int64_t requests = std::max<int64_t>(1, flags.GetInt("requests", 512));
+  const int64_t clients = std::max<int64_t>(1, flags.GetInt("clients", 8));
+  const int64_t topk = flags.GetInt("topk", 10);
+  const int64_t hot_add = std::max<int64_t>(0, flags.GetInt("hot-add", 0));
+  int64_t update_every = flags.GetInt("update-every", 0);
+  if (update_every <= 0) update_every = std::max<int64_t>(1, requests / 8);
+
+  serve::BrokerOptions options;
+  options.num_workers = flags.GetInt("workers", 2);
+  options.max_batch = flags.GetInt("max-batch", 32);
+  options.max_wait_us = flags.GetInt("max-wait-us", 200);
+  options.queue_capacity = flags.GetInt("queue-capacity", 1024);
+  options.live_updates = true;
+
+  std::vector<std::vector<int32_t>> probes;
+  for (int64_t u = 0; u < std::min<int64_t>(8, ds.num_users()); ++u) {
+    probes.push_back(ds.TestPrefix(u));
+  }
+
+  ReferenceBook refs;
+  LoadStats no_update, live, strict;
+  uint64_t updates_done = 0;
+  int64_t hot_added = 0;
+  bool hot_add_reachable = true;
+  const int64_t original_items = ds.num_items();
+
+  {
+    serve::RequestBroker broker(&model, options);
+    const std::shared_ptr<const ServingSnapshot> snap0 =
+        model.item_table_cache().Pin();
+    refs.Insert(snap0->version,
+                ComputeProbeReference(model, snap0, probes, topk));
+    const auto lookup = [&](uint64_t version, size_t probe) {
+      return refs.Lookup(version, probe);
+    };
+
+    no_update =
+        RunLoad(broker, ds, requests, clients, topk, probes, lookup, nullptr);
+
+    LiveUpdater::Options uopts;
+    uopts.max_seq_len = model.config().max_seq_len;
+    LiveUpdater updater(&model, &ds, uopts);
+    std::atomic<uint64_t> completed{0};
+    std::atomic<bool> done{false};
+    int64_t hot_remaining = hot_add;
+    const int64_t hot_chunk =
+        hot_add > 0 ? std::max<int64_t>(1, (hot_add + 1) / 2) : 0;
+    std::thread update_thread([&] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t now = completed.load(std::memory_order_relaxed);
+        if (now < last + static_cast<uint64_t>(update_every)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        last = now;
+        std::shared_ptr<const ServingSnapshot> snap;
+        if (hot_remaining > 0) {
+          // Hot-add rides a publish-only update: the param version is
+          // unchanged, so only the new rows are encoded.
+          const int64_t chunk = std::min(hot_chunk, hot_remaining);
+          for (int64_t j = 0; j < chunk; ++j) {
+            ds.items.push_back(
+                ds.items[static_cast<size_t>(
+                    (ds.num_items() * 40503) % original_items)]);
+          }
+          hot_remaining -= chunk;
+          hot_added += chunk;
+          snap = updater.Publish();
+          // End-to-end reachability: full-catalogue exact retrieval from
+          // the fresh snapshot must surface the newest id.
+          const std::vector<std::vector<ScoredId>> ranked =
+              model.RetrieveExactCandidatesOn(
+                  snap,
+                  std::span<const std::vector<int32_t>>(&probes[0], 1),
+                  snap->num_items);
+          const int32_t newest = static_cast<int32_t>(snap->num_items - 1);
+          bool found = false;
+          for (const ScoredId& s : ranked[0]) found = found || s.id == newest;
+          hot_add_reachable = hot_add_reachable && found;
+        } else {
+          snap = updater.Step();
+        }
+        ++updates_done;
+        refs.Insert(snap->version,
+                    ComputeProbeReference(model, snap, probes, topk));
+      }
+    });
+#ifdef __linux__
+    // The snapshot protocol keeps builds off the serving hot path by
+    // construction (workers never wait on the builder), but on a
+    // CPU-starved host the builder still competes for cycles. Demote it
+    // to background priority — the production posture for a co-located
+    // train-while-serve updater: serving latency stays flat and updates
+    // absorb only idle capacity.
+    sched_param sp{};
+    pthread_setschedparam(update_thread.native_handle(), SCHED_IDLE, &sp);
+#endif
+    live = RunLoad(broker, ds, requests, clients, topk, probes, lookup,
+                   &completed);
+    done.store(true, std::memory_order_release);
+    update_thread.join();
+    broker.Shutdown();
+  }
+
+  uint64_t strict_rebuilds = 0;
+  {
+    serve::BrokerOptions sopts = options;
+    sopts.live_updates = false;
+    serve::RequestBroker broker(&model, sopts);
+    const std::shared_ptr<const ServingSnapshot> strict_snap =
+        model.PinForServing();
+    const std::vector<std::vector<ScoredId>> strict_ref =
+        ComputeProbeReference(model, strict_snap, probes, topk);
+    // Parameters are frozen in this phase, so every rebuild reproduces
+    // the same tables bitwise and one reference covers all versions.
+    const auto lookup = [&](uint64_t, size_t probe) {
+      return strict_ref[probe];
+    };
+    std::atomic<uint64_t> completed{0};
+    std::atomic<bool> done{false};
+    std::thread invalidator([&] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t now = completed.load(std::memory_order_relaxed);
+        if (now < last + static_cast<uint64_t>(update_every)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
+        last = now;
+        model.InvalidateServingSnapshot();
+      }
+    });
+    strict = RunLoad(broker, ds, requests, clients, topk, probes, lookup,
+                     &completed);
+    done.store(true, std::memory_order_release);
+    invalidator.join();
+    strict_rebuilds = broker.stats().snapshot_rebuilds;
+    broker.Shutdown();
+  }
+
+  const LivePct base_pct = ExactLivePct(no_update.latencies_ns);
+  const LivePct live_pct = ExactLivePct(live.latencies_ns);
+  const LivePct strict_pct = ExactLivePct(strict.latencies_ns);
+  const uint64_t mismatches =
+      no_update.mismatches + live.mismatches + strict.mismatches;
+  const bool ok = mismatches == 0 && hot_add_reachable;
+  const double live_ratio =
+      base_pct.p99_us > 0 ? live_pct.p99_us / base_pct.p99_us : 0.0;
+  const double strict_ratio =
+      base_pct.p99_us > 0 ? strict_pct.p99_us / base_pct.p99_us : 0.0;
+
+  std::printf("serve-bench live: %lld requests/phase, %lld clients, "
+              "%lld workers, update every %lld, hot-add %lld, %lld items\n",
+              static_cast<long long>(requests),
+              static_cast<long long>(clients),
+              static_cast<long long>(options.num_workers),
+              static_cast<long long>(update_every),
+              static_cast<long long>(hot_add),
+              static_cast<long long>(ds.num_items()));
+  std::printf("  no_update       %9.1f req/s  p50 %7.0f  p99 %7.0f  "
+              "p99.9 %7.0f us\n",
+              no_update.qps(), base_pct.p50_us, base_pct.p99_us,
+              base_pct.p999_us);
+  std::printf("  live_update     %9.1f req/s  p50 %7.0f  p99 %7.0f  "
+              "p99.9 %7.0f us  (%llu updates, %lld hot-added, "
+              "p99 %.2fx no-update)\n",
+              live.qps(), live_pct.p50_us, live_pct.p99_us,
+              live_pct.p999_us,
+              static_cast<unsigned long long>(updates_done),
+              static_cast<long long>(hot_added), live_ratio);
+  std::printf("  strict_rebuild  %9.1f req/s  p50 %7.0f  p99 %7.0f  "
+              "p99.9 %7.0f us  (%llu rebuild stalls, p99 %.2fx "
+              "no-update)\n",
+              strict.qps(), strict_pct.p50_us, strict_pct.p99_us,
+              strict_pct.p999_us,
+              static_cast<unsigned long long>(strict_rebuilds),
+              strict_ratio);
+  std::printf("  probes bitwise %s vs per-version reference%s\n",
+              mismatches == 0 ? "EQUAL" : "DIFFERENT",
+              hot_add > 0
+                  ? (hot_add_reachable ? "; hot-added items reachable"
+                                       : "; hot-added items MISSING")
+                  : "");
+
+  const std::string path =
+      flags.GetString("json", "BENCH_liveupdate.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"liveupdate\",\n"
+               "  \"requests_per_phase\": %lld,\n  \"clients\": %lld,\n"
+               "  \"workers\": %lld,\n  \"update_every\": %lld,\n"
+               "  \"hot_add\": %lld,\n  \"items\": %lld,\n",
+               static_cast<long long>(requests),
+               static_cast<long long>(clients),
+               static_cast<long long>(options.num_workers),
+               static_cast<long long>(update_every),
+               static_cast<long long>(hot_add),
+               static_cast<long long>(ds.num_items()));
+  const auto phase = [&](const char* name, const LoadStats& stats,
+                         const LivePct& pct, const char* tail) {
+    std::fprintf(f,
+                 "  \"%s\": {\"qps\": %.2f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"p999_us\": %.1f%s},\n",
+                 name, stats.qps(), pct.p50_us, pct.p99_us, pct.p999_us,
+                 tail);
+  };
+  phase("no_update", no_update, base_pct, "");
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                ", \"updates\": %llu, \"hot_added\": %lld",
+                static_cast<unsigned long long>(updates_done),
+                static_cast<long long>(hot_added));
+  phase("live_update", live, live_pct, tail);
+  std::snprintf(tail, sizeof(tail), ", \"rebuild_stalls\": %llu",
+                static_cast<unsigned long long>(strict_rebuilds));
+  phase("strict_rebuild", strict, strict_pct, tail);
+  std::fprintf(f,
+               "  \"p99_live_over_no_update\": %.3f,\n"
+               "  \"p99_strict_over_no_update\": %.3f,\n"
+               "  \"bitwise_equal\": %s,\n  \"hot_add_reachable\": %s\n}\n",
+               live_ratio, strict_ratio, mismatches == 0 ? "true" : "false",
+               hot_add_reachable ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+  return ok ? 0 : 1;
+}
+
 // Closed-loop broker load test: C client threads each fire their share of
 // N requests back-to-back and block on the future before submitting the
 // next one. With C > max_batch the broker sees sustained concurrency and
@@ -406,6 +853,12 @@ int CmdServeBench(const FlagParser& flags) {
     PMM_CHECK_MSG(st.ok(), st.ToString());
   }
   model.AttachDataset(&ds);
+
+  // Train-while-serve mode: --update-every / --hot-add switch to the
+  // three-phase live-update benchmark (see RunServeBenchLive above).
+  if (flags.GetInt("update-every", 0) > 0 || flags.GetInt("hot-add", 0) > 0) {
+    return RunServeBenchLive(model, ds, flags);
+  }
 
   const int64_t requests = std::max<int64_t>(1, flags.GetInt("requests", 512));
   const int64_t clients = std::max<int64_t>(1, flags.GetInt("clients", 8));
