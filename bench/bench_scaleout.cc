@@ -1,0 +1,397 @@
+// Scale-out benchmark: load generator for the multi-process serving tier
+// (src/serve/router.h). Four phases, one JSON artifact:
+//
+//   1. Single-process broker baseline — the same closed-loop request
+//      stream against one in-process RequestBroker; builds the bitwise
+//      reference every sharded response is checked against.
+//   2. Replica-mode sweep — the identical stream through a ShardRouter at
+//      1, 2 and 4 forked replica workers (hash-routed users, a full
+//      snapshot per worker). qps-vs-workers is the headline number; every
+//      response must be bitwise-identical to phase 1.
+//   3. IVF-shard mode — 2 workers each owning a contiguous slice of the
+//      inverted lists, scatter/gather/merge per request, checked bitwise
+//      against a single-process broker on the same ANN-serving model.
+//   4. Backpressure burst — an async burst several times the router's
+//      outstanding cap: everything must resolve as kOk or an explicit
+//      kQueueFull/kDeadlineExceeded (no hangs, no silent drops), with
+//      admitted responses still bitwise-correct.
+//
+// Emits BENCH_scaleout.json with host_cpus recorded next to the speedups:
+// on a 1-core host the replica sweep measures fork/IPC overhead, not
+// parallel speedup — the bitwise gates are the portable part. Any bitwise
+// divergence or accounting gap exits 1.
+//
+// Usage: bench_scaleout [--out-dir DIR]
+// Knobs: PMMREC_SCALE / PMMREC_SEED / PMMREC_NUM_THREADS.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "serve/broker.h"
+#include "serve/router.h"
+#include "utils/parallel.h"
+
+namespace pmmrec {
+namespace {
+
+struct Percentiles {
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+Percentiles ExactPercentiles(std::vector<uint64_t> latencies_ns) {
+  Percentiles out;
+  if (latencies_ns.empty()) return out;
+  std::sort(latencies_ns.begin(), latencies_ns.end());
+  const auto pick = [&](double p) {
+    const size_t idx = std::min(
+        latencies_ns.size() - 1,
+        static_cast<size_t>(p / 100.0 *
+                            static_cast<double>(latencies_ns.size())));
+    return static_cast<double>(latencies_ns[idx]) / 1e3;
+  };
+  out.p50_us = pick(50);
+  out.p95_us = pick(95);
+  out.p99_us = pick(99);
+  return out;
+}
+
+bool BitwiseEqual(const std::vector<ScoredId>& got,
+                  const std::vector<ScoredId>& want) {
+  if (got.size() != want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].id) return false;
+    uint32_t a, b;
+    std::memcpy(&a, &got[i].score, sizeof(a));
+    std::memcpy(&b, &want[i].score, sizeof(b));
+    if (a != b) return false;
+  }
+  return true;
+}
+
+constexpr int64_t kTopK = 10;
+constexpr int64_t kClients = 4;
+
+struct LoadResult {
+  double qps = 0;
+  Percentiles pct;
+  uint64_t completed = 0;
+  uint64_t mismatches = 0;
+  std::vector<uint64_t> per_worker_completed;
+};
+
+// Closed-loop: kClients threads each fire their share of the stream and
+// block on every future. `submit` abstracts over broker vs router.
+template <typename SubmitFn>
+LoadResult RunClosedLoop(
+    int64_t n_requests, const std::function<int64_t(int64_t)>& user_of,
+    const Dataset& ds,
+    const std::map<int64_t, std::vector<ScoredId>>& reference,
+    SubmitFn&& submit) {
+  std::vector<std::vector<uint64_t>> latencies(kClients);
+  std::atomic<uint64_t> completed{0}, mismatches{0};
+  std::vector<std::thread> threads;
+  Stopwatch watch;
+  for (int64_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const int64_t n =
+          n_requests / kClients + (c < n_requests % kClients ? 1 : 0);
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t request_index = c + i * kClients;
+        const int64_t user = user_of(request_index);
+        serve::Request request;
+        request.prefix = ds.TestPrefix(user);
+        request.topk = kTopK;
+        const serve::Response r = submit(std::move(request)).get();
+        if (r.status != serve::ServeStatus::kOk) {
+          ++mismatches;  // The closed-loop phases expect every admit.
+          continue;
+        }
+        ++completed;
+        latencies[static_cast<size_t>(c)].push_back(r.total_ns);
+        if (!BitwiseEqual(r.items, reference.at(user))) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = watch.ElapsedMillis() / 1e3;
+
+  LoadResult result;
+  std::vector<uint64_t> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  result.qps = static_cast<double>(all.size()) / seconds;
+  result.pct = ExactPercentiles(std::move(all));
+  result.completed = completed.load();
+  result.mismatches = mismatches.load();
+  return result;
+}
+
+// Per-user reference responses from a 1-worker in-process broker.
+std::map<int64_t, std::vector<ScoredId>> BrokerReference(
+    PMMRecModel& model, const Dataset& ds, int64_t n_requests,
+    const std::function<int64_t(int64_t)>& user_of) {
+  serve::BrokerOptions options;
+  options.num_workers = 1;
+  serve::RequestBroker broker(&model, options);
+  std::map<int64_t, std::vector<ScoredId>> reference;
+  for (int64_t i = 0; i < n_requests; ++i) {
+    const int64_t u = user_of(i);
+    if (reference.count(u)) continue;
+    serve::Response r = broker.Recommend(ds.TestPrefix(u), kTopK);
+    PMM_CHECK(r.status == serve::ServeStatus::kOk);
+    reference[u] = std::move(r.items);
+  }
+  return reference;
+}
+
+serve::RouterOptions RouterAt(int64_t workers, serve::ShardMode mode) {
+  serve::RouterOptions options;
+  options.num_workers = workers;
+  options.mode = mode;
+  options.handler_threads = 2;
+  options.broker.num_workers = 1;
+  options.broker.max_wait_us = 100;
+  return options;
+}
+
+int Run(const std::string& out_dir) {
+  BenchmarkSuite suite = BuildBenchmarkSuite(bench::EnvScale(),
+                                             bench::EnvSeed());
+  const Dataset& ds = suite.sources[0];
+  const int64_t n_requests = std::min<int64_t>(256, ds.num_users() * 4);
+  const int64_t hot_users = std::min<int64_t>(8, ds.num_users());
+  const int64_t cold_users = std::max<int64_t>(1, ds.num_users() - hot_users);
+  const std::function<int64_t(int64_t)> user_of = [&](int64_t i) {
+    if (i % 2 == 0) return (i / 2) % hot_users;
+    return hot_users % ds.num_users() + (i / 2) % cold_users;
+  };
+  const long host_cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+
+  // ---- Phase 1: single-process baseline + bitwise reference. ----
+  PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+  PMMRecModel model(config, 42);
+  model.AttachDataset(&ds);
+  model.PrepareForEval();
+  const auto reference = BrokerReference(model, ds, n_requests, user_of);
+
+  serve::BrokerOptions broker_options;
+  broker_options.num_workers = 1;
+  broker_options.max_wait_us = 100;
+  serve::RequestBroker baseline_broker(&model, broker_options);
+  const LoadResult baseline = RunClosedLoop(
+      n_requests, user_of, ds, reference, [&](serve::Request request) {
+        return baseline_broker.Submit(std::move(request));
+      });
+
+  // ---- Phase 2: replica-mode qps-vs-workers sweep. ----
+  struct ReplicaRow {
+    int64_t workers = 0;
+    LoadResult load;
+    double speedup = 0;
+  };
+  std::vector<ReplicaRow> replica_rows;
+  for (const int64_t workers : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+    serve::ShardRouter router(
+        &model, RouterAt(workers, serve::ShardMode::kReplica));
+    // Steady-state measurement: absorb worker cold-start before timing.
+    for (int64_t i = 0; i < workers * 2; ++i) {
+      (void)router.Recommend(ds.TestPrefix(user_of(i)), kTopK);
+    }
+    ReplicaRow row;
+    row.workers = workers;
+    row.load = RunClosedLoop(
+        n_requests, user_of, ds, reference, [&](serve::Request request) {
+          return router.Submit(std::move(request));
+        });
+    const auto telemetry = router.CollectWorkerTelemetry();
+    for (const auto& snapshot : telemetry) {
+      uint64_t done = 0;
+      for (const auto& [name, value] : snapshot.counters) {
+        if (name == "serve.worker.completed") done = value;
+      }
+      row.load.per_worker_completed.push_back(done);
+    }
+    row.speedup = baseline.qps > 0 ? row.load.qps / baseline.qps : 0.0;
+    replica_rows.push_back(std::move(row));
+  }
+
+  // ---- Phase 3: IVF-shard mode vs a single-process ANN broker. ----
+  PMMRecConfig ann_config = config;
+  ann_config.ann_serving = true;
+  PMMRecModel ann_model(ann_config, 42);
+  ann_model.AttachDataset(&ds);
+  ann_model.PrepareForEval();
+  const auto ann_reference =
+      BrokerReference(ann_model, ds, n_requests, user_of);
+  LoadResult ivf;
+  {
+    serve::ShardRouter router(
+        &ann_model, RouterAt(2, serve::ShardMode::kIvfShard));
+    for (int64_t i = 0; i < 4; ++i) {
+      (void)router.Recommend(ds.TestPrefix(user_of(i)), kTopK);
+    }
+    ivf = RunClosedLoop(
+        n_requests, user_of, ds, ann_reference, [&](serve::Request request) {
+          return router.Submit(std::move(request));
+        });
+  }
+
+  // ---- Phase 4: backpressure burst past the outstanding cap. ----
+  // 4x the cap submitted asynchronously: strict status trichotomy, and
+  // whatever was admitted must still verify bitwise.
+  uint64_t burst_ok = 0, burst_rejected = 0, burst_shed = 0, burst_other = 0;
+  uint64_t burst_mismatches = 0;
+  const int64_t burst_cap = 16;
+  {
+    serve::RouterOptions options = RouterAt(2, serve::ShardMode::kReplica);
+    options.broker.queue_capacity = burst_cap;
+    serve::ShardRouter router(&model, options);
+    // Warm both workers synchronously first so the burst measures steady
+    // backpressure, not worker cold-start (which on a 1-core host can eat
+    // the whole deadline budget before the first dequeue).
+    for (int64_t i = 0; i < 4; ++i) {
+      (void)router.Recommend(ds.TestPrefix(user_of(i)), kTopK);
+    }
+    std::vector<std::future<serve::Response>> futures;
+    std::vector<int64_t> users;
+    for (int64_t i = 0; i < burst_cap * 4; ++i) {
+      const int64_t user = user_of(i);
+      serve::Request request;
+      request.prefix = ds.TestPrefix(user);
+      request.topk = kTopK;
+      request.deadline_ns = serve::DeadlineFromNow(/*budget_us=*/2000000);
+      users.push_back(user);
+      futures.push_back(router.Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const serve::Response r = futures[i].get();
+      switch (r.status) {
+        case serve::ServeStatus::kOk:
+          ++burst_ok;
+          if (!BitwiseEqual(r.items, reference.at(users[i]))) {
+            ++burst_mismatches;
+          }
+          break;
+        case serve::ServeStatus::kQueueFull: ++burst_rejected; break;
+        case serve::ServeStatus::kDeadlineExceeded: ++burst_shed; break;
+        default: ++burst_other; break;
+      }
+    }
+  }
+  const bool burst_accounted =
+      burst_ok + burst_rejected + burst_shed + burst_other ==
+          static_cast<uint64_t>(burst_cap * 4) &&
+      burst_other == 0 && burst_ok > 0;
+
+  // ---- Report. ----
+  uint64_t total_mismatches = baseline.mismatches + ivf.mismatches +
+                              burst_mismatches;
+  for (const ReplicaRow& row : replica_rows) {
+    total_mismatches += row.load.mismatches;
+  }
+  const bool ok = total_mismatches == 0 && burst_accounted;
+
+  std::printf("scaleout bench: %lld requests, %lld clients, %lld items, "
+              "%ld host cpus\n",
+              static_cast<long long>(n_requests),
+              static_cast<long long>(kClients),
+              static_cast<long long>(ds.num_items()), host_cpus);
+  std::printf("single-process    %9.1f req/s  p50 %7.0f us  p99 %7.0f us\n",
+              baseline.qps, baseline.pct.p50_us, baseline.pct.p99_us);
+  for (const ReplicaRow& row : replica_rows) {
+    std::printf("replicas=%lld      %9.1f req/s  p50 %7.0f us  "
+                "p99 %7.0f us  (%.2fx)\n",
+                static_cast<long long>(row.workers), row.load.qps,
+                row.load.pct.p50_us, row.load.pct.p99_us, row.speedup);
+  }
+  std::printf("ivf shards=2      %9.1f req/s  p50 %7.0f us  p99 %7.0f us\n",
+              ivf.qps, ivf.pct.p50_us, ivf.pct.p99_us);
+  std::printf("burst %llu/%lld admitted, %llu queue_full, %llu shed, "
+              "%llu unaccounted\n",
+              static_cast<unsigned long long>(burst_ok),
+              static_cast<long long>(burst_cap * 4),
+              static_cast<unsigned long long>(burst_rejected),
+              static_cast<unsigned long long>(burst_shed),
+              static_cast<unsigned long long>(burst_other));
+  std::printf("responses bitwise %s vs single-process reference\n",
+              total_mismatches == 0 ? "EQUAL" : "DIFFERENT");
+
+  const std::string path = out_dir + "/BENCH_scaleout.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PMM_CHECK_MSG(f != nullptr, "cannot write " + path);
+  std::fprintf(f,
+               "{\n  \"bench\": \"scaleout\",\n  \"requests\": %lld,\n"
+               "  \"clients\": %lld,\n  \"items\": %lld,\n"
+               "  \"host_cpus\": %ld,\n",
+               static_cast<long long>(n_requests),
+               static_cast<long long>(kClients),
+               static_cast<long long>(ds.num_items()), host_cpus);
+  std::fprintf(f,
+               "  \"single_process\": {\"qps\": %.2f, \"p50_us\": %.1f, "
+               "\"p99_us\": %.1f},\n  \"replica_sweep\": [\n",
+               baseline.qps, baseline.pct.p50_us, baseline.pct.p99_us);
+  for (size_t i = 0; i < replica_rows.size(); ++i) {
+    const ReplicaRow& row = replica_rows[i];
+    std::fprintf(f,
+                 "    {\"workers\": %lld, \"qps\": %.2f, \"p50_us\": %.1f, "
+                 "\"p99_us\": %.1f, \"speedup_vs_single\": %.3f, "
+                 "\"mismatches\": %llu, \"per_worker_completed\": [",
+                 static_cast<long long>(row.workers), row.load.qps,
+                 row.load.pct.p50_us, row.load.pct.p99_us, row.speedup,
+                 static_cast<unsigned long long>(row.load.mismatches));
+    for (size_t w = 0; w < row.load.per_worker_completed.size(); ++w) {
+      std::fprintf(f, "%s%llu", w == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(
+                       row.load.per_worker_completed[w]));
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < replica_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"ivf_shards\": {\"shards\": 2, \"qps\": %.2f, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f, \"mismatches\": %llu},\n",
+               ivf.qps, ivf.pct.p50_us, ivf.pct.p99_us,
+               static_cast<unsigned long long>(ivf.mismatches));
+  std::fprintf(f,
+               "  \"backpressure_burst\": {\"submitted\": %lld, "
+               "\"outstanding_cap\": %lld, \"ok\": %llu, "
+               "\"queue_full\": %llu, \"deadline_exceeded\": %llu, "
+               "\"unaccounted\": %llu, \"mismatches\": %llu},\n",
+               static_cast<long long>(burst_cap * 4),
+               static_cast<long long>(burst_cap),
+               static_cast<unsigned long long>(burst_ok),
+               static_cast<unsigned long long>(burst_rejected),
+               static_cast<unsigned long long>(burst_shed),
+               static_cast<unsigned long long>(burst_other),
+               static_cast<unsigned long long>(burst_mismatches));
+  std::fprintf(f, "  \"bitwise_equal\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pmmrec
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out-dir" && i + 1 < argc) {
+      out_dir = argv[++i];
+    }
+  }
+  return pmmrec::Run(out_dir);
+}

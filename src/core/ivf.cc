@@ -385,6 +385,94 @@ std::vector<std::vector<ScoredId>> IvfIndex::Retrieve(
   return results;
 }
 
+std::vector<std::vector<ScoredId>> IvfIndex::RetrieveInRange(
+    const float* queries, int64_t num_queries, int64_t limit, int64_t list_lo,
+    int64_t list_hi) const {
+  PMM_CHECK_MSG(built(), "IVF index not built");
+  PMM_CHECK_MSG(!quantized_,
+                "IVF shard retrieval requires fp32 lists (the quantized "
+                "re-rank window is shard-dependent)");
+  PMM_CHECK(queries != nullptr);
+  PMM_CHECK_GT(num_queries, 0);
+  PMM_CHECK_GE(limit, 1);
+  PMM_CHECK_GE(list_lo, 0);
+  PMM_CHECK_LE(list_lo, list_hi);
+  PMM_CHECK_LE(list_hi, nlist_);
+  PMM_CHECK_MSG(!version_check_enabled_ ||
+                    built_param_version_ == ParamUpdateVersion(),
+                "stale ANN index: ParamUpdateVersion advanced since the "
+                "index was built");
+  PMM_TRACE_SCOPE_AT("ann.probe_shard", kOp, "ann.probe_shard.ns");
+
+  std::vector<std::vector<ScoredId>> results(
+      static_cast<size_t>(num_queries));
+  ParallelFor(0, num_queries, /*grain=*/1, [&](int64_t r0, int64_t r1) {
+    BufferArena& arena = BufferArena::Global();
+    std::vector<float> cscores = arena.AcquireVec(static_cast<size_t>(nlist_));
+    std::vector<float> scan = arena.AcquireVec(static_cast<size_t>(n_));
+    std::vector<std::pair<uint64_t, uint32_t>> ranked;
+    std::vector<std::pair<uint64_t, uint32_t>> rank_scratch;
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* query = queries + r * d_;
+      // The full centroid ranking — identical probe set to Retrieve(),
+      // so the shards of a partition scan disjoint slices of the same
+      // probed lists.
+      std::memset(cscores.data(), 0,
+                  static_cast<size_t>(nlist_) * sizeof(float));
+      gemm::GemmNT(query, centroids_.data(), cscores.data(), 1, d_, nlist_,
+                   d_, d_, nlist_);
+      const std::vector<ScoredId> probed =
+          TopKSelect(cscores.data(), nlist_, nprobe_);
+
+      ranked.clear();
+      int64_t scanned = 0;
+      for (const ScoredId& p : probed) {
+        if (p.id < list_lo || p.id >= list_hi) continue;
+        const int64_t off = offsets_[static_cast<size_t>(p.id)];
+        const int64_t len = list_size(p.id);
+        if (len == 0) continue;
+        std::memset(scan.data() + scanned, 0,
+                    static_cast<size_t>(len) * sizeof(float));
+        gemm::GemmNT(query, rows_.data() + off * d_, scan.data() + scanned,
+                     1, d_, len, d_, d_, len);
+        for (int64_t j = 0; j < len; ++j) {
+          const float score = scan[static_cast<size_t>(scanned + j)];
+          uint32_t bits;
+          std::memcpy(&bits, &score, sizeof(bits));
+          ranked.emplace_back(
+              detail::OrderKey(score, ids_[static_cast<size_t>(off + j)]),
+              bits);
+        }
+        scanned += len;
+      }
+
+      const int64_t eff = std::min(limit, scanned);
+      if (static_cast<int64_t>(ranked.size()) > eff) {
+        std::nth_element(
+            ranked.begin(), ranked.begin() + eff, ranked.end(),
+            [](const std::pair<uint64_t, uint32_t>& a,
+               const std::pair<uint64_t, uint32_t>& b) {
+              return a.first > b.first;
+            });
+        ranked.resize(static_cast<size_t>(eff));
+      }
+      detail::SortPairsByKeyDescending(&ranked, &rank_scratch);
+      std::vector<ScoredId>& out = results[static_cast<size_t>(r)];
+      out.resize(static_cast<size_t>(eff));
+      for (int64_t c = 0; c < eff; ++c) {
+        float score;
+        std::memcpy(&score, &ranked[static_cast<size_t>(c)].second,
+                    sizeof(score));
+        out[static_cast<size_t>(c)] = ScoredId{
+            detail::OrderKeyId(ranked[static_cast<size_t>(c)].first), score};
+      }
+    }
+    arena.Release(std::move(scan));
+    arena.Release(std::move(cscores));
+  });
+  return results;
+}
+
 // --- IvfCandidateSource -----------------------------------------------------
 
 IvfCandidateSource::IvfCandidateSource(const IvfIndex* index)

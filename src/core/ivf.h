@@ -109,6 +109,21 @@ class IvfIndex {
                                               int64_t num_queries,
                                               int64_t limit) const;
 
+  // Shard-restricted retrieval: exactly Retrieve() with the probed set
+  // intersected with lists [list_lo, list_hi) — probe selection still
+  // ranks all nlist centroids, only the scan skips out-of-range lists. A
+  // row therefore lands in exactly one shard of a partition, and the
+  // union of the shards' candidates over a partition of [0, nlist) is
+  // exactly the unsharded candidate multiset (ShardRouter's IVF-mode
+  // merge relies on this). fp32 lists only: the quantized in-list scan's
+  // re-rank window depends on which rows share a shard, which would break
+  // the bitwise merge — combined-mode indexes are a checked error.
+  std::vector<std::vector<ScoredId>> RetrieveInRange(const float* queries,
+                                                     int64_t num_queries,
+                                                     int64_t limit,
+                                                     int64_t list_lo,
+                                                     int64_t list_hi) const;
+
   bool built() const { return nlist_ > 0; }
   int64_t num_rows() const { return n_; }
   int64_t width() const { return d_; }

@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
+#include <cstring>
 #include <unordered_map>
+#include <utility>
 
 #include "core/pmmrec.h"
 #include "nn/optimizer.h"
@@ -77,15 +79,154 @@ class EpochTelemetry {
   std::unordered_map<std::string, uint64_t> previous_;
 };
 
+// splitmix64-style mix of (seed, epoch, step, shard): the reseed fed to
+// the model before each shard forward. Any rank computing shard s of
+// step t therefore draws the identical dropout/corruption stream.
+uint64_t MixShardSeed(uint64_t seed, uint64_t epoch, uint64_t step,
+                      uint64_t shard) {
+  uint64_t x = seed ^ (epoch * 0x9E3779B97F4A7C15ull) ^
+               (step * 0xC2B2AE3D27D4EB4Full) ^
+               (shard * 0x165667B19E3779F9ull);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// One sharded training step: compute owned shards, deposit flat
+// gradients, tree-combine, apply the averaged gradient. Every rank calls
+// optimizer.Step() on the identical combined gradient, so parameters and
+// optimizer moments evolve identically everywhere.
+void ShardedTrainStep(TrainableRecommender& model, const Dataset& ds,
+                      const FitOptions& options,
+                      const std::vector<Tensor*>& params, AdamW& optimizer,
+                      GradReducer& reducer,
+                      const std::vector<int64_t>& group, int64_t epoch,
+                      int64_t step_index, double* epoch_loss,
+                      int64_t* steps) {
+  const int64_t S = reducer.num_shards();
+  const int64_t n = reducer.grad_numel();
+  for (int64_t s = 0; s < S; ++s) {
+    if (!reducer.Owns(s)) continue;
+    // Shard s = every S-th user of the shuffled group, offset s — a pure
+    // function of the group and S, independent of the rank layout.
+    std::vector<int64_t> shard_users;
+    for (size_t u = static_cast<size_t>(s); u < group.size();
+         u += static_cast<size_t>(S)) {
+      shard_users.push_back(group[u]);
+    }
+    float* slot = reducer.ShardSlot(s);
+    // In-batch losses need >= 2 users; smaller shards contribute nothing
+    // (mirrors the unsharded loop skipping undefined losses).
+    if (shard_users.size() < 2) {
+      std::memset(slot, 0, static_cast<size_t>(n) * sizeof(float));
+      reducer.SetShardMeta(s, 0.0, false);
+      continue;
+    }
+    model.ReseedStochastic(
+        MixShardSeed(options.seed, static_cast<uint64_t>(epoch),
+                     static_cast<uint64_t>(step_index),
+                     static_cast<uint64_t>(s)));
+    const SeqBatch batch = MakeTrainBatch(ds, shard_users, options.max_seq_len);
+    Tensor loss;
+    {
+      PMM_TRACE_SCOPE_AT("train.forward", kOp, "train.forward.ns");
+      loss = model.TrainStepLoss(batch);
+    }
+    if (!loss.defined()) {
+      std::memset(slot, 0, static_cast<size_t>(n) * sizeof(float));
+      reducer.SetShardMeta(s, 0.0, false);
+      continue;
+    }
+    optimizer.ZeroGrad();
+    {
+      PMM_TRACE_SCOPE_AT("train.backward", kOp, "train.backward.ns");
+      loss.Backward();
+    }
+    // Deposit the flat gradient; parameters this shard's graph never
+    // touched contribute zeros.
+    int64_t off = 0;
+    for (Tensor* p : params) {
+      const float* g = std::as_const(*p).grad_data();
+      const size_t bytes = static_cast<size_t>(p->numel()) * sizeof(float);
+      if (g != nullptr) {
+        std::memcpy(slot + off, g, bytes);
+      } else {
+        std::memset(slot + off, 0, bytes);
+      }
+      off += p->numel();
+    }
+    reducer.SetShardMeta(s, static_cast<double>(loss.item()), true);
+  }
+
+  double loss_sum = 0.0;
+  int64_t defined = 0;
+  PMM_CHECK_MSG(reducer.Reduce(&loss_sum, &defined),
+                "data-parallel peer failed during gradient all-reduce");
+  if (defined > 0) {
+    // Average over defined shards and scatter back into every parameter's
+    // grad buffer; from here the step is the unsharded loop verbatim.
+    const float inv = 1.0f / static_cast<float>(defined);
+    const float* combined = reducer.CombinedGrad();
+    int64_t off = 0;
+    for (Tensor* p : params) {
+      float* g = p->grad_data();
+      const int64_t m = p->numel();
+      for (int64_t i = 0; i < m; ++i) g[i] = combined[off + i] * inv;
+      off += m;
+    }
+    {
+      PMM_TRACE_SCOPE_AT("train.optim", kOp, "train.optim.ns");
+      if (options.clip_norm > 0.0f) ClipGradNorm(params, options.clip_norm);
+      optimizer.Step();
+    }
+    *epoch_loss += loss_sum / static_cast<double>(defined);
+    ++*steps;
+    PMM_TRACE_COUNT("train.steps", 1);
+  }
+  PMM_CHECK_MSG(reducer.EndStep(),
+                "data-parallel peer failed at step end");
+}
+
 }  // namespace
 
+int64_t TotalParamNumel(const std::vector<Tensor*>& params) {
+  int64_t total = 0;
+  for (const Tensor* p : params) total += p->numel();
+  return total;
+}
+
+void CopyParamsToFlat(const std::vector<Tensor*>& params, float* out) {
+  int64_t off = 0;
+  for (const Tensor* p : params) {
+    std::memcpy(out + off, p->data(),
+                static_cast<size_t>(p->numel()) * sizeof(float));
+    off += p->numel();
+  }
+}
+
+void CopyFlatToParams(const float* in, const std::vector<Tensor*>& params) {
+  int64_t off = 0;
+  for (Tensor* p : params) {
+    std::memcpy(p->data(), in + off,
+                static_cast<size_t>(p->numel()) * sizeof(float));
+    off += p->numel();
+  }
+}
+
 FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
-                   const FitOptions& options) {
+                   const FitOptions& options, GradReducer* reducer) {
   Stopwatch watch;
   if (options.num_threads > 0) SetNumThreads(options.num_threads);
   model.AttachDataset(&ds);
   std::vector<Tensor*> params = model.TrainableParameters();
   PMM_CHECK(!params.empty());
+  if (reducer != nullptr) {
+    PMM_CHECK_EQ(reducer->grad_numel(), TotalParamNumel(params));
+    PMM_CHECK_GE(reducer->num_shards(), 1);
+  }
   AdamW optimizer(params, options.lr, 0.9f, 0.999f, 1e-8f,
                   options.weight_decay);
   SequenceBatcher batcher(&ds, options.batch_size, options.max_seq_len);
@@ -105,7 +246,15 @@ FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
     model.SetTrainingMode(true);
     double epoch_loss = 0.0;
     int64_t steps = 0;
+    int64_t step_index = 0;
     for (const auto& group : batcher.EpochUserGroups(rng)) {
+      if (reducer != nullptr) {
+        ShardedTrainStep(model, ds, options, params, optimizer, *reducer,
+                         group, epoch, step_index, &epoch_loss, &steps);
+        ++step_index;
+        continue;
+      }
+      ++step_index;
       const SeqBatch batch = MakeTrainBatch(ds, group, options.max_seq_len);
       Tensor loss;
       {

@@ -36,6 +36,56 @@ class TrainableRecommender : public Scorer {
     SetTrainingMode(true);
     SetTrainingMode(false);
   }
+  // Deterministically reseeds the model's stochastic stream (dropout,
+  // sequence corruption). The sharded fit calls this before every shard
+  // forward so a shard's random draws depend only on the mixed seed —
+  // never on which rank computes the shard or what ran before it on that
+  // rank. Models without such a stream ignore it.
+  virtual void ReseedStochastic(uint64_t /*seed*/) {}
+};
+
+// Combines per-shard gradients across ranks (dist/allreduce.h). The
+// summation order is a pure function of the shard count — never of the
+// rank layout or arrival time — which is what makes the fit trajectory
+// bitwise identical for every worker count at a fixed shard count.
+class GradReducer {
+ public:
+  virtual ~GradReducer() = default;
+
+  virtual int64_t num_shards() const = 0;  // S: logical gradient shards.
+  virtual int64_t num_ranks() const = 0;   // W: participating processes.
+  virtual int64_t rank() const = 0;        // This process, in [0, W).
+  virtual int64_t grad_numel() const = 0;  // Flat parameter count.
+
+  // Static ownership: rank (s mod W) computes shard s.
+  bool Owns(int64_t shard) const { return shard % num_ranks() == rank(); }
+
+  // Flat gradient slot for an owned shard. The owner either fills all
+  // grad_numel() floats or zeroes them (degenerate shard) before Reduce.
+  virtual float* ShardSlot(int64_t shard) = 0;
+  // Owned shard's scalar loss and whether the shard produced a defined
+  // loss at all; undefined shards contribute zeros to the combine.
+  virtual void SetShardMeta(int64_t shard, double loss, bool defined) = 0;
+
+  // Fixed-order pairwise tree combine over all S shards. On a true
+  // return, every rank sees the identical combined gradient in
+  // CombinedGrad(), the tree-ordered sum of defined shard losses in
+  // *loss_sum, and the defined-shard count in *defined_count. A false
+  // return means a peer died or timed out — the fit must abort, never
+  // retry (slots may be half-combined).
+  virtual bool Reduce(double* loss_sum, int64_t* defined_count) = 0;
+  virtual const float* CombinedGrad() const = 0;
+
+  // End-of-step fence: returns once every rank is done reading
+  // CombinedGrad(), after which slots may be rewritten. False on peer
+  // failure.
+  virtual bool EndStep() = 0;
+
+  // End-of-fit agreement check: each rank contributes a fingerprint of
+  // its trajectory (losses, metrics, final parameters); true iff every
+  // rank produced the same one. Catches any divergence the
+  // deterministic-replication design should make impossible.
+  virtual bool CheckFingerprint(uint64_t fingerprint) = 0;
 };
 
 struct FitOptions {
@@ -71,8 +121,27 @@ struct FitResult {
 
 // Trains `model` on the training split of `ds` with AdamW, early stopping
 // on validation HR@10, and best-parameter restoration.
+//
+// With a null `reducer` this is the historical single-process loop,
+// bitwise unchanged. With a reducer, every batch is split into
+// reducer->num_shards() strided user shards; this rank computes the
+// shards it owns, deposits their gradients, and the fixed-order tree
+// combine produces one averaged gradient applied identically on every
+// rank — so each rank runs the same trajectory and returns the same
+// FitResult. S > 1 is a distinct (equally valid) trajectory from S == 1,
+// the way a different batch size is; what the reducer guarantees is that
+// the trajectory depends only on S, never on the worker count
+// (dist/process.h RunDataParallelFit).
 FitResult FitModel(TrainableRecommender& model, const Dataset& ds,
-                   const FitOptions& options);
+                   const FitOptions& options, GradReducer* reducer = nullptr);
+
+// Flat-parameter helpers shared by the gradient all-reduce and the
+// router's parameter-publish channel: total element count and
+// order-preserving copies between a parameter set and one flat buffer
+// (TrainableParameters() order, row-major within each tensor).
+int64_t TotalParamNumel(const std::vector<Tensor*>& params);
+void CopyParamsToFlat(const std::vector<Tensor*>& params, float* out);
+void CopyFlatToParams(const float* in, const std::vector<Tensor*>& params);
 
 // Train-while-serve driver (see DESIGN.md "Versioned serving snapshots").
 //

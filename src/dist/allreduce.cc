@@ -1,0 +1,182 @@
+#include "dist/allreduce.h"
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace dist {
+namespace {
+
+size_t AlignUp(size_t x, size_t a) { return (x + a - 1) / a * a; }
+
+void Axpy(float* dst, const float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+// The scalar twin of the gradient tree: combines per-shard losses and
+// defined counts in the identical pairwise order. Every rank runs it
+// locally on the (identical) shm metadata, so the averaged loss is
+// bit-identical everywhere with no extra communication.
+void TreeCombineScalars(std::vector<double>* losses,
+                        std::vector<int64_t>* defined) {
+  const int64_t s = static_cast<int64_t>(losses->size());
+  for (int64_t stride = 1; stride < s; stride <<= 1) {
+    for (int64_t i = 0; i + stride < s; i += 2 * stride) {
+      (*losses)[i] += (*losses)[i + stride];
+      (*defined)[i] += (*defined)[i + stride];
+    }
+  }
+}
+
+}  // namespace
+
+ShmGradSegment::ShmGradSegment(int64_t grad_numel, int64_t num_shards,
+                               int64_t num_ranks)
+    : n_(grad_numel),
+      shards_(num_shards),
+      ranks_(num_ranks),
+      off_fps_(AlignUp(sizeof(ShmBarrierState), 64)),
+      off_losses_(
+          AlignUp(off_fps_ + static_cast<size_t>(ranks_) * sizeof(uint64_t),
+                  64)),
+      off_defined_(AlignUp(
+          off_losses_ + static_cast<size_t>(shards_) * sizeof(double), 64)),
+      off_slots_(AlignUp(
+          off_defined_ + static_cast<size_t>(shards_) * sizeof(uint32_t),
+          64)),
+      seg_(off_slots_ + static_cast<size_t>(shards_) *
+                            static_cast<size_t>(n_) * sizeof(float)) {
+  PMM_CHECK_GE(grad_numel, 1);
+  PMM_CHECK_GE(num_shards, 1);
+  PMM_CHECK_GE(num_ranks, 1);
+  // The mapping is zero pages already; placement-new makes the atomics'
+  // lifetimes formal. Runs pre-fork, before any rank can touch them.
+  new (seg_.data()) ShmBarrierState();
+}
+
+char* ShmGradSegment::base() { return static_cast<char*>(seg_.data()); }
+
+ShmBarrierState* ShmGradSegment::barrier_state() {
+  return reinterpret_cast<ShmBarrierState*>(base());
+}
+
+uint64_t* ShmGradSegment::fingerprints() {
+  return reinterpret_cast<uint64_t*>(base() + off_fps_);
+}
+
+double* ShmGradSegment::losses() {
+  return reinterpret_cast<double*>(base() + off_losses_);
+}
+
+uint32_t* ShmGradSegment::defined_flags() {
+  return reinterpret_cast<uint32_t*>(base() + off_defined_);
+}
+
+float* ShmGradSegment::shard_slot(int64_t shard) {
+  PMM_CHECK_GE(shard, 0);
+  PMM_CHECK_LT(shard, shards_);
+  return reinterpret_cast<float*>(base() + off_slots_) +
+         shard * n_;
+}
+
+LocalGradReducer::LocalGradReducer(int64_t num_shards, int64_t grad_numel)
+    : shards_(num_shards), n_(grad_numel) {
+  PMM_CHECK_GE(num_shards, 1);
+  PMM_CHECK_GE(grad_numel, 1);
+  slots_.assign(static_cast<size_t>(shards_) * static_cast<size_t>(n_), 0.0f);
+  losses_.assign(static_cast<size_t>(shards_), 0.0);
+  defined_.assign(static_cast<size_t>(shards_), 0);
+}
+
+float* LocalGradReducer::ShardSlot(int64_t shard) {
+  PMM_CHECK_GE(shard, 0);
+  PMM_CHECK_LT(shard, shards_);
+  return slots_.data() + shard * n_;
+}
+
+void LocalGradReducer::SetShardMeta(int64_t shard, double loss,
+                                    bool defined) {
+  losses_[shard] = loss;
+  defined_[shard] = defined ? 1u : 0u;
+}
+
+bool LocalGradReducer::Reduce(double* loss_sum, int64_t* defined_count) {
+  for (int64_t stride = 1; stride < shards_; stride <<= 1) {
+    for (int64_t i = 0; i + stride < shards_; i += 2 * stride) {
+      Axpy(ShardSlot(i), ShardSlot(i + stride), n_);
+    }
+  }
+  std::vector<double> l(losses_);
+  std::vector<int64_t> d(defined_.begin(), defined_.end());
+  TreeCombineScalars(&l, &d);
+  *loss_sum = l[0];
+  *defined_count = d[0];
+  return true;
+}
+
+ShmGradReducer::ShmGradReducer(ShmGradSegment* seg, int64_t rank,
+                               std::function<bool()> peer_dead)
+    : seg_(seg),
+      rank_(rank),
+      barrier_(seg->barrier_state(), seg->num_ranks()),
+      peer_dead_(std::move(peer_dead)) {
+  PMM_CHECK_GE(rank, 0);
+  PMM_CHECK_LT(rank, seg->num_ranks());
+}
+
+float* ShmGradReducer::ShardSlot(int64_t shard) {
+  PMM_CHECK(Owns(shard));
+  return seg_->shard_slot(shard);
+}
+
+void ShmGradReducer::SetShardMeta(int64_t shard, double loss, bool defined) {
+  PMM_CHECK(Owns(shard));
+  seg_->losses()[shard] = loss;
+  seg_->defined_flags()[shard] = defined ? 1u : 0u;
+}
+
+bool ShmGradReducer::Reduce(double* loss_sum, int64_t* defined_count) {
+  // Deposit fence: every rank's shard slots and metas are in shm.
+  if (!barrier_.Wait(peer_dead_)) return false;
+  const int64_t s = seg_->num_shards();
+  const int64_t n = seg_->grad_numel();
+  for (int64_t stride = 1; stride < s; stride <<= 1) {
+    for (int64_t i = 0; i + stride < s; i += 2 * stride) {
+      if (Owns(i)) {
+        Axpy(seg_->shard_slot(i), seg_->shard_slot(i + stride), n);
+      }
+    }
+    if (!barrier_.Wait(peer_dead_)) return false;
+  }
+  std::vector<double> l(seg_->losses(), seg_->losses() + s);
+  std::vector<int64_t> d(s);
+  for (int64_t i = 0; i < s; ++i) {
+    d[i] = seg_->defined_flags()[i] != 0 ? 1 : 0;
+  }
+  TreeCombineScalars(&l, &d);
+  *loss_sum = l[0];
+  *defined_count = d[0];
+  return true;
+}
+
+bool ShmGradReducer::EndStep() {
+  // All ranks are done reading CombinedGrad(); slots may be rewritten.
+  return barrier_.Wait(peer_dead_);
+}
+
+bool ShmGradReducer::CheckFingerprint(uint64_t fingerprint) {
+  seg_->fingerprints()[rank_] = fingerprint;
+  if (!barrier_.Wait(peer_dead_)) return false;
+  bool agree = true;
+  for (int64_t r = 0; r < seg_->num_ranks(); ++r) {
+    agree = agree && seg_->fingerprints()[r] == fingerprint;
+  }
+  if (!barrier_.Wait(peer_dead_)) return false;
+  return agree;
+}
+
+}  // namespace dist
+}  // namespace pmmrec

@@ -1,0 +1,57 @@
+#ifndef PMMREC_DIST_PROCESS_H_
+#define PMMREC_DIST_PROCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace pmmrec {
+namespace dist {
+
+// Per-rank intra-op thread budget: `total` threads divided as evenly as
+// possible across `workers` (remainder to the low ranks), never below 1 —
+// so N worker processes collectively spawn at most `total` pool threads
+// instead of N full pools. The PMMREC_DIST_THREADS environment variable,
+// when set to a positive integer, overrides the per-rank value directly.
+int64_t ThreadBudget(int64_t total, int64_t workers, int64_t rank);
+
+// Child-side post-fork fixup: arranges to die with the parent
+// (PR_SET_PDEATHSIG), discards the inherited thread-pool handles (the
+// parent's worker threads do not exist in the child), installs this
+// rank's thread budget out of `total_threads`, and resets trace state
+// copied from the parent. `total_threads` is passed explicitly because
+// the parent lowers its own process-wide setting only after forking.
+void AfterForkChild(int64_t rank, int64_t workers, int64_t total_threads);
+
+// FNV-1a fingerprint of a fit trajectory: the per-epoch validation
+// metrics, the scalar results, and every final parameter bit. Ranks
+// compare fingerprints at the end of a data-parallel fit to catch any
+// divergence the deterministic-replication design should make impossible.
+uint64_t FitFingerprint(const FitResult& result,
+                        const std::vector<Tensor*>& params);
+
+// Data-parallel FitModel across `workers` forked processes with
+// `grad_shards` logical gradient shards per batch (0 → same as workers;
+// must be >= workers so every rank owns at least one shard).
+//
+// Every rank runs the full FitModel loop and applies the identical
+// combined gradient, so the parent returns with the trained parameters in
+// `model` and the same FitResult every rank computed — there is no
+// parameter broadcast. The trajectory is a pure function of grad_shards:
+// (workers=1, grad_shards=S) and (workers=W, grad_shards=S) are bitwise
+// identical for any W. workers == 1 && grad_shards == 1 is plain
+// single-process FitModel, bitwise unchanged from the historical path.
+//
+// Forks from the calling thread; call only while no ParallelFor is in
+// flight. Aborts (PMM_CHECK) if any rank dies or the trajectories
+// diverge.
+FitResult RunDataParallelFit(TrainableRecommender& model, const Dataset& ds,
+                             const FitOptions& options, int64_t workers,
+                             int64_t grad_shards = 0);
+
+}  // namespace dist
+}  // namespace pmmrec
+
+#endif  // PMMREC_DIST_PROCESS_H_

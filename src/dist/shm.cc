@@ -1,0 +1,59 @@
+#include "dist/shm.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace dist {
+
+SharedMemorySegment::SharedMemorySegment(size_t bytes) : bytes_(bytes) {
+  PMM_CHECK_GT(bytes, 0u);
+  data_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  PMM_CHECK_MSG(data_ != MAP_FAILED, "mmap(MAP_SHARED|MAP_ANONYMOUS) failed");
+}
+
+SharedMemorySegment::~SharedMemorySegment() {
+  if (data_ != nullptr && data_ != MAP_FAILED) ::munmap(data_, bytes_);
+}
+
+ShmBarrier::ShmBarrier(ShmBarrierState* state, int64_t parties)
+    : state_(state), parties_(parties) {
+  PMM_CHECK(state != nullptr);
+  PMM_CHECK_GE(parties, 1);
+}
+
+bool ShmBarrier::Wait(const std::function<bool()>& peer_dead,
+                      int64_t timeout_ms) {
+  if (aborted()) return false;
+  const uint64_t ticket =
+      state_->tickets.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t round = ticket / static_cast<uint64_t>(parties_);
+  if (ticket % static_cast<uint64_t>(parties_) ==
+      static_cast<uint64_t>(parties_) - 1) {
+    // Last arrival of the round. The release store pairs with the
+    // waiters' acquire load, publishing every pre-barrier shm write.
+    state_->released.store(round + 1, std::memory_order_release);
+    return !aborted();
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (state_->released.load(std::memory_order_acquire) <= round) {
+    if (aborted()) return false;
+    if ((peer_dead && peer_dead()) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      SignalAbort();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return !aborted();
+}
+
+}  // namespace dist
+}  // namespace pmmrec

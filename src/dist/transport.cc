@@ -1,0 +1,122 @@
+#include "dist/transport.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "utils/check.h"
+
+namespace pmmrec {
+namespace dist {
+
+const char* ToString(ChannelStatus status) {
+  switch (status) {
+    case ChannelStatus::kOk:
+      return "OK";
+    case ChannelStatus::kPeerDead:
+      return "PEER_DEAD";
+    case ChannelStatus::kBadFrame:
+      return "BAD_FRAME";
+  }
+  return "UNKNOWN";
+}
+
+Channel::~Channel() { Close(); }
+
+Channel::Channel(Channel&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::ShutdownSocket() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Channel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::CreatePair(Channel* a, Channel* b) {
+  int fds[2] = {-1, -1};
+  PMM_CHECK_MSG(
+      ::socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, fds) == 0,
+      "socketpair(AF_UNIX, SOCK_SEQPACKET) failed");
+  *a = Channel(fds[0]);
+  *b = Channel(fds[1]);
+}
+
+bool Channel::SendRaw(const void* data, size_t bytes) {
+  for (;;) {
+    const ssize_t r = ::send(fd_, data, bytes, MSG_NOSIGNAL);
+    if (r == static_cast<ssize_t>(bytes)) return true;
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+ChannelStatus Channel::Send(const Frame& frame) {
+  PMM_CHECK_LE(frame.payload.size(), kMaxPayload);
+  std::vector<uint8_t> buf(sizeof(WireHeader) + frame.payload.size());
+  WireHeader header;
+  header.magic = kMagic;
+  header.type = static_cast<uint16_t>(frame.type);
+  header.request_id = frame.request_id;
+  header.deadline_ns = frame.deadline_ns;
+  header.payload_len = static_cast<uint32_t>(frame.payload.size());
+  std::memcpy(buf.data(), &header, sizeof(header));
+  if (!frame.payload.empty()) {
+    std::memcpy(buf.data() + sizeof(header), frame.payload.data(),
+                frame.payload.size());
+  }
+  return SendRaw(buf.data(), buf.size()) ? ChannelStatus::kOk
+                                         : ChannelStatus::kPeerDead;
+}
+
+ChannelStatus Channel::Recv(Frame* frame) {
+  // One extra byte so a datagram larger than any legal frame is
+  // distinguishable from an exactly-maximal one.
+  std::vector<uint8_t> buf(sizeof(WireHeader) + kMaxPayload + 1);
+  ssize_t r;
+  for (;;) {
+    r = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (r >= 0) break;
+    if (errno == EINTR) continue;
+    return ChannelStatus::kPeerDead;
+  }
+  if (r == 0) return ChannelStatus::kPeerDead;
+  if (static_cast<size_t>(r) < sizeof(WireHeader)) {
+    return ChannelStatus::kBadFrame;  // Truncated header.
+  }
+  WireHeader header;
+  std::memcpy(&header, buf.data(), sizeof(header));
+  if (header.magic != kMagic) return ChannelStatus::kBadFrame;
+  if (header.payload_len > kMaxPayload) {
+    return ChannelStatus::kBadFrame;  // Oversized length prefix.
+  }
+  if (static_cast<size_t>(r) != sizeof(WireHeader) + header.payload_len) {
+    return ChannelStatus::kBadFrame;  // Length prefix lies about the body.
+  }
+  frame->type = static_cast<FrameType>(header.type);
+  frame->request_id = header.request_id;
+  frame->deadline_ns = header.deadline_ns;
+  frame->payload.assign(buf.data() + sizeof(WireHeader),
+                        buf.data() + sizeof(WireHeader) + header.payload_len);
+  return ChannelStatus::kOk;
+}
+
+}  // namespace dist
+}  // namespace pmmrec

@@ -1,0 +1,107 @@
+#ifndef PMMREC_DIST_TRANSPORT_H_
+#define PMMREC_DIST_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pmmrec {
+namespace dist {
+
+// Local router <-> worker transport (see DESIGN.md "Multi-process
+// scale-out").
+//
+// A Channel is one end of a SOCK_SEQPACKET unix socketpair: every Send()
+// is one atomic datagram (header + payload), so concurrent senders never
+// interleave bytes and each Recv() returns exactly one whole frame —
+// multiple handler threads can Recv() on the same worker-side fd and each
+// datagram is delivered to exactly one of them. Frames stay small
+// (requests, top-K results, telemetry text); bulk data such as published
+// parameters moves through shared memory, with a frame as the doorbell.
+
+enum class ChannelStatus {
+  kOk,
+  kPeerDead,   // Orderly or disorderly peer exit: EOF, ECONNRESET, EPIPE.
+  kBadFrame,   // Framing violation: short datagram, bad magic, length
+               // prefix disagreeing with the datagram, oversized payload.
+};
+
+const char* ToString(ChannelStatus status);
+
+enum class FrameType : uint16_t {
+  kRequest = 1,
+  kResponse = 2,
+  kPublish = 3,        // Parameter publish doorbell (payload: version).
+  kPublishAck = 4,
+  kTelemetry = 5,      // Telemetry pull request.
+  kTelemetryReply = 6, // Serialized trace snapshot text.
+  kShutdown = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint64_t request_id = 0;
+  // Absolute deadline on the trace::NowNs() clock (shared by router and
+  // workers because the clock base is anchored pre-fork); 0 = none.
+  int64_t deadline_ns = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Fixed wire prefix of every datagram, followed by payload_len payload
+// bytes in the same datagram. Both ends are the same binary, so native
+// byte order and padding are part of the (process-local) contract.
+struct WireHeader {
+  uint32_t magic = 0;
+  uint16_t type = 0;
+  uint16_t reserved = 0;
+  uint64_t request_id = 0;
+  int64_t deadline_ns = 0;
+  uint32_t payload_len = 0;
+};
+
+class Channel {
+ public:
+  static constexpr uint32_t kMagic = 0x504d4d46u;  // "PMMF" little-endian.
+  static constexpr size_t kMaxPayload = 256 * 1024;
+
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel();
+
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Connected SOCK_SEQPACKET pair; each end is close-on-exec.
+  static void CreatePair(Channel* a, Channel* b);
+
+  // One frame per call. Send never raises SIGPIPE; a dead peer is a
+  // checked kPeerDead. Recv validates the frame and never blocks forever
+  // on a dead peer (a closed far end wakes every blocked receiver).
+  ChannelStatus Send(const Frame& frame);
+  ChannelStatus Recv(Frame* frame);
+
+  // Raw datagram escape hatch for the framing contract tests (truncated
+  // headers, garbage magic, lying length prefixes).
+  bool SendRaw(const void* data, size_t bytes);
+
+  // Half-closes both directions without releasing the fd: every receiver
+  // blocked in Recv() on EITHER end wakes with kPeerDead immediately —
+  // unlike Close(), which only drops this process's reference and leaves
+  // a peer (or a thread of this process) blocked if other references
+  // exist. The orderly-shutdown path.
+  void ShutdownSocket();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dist
+}  // namespace pmmrec
+
+#endif  // PMMREC_DIST_TRANSPORT_H_

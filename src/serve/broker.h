@@ -76,6 +76,8 @@ enum class ServeStatus {
   kQueueFull,         // Rejected at submit: queue at capacity.
   kShutdown,          // Rejected at submit or flushed during Shutdown().
   kInvalidRequest,    // Empty prefix, non-positive topk, or unknown domain.
+  kWorkerLost,        // Router mode only: the serving worker process died
+                      // with this request outstanding (serve/router.h).
 };
 
 const char* ToString(ServeStatus status);

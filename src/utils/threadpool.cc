@@ -40,6 +40,18 @@ void ThreadPool::EnsureWorkers(int64_t count) {
   }
 }
 
+void ThreadPool::ResetAfterFork() {
+  // The worker threads live only in the parent. Their std::thread handles
+  // are still joinable here, and destroying a joinable thread terminates —
+  // so the vector is leaked deliberately, exactly like Global()'s pool.
+  auto* orphaned = new std::vector<std::thread>(std::move(workers_));
+  (void)orphaned;
+  workers_.clear();
+  batch_ = nullptr;
+  batch_epoch_ = 0;
+  stop_ = false;
+}
+
 int64_t ThreadPool::num_workers() {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(workers_.size());

@@ -42,6 +42,14 @@ class ThreadPool {
   // Ensures at least `count` worker threads exist (clamped internally).
   void EnsureWorkers(int64_t count);
 
+  // Child-side cleanup after fork(): the parent's worker threads do not
+  // exist in the child, so their std::thread handles must be discarded —
+  // never joined — and the batch state cleared so the child can lazily
+  // spawn its own workers. Only valid when the parent forked while the
+  // pool was quiescent (no RunChunks in flight); dist/process.cc
+  // guarantees that by forking between training steps.
+  void ResetAfterFork();
+
   int64_t num_workers();
 
   // True when called from a pool worker executing a chunk. ParallelFor

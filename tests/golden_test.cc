@@ -30,8 +30,10 @@
 #include <gtest/gtest.h>
 
 #include "core/pmmrec.h"
+#include "core/trainer.h"
 #include "data/batcher.h"
 #include "data/generator.h"
+#include "dist/process.h"
 #include "eval/evaluator.h"
 #include "nn/optimizer.h"
 #include "tests/test_util.h"
@@ -153,6 +155,92 @@ TEST(GoldenTrajectoryTest, TrainEvalTrajectoryMatchesCheckedInFixture) {
   AppendMetrics(&got, "test", reference);
 
   const std::string path = GoldenPath();
+  if (RegenRequested()) {
+    SaveGolden(path, got);
+    GTEST_SKIP() << "golden fixture regenerated: " << path;
+  }
+
+  const Trajectory want = LoadGolden(path);
+  ASSERT_FALSE(want.empty())
+      << "missing golden fixture " << path
+      << " — run PMMREC_GOLDEN_REGEN=1 ./tests/golden_test and commit it";
+  ASSERT_EQ(got.size(), want.size())
+      << "trajectory shape changed; regenerate the fixture if intentional";
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first) << "entry " << i << " renamed";
+    EXPECT_EQ(got[i].second, want[i].second)
+        << got[i].first << " drifted from the checked-in golden value "
+        << "(regenerate with PMMREC_GOLDEN_REGEN=1 if this is intentional)";
+  }
+}
+
+TEST(GoldenTrajectoryTest, DataParallelFitMatchesFixtureAtAnyWorkerCount) {
+  // The distributed-fit determinism contract, golden-enforced: the fit
+  // trajectory is a pure function of the gradient-shard count, never of
+  // the worker count, and never drifts across commits. A 4-worker fit at 4
+  // shards must be bitwise-identical to a 1-worker fit at 4 shards, and
+  // both must match the checked-in fixture (tests/golden/
+  // trajectory_dist.txt) exactly, down to the final-parameter fingerprint.
+  BenchmarkSuite suite = BuildBenchmarkSuite(0.2, 13);
+  const Dataset& ds = suite.sources[0];
+  const PMMRecConfig config = PMMRecConfig::FromDataset(ds);
+
+  FitOptions fit;
+  fit.max_epochs = 2;
+  fit.batch_size = 8;
+  fit.max_seq_len = 10;
+  fit.eval_users = 40;
+  fit.patience = 2;
+  fit.seed = 7;
+  constexpr int64_t kShards = 4;
+
+  PMMRecModel one(config, 42);
+  one.AttachDataset(&ds);
+  const FitResult serial =
+      dist::RunDataParallelFit(one, ds, fit, /*workers=*/1, kShards);
+
+  PMMRecModel four(config, 42);
+  four.AttachDataset(&ds);
+  const FitResult parallel =
+      dist::RunDataParallelFit(four, ds, fit, /*workers=*/4, kShards);
+
+  // Worker-count invariance first: identical trajectories and identical
+  // final parameter bits between the 1-worker and 4-worker runs.
+  ASSERT_EQ(serial.val_hr10_per_epoch.size(),
+            parallel.val_hr10_per_epoch.size());
+  for (size_t e = 0; e < serial.val_hr10_per_epoch.size(); ++e) {
+    EXPECT_EQ(serial.val_hr10_per_epoch[e], parallel.val_hr10_per_epoch[e])
+        << "epoch " << e;
+  }
+  EXPECT_EQ(serial.final_train_loss, parallel.final_train_loss);
+  const uint64_t fp_one = dist::FitFingerprint(serial,
+                                               one.TrainableParameters());
+  const uint64_t fp_four = dist::FitFingerprint(parallel,
+                                                four.TrainableParameters());
+  ASSERT_EQ(fp_one, fp_four)
+      << "4-worker fit diverged bitwise from the 1-worker fit";
+
+  Trajectory got;
+  for (size_t e = 0; e < serial.val_hr10_per_epoch.size(); ++e) {
+    got.emplace_back("dist.val_hr10.epoch" + std::to_string(e),
+                     serial.val_hr10_per_epoch[e]);
+  }
+  got.emplace_back("dist.best_val_hr10", serial.best_val_hr10);
+  got.emplace_back("dist.best_epoch",
+                   static_cast<double>(serial.best_epoch));
+  got.emplace_back("dist.epochs_run",
+                   static_cast<double>(serial.epochs_run));
+  got.emplace_back("dist.final_train_loss",
+                   static_cast<double>(serial.final_train_loss));
+  // The 64-bit parameter fingerprint split into two exactly-representable
+  // 32-bit halves: every final parameter bit is golden-pinned.
+  got.emplace_back("dist.fingerprint.hi",
+                   static_cast<double>(fp_one >> 32));
+  got.emplace_back("dist.fingerprint.lo",
+                   static_cast<double>(fp_one & 0xffffffffull));
+
+  const std::string path =
+      std::string(PMMREC_GOLDEN_DIR) + "/trajectory_dist.txt";
   if (RegenRequested()) {
     SaveGolden(path, got);
     GTEST_SKIP() << "golden fixture regenerated: " << path;

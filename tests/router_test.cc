@@ -1,0 +1,249 @@
+// ShardRouter tests (serve/router.h): the sharded serving tier must be
+// bitwise-equivalent to the single-process RequestBroker in both modes —
+// replica (hash-routed users, full snapshot per worker) and IVF-shard
+// (scatter/gather over contiguous inverted-list slices) — and must turn
+// worker-process death into explicit kWorkerLost responses, never wrong
+// bits or hangs. Also covers the parameter-publish channel and the
+// per-worker telemetry rollup.
+//
+// Labelled `scaleout`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/broker.h"
+#include "serve/router.h"
+#include "tests/test_util.h"
+#include "utils/trace.h"
+
+namespace pmmrec {
+namespace serve {
+namespace {
+
+RouterOptions SmallRouter(ShardMode mode, int64_t workers = 2) {
+  RouterOptions options;
+  options.num_workers = workers;
+  options.mode = mode;
+  options.handler_threads = 2;
+  options.broker.num_workers = 1;
+  options.broker.max_wait_us = 50;
+  return options;
+}
+
+class RouterTest : public test::SmallModelTest {
+ protected:
+  explicit RouterTest(const ConfigMutator& mutate = {})
+      : test::SmallModelTest(mutate), prefixes_(MixedPrefixes(24)) {}
+
+  // Single-process reference responses at the model's current parameters.
+  std::vector<std::vector<ScoredId>> BrokerReference(int64_t topk) {
+    BrokerOptions options;
+    options.num_workers = 1;
+    RequestBroker broker(&model_, options);
+    std::vector<std::vector<ScoredId>> out;
+    for (const auto& prefix : prefixes_) {
+      Response resp = broker.Recommend(prefix, topk);
+      EXPECT_EQ(resp.status, ServeStatus::kOk);
+      out.push_back(std::move(resp.items));
+    }
+    return out;
+  }
+
+  std::vector<std::vector<int32_t>> prefixes_;
+};
+
+class IvfRouterTest : public RouterTest {
+ protected:
+  // Route serving through the IVF index before model construction.
+  IvfRouterTest()
+      : RouterTest([](PMMRecConfig& config) { config.ann_serving = true; }) {}
+};
+
+constexpr int64_t kTopK = 10;
+
+// --- Replica mode ------------------------------------------------------------
+
+TEST_F(RouterTest, ReplicaResponsesMatchSingleProcessBrokerBitwise) {
+  const auto want = BrokerReference(kTopK);
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    EXPECT_GT(resp.snapshot_version, 0u);
+    test::ExpectBitwise(resp.items, want[i],
+                        "replica router prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(RouterTest, InvalidRequestsAreRejectedLocally) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  EXPECT_EQ(router.Recommend({}, kTopK).status, ServeStatus::kInvalidRequest);
+  EXPECT_EQ(router.Recommend(prefixes_[0], 0).status,
+            ServeStatus::kInvalidRequest);
+  Request request;
+  request.prefix = prefixes_[0];
+  request.topk = kTopK;
+  request.domain = 1;  // The router is single-domain.
+  EXPECT_EQ(router.Submit(std::move(request)).get().status,
+            ServeStatus::kInvalidRequest);
+}
+
+TEST_F(RouterTest, ExpiredDeadlineIsShedByTheWorker) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  const Response resp =
+      router.Recommend(prefixes_[0], kTopK, /*deadline_ns=*/1);
+  EXPECT_EQ(resp.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(resp.items.empty());
+}
+
+TEST_F(RouterTest, KillWorkerIsExplicitLossAndRespawnRecoversBitwise) {
+  const auto want = BrokerReference(kTopK);
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  router.KillWorker(0);
+  EXPECT_FALSE(router.worker_alive(0));
+  EXPECT_TRUE(router.worker_alive(1));
+
+  // Users hashed to the dead replica get kWorkerLost — never a silent
+  // re-route; everyone else is still answered bitwise-correctly.
+  int64_t lost = 0;
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    if (resp.status == ServeStatus::kWorkerLost) {
+      ++lost;
+      continue;
+    }
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "surviving replica prefix " + std::to_string(i));
+  }
+  EXPECT_GT(lost, 0) << "24 hashed prefixes should hit the dead worker";
+  EXPECT_LT(lost, static_cast<int64_t>(prefixes_.size()));
+
+  router.RespawnWorker(0);
+  EXPECT_TRUE(router.worker_alive(0));
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "respawned replica prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(RouterTest, PublishParamsPropagatesAnUpdateToEveryReplica) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  // Pre-publish sanity: workers serve the construction-time parameters.
+  ASSERT_EQ(router.Recommend(prefixes_[0], kTopK).status, ServeStatus::kOk);
+
+  test::TrainOneStep(model_, ds_, config_.max_seq_len);
+  router.PublishParams();
+
+  // Reference responses at the *updated* parameters.
+  const auto want = BrokerReference(kTopK);
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "post-publish prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(RouterTest, TelemetryRollupAccountsForEveryRequest) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  constexpr int64_t kRequests = 12;
+  for (int64_t i = 0; i < kRequests; ++i) {
+    ASSERT_EQ(router
+                  .Recommend(prefixes_[static_cast<size_t>(i) %
+                                       prefixes_.size()],
+                             kTopK)
+                  .status,
+              ServeStatus::kOk);
+  }
+  const auto per_worker = router.CollectWorkerTelemetry();
+  ASSERT_EQ(per_worker.size(), 2u);
+  uint64_t completed = 0;
+  uint64_t latency_count = 0;
+  for (const auto& snapshot : per_worker) {
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name == "serve.worker.completed") completed += value;
+    }
+    for (const auto& hist : snapshot.histograms) {
+      if (hist.name == "serve.latency_us") latency_count += hist.count;
+    }
+  }
+  EXPECT_EQ(completed, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(latency_count, static_cast<uint64_t>(kRequests))
+      << "per-worker latency histograms should cover every request";
+
+  // Rolling the snapshots up into this process reproduces the totals.
+  trace::ResetForTest();
+  for (const auto& snapshot : per_worker) trace::MergeTelemetry(snapshot);
+  EXPECT_EQ(trace::Counter::Get("serve.worker.completed").value(),
+            static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(trace::Histogram::Get("serve.latency_us").count(),
+            static_cast<uint64_t>(kRequests));
+  trace::ResetForTest();
+}
+
+TEST_F(RouterTest, ShutdownRejectsNewSubmits) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kReplica));
+  router.Shutdown();
+  EXPECT_EQ(router.Recommend(prefixes_[0], kTopK).status,
+            ServeStatus::kShutdown);
+}
+
+// --- IVF-shard mode ----------------------------------------------------------
+
+TEST_F(IvfRouterTest, ShardedRetrievalMatchesSingleProcessBrokerBitwise) {
+  const auto want = BrokerReference(kTopK);
+  ShardRouter router(&model_, SmallRouter(ShardMode::kIvfShard));
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "ivf shard prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(IvfRouterTest, ThreeShardsStillMatchBitwise) {
+  const auto want = BrokerReference(kTopK);
+  ShardRouter router(&model_, SmallRouter(ShardMode::kIvfShard, 3));
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "3-shard prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(IvfRouterTest, AnyDeadShardFailsTheWholeRequest) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kIvfShard));
+  ASSERT_EQ(router.Recommend(prefixes_[0], kTopK).status, ServeStatus::kOk);
+  router.KillWorker(1);
+  // A gather response needs every shard: all requests are explicit losses
+  // while any worker is down.
+  EXPECT_EQ(router.Recommend(prefixes_[0], kTopK).status,
+            ServeStatus::kWorkerLost);
+  router.RespawnWorker(1);
+  const auto want = BrokerReference(kTopK);
+  for (size_t i = 0; i < prefixes_.size(); ++i) {
+    const Response resp = router.Recommend(prefixes_[i], kTopK);
+    ASSERT_EQ(resp.status, ServeStatus::kOk) << "prefix " << i;
+    test::ExpectBitwise(resp.items, want[i],
+                        "respawned shard prefix " + std::to_string(i));
+  }
+}
+
+TEST_F(IvfRouterTest, ExpiredDeadlineIsShedByTheShards) {
+  ShardRouter router(&model_, SmallRouter(ShardMode::kIvfShard));
+  const Response resp =
+      router.Recommend(prefixes_[0], kTopK, /*deadline_ns=*/1);
+  EXPECT_EQ(resp.status, ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(resp.items.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pmmrec

@@ -8,6 +8,12 @@
 //             Print dataset statistics (Table II style).
 //   train     --data FILE.pmds --out MODEL.ckpt [--epochs N] [--seed N]
 //             [--modality both|text|vision] [--pretrain-objectives]
+//             [--workers W] [--grad-shards S]
+//             --workers forks W data-parallel training processes over
+//             shared memory (see DESIGN.md "Multi-process scale-out");
+//             the trajectory is a pure function of --grad-shards (default
+//             = workers), so any worker count at the same shard count
+//             trains bitwise-identically.
 //   evaluate  --data FILE.pmds --model MODEL.ckpt [--split test|valid]
 //             [--ann] [--nlist N] [--nprobe P] [--plan]
 //             With --ann the metrics are computed through the IVF
@@ -46,6 +52,16 @@
 //             [--clients C] [--workers W] [--max-batch B] [--max-wait-us U]
 //             [--deadline-ms D] [--topk K] [--quant] [--rerank-window W]
 //             [--ann] [--nlist N] [--nprobe P] [--plan] [--items N]
+//             [--seed S] [--shards W] [--shard-mode replica|ivf]
+//             --seed permutes the per-client user sequence (0 = the
+//             historical derivation, bit-for-bit). --shards W routes the
+//             load through the forked multi-process serving tier
+//             (serve/router.h) instead of the in-process broker — W
+//             hash-routed replica workers, or W IVF shard workers with
+//             --shard-mode ivf (requires --ann) — and prints a per-worker
+//             qps/latency/queue-wait breakdown pulled from each worker's
+//             own telemetry registries. (bench/bench_scaleout is the
+//             scripted qps-vs-workers sweep writing BENCH_scaleout.json.)
 //             Closed-loop load test of the request broker: C client
 //             threads submit N requests, printing achieved QPS, latency
 //             percentiles, shed/reject counts, and the batch-size
@@ -113,7 +129,9 @@
 #include "core/trainer.h"
 #include "data/generator.h"
 #include "data/serialization.h"
+#include "dist/process.h"
 #include "serve/broker.h"
+#include "serve/router.h"
 #include "utils/flags.h"
 #include "utils/parallel.h"
 #include "utils/stopwatch.h"
@@ -195,7 +213,17 @@ int CmdTrain(const FlagParser& flags) {
   FitOptions opts;
   opts.max_epochs = flags.GetInt("epochs", 12);
   opts.verbose = true;
-  const FitResult result = FitModel(model, ds, opts);
+  // --workers W forks W data-parallel training processes; --grad-shards S
+  // fixes the gradient-shard count (the trajectory is a pure function of
+  // S, so results are bitwise-identical for any W at the same S; the
+  // default S=W means changing only --workers changes the trajectory the
+  // same way changing the shard count in one process would).
+  const int64_t workers = std::max<int64_t>(1, flags.GetInt("workers", 1));
+  const int64_t grad_shards = flags.GetInt("grad-shards", 0);
+  const FitResult result =
+      workers > 1 || grad_shards > 0
+          ? dist::RunDataParallelFit(model, ds, opts, workers, grad_shards)
+          : FitModel(model, ds, opts);
   std::printf("best validation HR@10 %.2f%% (epoch %lld, %.1fs)\n",
               result.best_val_hr10, static_cast<long long>(result.best_epoch),
               result.seconds);
@@ -864,16 +892,44 @@ int CmdServeBench(const FlagParser& flags) {
   const int64_t clients = std::max<int64_t>(1, flags.GetInt("clients", 8));
   const int64_t topk = flags.GetInt("topk", 10);
   const int64_t deadline_ms = flags.GetInt("deadline-ms", 0);
+  // --seed S permutes which users each client walks (S=0 keeps the
+  // historical derivation bit-for-bit), so repeated runs can sample a
+  // different request mix without changing the load shape.
+  const int64_t seed = flags.GetInt("seed", 0);
 
   serve::BrokerOptions options;
   options.num_workers = flags.GetInt("workers", 2);
   options.max_batch = flags.GetInt("max-batch", 32);
   options.max_wait_us = flags.GetInt("max-wait-us", 200);
   options.queue_capacity = flags.GetInt("queue-capacity", 1024);
-  serve::RequestBroker broker(&model, options);
+
+  // --shards W serves through the multi-process tier (serve/router.h)
+  // instead of the in-process broker: W forked replica workers
+  // (hash-routed users, --shard-mode replica) or W IVF shard workers
+  // scattering every request across inverted-list slices (--shard-mode
+  // ivf, requires --ann). `options` becomes each worker's inner broker.
+  const int64_t shards = flags.GetInt("shards", 0);
+  const std::string shard_mode = flags.GetString("shard-mode", "replica");
+  PMM_CHECK_MSG(shard_mode == "replica" || shard_mode == "ivf",
+                "unknown --shard-mode: " + shard_mode);
+  std::unique_ptr<serve::RequestBroker> broker;
+  std::unique_ptr<serve::ShardRouter> router;
+  if (shards > 0) {
+    serve::RouterOptions ropts;
+    ropts.num_workers = shards;
+    ropts.mode = shard_mode == "ivf" ? serve::ShardMode::kIvfShard
+                                     : serve::ShardMode::kReplica;
+    ropts.broker = options;
+    router = std::make_unique<serve::ShardRouter>(&model, ropts);
+  } else {
+    broker = std::make_unique<serve::RequestBroker>(&model, options);
+  }
 
   std::vector<std::vector<uint64_t>> latencies(
       static_cast<size_t>(clients));
+  std::vector<std::vector<uint64_t>> queue_waits(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> shed{0}, rejected{0}, lost{0};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(clients));
   Stopwatch watch;
@@ -882,7 +938,8 @@ int CmdServeBench(const FlagParser& flags) {
       const int64_t n =
           requests / clients + (c < requests % clients ? 1 : 0);
       for (int64_t i = 0; i < n; ++i) {
-        const int64_t user = (c * 7919 + i * 104729) % ds.num_users();
+        const int64_t user =
+            (seed * 31 + c * 7919 + i * 104729) % ds.num_users();
         serve::Request request;
         request.prefix = ds.TestPrefix(user);
         request.topk = topk;
@@ -890,9 +947,17 @@ int CmdServeBench(const FlagParser& flags) {
           request.deadline_ns = serve::DeadlineFromNow(deadline_ms * 1000);
         }
         const serve::Response response =
-            broker.Submit(std::move(request)).get();
-        if (response.status == serve::ServeStatus::kOk) {
-          latencies[static_cast<size_t>(c)].push_back(response.total_ns);
+            router ? router->Submit(std::move(request)).get()
+                   : broker->Submit(std::move(request)).get();
+        switch (response.status) {
+          case serve::ServeStatus::kOk:
+            latencies[static_cast<size_t>(c)].push_back(response.total_ns);
+            queue_waits[static_cast<size_t>(c)].push_back(response.queue_ns);
+            break;
+          case serve::ServeStatus::kDeadlineExceeded: ++shed; break;
+          case serve::ServeStatus::kQueueFull: ++rejected; break;
+          case serve::ServeStatus::kWorkerLost: ++lost; break;
+          default: break;
         }
       }
     });
@@ -912,25 +977,87 @@ int CmdServeBench(const FlagParser& flags) {
         static_cast<size_t>(p / 100.0 * static_cast<double>(all.size())));
     return static_cast<double>(all[idx]) / 1e3;
   };
-  const serve::BrokerStats stats = broker.stats();
   const char* path_note = "exact";
   if (model.AnnServingEnabled()) {
     path_note = model.QuantServingEnabled() ? "ivf+int8" : "ivf";
   } else if (model.QuantServingEnabled()) {
     path_note = "int8";
   }
-  std::printf("serve-bench: %lld requests, %lld clients, %lld workers, "
-              "max_batch %lld, max_wait %lld us, %lld items, %s path%s\n",
-              static_cast<long long>(requests),
-              static_cast<long long>(clients),
-              static_cast<long long>(options.num_workers),
-              static_cast<long long>(options.max_batch),
-              static_cast<long long>(options.max_wait_us),
-              static_cast<long long>(ds.num_items()), path_note,
-              model.PlannedInferenceEnabled() ? " (planned)" : "");
+  if (router) {
+    std::printf("serve-bench: %lld requests, %lld clients, %lld %s "
+                "shards (multi-process), seed %lld, %lld items, %s path%s\n",
+                static_cast<long long>(requests),
+                static_cast<long long>(clients),
+                static_cast<long long>(shards), shard_mode.c_str(),
+                static_cast<long long>(seed),
+                static_cast<long long>(ds.num_items()), path_note,
+                model.PlannedInferenceEnabled() ? " (planned)" : "");
+  } else {
+    std::printf("serve-bench: %lld requests, %lld clients, %lld workers, "
+                "max_batch %lld, max_wait %lld us, %lld items, %s path%s\n",
+                static_cast<long long>(requests),
+                static_cast<long long>(clients),
+                static_cast<long long>(options.num_workers),
+                static_cast<long long>(options.max_batch),
+                static_cast<long long>(options.max_wait_us),
+                static_cast<long long>(ds.num_items()), path_note,
+                model.PlannedInferenceEnabled() ? " (planned)" : "");
+  }
   std::printf("  achieved %.1f req/s; latency us p50 %.0f p95 %.0f p99 %.0f\n",
               static_cast<double>(all.size()) / seconds, pct(50), pct(95),
               pct(99));
+  if (router) {
+    std::printf("  completed %llu, deadline_exceeded %llu, queue_full %llu, "
+                "worker_lost %llu\n",
+                static_cast<unsigned long long>(all.size()),
+                static_cast<unsigned long long>(shed.load()),
+                static_cast<unsigned long long>(rejected.load()),
+                static_cast<unsigned long long>(lost.load()));
+    // Per-worker rollup pulled over the control channel: each forked
+    // worker serializes its own trace registries, so the split shows
+    // routing balance (replica mode) or shard-scan symmetry (ivf mode).
+    const auto per_worker = router->CollectWorkerTelemetry();
+    std::printf("  per-%s breakdown:\n",
+                shard_mode == "ivf" ? "shard" : "worker");
+    for (size_t w = 0; w < per_worker.size(); ++w) {
+      uint64_t completed = 0;
+      for (const auto& [name, value] : per_worker[w].counters) {
+        if (name == "serve.worker.completed") completed = value;
+      }
+      const trace::TelemetrySnapshot::HistogramData* latency = nullptr;
+      const trace::TelemetrySnapshot::HistogramData* queue = nullptr;
+      for (const auto& hist : per_worker[w].histograms) {
+        if (hist.name == "serve.latency_us") latency = &hist;
+        if (hist.name == "serve.queue_wait_us") queue = &hist;
+      }
+      // Inclusive bucket upper bound at percentile p, in microseconds.
+      const auto hist_pct = [](
+          const trace::TelemetrySnapshot::HistogramData* h, double p) {
+        if (h == nullptr || h->count == 0) return 0.0;
+        const uint64_t target = static_cast<uint64_t>(
+            p / 100.0 * static_cast<double>(h->count));
+        uint64_t cum = 0;
+        for (const auto& [index, samples] : h->buckets) {
+          cum += samples;
+          if (cum > target) {
+            return static_cast<double>(
+                trace::Histogram::BucketUpperBound(index));
+          }
+        }
+        return static_cast<double>(
+            trace::Histogram::BucketUpperBound(h->buckets.back().first));
+      };
+      std::printf("    %s %zu: %llu done, %.1f req/s, "
+                  "latency us p50 %.0f p99 %.0f, queue_wait us p50 %.0f\n",
+                  shard_mode == "ivf" ? "shard" : "worker", w,
+                  static_cast<unsigned long long>(completed),
+                  static_cast<double>(completed) / seconds,
+                  hist_pct(latency, 50), hist_pct(latency, 99),
+                  hist_pct(queue, 50));
+    }
+    return 0;
+  }
+  const serve::BrokerStats stats = broker->stats();
   std::printf("  completed %llu, deadline_exceeded %llu, queue_full %llu; "
               "%llu batches, mean batch %.2f, max batch %llu\n",
               static_cast<unsigned long long>(stats.completed),
